@@ -1,0 +1,43 @@
+//! M4: model throughput — GRU forward scoring (inference) and
+//! forward+backward (one training sample), across embedding sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pathrank_core::model::{ModelConfig, PathRankModel};
+use pathrank_nn::init::uniform;
+use pathrank_nn::params::GradStore;
+use pathrank_nn::tape::Tape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model(c: &mut Criterion) {
+    let vocab = 2500usize;
+    let path: Vec<u32> = (0..32u32).map(|i| (i * 67) % vocab as u32).collect();
+
+    let mut group = c.benchmark_group("pathrank_model");
+    group.sample_size(20);
+    for dim in [64usize, 128] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pretrained = uniform(vocab, dim, -0.1, 0.1, &mut rng);
+        let model =
+            PathRankModel::new(vocab, Some(pretrained), ModelConfig::paper_default(dim));
+
+        group.bench_with_input(BenchmarkId::new("forward_l32", dim), &dim, |b, _| {
+            b.iter(|| model.score_path(black_box(&path)))
+        });
+        group.bench_with_input(BenchmarkId::new("forward_backward_l32", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new(&model.store);
+                let loss = model.loss(&mut tape, black_box(&path), 0.5, None);
+                let mut grads = GradStore::new(&model.store);
+                tape.backward(loss, &mut grads);
+                grads
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, model);
+criterion_main!(benches);

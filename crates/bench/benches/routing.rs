@@ -1,0 +1,48 @@
+//! M1: routing-algorithm latency on the paper-scale synthetic region —
+//! Dijkstra vs A* vs bidirectional, plus Yen top-k and diversified top-k
+//! (the training-data generators whose cost dominates preprocessing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pathrank_spatial::algo::astar::astar_shortest_path;
+use pathrank_spatial::algo::bidijkstra::bidirectional_shortest_path;
+use pathrank_spatial::algo::dijkstra::shortest_path;
+use pathrank_spatial::algo::diversified::{diversified_top_k, DiversifiedConfig};
+use pathrank_spatial::algo::yen::yen_k_shortest;
+use pathrank_spatial::generators::{region_network, RegionConfig};
+use pathrank_spatial::graph::{CostModel, VertexId};
+
+fn routing(c: &mut Criterion) {
+    let g = region_network(&RegionConfig::paper_scale(), 2020);
+    let n = g.vertex_count() as u32;
+    let (s, t) = (VertexId(17 % n), VertexId(n - 23));
+
+    let mut group = c.benchmark_group("point_to_point");
+    group.bench_function("dijkstra", |b| {
+        b.iter(|| shortest_path(&g, black_box(s), black_box(t), CostModel::Length))
+    });
+    group.bench_function("astar", |b| {
+        b.iter(|| astar_shortest_path(&g, black_box(s), black_box(t), CostModel::Length))
+    });
+    group.bench_function("bidirectional", |b| {
+        b.iter(|| bidirectional_shortest_path(&g, black_box(s), black_box(t), CostModel::Length))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("top_k");
+    group.sample_size(10);
+    for k in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("yen", k), &k, |b, &k| {
+            b.iter(|| yen_k_shortest(&g, s, t, CostModel::Length, black_box(k)))
+        });
+        group.bench_with_input(BenchmarkId::new("diversified", k), &k, |b, &k| {
+            let cfg = DiversifiedConfig::with_k(k);
+            b.iter(|| diversified_top_k(&g, s, t, CostModel::Length, black_box(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, routing);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! M2: path-similarity throughput. Weighted Jaccard is evaluated once per
+//! (candidate, trajectory) pair during training-data generation, so its
+//! cost scales with the entire corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pathrank_spatial::algo::yen::yen_k_shortest;
+use pathrank_spatial::generators::{region_network, RegionConfig};
+use pathrank_spatial::graph::{CostModel, VertexId};
+use pathrank_spatial::similarity::{
+    jaccard, lcs_similarity, weighted_dice, weighted_jaccard, EdgeWeight,
+};
+
+fn similarity(c: &mut Criterion) {
+    let g = region_network(&RegionConfig::paper_scale(), 2020);
+    let n = g.vertex_count() as u32;
+    let (s, t) = (VertexId(5), VertexId(n - 11));
+    let paths = yen_k_shortest(&g, s, t, CostModel::Length, 4);
+    assert!(paths.len() >= 2, "need at least two alternative paths");
+    let a = &paths[0].0;
+    let b = &paths[paths.len() - 1].0;
+
+    let mut group = c.benchmark_group("similarity");
+    group.bench_function("weighted_jaccard", |bch| {
+        bch.iter(|| weighted_jaccard(&g, black_box(a), black_box(b), EdgeWeight::Length))
+    });
+    group.bench_function("unweighted_jaccard", |bch| {
+        bch.iter(|| jaccard(&g, black_box(a), black_box(b)))
+    });
+    group.bench_function("weighted_dice", |bch| {
+        bch.iter(|| weighted_dice(&g, black_box(a), black_box(b), EdgeWeight::Length))
+    });
+    group.bench_function("lcs", |bch| bch.iter(|| lcs_similarity(black_box(a), black_box(b))));
+    group.finish();
+}
+
+criterion_group!(benches, similarity);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! M3: node2vec preprocessing throughput — biased walk generation and
+//! alias-table sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pathrank_embed::alias::AliasTable;
+use pathrank_embed::walks::{generate_walks, WalkConfig};
+use pathrank_spatial::generators::{grid_network, GridConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn walks(c: &mut Criterion) {
+    let g = grid_network(&GridConfig::town(), 2020);
+
+    let mut group = c.benchmark_group("node2vec");
+    group.sample_size(10);
+    group.bench_function("walks_town", |b| {
+        let cfg = WalkConfig { walks_per_vertex: 2, walk_length: 20, p: 1.0, q: 0.5 };
+        b.iter(|| generate_walks(&g, black_box(&cfg), 7))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("alias_table");
+    let weights: Vec<f64> = (1..=1000).map(|i| (i as f64).powf(0.75)).collect();
+    group.bench_function("build_1k", |b| b.iter(|| AliasTable::new(black_box(&weights))));
+    let table = AliasTable::new(&weights);
+    group.bench_function("sample", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| table.sample(black_box(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, walks);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Extension ablation **A1**: what the spatial-network embedding buys.
+//!
+//! Compares, on identical data (D-TkDI, M = 64):
+//!
+//! * **PR-RAND** — randomly initialised embedding, fine-tuned (no
+//!   node2vec at all);
+//! * **PR-A1**  — node2vec embedding, frozen;
+//! * **PR-A2**  — node2vec embedding, fine-tuned (the paper's best).
+//!
+//! The paper's Tables 1–2 imply PR-A2 > PR-A1; this ablation adds the
+//! "no pretraining" control the full evaluation motivates.
+
+use pathrank_bench::{print_metric_header, print_metric_row, Scale};
+use pathrank_core::candidates::{CandidateConfig, Strategy};
+use pathrank_core::model::{EmbeddingMode, ModelConfig};
+use pathrank_core::pipeline::Workbench;
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    let mut wb = Workbench::new(scale.experiment_config());
+    let dim = scale.embedding_dims()[0];
+    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+
+    println!("# A1: embedding ablation (D-TkDI, k = {}, M = {dim})", scale.k);
+    print_metric_header("Variant");
+    for mode in [
+        EmbeddingMode::TrainableRandom,
+        EmbeddingMode::FrozenPretrained,
+        EmbeddingMode::Trainable,
+    ] {
+        let mcfg = ModelConfig {
+            embedding_mode: mode,
+            seed: scale.seed.wrapping_add(11),
+            ..ModelConfig::paper_default(dim)
+        };
+        let res = wb.run(mcfg, ccfg, scale.train_config());
+        print_metric_row(mode.label(), dim, &res.eval);
+        eprintln!("  [{}] {:.1}s train+eval", mode.label(), res.seconds);
+    }
+}

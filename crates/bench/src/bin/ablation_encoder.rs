@@ -1,0 +1,35 @@
+//! Extension ablation **A2**: sequence encoder choice.
+//!
+//! Compares GRU (the paper's encoder), LSTM, and an order-insensitive
+//! mean-pool encoder on identical data (D-TkDI, PR-A2, M = 64). The
+//! recurrent encoders should beat mean pooling: a path is a *sequence*,
+//! and edge adjacency carries signal a bag of vertices discards.
+
+use pathrank_bench::{print_metric_header, print_metric_row, Scale};
+use pathrank_core::candidates::{CandidateConfig, Strategy};
+use pathrank_core::model::{EncoderKind, ModelConfig};
+use pathrank_core::pipeline::Workbench;
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    let mut wb = Workbench::new(scale.experiment_config());
+    let dim = scale.embedding_dims()[0];
+    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+
+    println!("# A2: encoder ablation (D-TkDI, k = {}, PR-A2, M = {dim})", scale.k);
+    print_metric_header("Encoder");
+    for (label, encoder) in [
+        ("GRU", EncoderKind::Gru),
+        ("LSTM", EncoderKind::Lstm),
+        ("MeanPool", EncoderKind::MeanPool),
+    ] {
+        let mcfg = ModelConfig {
+            encoder,
+            seed: scale.seed.wrapping_add(11),
+            ..ModelConfig::paper_default(dim)
+        };
+        let res = wb.run(mcfg, ccfg, scale.train_config());
+        print_metric_row(label, dim, &res.eval);
+        eprintln!("  [{label}] {:.1}s train+eval", res.seconds);
+    }
+}

@@ -1,0 +1,32 @@
+//! Extension ablation **A3**: multi-task auxiliary objective (the full
+//! ICDE paper's extension of PathRank).
+//!
+//! The auxiliary head co-predicts each candidate's length and travel-time
+//! ratios relative to the best candidate, regularising the encoder. This
+//! sweep varies the auxiliary-loss weight λ (λ = 0 is single-task PR-A2).
+
+use pathrank_bench::{print_metric_header, print_metric_row, Scale};
+use pathrank_core::candidates::{CandidateConfig, Strategy};
+use pathrank_core::model::ModelConfig;
+use pathrank_core::pipeline::Workbench;
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    let mut wb = Workbench::new(scale.experiment_config());
+    let dim = scale.embedding_dims()[0];
+    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let weights: &[f32] = if scale.quick { &[0.0, 0.5] } else { &[0.0, 0.25, 0.5, 1.0] };
+
+    println!("# A3: multi-task weight sweep (D-TkDI, k = {}, PR-A2, M = {dim})", scale.k);
+    print_metric_header("lambda");
+    for &w in weights {
+        let mcfg = ModelConfig {
+            multi_task_weight: w,
+            seed: scale.seed.wrapping_add(11),
+            ..ModelConfig::paper_default(dim)
+        };
+        let res = wb.run(mcfg, ccfg, scale.train_config());
+        print_metric_row(&format!("{w:.2}"), dim, &res.eval);
+        eprintln!("  [lambda={w:.2}] {:.1}s train+eval", res.seconds);
+    }
+}

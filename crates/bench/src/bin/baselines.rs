@@ -1,0 +1,42 @@
+//! Extension table **B1**: non-learning baselines vs PathRank.
+//!
+//! The paper's introduction argues that classic routing objectives
+//! (shortest, fastest) mis-rank candidate paths because local drivers
+//! follow neither. This table quantifies that claim: each baseline recasts
+//! a classic objective as a `[0,1]` ranking score and is evaluated with
+//! the same four metrics as PathRank.
+
+use pathrank_bench::{print_metric_header, print_metric_row, Scale};
+use pathrank_core::candidates::{CandidateConfig, Strategy};
+use pathrank_core::eval::{baselines, evaluate_with};
+use pathrank_core::model::ModelConfig;
+use pathrank_core::pipeline::Workbench;
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    let mut wb = Workbench::new(scale.experiment_config());
+    let dim = scale.embedding_dims()[0];
+    let test_groups = wb.test_groups(scale.k);
+
+    println!(
+        "# B1: non-learning baselines vs PathRank (test bed: D-TkDI, k = {}, {} queries)",
+        scale.k,
+        test_groups.len()
+    );
+    print_metric_header("Method");
+
+    let g = wb.graph.clone();
+    let sp = evaluate_with(&test_groups, |grp| baselines::shortest_length_ratio(&g, grp));
+    print_metric_row("SP", 0, &sp);
+    let fp = evaluate_with(&test_groups, |grp| baselines::fastest_time_ratio(&g, grp));
+    print_metric_row("FP", 0, &fp);
+    let blend = evaluate_with(&test_groups, |grp| baselines::length_time_blend(&g, grp));
+    print_metric_row("SP+FP", 0, &blend);
+
+    // PathRank (PR-A2, D-TkDI) for reference.
+    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let mcfg =
+        ModelConfig { seed: scale.seed.wrapping_add(11), ..ModelConfig::paper_default(dim) };
+    let res = wb.run(mcfg, ccfg, scale.train_config());
+    print_metric_row("PathRank", dim, &res.eval);
+}

@@ -1,0 +1,78 @@
+//! Diagnostic: candidate-group statistics per training-data strategy.
+//!
+//! Prints, for TkDI and D-TkDI on the same trajectory set: group sizes,
+//! ground-truth label distribution (mean/min/quartiles) and mean pairwise
+//! candidate overlap. Useful for checking that the diversified strategy
+//! actually has room to diversify on a given network.
+
+use pathrank_bench::Scale;
+use pathrank_core::candidates::{generate_groups, CandidateConfig, Strategy};
+use pathrank_core::pipeline::Workbench;
+use pathrank_spatial::similarity::{weighted_jaccard, EdgeWeight};
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    let wb = Workbench::new(scale.experiment_config());
+    println!(
+        "network: {} vertices; {} train trajectories; k = {}",
+        wb.graph.vertex_count(),
+        wb.train_paths.len(),
+        scale.k
+    );
+
+    for strategy in [Strategy::TkDI, Strategy::DTkDI] {
+        let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(strategy) };
+        let groups = generate_groups(&wb.graph, &wb.train_paths, &ccfg, scale.threads);
+
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        let mut labels: Vec<f64> =
+            groups.iter().flat_map(|g| g.candidates.iter().map(|c| c.score)).collect();
+        labels.sort_by(f64::total_cmp);
+
+        // Mean pairwise overlap between candidates within a group
+        // (subsample groups to keep this cheap).
+        let mut overlap_sum = 0.0;
+        let mut overlap_n = 0usize;
+        for g in groups.iter().take(40) {
+            for i in 0..g.candidates.len() {
+                for j in (i + 1)..g.candidates.len() {
+                    overlap_sum += weighted_jaccard(
+                        &wb.graph,
+                        &g.candidates[i].path,
+                        &g.candidates[j].path,
+                        EdgeWeight::Length,
+                    );
+                    overlap_n += 1;
+                }
+            }
+        }
+
+        println!("\n== {} ==", strategy.label());
+        println!(
+            "groups: {}; candidates/group: mean {:.2}, min {}, max {}",
+            groups.len(),
+            sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64,
+            sizes.iter().min().unwrap_or(&0),
+            sizes.iter().max().unwrap_or(&0),
+        );
+        println!(
+            "labels: mean {:.3}, p10 {:.3}, p50 {:.3}, p90 {:.3}",
+            labels.iter().sum::<f64>() / labels.len().max(1) as f64,
+            percentile(&labels, 0.1),
+            percentile(&labels, 0.5),
+            percentile(&labels, 0.9),
+        );
+        println!(
+            "mean pairwise candidate overlap: {:.3}",
+            overlap_sum / overlap_n.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Extension figure **F2**: accuracy as a function of the D-TkDI
+//! diversity threshold τ_div (k = 10, PR-A2, M = 64).
+//!
+//! τ_div = 1.0 degenerates to plain TkDI (no diversification); very small
+//! thresholds demand near edge-disjoint candidates, which may not exist,
+//! shrinking the training set. The sweet spot sits in between — this
+//! figure locates it on the synthetic region.
+
+use pathrank_bench::{print_metric_header, print_metric_row, Scale};
+use pathrank_core::candidates::{CandidateConfig, Strategy};
+use pathrank_core::model::ModelConfig;
+use pathrank_core::pipeline::Workbench;
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    let mut wb = Workbench::new(scale.experiment_config());
+    let dim = scale.embedding_dims()[0];
+    let thresholds: &[f64] =
+        if scale.quick { &[0.5, 1.0] } else { &[0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] };
+
+    println!(
+        "# F2: diversity-threshold sweep (D-TkDI, k = {}, PR-A2, M = {dim})",
+        scale.k
+    );
+    print_metric_header("tau_div");
+    for &threshold in thresholds {
+        let ccfg = CandidateConfig {
+            k: scale.k,
+            diversity_threshold: threshold,
+            ..CandidateConfig::paper_default(Strategy::DTkDI)
+        };
+        let mcfg = ModelConfig {
+            seed: scale.seed.wrapping_add(11),
+            ..ModelConfig::paper_default(dim)
+        };
+        let res = wb.run(mcfg, ccfg, scale.train_config());
+        print_metric_row(&format!("{threshold:.2}"), dim, &res.eval);
+        eprintln!("  [tau_div={threshold:.2}] {:.1}s train+eval", res.seconds);
+    }
+}

@@ -1,0 +1,35 @@
+//! Extension figure **F1**: accuracy as a function of the candidate-set
+//! size k (D-TkDI, PR-A2, M = 64).
+//!
+//! Motivated by the paper's claim that a *compact* set of diversified
+//! paths suffices: accuracy should improve quickly with k and then
+//! flatten — more near-duplicate candidates add little.
+
+use pathrank_bench::{print_metric_header, print_metric_row, Scale};
+use pathrank_core::candidates::{CandidateConfig, Strategy};
+use pathrank_core::model::ModelConfig;
+use pathrank_core::pipeline::Workbench;
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    let mut wb = Workbench::new(scale.experiment_config());
+    let dim = scale.embedding_dims()[0];
+    let ks: &[usize] = if scale.quick { &[2, 4] } else { &[4, 6, 8, 10, 12] };
+
+    println!(
+        "# F1: candidate-set size sweep (D-TkDI, PR-A2, M = {dim}; {} train / {} test)",
+        wb.train_paths.len(),
+        wb.test_paths.len()
+    );
+    print_metric_header("k");
+    for &k in ks {
+        let ccfg = CandidateConfig { k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+        let mcfg = ModelConfig {
+            seed: scale.seed.wrapping_add(11),
+            ..ModelConfig::paper_default(dim)
+        };
+        let res = wb.run(mcfg, ccfg, scale.train_config());
+        print_metric_row(&format!("k={k}"), dim, &res.eval);
+        eprintln!("  [k={k}] {:.1}s train+eval", res.seconds);
+    }
+}

@@ -1,0 +1,48 @@
+//! Extension figure **F3**: accuracy as a function of training-set size
+//! (fraction of training trajectories used; D-TkDI, PR-A2, M = 64).
+//!
+//! The paper's pipeline is data-driven: this figure quantifies how many
+//! trajectories the ranking model actually needs before accuracy saturates.
+
+use pathrank_bench::{print_metric_header, print_metric_row, Scale};
+use pathrank_core::candidates::{CandidateConfig, Strategy};
+use pathrank_core::eval::evaluate_model;
+use pathrank_core::model::{ModelConfig, PathRankModel};
+use pathrank_core::pipeline::Workbench;
+use pathrank_core::trainer::{prepare_samples, train};
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    let mut wb = Workbench::new(scale.experiment_config());
+    let dim = scale.embedding_dims()[0];
+    let fractions: &[f64] = if scale.quick { &[0.5, 1.0] } else { &[0.2, 0.4, 0.6, 0.8, 1.0] };
+
+    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    // Generate the full candidate pool once, then train on prefixes; the
+    // test set is fixed, so rows differ only in training-data volume.
+    let all_groups = wb.train_groups(&ccfg);
+    let test_groups = wb.test_groups(scale.k);
+    let embedding = wb.embedding(dim);
+
+    println!(
+        "# F3: training-set size sweep (D-TkDI, k = {}, PR-A2, M = {dim}; pool = {} groups)",
+        scale.k,
+        all_groups.len()
+    );
+    print_metric_header("frac");
+    for &frac in fractions {
+        let n = ((all_groups.len() as f64 * frac).round() as usize).max(1);
+        let subset = &all_groups[..n];
+        let samples = prepare_samples(&wb.graph, subset, false);
+        let mcfg = ModelConfig {
+            seed: scale.seed.wrapping_add(11),
+            ..ModelConfig::paper_default(dim)
+        };
+        let mut model =
+            PathRankModel::new(wb.graph.vertex_count(), Some(embedding.clone()), mcfg);
+        train(&mut model, &samples, &scale.train_config());
+        let eval = evaluate_model(&model, &test_groups);
+        print_metric_row(&format!("{frac:.1}"), dim, &eval);
+        eprintln!("  [frac={frac:.1}] {} groups, {} samples", n, samples.len());
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Table 1** of the paper: training-data generation
+//! strategies (TkDI vs D-TkDI) × embedding size M, for **PR-A1** (frozen
+//! node2vec embedding).
+//!
+//! Paper reference values (North Jutland, 180M GPS records):
+//!
+//! | Strategy | M    | MAE    | MARE   | tau    | rho    |
+//! |----------|------|--------|--------|--------|--------|
+//! | TkDI     | 64   | 0.1433 | 0.2300 | 0.6638 | 0.7044 |
+//! | TkDI     | 128  | 0.1168 | 0.1875 | 0.6913 | 0.7330 |
+//! | D-TkDI   | 64   | 0.1140 | 0.1830 | 0.6959 | 0.7346 |
+//! | D-TkDI   | 128  | 0.0955 | 0.1533 | 0.7077 | 0.7492 |
+//!
+//! Expected *shape* on the synthetic region: D-TkDI beats TkDI and larger
+//! M helps, on every metric.
+
+use pathrank_bench::{run_strategy_table, Scale};
+use pathrank_core::model::EmbeddingMode;
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    run_strategy_table(EmbeddingMode::FrozenPretrained, &scale);
+}

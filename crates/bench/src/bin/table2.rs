@@ -1,0 +1,24 @@
+//! Regenerates **Table 2** of the paper: training-data generation
+//! strategies (TkDI vs D-TkDI) × embedding size M, for **PR-A2**
+//! (fine-tuned node2vec embedding).
+//!
+//! Paper reference values:
+//!
+//! | Strategy | M    | MAE    | MARE   | tau    | rho    |
+//! |----------|------|--------|--------|--------|--------|
+//! | TkDI     | 64   | 0.1163 | 0.1868 | 0.6835 | 0.7256 |
+//! | TkDI     | 128  | 0.1130 | 0.1814 | 0.7082 | 0.7481 |
+//! | D-TkDI   | 64   | 0.0940 | 0.1509 | 0.7144 | 0.7532 |
+//! | D-TkDI   | 128  | 0.0855 | 0.1373 | 0.7339 | 0.7731 |
+//!
+//! Expected *shape*: D-TkDI beats TkDI, larger M helps, and every PR-A2
+//! row beats its PR-A1 counterpart from Table 1 (updating the embedding
+//! matrix B is useful).
+
+use pathrank_bench::{run_strategy_table, Scale};
+use pathrank_core::model::EmbeddingMode;
+
+fn main() {
+    let scale = Scale::parse(std::env::args());
+    run_strategy_table(EmbeddingMode::Trainable, &scale);
+}

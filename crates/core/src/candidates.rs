@@ -1,0 +1,295 @@
+//! Training-data generation — the paper's first contribution.
+//!
+//! For a trajectory path `P_T` from `s` to `d`, a training group consists
+//! of candidate paths from `s` to `d`, each labelled with its ground-truth
+//! ranking score `WeightedJaccard(P, P_T)`. The trajectory path itself is
+//! included with score 1. Two generation strategies are compared in the
+//! paper's Tables 1 and 2:
+//!
+//! * **TkDI** — the plain top-k shortest paths (Yen);
+//! * **D-TkDI** — the *diversified* top-k shortest paths, which covers the
+//!   score range far better (plain top-k paths are all nearly identical,
+//!   so their labels cluster near one value, starving the regressor of
+//!   signal).
+
+use crossbeam::thread;
+use serde::{Deserialize, Serialize};
+
+use pathrank_spatial::algo::diversified::{diversified_top_k, DiversifiedConfig};
+use pathrank_spatial::algo::yen::yen_k_shortest;
+use pathrank_spatial::graph::{CostModel, Graph};
+use pathrank_spatial::path::Path;
+use pathrank_spatial::similarity::{weighted_jaccard, EdgeWeight};
+
+/// Candidate-generation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Plain top-k shortest paths.
+    TkDI,
+    /// Diversified top-k shortest paths (the paper's winner).
+    DTkDI,
+}
+
+impl Strategy {
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::TkDI => "TkDI",
+            Strategy::DTkDI => "D-TkDI",
+        }
+    }
+}
+
+/// Parameters of candidate generation.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateConfig {
+    /// Number of candidate paths per trajectory (k in the paper).
+    pub k: usize,
+    /// Generation strategy.
+    pub strategy: Strategy,
+    /// Similarity threshold for D-TkDI (ignored by TkDI).
+    pub diversity_threshold: f64,
+    /// Cap on paths examined by D-TkDI before giving up.
+    pub max_scan: usize,
+    /// Whether the trajectory path itself is added (score 1.0).
+    pub include_trajectory: bool,
+}
+
+impl CandidateConfig {
+    /// Paper-style defaults for a strategy: k = 10, diversity threshold
+    /// 0.5 (tuned so that D-TkDI actively diversifies on the synthetic
+    /// region, whose plain top-k paths are already less redundant than a
+    /// real road network's).
+    pub fn paper_default(strategy: Strategy) -> Self {
+        CandidateConfig {
+            k: 10,
+            strategy,
+            diversity_threshold: 0.5,
+            max_scan: 400,
+            include_trajectory: true,
+        }
+    }
+}
+
+/// One labelled candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankedCandidate {
+    /// The candidate path.
+    pub path: Path,
+    /// Ground-truth ranking score: weighted Jaccard to the trajectory.
+    pub score: f64,
+}
+
+/// All labelled candidates for one trajectory path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingGroup {
+    /// The trajectory path (ground truth driver behaviour).
+    pub trajectory: Path,
+    /// Labelled candidates, including the trajectory itself when
+    /// configured.
+    pub candidates: Vec<RankedCandidate>,
+}
+
+impl TrainingGroup {
+    /// Number of labelled candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the group carries no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+/// Generates the labelled candidate group for one trajectory.
+pub fn generate_group(g: &Graph, trajectory: &Path, cfg: &CandidateConfig) -> TrainingGroup {
+    let (s, d) = (trajectory.source(), trajectory.target());
+    let generated: Vec<(Path, f64)> = match cfg.strategy {
+        Strategy::TkDI => yen_k_shortest(g, s, d, CostModel::Length, cfg.k),
+        Strategy::DTkDI => {
+            let dcfg = DiversifiedConfig {
+                k: cfg.k,
+                threshold: cfg.diversity_threshold,
+                max_scan: cfg.max_scan,
+                weight: EdgeWeight::Length,
+            };
+            diversified_top_k(g, s, d, CostModel::Length, &dcfg)
+        }
+    };
+
+    let mut candidates: Vec<RankedCandidate> = Vec::with_capacity(generated.len() + 1);
+    if cfg.include_trajectory {
+        candidates.push(RankedCandidate { path: trajectory.clone(), score: 1.0 });
+    }
+    for (path, _) in generated {
+        if cfg.include_trajectory && path.same_route(trajectory) {
+            continue; // already present with score 1.0
+        }
+        let score = weighted_jaccard(g, &path, trajectory, EdgeWeight::Length);
+        candidates.push(RankedCandidate { path, score });
+    }
+    TrainingGroup { trajectory: trajectory.clone(), candidates }
+}
+
+/// Generates groups for many trajectories, splitting the work across
+/// `threads` OS threads (candidate generation dominates preprocessing
+/// time: each trajectory costs k constrained Dijkstra sweeps).
+pub fn generate_groups(
+    g: &Graph,
+    trajectories: &[Path],
+    cfg: &CandidateConfig,
+    threads: usize,
+) -> Vec<TrainingGroup> {
+    let threads = threads.max(1);
+    if threads == 1 || trajectories.len() < 2 * threads {
+        return trajectories.iter().map(|t| generate_group(g, t, cfg)).collect();
+    }
+    let chunk = trajectories.len().div_ceil(threads);
+    let results: Vec<Vec<TrainingGroup>> = thread::scope(|scope| {
+        let handles: Vec<_> = trajectories
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move |_| slice.iter().map(|t| generate_group(g, t, cfg)).collect()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed");
+    results.into_concat()
+}
+
+/// Small helper: flattens the per-thread chunks back into one vector.
+trait IntoConcat<T> {
+    fn into_concat(self) -> Vec<T>;
+}
+
+impl<T> IntoConcat<T> for Vec<Vec<T>> {
+    fn into_concat(self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.iter().map(Vec::len).sum());
+        for v in self {
+            out.extend(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathrank_spatial::algo::dijkstra::shortest_path;
+    use pathrank_spatial::generators::{region_network, RegionConfig};
+    use pathrank_spatial::graph::VertexId;
+    use pathrank_traj::simulator::{simulate_fleet, SimulationConfig};
+
+    fn setup() -> (Graph, Vec<Path>) {
+        let g = region_network(&RegionConfig::small_test(), 8);
+        let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 9);
+        let paths = trips.into_iter().map(|t| t.path).collect();
+        (g, paths)
+    }
+
+    #[test]
+    fn group_contains_trajectory_with_score_one() {
+        let (g, paths) = setup();
+        let cfg = CandidateConfig::paper_default(Strategy::DTkDI);
+        let group = generate_group(&g, &paths[0], &cfg);
+        assert!(!group.is_empty());
+        assert!(group.candidates[0].path.same_route(&paths[0]));
+        assert_eq!(group.candidates[0].score, 1.0);
+    }
+
+    #[test]
+    fn scores_are_correct_weighted_jaccard() {
+        let (g, paths) = setup();
+        let cfg = CandidateConfig::paper_default(Strategy::TkDI);
+        let group = generate_group(&g, &paths[1], &cfg);
+        for c in &group.candidates {
+            let expect = weighted_jaccard(&g, &c.path, &paths[1], EdgeWeight::Length);
+            assert!((c.score - expect).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&c.score));
+            assert_eq!(c.path.source(), paths[1].source());
+            assert_eq!(c.path.target(), paths[1].target());
+        }
+    }
+
+    #[test]
+    fn no_duplicate_trajectory_when_it_is_shortest() {
+        // Use the actual shortest path as "trajectory": TkDI will generate
+        // it again; the group must keep exactly one copy.
+        let (g, _) = setup();
+        let s = VertexId(0);
+        let d = VertexId((g.vertex_count() - 1) as u32);
+        let sp = shortest_path(&g, s, d, CostModel::Length).unwrap();
+        let cfg = CandidateConfig::paper_default(Strategy::TkDI);
+        let group = generate_group(&g, &sp, &cfg);
+        let copies =
+            group.candidates.iter().filter(|c| c.path.same_route(&sp)).count();
+        assert_eq!(copies, 1);
+        // And that copy is the score-1.0 trajectory entry.
+        assert_eq!(group.candidates[0].score, 1.0);
+    }
+
+    #[test]
+    fn dtkdi_labels_spread_wider_than_tkdi() {
+        let (g, paths) = setup();
+        let spread = |strategy: Strategy| {
+            let cfg = CandidateConfig {
+                include_trajectory: false,
+                ..CandidateConfig::paper_default(strategy)
+            };
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut n = 0usize;
+            for p in &paths {
+                let group = generate_group(&g, p, &cfg);
+                for c in &group.candidates {
+                    lo = lo.min(c.score);
+                    hi = hi.max(c.score);
+                    n += 1;
+                }
+            }
+            assert!(n > 0);
+            hi - lo
+        };
+        let tk = spread(Strategy::TkDI);
+        let dtk = spread(Strategy::DTkDI);
+        assert!(
+            dtk >= tk - 1e-9,
+            "diversified labels must cover at least as wide a range \
+             (TkDI {tk:.3} vs D-TkDI {dtk:.3})"
+        );
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential() {
+        let (g, paths) = setup();
+        let cfg = CandidateConfig::paper_default(Strategy::DTkDI);
+        let seq = generate_groups(&g, &paths, &cfg, 1);
+        let par = generate_groups(&g, &paths, &cfg, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert!(a.trajectory.same_route(&b.trajectory));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.candidates.iter().zip(b.candidates.iter()) {
+                assert!(x.path.same_route(&y.path));
+                assert_eq!(x.score, y.score);
+            }
+        }
+    }
+
+    #[test]
+    fn k_bounds_candidate_count() {
+        let (g, paths) = setup();
+        for strategy in [Strategy::TkDI, Strategy::DTkDI] {
+            let cfg = CandidateConfig { k: 4, ..CandidateConfig::paper_default(strategy) };
+            let group = generate_group(&g, &paths[0], &cfg);
+            // k candidates plus (possibly) the trajectory itself.
+            assert!(group.len() <= 5, "{strategy:?} produced {}", group.len());
+        }
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(Strategy::TkDI.label(), "TkDI");
+        assert_eq!(Strategy::DTkDI.label(), "D-TkDI");
+    }
+}

@@ -1,0 +1,342 @@
+//! End-to-end experiment pipeline.
+//!
+//! A [`Workbench`] owns everything that is *shared* across the
+//! configurations of one table: the road network, the simulated fleet, the
+//! train/test trajectory split, per-`M` node2vec embeddings and per-strategy
+//! candidate groups (all cached). [`Workbench::run`] then trains and
+//! evaluates one PathRank configuration.
+//!
+//! Evaluation protocol: following the paper, each training-data strategy
+//! is evaluated on *its own* candidate sets over the held-out test
+//! trajectories (the "advanced routing" module of the paper's solution
+//! overview serves the same kind of candidates at query time that the
+//! model was trained to rank). A fixed D-TkDI test bed is also available
+//! for baseline comparisons ([`Workbench::test_groups`]).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use pathrank_embed::node2vec::{train_node2vec, Node2VecConfig};
+use pathrank_nn::matrix::Matrix;
+use pathrank_spatial::generators::{region_network, RegionConfig};
+use pathrank_spatial::graph::Graph;
+use pathrank_spatial::path::Path;
+use pathrank_traj::dataset::TrajectoryDataset;
+use pathrank_traj::mapmatch::MapMatchConfig;
+use pathrank_traj::simulator::{simulate_fleet, SimulationConfig};
+
+use crate::candidates::{generate_groups, CandidateConfig, Strategy, TrainingGroup};
+use crate::eval::{evaluate_model, EvalResult};
+use crate::model::{EmbeddingMode, ModelConfig, PathRankModel};
+use crate::trainer::{prepare_samples, train, TrainConfig, TrainReport};
+
+/// Everything the experiment environment needs (network, fleet, splits).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Synthetic region parameters (the North Jutland stand-in).
+    pub region: RegionConfig,
+    /// Fleet simulation parameters.
+    pub sim: SimulationConfig,
+    /// node2vec parameters (`dim` is overridden per requested `M`).
+    pub n2v: Node2VecConfig,
+    /// Drop trajectories with fewer edges than this.
+    pub min_hops: usize,
+    /// Drop trajectories with more edges than this (bounds BPTT length).
+    pub max_hops: usize,
+    /// Fraction of trajectories used for training.
+    pub train_frac: f64,
+    /// Recover trajectory paths by HMM map matching (full paper pipeline)
+    /// instead of reading the simulator's ground truth (fast path).
+    pub use_map_matching: bool,
+    /// Worker threads for candidate generation and training.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Milliseconds-scale configuration for unit tests.
+    pub fn small_test() -> Self {
+        ExperimentConfig {
+            region: RegionConfig::small_test(),
+            sim: SimulationConfig::small_test(),
+            n2v: Node2VecConfig {
+                walks_per_vertex: 3,
+                walk_length: 12,
+                epochs: 1,
+                ..Default::default()
+            },
+            min_hops: 3,
+            max_hops: 60,
+            train_frac: 0.75,
+            use_map_matching: false,
+            threads: 2,
+            seed: 2020,
+        }
+    }
+
+    /// The laptop-scale mirror of the paper's setup: a ~3k-vertex region,
+    /// a fleet of drivers with hidden preferences, minutes-scale training.
+    pub fn paper_scale() -> Self {
+        ExperimentConfig {
+            region: RegionConfig::paper_scale(),
+            sim: SimulationConfig {
+                n_vehicles: 50,
+                trips_per_vehicle: 5,
+                min_trip_euclid_m: 800.0,
+                max_trip_euclid_m: 6_000.0,
+                ..SimulationConfig::paper_scale()
+            },
+            n2v: Node2VecConfig::default(),
+            min_hops: 5,
+            max_hops: 60,
+            train_frac: 0.8,
+            use_map_matching: false,
+            threads: 2,
+            seed: 2020,
+        }
+    }
+}
+
+/// Outcome of one configuration run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Test-set metrics.
+    pub eval: EvalResult,
+    /// Training diagnostics.
+    pub report: TrainReport,
+    /// Number of training ranking groups.
+    pub train_groups: usize,
+    /// Number of test ranking groups.
+    pub test_groups: usize,
+    /// Wall-clock seconds for train + eval (excludes cached preprocessing).
+    pub seconds: f64,
+}
+
+/// Shared experiment state with caching. See the module docs.
+pub struct Workbench {
+    /// The road network.
+    pub graph: Graph,
+    /// Training trajectory paths.
+    pub train_paths: Vec<Path>,
+    /// Held-out test trajectory paths.
+    pub test_paths: Vec<Path>,
+    cfg: ExperimentConfig,
+    embeddings: HashMap<usize, Matrix>,
+    train_group_cache: HashMap<String, Vec<TrainingGroup>>,
+    test_group_cache: HashMap<String, Vec<TrainingGroup>>,
+}
+
+impl Workbench {
+    /// Builds the shared environment: network → fleet → trajectory paths →
+    /// train/test split.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        let graph = region_network(&cfg.region, cfg.seed);
+        let trips = simulate_fleet(&graph, &cfg.sim, cfg.seed.wrapping_add(1));
+        let dataset = if cfg.use_map_matching {
+            TrajectoryDataset::from_map_matching(&graph, &trips, &MapMatchConfig::default())
+        } else {
+            TrajectoryDataset::from_true_paths(&trips)
+        };
+        let mut dataset = dataset.filter_min_hops(cfg.min_hops);
+        dataset.paths.retain(|p| p.len() <= cfg.max_hops);
+        let (train_paths, test_paths) = dataset.split(cfg.train_frac, cfg.seed.wrapping_add(2));
+        Workbench {
+            graph,
+            train_paths,
+            test_paths,
+            cfg,
+            embeddings: HashMap::new(),
+            train_group_cache: HashMap::new(),
+            test_group_cache: HashMap::new(),
+        }
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The node2vec embedding for dimensionality `dim` (cached).
+    pub fn embedding(&mut self, dim: usize) -> Matrix {
+        if let Some(m) = self.embeddings.get(&dim) {
+            return m.clone();
+        }
+        let n2v = Node2VecConfig { dim, ..self.cfg.n2v.clone() };
+        let m = train_node2vec(&self.graph, &n2v, self.cfg.seed.wrapping_add(3));
+        self.embeddings.insert(dim, m.clone());
+        m
+    }
+
+    fn group_key(ccfg: &CandidateConfig) -> String {
+        format!(
+            "{:?}|k{}|t{:.4}|s{}|inc{}",
+            ccfg.strategy, ccfg.k, ccfg.diversity_threshold, ccfg.max_scan, ccfg.include_trajectory
+        )
+    }
+
+    /// Labelled training groups for a candidate configuration (cached).
+    pub fn train_groups(&mut self, ccfg: &CandidateConfig) -> Vec<TrainingGroup> {
+        let key = Self::group_key(ccfg);
+        if let Some(gs) = self.train_group_cache.get(&key) {
+            return gs.clone();
+        }
+        let gs = generate_groups(&self.graph, &self.train_paths, ccfg, self.cfg.threads);
+        self.train_group_cache.insert(key, gs.clone());
+        gs
+    }
+
+    /// Labelled test groups generated with the D-TkDI strategy at
+    /// candidate-set size `k` (a convenient fixed test bed for baselines
+    /// and cross-strategy comparisons).
+    pub fn test_groups(&mut self, k: usize) -> Vec<TrainingGroup> {
+        let ccfg = CandidateConfig { k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+        self.test_groups_for(&ccfg)
+    }
+
+    /// Labelled test groups generated with an arbitrary candidate
+    /// configuration. [`Workbench::run`] uses the *training* configuration
+    /// here, matching the paper's protocol: each strategy is evaluated on
+    /// the candidate sets it would serve at query time.
+    pub fn test_groups_for(&mut self, ccfg: &CandidateConfig) -> Vec<TrainingGroup> {
+        let key = Self::group_key(ccfg);
+        if let Some(gs) = self.test_group_cache.get(&key) {
+            return gs.clone();
+        }
+        let gs = generate_groups(&self.graph, &self.test_paths, ccfg, self.cfg.threads);
+        self.test_group_cache.insert(key, gs.clone());
+        gs
+    }
+
+    /// Trains and evaluates one PathRank configuration.
+    pub fn run(
+        &mut self,
+        mcfg: ModelConfig,
+        ccfg: CandidateConfig,
+        tcfg: TrainConfig,
+    ) -> ExperimentResult {
+        self.run_with_model(mcfg, ccfg, tcfg).0
+    }
+
+    /// Like [`Workbench::run`] but also hands back the trained model.
+    pub fn run_with_model(
+        &mut self,
+        mcfg: ModelConfig,
+        ccfg: CandidateConfig,
+        tcfg: TrainConfig,
+    ) -> (ExperimentResult, PathRankModel) {
+        let pretrained = match mcfg.embedding_mode {
+            EmbeddingMode::TrainableRandom => None,
+            _ => Some(self.embedding(mcfg.dim)),
+        };
+        let train_groups = self.train_groups(&ccfg);
+        let test_groups = self.test_groups_for(&ccfg);
+
+        let start = Instant::now();
+        let samples =
+            prepare_samples(&self.graph, &train_groups, mcfg.multi_task_weight > 0.0);
+        let mut model = PathRankModel::new(self.graph.vertex_count(), pretrained, mcfg);
+        let report = train(&mut model, &samples, &tcfg);
+        let eval = evaluate_model(&model, &test_groups);
+        let seconds = start.elapsed().as_secs_f64();
+
+        (
+            ExperimentResult {
+                eval,
+                report,
+                train_groups: train_groups.len(),
+                test_groups: test_groups.len(),
+                seconds,
+            },
+            model,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::Strategy;
+
+    fn quick_train_cfg() -> TrainConfig {
+        TrainConfig { epochs: 2, batch_size: 8, threads: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn workbench_builds_consistent_environment() {
+        let wb = Workbench::new(ExperimentConfig::small_test());
+        assert!(wb.graph.vertex_count() > 10);
+        assert!(!wb.train_paths.is_empty());
+        assert!(!wb.test_paths.is_empty());
+        // Split proportions roughly respected.
+        let total = wb.train_paths.len() + wb.test_paths.len();
+        let frac = wb.train_paths.len() as f64 / total as f64;
+        assert!((frac - 0.75).abs() < 0.1, "split fraction {frac}");
+        // Hop bounds respected.
+        for p in wb.train_paths.iter().chain(&wb.test_paths) {
+            assert!(p.len() >= 3 && p.len() <= 60);
+        }
+    }
+
+    #[test]
+    fn embedding_cache_returns_identical_matrices() {
+        let mut wb = Workbench::new(ExperimentConfig::small_test());
+        let a = wb.embedding(16);
+        let b = wb.embedding(16);
+        assert_eq!(a, b);
+        assert_eq!(a.shape(), (wb.graph.vertex_count(), 16));
+        let c = wb.embedding(8);
+        assert_eq!(c.cols(), 8);
+    }
+
+    #[test]
+    fn group_caches_are_stable() {
+        let mut wb = Workbench::new(ExperimentConfig::small_test());
+        let ccfg = CandidateConfig { k: 4, ..CandidateConfig::paper_default(Strategy::TkDI) };
+        let a = wb.train_groups(&ccfg);
+        let b = wb.train_groups(&ccfg);
+        assert_eq!(a.len(), b.len());
+        let t1 = wb.test_groups(4);
+        let t2 = wb.test_groups(4);
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.len(), wb.test_paths.len());
+    }
+
+    #[test]
+    fn end_to_end_run_produces_sane_metrics() {
+        let mut wb = Workbench::new(ExperimentConfig::small_test());
+        let mcfg = ModelConfig::paper_default(16);
+        let ccfg = CandidateConfig { k: 4, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+        let result = wb.run(mcfg, ccfg, quick_train_cfg());
+        assert!(result.eval.mae.is_finite());
+        assert!(result.eval.mae >= 0.0 && result.eval.mae <= 1.0);
+        assert!((-1.0..=1.0).contains(&result.eval.tau));
+        assert!((-1.0..=1.0).contains(&result.eval.rho));
+        assert!(result.train_groups > 0 && result.test_groups > 0);
+        assert_eq!(result.report.epoch_losses.len(), 2);
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_mae() {
+        let mut wb = Workbench::new(ExperimentConfig::small_test());
+        let ccfg = CandidateConfig { k: 4, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+        // Untrained model: evaluate directly.
+        let emb = wb.embedding(16);
+        let untrained = PathRankModel::new(
+            wb.graph.vertex_count(),
+            Some(emb),
+            ModelConfig::paper_default(16),
+        );
+        let test = wb.test_groups(4);
+        let before = evaluate_model(&untrained, &test);
+        // Trained model.
+        let tcfg = TrainConfig { epochs: 5, lr: 3e-3, ..quick_train_cfg() };
+        let result = wb.run(ModelConfig::paper_default(16), ccfg, tcfg);
+        assert!(
+            result.eval.mae < before.mae,
+            "training must improve MAE: {} -> {}",
+            before.mae,
+            result.eval.mae
+        );
+    }
+}

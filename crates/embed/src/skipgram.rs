@@ -1,0 +1,210 @@
+//! Skip-gram with negative sampling (SGNS), trained by SGD over walks.
+//!
+//! Follows word2vec: for every (center, context) pair within a window, pull
+//! the center's *input* vector towards the context's *output* vector while
+//! pushing it away from `negative` sampled vertices. Negative samples are
+//! drawn from the unigram distribution raised to the 3/4 power.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pathrank_nn::matrix::Matrix;
+
+use crate::alias::AliasTable;
+
+/// SGNS hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SkipGramConfig {
+    /// Embedding dimensionality `M`.
+    pub dim: usize,
+    /// Symmetric window size around each centre token.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Initial learning rate (linearly decayed to 10% over training).
+    pub lr: f32,
+    /// Passes over the walk corpus.
+    pub epochs: usize,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig { dim: 64, window: 5, negative: 5, lr: 0.025, epochs: 2 }
+    }
+}
+
+/// Trains SGNS embeddings over `walks` for a vocabulary of `vocab` ids.
+/// Returns the input-embedding matrix (`vocab × dim`).
+pub fn train_skipgram(
+    walks: &[Vec<u32>],
+    vocab: usize,
+    cfg: &SkipGramConfig,
+    seed: u64,
+) -> Matrix {
+    assert!(vocab > 0, "empty vocabulary");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Input and output embeddings, uniformly initialised as in word2vec.
+    let bound = 0.5 / cfg.dim as f32;
+    let mut w_in: Vec<f32> =
+        (0..vocab * cfg.dim).map(|_| rng.gen_range(-bound..bound)).collect();
+    let mut w_out: Vec<f32> = vec![0.0; vocab * cfg.dim];
+
+    // Unigram^(3/4) negative-sampling distribution.
+    let mut counts = vec![0f64; vocab];
+    for walk in walks {
+        for &v in walk {
+            counts[v as usize] += 1.0;
+        }
+    }
+    let any_token = counts.iter().any(|&c| c > 0.0);
+    if !any_token {
+        return Matrix::from_vec(vocab, cfg.dim, w_in);
+    }
+    let noise = AliasTable::new(&counts.iter().map(|c| c.powf(0.75)).collect::<Vec<_>>());
+
+    let total_pairs_estimate: usize =
+        walks.iter().map(|w| w.len()).sum::<usize>().max(1) * cfg.epochs;
+    let mut processed = 0usize;
+    let mut grad = vec![0.0f32; cfg.dim];
+
+    for _ in 0..cfg.epochs {
+        for walk in walks {
+            for (i, &center) in walk.iter().enumerate() {
+                processed += 1;
+                let progress = processed as f32 / total_pairs_estimate as f32;
+                let lr = cfg.lr * (1.0 - 0.9 * progress.min(1.0));
+                let lo = i.saturating_sub(cfg.window);
+                let hi = (i + cfg.window + 1).min(walk.len());
+                for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
+                    if i == j {
+                        continue;
+                    }
+                    // One positive update + `negative` negative updates on
+                    // the centre's input vector.
+                    let c0 = center as usize * cfg.dim;
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    let update = |target: usize, label: f32,
+                                      w_in: &[f32],
+                                      w_out: &mut [f32],
+                                      grad: &mut [f32]| {
+                        let t0 = target * cfg.dim;
+                        let mut dot = 0.0f32;
+                        for d in 0..cfg.dim {
+                            dot += w_in[c0 + d] * w_out[t0 + d];
+                        }
+                        let pred = 1.0 / (1.0 + (-dot).exp());
+                        let err = (label - pred) * lr;
+                        for d in 0..cfg.dim {
+                            grad[d] += err * w_out[t0 + d];
+                            w_out[t0 + d] += err * w_in[c0 + d];
+                        }
+                    };
+                    update(context as usize, 1.0, &w_in, &mut w_out, &mut grad);
+                    for _ in 0..cfg.negative {
+                        let neg = noise.sample(&mut rng);
+                        if neg == context {
+                            continue;
+                        }
+                        update(neg as usize, 0.0, &w_in, &mut w_out, &mut grad);
+                    }
+                    for d in 0..cfg.dim {
+                        w_in[c0 + d] += grad[d];
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_vec(vocab, cfg.dim, w_in)
+}
+
+/// Cosine similarity between two embedding rows; used by tests and by the
+/// quality checks in the node2vec driver.
+pub fn cosine(emb: &Matrix, a: usize, b: usize) -> f32 {
+    let (ra, rb) = (emb.row(a), emb.row(b));
+    let dot: f32 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+    let na: f32 = ra.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = rb.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint cliques of tokens: co-occurring tokens must embed more
+    /// similarly than tokens from different cliques.
+    #[test]
+    fn separates_two_communities() {
+        let mut walks = Vec::new();
+        // Community A: tokens 0..4; community B: tokens 5..9.
+        for rep in 0..200u32 {
+            let a: Vec<u32> = (0..5).map(|i| (rep + i) % 5).collect();
+            let b: Vec<u32> = (0..5).map(|i| 5 + (rep + i) % 5).collect();
+            walks.push(a);
+            walks.push(b);
+        }
+        let cfg = SkipGramConfig { dim: 16, window: 3, negative: 4, lr: 0.05, epochs: 3 };
+        let emb = train_skipgram(&walks, 10, &cfg, 13);
+
+        let mut within = 0.0f32;
+        let mut across = 0.0f32;
+        let mut wn = 0;
+        let mut an = 0;
+        for i in 0..5 {
+            for j in 0..5 {
+                if i != j {
+                    within += cosine(&emb, i, j) + cosine(&emb, 5 + i, 5 + j);
+                    wn += 2;
+                }
+                across += cosine(&emb, i, 5 + j);
+                an += 1;
+            }
+        }
+        let within = within / wn as f32;
+        let across = across / an as f32;
+        assert!(
+            within > across + 0.2,
+            "within-community cosine {within} must exceed across {across}"
+        );
+    }
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let walks = vec![vec![0, 1, 2, 1, 0], vec![2, 1, 0, 1, 2]];
+        let cfg = SkipGramConfig { dim: 8, ..Default::default() };
+        let a = train_skipgram(&walks, 3, &cfg, 4);
+        let b = train_skipgram(&walks, 3, &cfg, 4);
+        assert_eq!(a.shape(), (3, 8));
+        assert_eq!(a, b);
+        let c = train_skipgram(&walks, 3, &cfg, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_walks_return_initialisation() {
+        let cfg = SkipGramConfig { dim: 4, ..Default::default() };
+        let emb = train_skipgram(&[], 5, &cfg, 1);
+        assert_eq!(emb.shape(), (5, 4));
+        assert!(emb.is_finite());
+    }
+
+    #[test]
+    fn embeddings_stay_finite() {
+        let walks: Vec<Vec<u32>> = (0..50).map(|i| vec![i % 7, (i + 1) % 7, (i + 2) % 7]).collect();
+        let cfg = SkipGramConfig { dim: 12, lr: 0.5, ..Default::default() };
+        let emb = train_skipgram(&walks, 7, &cfg, 2);
+        assert!(emb.is_finite(), "even aggressive learning rates must not blow up");
+    }
+
+    #[test]
+    fn cosine_properties() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 0.0], &[0.0, 0.0]]);
+        assert!((cosine(&m, 0, 2) - 1.0).abs() < 1e-6);
+        assert!(cosine(&m, 0, 1).abs() < 1e-6);
+        assert_eq!(cosine(&m, 0, 3), 0.0);
+    }
+}

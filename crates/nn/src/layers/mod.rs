@@ -1,0 +1,15 @@
+//! Neural layers built on the autodiff tape.
+//!
+//! Each layer registers its parameters in a [`crate::params::ParamStore`]
+//! at construction and exposes a `forward`/`step` method that records ops
+//! on a [`crate::tape::Tape`].
+
+pub mod embedding;
+pub mod gru;
+pub mod linear;
+pub mod lstm;
+
+pub use embedding::Embedding;
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use lstm::LstmCell;

@@ -1,0 +1,57 @@
+//! Minimal pure-Rust neural substrate for PathRank.
+//!
+//! The paper trains a small network (node2vec-initialised vertex embedding →
+//! GRU → fully-connected regression head) with MSE loss. This crate
+//! implements exactly the machinery that requires, from scratch:
+//!
+//! * [`matrix::Matrix`] — a row-major `f32` matrix with the handful of BLAS
+//!   operations the models need;
+//! * [`params`] — a [`params::ParamStore`] holding trainable parameters and
+//!   a [`params::GradStore`] accumulating gradients (kept separate so that
+//!   several tapes can compute gradients in parallel against one shared,
+//!   read-only store);
+//! * [`tape`] — reverse-mode automatic differentiation: build a computation
+//!   graph per training sample, call [`tape::Tape::backward`], collect
+//!   gradients;
+//! * [`layers`] — Embedding (frozen or trainable), Linear, GRU and LSTM
+//!   cells built on the tape;
+//! * [`optim`] — SGD (with momentum) and Adam, plus global-norm gradient
+//!   clipping;
+//! * [`init`] — Xavier/uniform initialisers with explicit seeds.
+//!
+//! Every differentiable operation is verified against finite differences in
+//! the test suite.
+//!
+//! ```
+//! use pathrank_nn::matrix::Matrix;
+//! use pathrank_nn::params::{GradStore, ParamStore};
+//! use pathrank_nn::tape::Tape;
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Matrix::from_rows(&[&[2.0], &[1.0]]));
+//! let mut tape = Tape::new(&store);
+//! let x = tape.input(Matrix::from_rows(&[&[3.0, 4.0]]));
+//! let wv = tape.param(w);
+//! let y = tape.matmul(x, wv); // 3*2 + 4*1 = 10
+//! let loss = tape.mse_scalar(y, 12.0); // (10-12)^2 = 4
+//! assert_eq!(tape.value(loss).at(0, 0), 4.0);
+//! let mut grads = GradStore::new(&store);
+//! tape.backward(loss, &mut grads);
+//! // dL/dw = 2*(10-12) * x^T = [-12, -16]
+//! assert_eq!(grads.get(w).unwrap().at(0, 0), -12.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod init;
+pub mod layers;
+pub mod matrix;
+pub mod optim;
+pub mod params;
+pub mod serialize;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use params::{GradStore, ParamId, ParamStore};
+pub use tape::{Tape, Var};

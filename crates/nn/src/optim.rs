@@ -1,0 +1,237 @@
+//! First-order optimisers: SGD (with momentum) and Adam.
+//!
+//! Optimisers mutate a [`ParamStore`] given a [`GradStore`]. They keep
+//! per-parameter state lazily so parameters that never receive gradients
+//! (e.g. a frozen embedding) cost nothing.
+
+use crate::matrix::Matrix;
+use crate::params::{GradStore, ParamStore};
+
+/// A first-order optimiser.
+pub trait Optimizer {
+    /// Applies one update step from accumulated gradients.
+    fn step(&mut self, store: &mut ParamStore, grads: &GradStore);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum `mu` (velocity `v ← mu·v + g`, `θ ← θ − lr·v`).
+    pub fn with_momentum(lr: f32, mu: f32) -> Self {
+        Sgd { lr, momentum: mu, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &GradStore) {
+        if self.velocity.len() < store.len() {
+            self.velocity.resize(store.len(), None);
+        }
+        for (id, g) in grads.iter() {
+            if self.momentum == 0.0 {
+                store.value_mut(id).add_scaled_assign(g, -self.lr);
+            } else {
+                let v = self.velocity[id.0]
+                    .get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+                for (vv, &gv) in v.data_mut().iter_mut().zip(g.data().iter()) {
+                    *vv = self.momentum * *vv + gv;
+                }
+                store.value_mut(id).add_scaled_assign(v, -self.lr);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with optional decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+}
+
+impl Adam {
+    /// Adam with the canonical hyper-parameters (β₁ = 0.9, β₂ = 0.999,
+    /// ε = 1e-8, no weight decay).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Sets decoupled weight decay (AdamW style).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &GradStore) {
+        if self.m.len() < store.len() {
+            self.m.resize(store.len(), None);
+            self.v.resize(store.len(), None);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, g) in grads.iter() {
+            let m = self.m[id.0].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+            let v = self.v[id.0].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+            let theta = store.value_mut(id);
+            for i in 0..g.data().len() {
+                let gv = g.data()[i];
+                let mv = &mut m.data_mut()[i];
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                let vv = &mut v.data_mut()[i];
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
+                let p = &mut theta.data_mut()[i];
+                *p -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * *p);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+    use crate::tape::Tape;
+
+    /// Minimises (w·x − y)² on a fixed batch; any reasonable optimiser must
+    /// drive the loss near zero.
+    fn fit(mut opt: impl Optimizer, iters: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        let (x, y) = (3.0f32, 6.0f32); // optimum w = 2
+        let mut last = f32::INFINITY;
+        for _ in 0..iters {
+            let mut tape = Tape::new(&store);
+            let wv = tape.param(w);
+            let xv = tape.input(Matrix::from_vec(1, 1, vec![x]));
+            let pred = tape.mul(wv, xv);
+            let loss = tape.mse_scalar(pred, y);
+            last = tape.scalar(loss);
+            let mut grads = GradStore::new(&store);
+            tape.backward(loss, &mut grads);
+            opt.step(&mut store, &grads);
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(fit(Sgd::new(0.05), 100) < 1e-4);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        assert!(fit(Sgd::with_momentum(0.02, 0.9), 150) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(fit(Adam::new(0.2), 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // After one step with gradient g, Adam moves by ~lr * sign(g).
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![1.0]));
+        let mut grads = GradStore::new(&store);
+        grads.accumulate(w, &Matrix::from_vec(1, 1, vec![0.5]));
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut store, &grads);
+        let moved = 1.0 - store.value(w).at(0, 0);
+        assert!((moved - 0.1).abs() < 1e-3, "first Adam step ≈ lr, got {moved}");
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient_signal() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![1.0]));
+        let mut grads = GradStore::new(&store);
+        grads.accumulate(w, &Matrix::from_vec(1, 1, vec![0.0]));
+        let mut adam = Adam::new(0.1).with_weight_decay(0.5);
+        adam.step(&mut store, &grads);
+        assert!(store.value(w).at(0, 0) < 1.0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut o = Sgd::new(0.1);
+        assert_eq!(o.learning_rate(), 0.1);
+        o.set_learning_rate(0.01);
+        assert_eq!(o.learning_rate(), 0.01);
+        let mut a = Adam::new(0.3);
+        a.set_learning_rate(0.2);
+        assert_eq!(a.learning_rate(), 0.2);
+    }
+
+    #[test]
+    fn untouched_params_are_not_updated() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![1.0]));
+        let frozen = store.add("frozen", Matrix::from_vec(1, 1, vec![42.0]));
+        let mut grads = GradStore::new(&store);
+        grads.accumulate(w, &Matrix::from_vec(1, 1, vec![1.0]));
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut store, &grads);
+        assert_eq!(store.value(frozen).at(0, 0), 42.0);
+        assert_ne!(store.value(w).at(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Parameter and gradient storage.
+//!
+//! Parameters live in a [`ParamStore`]; gradients accumulate in a separate
+//! [`GradStore`]. The split lets several [`crate::tape::Tape`]s run forward
+//! and backward in parallel against one `&ParamStore`, each filling its own
+//! `GradStore`, which are then merged and applied by an optimiser — exactly
+//! the synchronous mini-batch scheme PathRank's trainer uses.
+
+use crate::matrix::Matrix;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+/// Owns all trainable parameters of a model.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.values.push(value);
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of parameter `id`.
+    #[inline]
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value of parameter `id` (used by optimisers).
+    #[inline]
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// The registered name of parameter `id`.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .zip(self.names.iter())
+            .enumerate()
+            .map(|(i, (v, n))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// Total number of scalar parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.values.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+}
+
+/// Accumulates gradients for the parameters of one [`ParamStore`].
+///
+/// Entries are allocated lazily: parameters untouched by a tape (common for
+/// the large embedding matrix under sparse lookups) cost nothing.
+#[derive(Debug, Clone)]
+pub struct GradStore {
+    shapes: Vec<(usize, usize)>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl GradStore {
+    /// An empty gradient store matching `store`'s layout.
+    pub fn new(store: &ParamStore) -> Self {
+        GradStore {
+            shapes: store.values.iter().map(|m| m.shape()).collect(),
+            grads: vec![None; store.len()],
+        }
+    }
+
+    /// The accumulated gradient of `id`, if any was recorded.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads[id.0].as_ref()
+    }
+
+    /// Adds `delta` to the gradient of `id`.
+    pub fn accumulate(&mut self, id: ParamId, delta: &Matrix) {
+        debug_assert_eq!(self.shapes[id.0], delta.shape(), "gradient shape mismatch");
+        match &mut self.grads[id.0] {
+            Some(g) => g.add_assign(delta),
+            slot => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Adds the rows of `delta` to rows `rows` of the gradient of `id`
+    /// (sparse embedding update). `delta` row `i` goes to gradient row
+    /// `rows[i]`; repeated indices accumulate.
+    pub fn accumulate_rows(&mut self, id: ParamId, rows: &[u32], delta: &Matrix) {
+        let (r, c) = self.shapes[id.0];
+        debug_assert_eq!(delta.rows(), rows.len());
+        debug_assert_eq!(delta.cols(), c);
+        let g = self.grads[id.0].get_or_insert_with(|| Matrix::zeros(r, c));
+        for (i, &row) in rows.iter().enumerate() {
+            let dst = g.row_mut(row as usize);
+            for (d, &s) in dst.iter_mut().zip(delta.row(i).iter()) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Merges another gradient store (summing) into this one.
+    pub fn merge(&mut self, other: &GradStore) {
+        debug_assert_eq!(self.shapes, other.shapes);
+        for (mine, theirs) in self.grads.iter_mut().zip(other.grads.iter()) {
+            if let Some(t) = theirs {
+                match mine {
+                    Some(m) => m.add_assign(t),
+                    slot => *slot = Some(t.clone()),
+                }
+            }
+        }
+    }
+
+    /// Scales every recorded gradient by `s` (e.g. 1/batch-size).
+    pub fn scale(&mut self, s: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            for v in g.data_mut() {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Global L2 norm over all recorded gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads.iter().flatten().map(|g| g.sq_norm()).sum::<f32>().sqrt()
+    }
+
+    /// Clips the global norm to `max_norm`; returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+        norm
+    }
+
+    /// Clears all recorded gradients (keeps shape metadata).
+    pub fn clear(&mut self) {
+        self.grads.iter_mut().for_each(|g| *g = None);
+    }
+
+    /// Iterates over `(id, gradient)` for parameters that received one.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads.iter().enumerate().filter_map(|(i, g)| g.as_ref().map(|m| (ParamId(i), m)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (ParamStore, ParamId, ParamId) {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Matrix::zeros(2, 2));
+        let b = s.add("b", Matrix::zeros(3, 1));
+        (s, a, b)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let (s, a, b) = store();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(a), "a");
+        assert_eq!(s.name(b), "b");
+        assert_eq!(s.value(a).shape(), (2, 2));
+        assert_eq!(s.scalar_count(), 7);
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn accumulate_dense() {
+        let (s, a, _) = store();
+        let mut g = GradStore::new(&s);
+        assert!(g.get(a).is_none());
+        let d = Matrix::full(2, 2, 1.5);
+        g.accumulate(a, &d);
+        g.accumulate(a, &d);
+        assert_eq!(g.get(a).unwrap().at(1, 1), 3.0);
+    }
+
+    #[test]
+    fn accumulate_sparse_rows() {
+        let mut s = ParamStore::new();
+        let e = s.add("emb", Matrix::zeros(5, 2));
+        let mut g = GradStore::new(&s);
+        let delta = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        g.accumulate_rows(e, &[4, 0, 4], &delta);
+        let grad = g.get(e).unwrap();
+        assert_eq!(grad.row(0), &[2.0, 2.0]);
+        assert_eq!(grad.row(4), &[4.0, 4.0], "repeated indices accumulate");
+        assert_eq!(grad.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let (s, a, b) = store();
+        let mut g1 = GradStore::new(&s);
+        let mut g2 = GradStore::new(&s);
+        g1.accumulate(a, &Matrix::full(2, 2, 1.0));
+        g2.accumulate(a, &Matrix::full(2, 2, 2.0));
+        g2.accumulate(b, &Matrix::full(3, 1, 4.0));
+        g1.merge(&g2);
+        assert_eq!(g1.get(a).unwrap().at(0, 0), 3.0);
+        assert_eq!(g1.get(b).unwrap().at(0, 0), 4.0);
+        g1.scale(0.5);
+        assert_eq!(g1.get(a).unwrap().at(0, 0), 1.5);
+        assert_eq!(g1.get(b).unwrap().at(0, 0), 2.0);
+    }
+
+    #[test]
+    fn clip_global_norm() {
+        let (s, a, _) = store();
+        let mut g = GradStore::new(&s);
+        g.accumulate(a, &Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]));
+        assert!((g.global_norm() - 5.0).abs() < 1e-6);
+        let pre = g.clip_global_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+        // Clipping below the threshold is a no-op.
+        let pre2 = g.clip_global_norm(10.0);
+        assert!((pre2 - 1.0).abs() < 1e-6);
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let (s, a, _) = store();
+        let mut g = GradStore::new(&s);
+        g.accumulate(a, &Matrix::full(2, 2, 1.0));
+        g.clear();
+        assert!(g.get(a).is_none());
+        assert_eq!(g.iter().count(), 0);
+    }
+}

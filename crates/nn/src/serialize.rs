@@ -1,0 +1,209 @@
+//! Plain-text persistence for parameter stores.
+//!
+//! Trained models (PathRank included) are just a [`ParamStore`]; this
+//! module writes and restores one in a stable, diff-friendly line format:
+//!
+//! ```text
+//! pathrank-params v1
+//! params 2
+//! param embedding 3 2
+//! 0.1 0.2
+//! 0.3 0.4
+//! 0.5 0.6
+//! param head.w 2 1
+//! 1.5
+//! -0.5
+//! ```
+//!
+//! Values are written with full `f32` round-trip precision.
+
+use std::io::{BufRead, Write};
+
+use crate::matrix::Matrix;
+use crate::params::ParamStore;
+
+const MAGIC: &str = "pathrank-params v1";
+
+/// Serialisation errors.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or numeric parse failure.
+    Parse(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "io error: {e}"),
+            SerializeError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Writes `store` to `out` in the v1 text format.
+pub fn write_params<W: Write>(store: &ParamStore, out: &mut W) -> Result<(), SerializeError> {
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "params {}", store.len())?;
+    for (_, name, value) in store.iter() {
+        assert!(
+            !name.contains(char::is_whitespace),
+            "parameter names must not contain whitespace: {name:?}"
+        );
+        writeln!(out, "param {name} {} {}", value.rows(), value.cols())?;
+        for r in 0..value.rows() {
+            let row: Vec<String> = value.row(r).iter().map(|v| format!("{v}")).collect();
+            writeln!(out, "{}", row.join(" "))?;
+        }
+    }
+    Ok(())
+}
+
+/// Serialises `store` to a `String`.
+pub fn params_to_string(store: &ParamStore) -> String {
+    let mut buf = Vec::new();
+    write_params(store, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Reads a parameter store in the v1 text format. Parameter order (and
+/// hence every `ParamId`) is preserved.
+pub fn read_params<R: BufRead>(input: R) -> Result<ParamStore, SerializeError> {
+    let mut lines = input.lines();
+    let mut next = || -> Result<String, SerializeError> {
+        loop {
+            match lines.next() {
+                Some(Ok(l)) => {
+                    if !l.trim().is_empty() {
+                        return Ok(l);
+                    }
+                }
+                Some(Err(e)) => return Err(SerializeError::Io(e)),
+                None => return Err(SerializeError::Parse("unexpected end of input".into())),
+            }
+        }
+    };
+
+    if next()?.trim() != MAGIC {
+        return Err(SerializeError::Parse("bad header".into()));
+    }
+    let count_line = next()?;
+    let count: usize = count_line
+        .trim()
+        .strip_prefix("params ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SerializeError::Parse(format!("bad params line {count_line:?}")))?;
+
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let header = next()?;
+        let mut it = header.split_ascii_whitespace();
+        if it.next() != Some("param") {
+            return Err(SerializeError::Parse(format!("expected param line, got {header:?}")));
+        }
+        let name = it
+            .next()
+            .ok_or_else(|| SerializeError::Parse("missing param name".into()))?
+            .to_string();
+        let rows: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SerializeError::Parse("missing rows".into()))?;
+        let cols: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SerializeError::Parse("missing cols".into()))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows {
+            let line = next()?;
+            for tok in line.split_ascii_whitespace() {
+                let v: f32 = tok
+                    .parse()
+                    .map_err(|_| SerializeError::Parse(format!("bad value {tok:?}")))?;
+                data.push(v);
+            }
+        }
+        if data.len() != rows * cols {
+            return Err(SerializeError::Parse(format!(
+                "param {name}: expected {} values, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        store.add(name, Matrix::from_vec(rows, cols, data));
+    }
+    Ok(store)
+}
+
+/// Parses a store from its v1 text representation.
+pub fn params_from_str(s: &str) -> Result<ParamStore, SerializeError> {
+    read_params(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("embedding", Matrix::from_rows(&[&[0.1, -0.25], &[3.5e-8, 42.0]]));
+        s.add("head.w", Matrix::from_rows(&[&[1.0], &[-2.0], &[0.5]]));
+        s.add("head.b", Matrix::zeros(1, 1));
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample_store();
+        let text = params_to_string(&store);
+        let back = params_from_str(&text).unwrap();
+        assert_eq!(back.len(), store.len());
+        for ((_, n1, v1), (_, n2, v2)) in store.iter().zip(back.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(v1, v2, "bit-exact f32 round trip for {n1}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_extreme_values() {
+        let mut s = ParamStore::new();
+        s.add(
+            "extremes",
+            Matrix::from_rows(&[&[f32::MIN_POSITIVE, f32::MAX, -1.0e-38, 0.0]]),
+        );
+        let back = params_from_str(&params_to_string(&s)).unwrap();
+        assert_eq!(back.value(crate::params::ParamId(0)), s.value(crate::params::ParamId(0)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(params_from_str("").is_err());
+        assert!(params_from_str("wrong header").is_err());
+        assert!(params_from_str("pathrank-params v1\nparams 1\nparam x 1 2\n1.0\n").is_err());
+        assert!(
+            params_from_str("pathrank-params v1\nparams 1\nparam x 1 1\nnot_a_number\n").is_err()
+        );
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let text = params_to_string(&sample_store());
+        let cut = &text[..text.len() - 10];
+        assert!(params_from_str(cut).is_err());
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let back = params_from_str(&params_to_string(&ParamStore::new())).unwrap();
+        assert_eq!(back.len(), 0);
+    }
+}

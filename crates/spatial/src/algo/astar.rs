@@ -1,0 +1,135 @@
+//! A* search with a straight-line-distance heuristic.
+//!
+//! The heuristic is `h(v) = euclid(v, target) · min_cost_per_meter`, which
+//! is admissible as long as every edge's cost is at least
+//! `min_cost_per_meter · euclid(edge.from, edge.to)` — true for
+//! [`CostModel::Length`] whenever edge lengths are at least the straight-line
+//! distance between their endpoints (all generators in this crate guarantee
+//! it), and for [`CostModel::TravelTime`] via the network-wide maximum speed.
+//! For [`CostModel::Custom`] the bound degenerates to zero and A* becomes
+//! plain Dijkstra.
+
+use std::collections::BinaryHeap;
+
+use crate::graph::{CostModel, EdgeId, Graph, VertexId};
+use crate::path::Path;
+use crate::util::{BitSet, MinCost};
+
+/// Cheapest `source -> target` path via A*, or `None` if unreachable or
+/// `source == target`. Produces a path with exactly the same cost as
+/// [`super::dijkstra::shortest_path`] while typically settling far fewer
+/// vertices.
+pub fn astar_shortest_path(
+    g: &Graph,
+    source: VertexId,
+    target: VertexId,
+    cost: CostModel<'_>,
+) -> Option<Path> {
+    if source == target {
+        return None;
+    }
+    let n = g.vertex_count();
+    let per_meter = cost.min_cost_per_meter(g);
+    let tcoord = g.coord(target);
+    let h = |v: VertexId| g.coord(v).distance(&tcoord) * per_meter;
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
+    let mut settled = BitSet::new(n);
+    let mut heap: BinaryHeap<MinCost<VertexId>> = BinaryHeap::new();
+
+    dist[source.index()] = 0.0;
+    heap.push(MinCost { cost: h(source), item: source });
+
+    while let Some(MinCost { item: u, .. }) = heap.pop() {
+        if settled.contains(u.0) {
+            continue;
+        }
+        settled.insert(u.0);
+        if u == target {
+            break;
+        }
+        let du = dist[u.index()];
+        for (v, e) in g.out_edges(u) {
+            if settled.contains(v.0) {
+                continue;
+            }
+            let nd = du + cost.edge_cost(g, e);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent[v.index()] = Some((u, e));
+                heap.push(MinCost { cost: nd + h(v), item: v });
+            }
+        }
+    }
+
+    if !dist[target.index()].is_finite() {
+        return None;
+    }
+    let mut vertices = vec![target];
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while let Some((prev, e)) = parent[cur.index()] {
+        vertices.push(prev);
+        edges.push(e);
+        cur = prev;
+    }
+    vertices.reverse();
+    edges.reverse();
+    Some(Path::from_parts_unchecked(vertices, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra::shortest_path;
+    use crate::generators::{grid_network, GridConfig};
+
+    #[test]
+    fn astar_cost_matches_dijkstra_on_grid() {
+        let g = grid_network(&GridConfig::small_test(), 11);
+        let n = g.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (3, n / 2), (n - 1, 0), (n / 3, 2 * n / 3)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            if s == t {
+                continue;
+            }
+            for cost in [CostModel::Length, CostModel::TravelTime] {
+                let d = shortest_path(&g, s, t, cost);
+                let a = astar_shortest_path(&g, s, t, cost);
+                match (d, a) {
+                    (Some(dp), Some(ap)) => {
+                        ap.validate(&g).unwrap();
+                        let (dc, ac) = (dp.cost(&g, cost), ap.cost(&g, cost));
+                        assert!(
+                            (dc - ac).abs() < 1e-6,
+                            "cost mismatch {s:?}->{t:?}: dijkstra {dc} vs astar {ac}"
+                        );
+                    }
+                    (None, None) => {}
+                    (d, a) => panic!("reachability mismatch: {d:?} vs {a:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn astar_custom_model_degenerates_to_dijkstra() {
+        let g = grid_network(&GridConfig::small_test(), 5);
+        let costs: Vec<f64> = (0..g.edge_count()).map(|i| 1.0 + (i % 7) as f64).collect();
+        let s = VertexId(0);
+        let t = VertexId((g.vertex_count() - 1) as u32);
+        let d = shortest_path(&g, s, t, CostModel::Custom(&costs)).unwrap();
+        let a = astar_shortest_path(&g, s, t, CostModel::Custom(&costs)).unwrap();
+        assert!(
+            (d.cost(&g, CostModel::Custom(&costs)) - a.cost(&g, CostModel::Custom(&costs))).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn same_source_target_is_none() {
+        let g = grid_network(&GridConfig::small_test(), 5);
+        assert!(astar_shortest_path(&g, VertexId(3), VertexId(3), CostModel::Length).is_none());
+    }
+}

@@ -1,0 +1,263 @@
+//! Bidirectional Dijkstra.
+//!
+//! Runs a forward search from the source and a backward search (over
+//! incoming edges) from the target simultaneously, stopping when the sum of
+//! the two frontier minima can no longer improve the best meeting point.
+//! Returns a path with exactly the same cost as the unidirectional search
+//! while typically settling about half as many vertices.
+
+use std::collections::BinaryHeap;
+
+use crate::graph::{CostModel, EdgeId, Graph, VertexId};
+use crate::path::Path;
+use crate::util::{BitSet, MinCost};
+
+struct Side {
+    dist: Vec<f64>,
+    parent: Vec<Option<(VertexId, EdgeId)>>,
+    settled: BitSet,
+    heap: BinaryHeap<MinCost<VertexId>>,
+}
+
+impl Side {
+    fn new(n: usize, start: VertexId) -> Self {
+        let mut dist = vec![f64::INFINITY; n];
+        dist[start.index()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(MinCost { cost: 0.0, item: start });
+        Side { dist, parent: vec![None; n], settled: BitSet::new(n), heap }
+    }
+
+    fn frontier_min(&mut self) -> f64 {
+        // Skip stale entries so the stopping test uses a live bound.
+        while let Some(top) = self.heap.peek() {
+            if self.settled.contains(top.item.0) {
+                self.heap.pop();
+            } else {
+                return top.cost;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Cheapest `source -> target` path via bidirectional Dijkstra, or `None`
+/// if unreachable or `source == target`.
+pub fn bidirectional_shortest_path(
+    g: &Graph,
+    source: VertexId,
+    target: VertexId,
+    cost: CostModel<'_>,
+) -> Option<Path> {
+    if source == target {
+        return None;
+    }
+    let n = g.vertex_count();
+    let mut fwd = Side::new(n, source);
+    let mut bwd = Side::new(n, target);
+    let mut best = f64::INFINITY;
+    let mut meet: Option<VertexId> = None;
+
+    loop {
+        let fmin = fwd.frontier_min();
+        let bmin = bwd.frontier_min();
+        if fmin + bmin >= best || (fmin.is_infinite() && bmin.is_infinite()) {
+            break;
+        }
+        // Expand the side with the smaller frontier minimum.
+        let forward = fmin <= bmin;
+        let (side, other): (&mut Side, &mut Side) =
+            if forward { (&mut fwd, &mut bwd) } else { (&mut bwd, &mut fwd) };
+
+        let Some(MinCost { cost: d, item: u }) = side.heap.pop() else { break };
+        if side.settled.contains(u.0) {
+            continue;
+        }
+        side.settled.insert(u.0);
+
+        if other.dist[u.index()].is_finite() {
+            let total = d + other.dist[u.index()];
+            if total < best {
+                best = total;
+                meet = Some(u);
+            }
+        }
+
+        let relax = |v: VertexId, e: EdgeId, side: &mut Side, other: &Side| {
+            let w = cost.edge_cost(g, e);
+            let nd = d + w;
+            if nd < side.dist[v.index()] {
+                side.dist[v.index()] = nd;
+                side.parent[v.index()] = Some((u, e));
+                side.heap.push(MinCost { cost: nd, item: v });
+            }
+            let _ = other;
+        };
+        if forward {
+            for (v, e) in g.out_edges(u) {
+                if !side.settled.contains(v.0) {
+                    relax(v, e, side, other);
+                }
+            }
+        } else {
+            for (v, e) in g.in_edges(u) {
+                if !side.settled.contains(v.0) {
+                    relax(v, e, side, other);
+                }
+            }
+        }
+        // Meeting can also happen on relaxed-but-unsettled vertices; check
+        // the just-relaxed neighbourhood cheaply through dist arrays.
+        if forward {
+            for (v, _) in g.out_edges(u) {
+                if fwd.dist[v.index()].is_finite() && bwd.dist[v.index()].is_finite() {
+                    let total = fwd.dist[v.index()] + bwd.dist[v.index()];
+                    if total < best {
+                        best = total;
+                        meet = Some(v);
+                    }
+                }
+            }
+        } else {
+            for (v, _) in g.in_edges(u) {
+                if fwd.dist[v.index()].is_finite() && bwd.dist[v.index()].is_finite() {
+                    let total = fwd.dist[v.index()] + bwd.dist[v.index()];
+                    if total < best {
+                        best = total;
+                        meet = Some(v);
+                    }
+                }
+            }
+        }
+    }
+
+    let meet = meet?;
+    // Reconstruct: source -> meet from the forward tree, meet -> target
+    // from the backward tree (whose parents point towards the target).
+    let mut vertices = Vec::new();
+    let mut edges = Vec::new();
+    let mut cur = meet;
+    while let Some((prev, e)) = fwd.parent[cur.index()] {
+        vertices.push(cur);
+        edges.push(e);
+        cur = prev;
+    }
+    vertices.push(cur);
+    debug_assert_eq!(cur, source);
+    vertices.reverse();
+    edges.reverse();
+
+    let mut cur = meet;
+    while let Some((next, e)) = bwd.parent[cur.index()] {
+        vertices.push(next);
+        edges.push(e);
+        cur = next;
+    }
+    debug_assert_eq!(cur, target);
+    Some(Path::from_parts_unchecked(vertices, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra::shortest_path;
+    use crate::generators::{grid_network, GridConfig};
+
+    #[test]
+    fn matches_unidirectional_costs_on_grid() {
+        let g = grid_network(&GridConfig::small_test(), 23);
+        let n = g.vertex_count() as u32;
+        let pairs = [(0, n - 1), (1, n / 2), (n - 2, 3), (n / 4, 3 * n / 4)];
+        for (s, t) in pairs {
+            let (s, t) = (VertexId(s), VertexId(t));
+            if s == t {
+                continue;
+            }
+            for cost in [CostModel::Length, CostModel::TravelTime] {
+                let d = shortest_path(&g, s, t, cost);
+                let b = bidirectional_shortest_path(&g, s, t, cost);
+                match (d, b) {
+                    (Some(dp), Some(bp)) => {
+                        bp.validate(&g).unwrap();
+                        assert_eq!(bp.source(), s);
+                        assert_eq!(bp.target(), t);
+                        assert!(
+                            (dp.cost(&g, cost) - bp.cost(&g, cost)).abs() < 1e-6,
+                            "cost mismatch for {s:?} -> {t:?}"
+                        );
+                    }
+                    (None, None) => {}
+                    (d, b) => panic!("reachability mismatch: {d:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let g = grid_network(&GridConfig::small_test(), 23);
+        assert!(bidirectional_shortest_path(&g, VertexId(0), VertexId(0), CostModel::Length)
+            .is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::algo::dijkstra::shortest_path;
+    use crate::builder::GraphBuilder;
+    use crate::geometry::Point;
+    use crate::graph::{EdgeAttrs, RoadCategory};
+    use proptest::prelude::*;
+
+    fn random_graph(n: usize, extra: Vec<(usize, usize, u32)>) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..n).map(|i| b.add_vertex(Point::new(i as f64, 0.0))).collect();
+        for i in 0..n {
+            b.add_edge(
+                vs[i],
+                vs[(i + 1) % n],
+                EdgeAttrs::with_default_speed(5.0 + (i % 5) as f64, RoadCategory::Rural),
+            )
+            .unwrap();
+        }
+        for (f, t, w) in extra {
+            let (f, t) = (f % n, t % n);
+            if f != t {
+                let _ = b.add_edge(
+                    vs[f],
+                    vs[t],
+                    EdgeAttrs::with_default_speed(1.0 + (w % 50) as f64, RoadCategory::Rural),
+                );
+            }
+        }
+        b.build()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn bidirectional_equals_dijkstra(
+            n in 2usize..20,
+            extra in proptest::collection::vec((0usize..20, 0usize..20, 0u32..100), 0..30),
+            s in 0usize..20,
+            t in 0usize..20,
+        ) {
+            let g = random_graph(n, extra);
+            let s = VertexId((s % n) as u32);
+            let t = VertexId((t % n) as u32);
+            prop_assume!(s != t);
+            let d = shortest_path(&g, s, t, CostModel::Length);
+            let b = bidirectional_shortest_path(&g, s, t, CostModel::Length);
+            match (d, b) {
+                (Some(dp), Some(bp)) => {
+                    bp.validate(&g).unwrap();
+                    prop_assert!((dp.length_m(&g) - bp.length_m(&g)).abs() < 1e-9);
+                }
+                (None, None) => {}
+                (d, b) => prop_assert!(false, "mismatch: {d:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Routing algorithms over [`crate::graph::Graph`].
+//!
+//! * [`dijkstra`] — textbook Dijkstra (one-to-one with early exit,
+//!   one-to-all trees, and a constrained variant that honours banned
+//!   vertex/edge sets — the inner engine of Yen's algorithm);
+//! * [`astar`] — A* with an admissible straight-line-distance heuristic;
+//! * [`bidijkstra`] — bidirectional Dijkstra;
+//! * [`yen`] — Yen's algorithm for the top-k loopless shortest paths,
+//!   exposed as a lazy iterator (the paper's TkDI training-data strategy);
+//! * [`diversified`] — diversified top-k shortest paths (the paper's
+//!   D-TkDI strategy): enumerate in cost order, keep a path only if it is
+//!   dissimilar enough from every path kept so far.
+
+pub mod astar;
+pub mod bidijkstra;
+pub mod dijkstra;
+pub mod diversified;
+pub mod yen;
+
+pub use astar::astar_shortest_path;
+pub use bidijkstra::bidirectional_shortest_path;
+pub use dijkstra::{constrained_shortest_path, shortest_path, shortest_path_tree, ShortestPathTree};
+pub use diversified::{diversified_top_k, DiversifiedConfig};
+pub use yen::{yen_k_shortest, YenIter};

@@ -1,0 +1,355 @@
+//! Yen's algorithm for the top-k loopless shortest paths.
+//!
+//! Exposed as a lazy iterator ([`YenIter`]) because the diversified top-k
+//! strategy (the paper's D-TkDI) consumes shortest paths in cost order until
+//! it has accumulated k *diverse* ones — which may require scanning far more
+//! than k candidates. The plain TkDI strategy is the first k items of the
+//! same iterator ([`yen_k_shortest`]).
+
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::algo::dijkstra::{constrained_shortest_path, shortest_path};
+use crate::graph::{CostModel, Graph, VertexId};
+use crate::path::Path;
+use crate::util::{BitSet, MinCost};
+
+/// Lazily yields the loopless shortest paths from `source` to `target` in
+/// non-decreasing cost order, each with its total cost.
+///
+/// ```
+/// use pathrank_spatial::algo::yen::YenIter;
+/// use pathrank_spatial::generators::{grid_network, GridConfig};
+/// use pathrank_spatial::graph::{CostModel, VertexId};
+///
+/// let g = grid_network(&GridConfig::small_test(), 3);
+/// let mut it = YenIter::new(&g, VertexId(0), VertexId(12), CostModel::Length);
+/// let (best, c1) = it.next().unwrap();
+/// let (_second, c2) = it.next().unwrap();
+/// assert!(c1 <= c2);
+/// assert!(best.is_simple());
+/// ```
+pub struct YenIter<'a> {
+    g: &'a Graph,
+    cost: CostModel<'a>,
+    source: VertexId,
+    target: VertexId,
+    /// Accepted paths (the `A` list of Yen's algorithm), in cost order.
+    accepted: Vec<(Path, f64)>,
+    /// Candidate heap (the `B` set), deduplicated via `candidate_seen`.
+    candidates: BinaryHeap<MinCost<Path>>,
+    candidate_seen: HashSet<Vec<VertexId>>,
+    banned_vertices: BitSet,
+    banned_edges: BitSet,
+    started: bool,
+    exhausted: bool,
+}
+
+impl<'a> YenIter<'a> {
+    /// Creates the iterator; no search happens until the first `next()`.
+    pub fn new(g: &'a Graph, source: VertexId, target: VertexId, cost: CostModel<'a>) -> Self {
+        YenIter {
+            g,
+            cost,
+            source,
+            target,
+            accepted: Vec::new(),
+            candidates: BinaryHeap::new(),
+            candidate_seen: HashSet::new(),
+            banned_vertices: BitSet::new(g.vertex_count()),
+            banned_edges: BitSet::new(g.edge_count()),
+            started: false,
+            exhausted: false,
+        }
+    }
+
+    /// Paths accepted so far (in cost order).
+    pub fn accepted(&self) -> &[(Path, f64)] {
+        &self.accepted
+    }
+
+    /// Generates spur candidates off the most recently accepted path.
+    fn generate_candidates(&mut self) {
+        let (prev, _) = self.accepted.last().expect("called after first acceptance").clone();
+        let prev_vertices = prev.vertices().to_vec();
+
+        for i in 0..prev.len() {
+            let spur_node = prev_vertices[i];
+            let root_vertices = &prev_vertices[..=i];
+
+            self.banned_vertices.clear();
+            self.banned_edges.clear();
+
+            // Ban the next edge of every accepted path sharing this root, so
+            // the spur search cannot reproduce a known path.
+            for (p, _) in &self.accepted {
+                let pv = p.vertices();
+                if pv.len() > i && &pv[..=i] == root_vertices {
+                    self.banned_edges.insert(p.edges()[i].0);
+                }
+            }
+            // Ban the root's vertices (except the spur node) to keep the
+            // final path loopless.
+            for v in &root_vertices[..i] {
+                self.banned_vertices.insert(v.0);
+            }
+
+            let Some(spur) = constrained_shortest_path(
+                self.g,
+                spur_node,
+                self.target,
+                self.cost,
+                &self.banned_vertices,
+                &self.banned_edges,
+            ) else {
+                continue;
+            };
+
+            let total = if i == 0 {
+                spur
+            } else {
+                let root = prev.prefix(i).expect("i in 1..len");
+                root.concat(&spur).expect("root ends at spur node")
+            };
+            debug_assert!(total.is_simple(), "Yen candidates must be loopless");
+
+            if self.candidate_seen.insert(total.vertices().to_vec()) {
+                let c = total.cost(self.g, self.cost);
+                self.candidates.push(MinCost { cost: c, item: total });
+            }
+        }
+    }
+}
+
+impl Iterator for YenIter<'_> {
+    type Item = (Path, f64);
+
+    fn next(&mut self) -> Option<(Path, f64)> {
+        if self.exhausted {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            match shortest_path(self.g, self.source, self.target, self.cost) {
+                Some(p) => {
+                    let c = p.cost(self.g, self.cost);
+                    self.accepted.push((p.clone(), c));
+                    return Some((p, c));
+                }
+                None => {
+                    self.exhausted = true;
+                    return None;
+                }
+            }
+        }
+        self.generate_candidates();
+        match self.candidates.pop() {
+            Some(MinCost { cost, item }) => {
+                self.accepted.push((item.clone(), cost));
+                Some((item, cost))
+            }
+            None => {
+                self.exhausted = true;
+                None
+            }
+        }
+    }
+}
+
+/// The k cheapest loopless paths from `source` to `target` (fewer if the
+/// graph does not contain k distinct simple paths).
+pub fn yen_k_shortest(
+    g: &Graph,
+    source: VertexId,
+    target: VertexId,
+    cost: CostModel<'_>,
+    k: usize,
+) -> Vec<(Path, f64)> {
+    YenIter::new(g, source, target, cost).take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{grid_network, GridConfig};
+    use crate::geometry::Point;
+    use crate::graph::{EdgeAttrs, RoadCategory};
+
+    /// The classic Yen example graph (Wikipedia): C-D-E-F-G-H with known
+    /// top-3: C-E-F-H (5), C-E-G-H (7), C-D-F-H (8).
+    fn yen_example() -> (Graph, [VertexId; 6]) {
+        let mut b = GraphBuilder::new();
+        let c = b.add_vertex(Point::new(0.0, 0.0));
+        let d = b.add_vertex(Point::new(1.0, 1.0));
+        let e = b.add_vertex(Point::new(1.0, -1.0));
+        let f = b.add_vertex(Point::new(2.0, 0.0));
+        let g = b.add_vertex(Point::new(2.0, -2.0));
+        let h = b.add_vertex(Point::new(3.0, 0.0));
+        let a = |w: f64| EdgeAttrs::with_default_speed(w, RoadCategory::Rural);
+        b.add_edge(c, d, a(3.0)).unwrap();
+        b.add_edge(c, e, a(2.0)).unwrap();
+        b.add_edge(d, f, a(4.0)).unwrap();
+        b.add_edge(e, d, a(1.0)).unwrap();
+        b.add_edge(e, f, a(2.0)).unwrap();
+        b.add_edge(e, g, a(3.0)).unwrap();
+        b.add_edge(f, g, a(2.0)).unwrap();
+        b.add_edge(f, h, a(1.0)).unwrap();
+        b.add_edge(g, h, a(2.0)).unwrap();
+        (b.build(), [c, d, e, f, g, h])
+    }
+
+    #[test]
+    fn classic_example_top3() {
+        let (g, [c, d, e, f, gg, h]) = yen_example();
+        let paths = yen_k_shortest(&g, c, h, CostModel::Length, 3);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].0.vertices(), &[c, e, f, h]);
+        assert!((paths[0].1 - 5.0).abs() < 1e-12);
+        assert_eq!(paths[1].0.vertices(), &[c, e, gg, h]);
+        assert!((paths[1].1 - 7.0).abs() < 1e-12);
+        assert_eq!(paths[2].0.vertices(), &[c, d, f, h]);
+        assert!((paths[2].1 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn costs_are_non_decreasing_and_paths_unique() {
+        let g = grid_network(&GridConfig::small_test(), 99);
+        let s = VertexId(0);
+        let t = VertexId((g.vertex_count() - 1) as u32);
+        let paths = yen_k_shortest(&g, s, t, CostModel::Length, 12);
+        assert!(paths.len() >= 2, "grid has many alternatives");
+        let mut seen = HashSet::new();
+        let mut last = 0.0f64;
+        for (p, c) in &paths {
+            p.validate(&g).unwrap();
+            assert!(p.is_simple(), "Yen paths must be loopless");
+            assert_eq!(p.source(), s);
+            assert_eq!(p.target(), t);
+            assert!((p.cost(&g, CostModel::Length) - c).abs() < 1e-9);
+            assert!(*c + 1e-9 >= last, "costs must be non-decreasing");
+            last = *c;
+            assert!(seen.insert(p.vertices().to_vec()), "paths must be distinct");
+        }
+    }
+
+    #[test]
+    fn exhausts_small_graphs() {
+        // A diamond has exactly 3 simple paths 0 -> 3.
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|i| b.add_vertex(Point::new(i as f64, 0.0))).collect();
+        let a = |w: f64| EdgeAttrs::with_default_speed(w, RoadCategory::Rural);
+        b.add_edge(v[0], v[1], a(1.0)).unwrap();
+        b.add_edge(v[1], v[3], a(1.0)).unwrap();
+        b.add_edge(v[0], v[2], a(2.0)).unwrap();
+        b.add_edge(v[2], v[3], a(2.0)).unwrap();
+        b.add_edge(v[0], v[3], a(10.0)).unwrap();
+        let g = b.build();
+        let paths = yen_k_shortest(&g, v[0], v[3], CostModel::Length, 10);
+        assert_eq!(paths.len(), 3);
+        assert!((paths[0].1 - 2.0).abs() < 1e-12);
+        assert!((paths[1].1 - 4.0).abs() < 1e-12);
+        assert!((paths[2].1 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_yields_nothing() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1.0, 0.0));
+        b.add_edge(v1, v0, EdgeAttrs::with_default_speed(1.0, RoadCategory::Rural)).unwrap();
+        let g = b.build();
+        assert!(yen_k_shortest(&g, v0, v1, CostModel::Length, 5).is_empty());
+    }
+
+    #[test]
+    fn iterator_is_fused_after_exhaustion() {
+        let (g, [c, _, _, _, _, h]) = yen_example();
+        let mut it = YenIter::new(&g, c, h, CostModel::Length);
+        let mut count = 0;
+        while it.next().is_some() {
+            count += 1;
+            assert!(count < 1000, "must terminate");
+        }
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+        assert_eq!(it.accepted().len(), count);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::geometry::Point;
+    use crate::graph::{EdgeAttrs, RoadCategory};
+    use proptest::prelude::*;
+
+    /// Brute-force enumeration of all simple paths (oracle, tiny graphs
+    /// only).
+    fn all_simple_paths(g: &Graph, s: VertexId, t: VertexId) -> Vec<f64> {
+        fn dfs(
+            g: &Graph,
+            cur: VertexId,
+            t: VertexId,
+            visited: &mut Vec<bool>,
+            cost: f64,
+            out: &mut Vec<f64>,
+        ) {
+            if cur == t {
+                out.push(cost);
+                return;
+            }
+            for (v, e) in g.out_edges(cur) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    dfs(g, v, t, visited, cost + g.edge(e).attrs.length_m, out);
+                    visited[v.index()] = false;
+                }
+            }
+        }
+        let mut visited = vec![false; g.vertex_count()];
+        visited[s.index()] = true;
+        let mut out = Vec::new();
+        dfs(g, s, t, &mut visited, 0.0, &mut out);
+        out.sort_by(f64::total_cmp);
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn yen_enumerates_exactly_the_simple_paths_in_order(
+            n in 2usize..7,
+            edges in proptest::collection::vec((0usize..7, 0usize..7, 1u32..50), 1..18),
+        ) {
+            let mut b = GraphBuilder::new();
+            let vs: Vec<_> = (0..n).map(|i| b.add_vertex(Point::new(i as f64, 0.0))).collect();
+            let mut dedup = std::collections::HashSet::new();
+            for (f, t, w) in edges {
+                let (f, t) = (f % n, t % n);
+                if f != t && dedup.insert((f, t)) {
+                    b.add_edge(
+                        vs[f],
+                        vs[t],
+                        EdgeAttrs::with_default_speed(w as f64, RoadCategory::Rural),
+                    )
+                    .unwrap();
+                }
+            }
+            let g = b.build();
+            let s = vs[0];
+            let t = vs[n - 1];
+            if s == t { return Ok(()); }
+            let oracle = all_simple_paths(&g, s, t);
+            let yen: Vec<f64> = YenIter::new(&g, s, t, CostModel::Length)
+                .map(|(_, c)| c)
+                .collect();
+            prop_assert_eq!(yen.len(), oracle.len(),
+                "Yen must enumerate every simple path exactly once");
+            for (a, b) in yen.iter().zip(oracle.iter()) {
+                prop_assert!((a - b).abs() < 1e-9, "cost sequence mismatch: {} vs {}", a, b);
+            }
+        }
+    }
+}

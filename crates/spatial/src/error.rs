@@ -1,0 +1,67 @@
+//! Error type shared by the spatial crate.
+
+use std::fmt;
+
+use crate::graph::VertexId;
+
+/// Errors produced while building or querying a spatial network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpatialError {
+    /// A vertex id referenced an index outside the graph.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        len: usize,
+    },
+    /// An edge was requested between two vertices that are not adjacent.
+    NoSuchEdge {
+        /// Tail of the requested edge.
+        from: VertexId,
+        /// Head of the requested edge.
+        to: VertexId,
+    },
+    /// A path constructor was given a vertex sequence that is not connected
+    /// in the graph.
+    DisconnectedSequence {
+        /// Position in the sequence at which connectivity fails.
+        at: usize,
+    },
+    /// A path constructor was given fewer than two vertices.
+    TooShort,
+    /// No path exists between the requested vertices.
+    Unreachable {
+        /// Source vertex of the failed query.
+        source: VertexId,
+        /// Target vertex of the failed query.
+        target: VertexId,
+    },
+    /// An edge attribute was invalid (e.g. non-positive length).
+    InvalidAttribute(String),
+    /// Parsing a serialised graph failed.
+    Parse(String),
+}
+
+impl fmt::Display for SpatialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialError::VertexOutOfBounds { vertex, len } => {
+                write!(f, "vertex {} out of bounds (graph has {} vertices)", vertex.0, len)
+            }
+            SpatialError::NoSuchEdge { from, to } => {
+                write!(f, "no edge from vertex {} to vertex {}", from.0, to.0)
+            }
+            SpatialError::DisconnectedSequence { at } => {
+                write!(f, "vertex sequence disconnected at position {at}")
+            }
+            SpatialError::TooShort => write!(f, "a path needs at least two vertices"),
+            SpatialError::Unreachable { source, target } => {
+                write!(f, "vertex {} is unreachable from vertex {}", target.0, source.0)
+            }
+            SpatialError::InvalidAttribute(msg) => write!(f, "invalid edge attribute: {msg}"),
+            SpatialError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpatialError {}

@@ -1,0 +1,189 @@
+//! Plain-text serialisation of road networks.
+//!
+//! The format is a stable, diff-friendly line format (one vertex or edge
+//! per line) so that generated networks can be checked into experiment
+//! repositories and inspected by hand:
+//!
+//! ```text
+//! pathrank-graph v1
+//! vertices 3
+//! v 0.0 0.0
+//! v 100.0 0.0
+//! v 200.0 0.0
+//! edges 2
+//! e 0 1 100.0 50.0 R
+//! e 1 2 105.0 50.0 A
+//! ```
+//!
+//! Edge lines are `e <from> <to> <length_m> <speed_kmh> <category-tag>`.
+
+use std::io::{BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::error::SpatialError;
+use crate::geometry::Point;
+use crate::graph::{EdgeAttrs, Graph, RoadCategory, VertexId};
+
+const MAGIC: &str = "pathrank-graph v1";
+
+/// Writes `g` to `out` in the v1 text format.
+pub fn write_graph<W: Write>(g: &Graph, out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "vertices {}", g.vertex_count())?;
+    for v in g.vertices() {
+        let p = g.coord(v);
+        writeln!(out, "v {} {}", p.x, p.y)?;
+    }
+    writeln!(out, "edges {}", g.edge_count())?;
+    for e in g.edges() {
+        writeln!(
+            out,
+            "e {} {} {} {} {}",
+            e.from.0,
+            e.to.0,
+            e.attrs.length_m,
+            e.attrs.speed_kmh,
+            e.attrs.category.tag() as char
+        )?;
+    }
+    Ok(())
+}
+
+/// Serialises `g` to a `String` in the v1 text format.
+pub fn graph_to_string(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_graph(g, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Reads a graph in the v1 text format.
+pub fn read_graph<R: BufRead>(input: R) -> Result<Graph, SpatialError> {
+    let mut lines = input.lines();
+    let mut next_line = || -> Result<String, SpatialError> {
+        loop {
+            match lines.next() {
+                Some(Ok(l)) => {
+                    let t = l.trim().to_string();
+                    if !t.is_empty() {
+                        return Ok(t);
+                    }
+                }
+                Some(Err(e)) => return Err(SpatialError::Parse(e.to_string())),
+                None => return Err(SpatialError::Parse("unexpected end of input".into())),
+            }
+        }
+    };
+
+    let header = next_line()?;
+    if header != MAGIC {
+        return Err(SpatialError::Parse(format!("bad header {header:?}")));
+    }
+    let vcount = parse_count(&next_line()?, "vertices")?;
+    let mut b = GraphBuilder::with_capacity(vcount, 0);
+    for i in 0..vcount {
+        let line = next_line()?;
+        let mut it = line.split_ascii_whitespace();
+        if it.next() != Some("v") {
+            return Err(SpatialError::Parse(format!("expected vertex line {i}, got {line:?}")));
+        }
+        let x = parse_f64(it.next(), "vertex x")?;
+        let y = parse_f64(it.next(), "vertex y")?;
+        b.add_vertex(Point::new(x, y));
+    }
+    let ecount = parse_count(&next_line()?, "edges")?;
+    for i in 0..ecount {
+        let line = next_line()?;
+        let mut it = line.split_ascii_whitespace();
+        if it.next() != Some("e") {
+            return Err(SpatialError::Parse(format!("expected edge line {i}, got {line:?}")));
+        }
+        let from = parse_u32(it.next(), "edge from")?;
+        let to = parse_u32(it.next(), "edge to")?;
+        let length_m = parse_f64(it.next(), "edge length")?;
+        let speed_kmh = parse_f64(it.next(), "edge speed")?;
+        let tag = it
+            .next()
+            .and_then(|s| s.bytes().next())
+            .ok_or_else(|| SpatialError::Parse("missing category tag".into()))?;
+        let category = RoadCategory::from_tag(tag)
+            .ok_or_else(|| SpatialError::Parse(format!("unknown category tag {:?}", tag as char)))?;
+        b.add_edge(VertexId(from), VertexId(to), EdgeAttrs { length_m, speed_kmh, category })
+            .map_err(|e| SpatialError::Parse(format!("edge {i}: {e}")))?;
+    }
+    Ok(b.build())
+}
+
+/// Parses a graph from its v1 text representation.
+pub fn graph_from_str(s: &str) -> Result<Graph, SpatialError> {
+    read_graph(s.as_bytes())
+}
+
+fn parse_count(line: &str, keyword: &str) -> Result<usize, SpatialError> {
+    let mut it = line.split_ascii_whitespace();
+    if it.next() != Some(keyword) {
+        return Err(SpatialError::Parse(format!("expected {keyword:?} line, got {line:?}")));
+    }
+    it.next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SpatialError::Parse(format!("bad count in {line:?}")))
+}
+
+fn parse_f64(tok: Option<&str>, what: &str) -> Result<f64, SpatialError> {
+    tok.and_then(|s| s.parse().ok())
+        .ok_or_else(|| SpatialError::Parse(format!("missing or invalid {what}")))
+}
+
+fn parse_u32(tok: Option<&str>, what: &str) -> Result<u32, SpatialError> {
+    tok.and_then(|s| s.parse().ok())
+        .ok_or_else(|| SpatialError::Parse(format!("missing or invalid {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_network, region_network, GridConfig, RegionConfig};
+
+    #[test]
+    fn roundtrip_grid() {
+        let g = grid_network(&GridConfig::small_test(), 13);
+        let text = graph_to_string(&g);
+        let back = graph_from_str(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_region() {
+        let g = region_network(&RegionConfig::small_test(), 13);
+        let back = graph_from_str(&graph_to_string(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(graph_from_str("nonsense").is_err());
+        assert!(graph_from_str("pathrank-graph v0\nvertices 0\nedges 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let g = grid_network(&GridConfig::small_test(), 13);
+        let text = graph_to_string(&g);
+        let cut = &text[..text.len() / 2];
+        assert!(graph_from_str(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_edges() {
+        let bad = "pathrank-graph v1\nvertices 2\nv 0 0\nv 1 0\nedges 1\ne 0 5 10 50 R\n";
+        assert!(graph_from_str(bad).is_err());
+        let bad_tag = "pathrank-graph v1\nvertices 2\nv 0 0\nv 1 0\nedges 1\ne 0 1 10 50 X\n";
+        assert!(graph_from_str(bad_tag).is_err());
+    }
+
+    #[test]
+    fn tolerates_blank_lines() {
+        let g = grid_network(&GridConfig::small_test(), 13);
+        let text = graph_to_string(&g).replace('\n', "\n\n");
+        assert_eq!(graph_from_str(&text).unwrap(), g);
+    }
+}

@@ -1,0 +1,49 @@
+//! Road-network substrate for the PathRank reproduction.
+//!
+//! This crate provides everything PathRank needs from a spatial network:
+//!
+//! * a compact CSR-based directed [`graph::Graph`] with planar vertex
+//!   coordinates and per-edge attributes (length, speed category, travel
+//!   time);
+//! * deterministic synthetic [`generators`] that produce road networks with
+//!   realistic structure (grid towns, ring-radial cities, multi-town
+//!   regions connected by highways) — the substitute for the proprietary
+//!   North Jutland network used in the paper;
+//! * routing algorithms: [`algo::dijkstra`], [`algo::astar`],
+//!   [`algo::bidijkstra`], Yen's top-k shortest paths ([`algo::yen`]) and
+//!   the diversified top-k used by the paper's D-TkDI training-data
+//!   strategy ([`algo::diversified`]);
+//! * path [`similarity`] measures, most importantly the weighted Jaccard
+//!   similarity that defines PathRank's ground-truth ranking scores.
+//!
+//! # Quick example
+//!
+//! ```
+//! use pathrank_spatial::generators::{grid_network, GridConfig};
+//! use pathrank_spatial::algo::dijkstra::shortest_path;
+//! use pathrank_spatial::graph::{CostModel, VertexId};
+//!
+//! let g = grid_network(&GridConfig::small_test(), 7);
+//! let p = shortest_path(&g, VertexId(0), VertexId(24), CostModel::Length)
+//!     .expect("grid is strongly connected");
+//! assert!(p.length_m(&g) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algo;
+pub mod builder;
+pub mod error;
+pub mod generators;
+pub mod geometry;
+pub mod graph;
+pub mod io;
+pub mod path;
+pub mod similarity;
+pub mod util;
+
+pub use builder::GraphBuilder;
+pub use error::SpatialError;
+pub use graph::{CostModel, EdgeId, Graph, RoadCategory, VertexId};
+pub use path::Path;

@@ -1,0 +1,139 @@
+//! Trajectory dataset assembly: from simulated (or matched) trips to the
+//! train/test trajectory path sets PathRank consumes.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+use pathrank_spatial::graph::Graph;
+use pathrank_spatial::path::Path;
+
+use crate::mapmatch::{map_match, MapMatchConfig};
+use crate::simulator::Trip;
+
+/// A set of trajectory paths ready for training-data generation.
+#[derive(Debug, Clone)]
+pub struct TrajectoryDataset {
+    /// Ground-truth trajectory paths (one per usable trip).
+    pub paths: Vec<Path>,
+}
+
+impl TrajectoryDataset {
+    /// Builds the dataset from the drivers' true paths (fast; used by the
+    /// experiment pipeline, where GPS recovery is not the variable under
+    /// study).
+    pub fn from_true_paths(trips: &[Trip]) -> Self {
+        TrajectoryDataset { paths: trips.iter().map(|t| t.path.clone()).collect() }
+    }
+
+    /// Builds the dataset by map-matching each trip's GPS trace (the full
+    /// paper pipeline). Trips whose trace cannot be matched are dropped.
+    pub fn from_map_matching(g: &Graph, trips: &[Trip], cfg: &MapMatchConfig) -> Self {
+        let paths = trips.iter().filter_map(|t| map_match(g, &t.trace, cfg)).collect();
+        TrajectoryDataset { paths }
+    }
+
+    /// Number of trajectory paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Retains only paths with at least `min_hops` edges (very short trips
+    /// carry no ranking signal).
+    pub fn filter_min_hops(mut self, min_hops: usize) -> Self {
+        self.paths.retain(|p| p.len() >= min_hops);
+        self
+    }
+
+    /// Shuffles (seeded) and splits into train/test by `train_frac`.
+    pub fn split(mut self, train_frac: f64, seed: u64) -> (Vec<Path>, Vec<Path>) {
+        assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.paths.shuffle(&mut rng);
+        let cut = (self.paths.len() as f64 * train_frac).round() as usize;
+        let test = self.paths.split_off(cut.min(self.paths.len()));
+        (self.paths, test)
+    }
+}
+
+/// Convenience: splits raw trips (by their true paths) into train/test path
+/// sets.
+pub fn split_trips(trips: &[Trip], train_frac: f64, seed: u64) -> (Vec<Path>, Vec<Path>) {
+    TrajectoryDataset::from_true_paths(trips).split(train_frac, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{simulate_fleet, SimulationConfig};
+    use pathrank_spatial::generators::{region_network, RegionConfig};
+
+    fn trips() -> (Graph, Vec<Trip>) {
+        let g = region_network(&RegionConfig::small_test(), 31);
+        let t = simulate_fleet(&g, &SimulationConfig::small_test(), 32);
+        (g, t)
+    }
+
+    #[test]
+    fn from_true_paths_keeps_everything() {
+        let (_, trips) = trips();
+        let ds = TrajectoryDataset::from_true_paths(&trips);
+        assert_eq!(ds.len(), trips.len());
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn filter_min_hops_drops_short_paths() {
+        let (_, trips) = trips();
+        let before = TrajectoryDataset::from_true_paths(&trips);
+        let min_len_before = before.paths.iter().map(Path::len).min().unwrap();
+        let ds = before.clone().filter_min_hops(min_len_before + 1);
+        assert!(ds.len() < trips.len());
+        assert!(ds.paths.iter().all(|p| p.len() >= min_len_before + 1));
+    }
+
+    #[test]
+    fn split_is_seeded_and_partitioning() {
+        let (_, trips) = trips();
+        let n = trips.len();
+        let (tr1, te1) = split_trips(&trips, 0.75, 5);
+        let (tr2, te2) = split_trips(&trips, 0.75, 5);
+        assert_eq!(tr1.len() + te1.len(), n);
+        assert_eq!(tr1.len(), (n as f64 * 0.75).round() as usize);
+        assert_eq!(tr1.len(), tr2.len());
+        for (a, b) in tr1.iter().zip(tr2.iter()) {
+            assert!(a.same_route(b), "same seed, same split");
+        }
+        assert_eq!(te1.len(), te2.len());
+        // Different seed shuffles differently (overwhelmingly likely).
+        let (tr3, _) = split_trips(&trips, 0.75, 6);
+        let identical = tr1.iter().zip(tr3.iter()).all(|(a, b)| a.same_route(b));
+        assert!(!identical, "different seeds should differ");
+    }
+
+    #[test]
+    fn split_extremes() {
+        let (_, trips) = trips();
+        let (tr, te) = split_trips(&trips, 1.0, 1);
+        assert_eq!(te.len(), 0);
+        assert_eq!(tr.len(), trips.len());
+        let (tr, te) = split_trips(&trips, 0.0, 1);
+        assert_eq!(tr.len(), 0);
+        assert_eq!(te.len(), trips.len());
+    }
+
+    #[test]
+    fn map_matching_dataset_yields_valid_paths() {
+        let (g, trips) = trips();
+        let subset: Vec<Trip> = trips.into_iter().take(5).collect();
+        let ds = TrajectoryDataset::from_map_matching(&g, &subset, &MapMatchConfig::default());
+        assert!(!ds.is_empty(), "at least some traces must match");
+        for p in &ds.paths {
+            p.validate(&g).unwrap();
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! HMM map matching (Newson & Krumm, 2009 style).
+//!
+//! Each GPS fix induces a layer of candidate road positions (projections
+//! onto nearby edges). Emission likelihood is Gaussian in the projection
+//! distance; transition likelihood penalises the difference between the
+//! on-network route distance and the straight-line distance between
+//! consecutive fixes (drivers rarely detour between two samples). Viterbi
+//! decoding picks the most likely candidate sequence, which is then
+//! stitched into a connected [`Path`] with shortest-path gap filling.
+
+use std::collections::HashMap;
+
+use pathrank_spatial::algo::dijkstra::shortest_path;
+use pathrank_spatial::geometry::{project_onto_segment, Point, Projection};
+use pathrank_spatial::graph::{CostModel, EdgeId, Graph};
+use pathrank_spatial::path::Path;
+
+use crate::gps::GpsTrace;
+
+/// Map matcher parameters.
+#[derive(Debug, Clone)]
+pub struct MapMatchConfig {
+    /// Radius around each fix within which edges become candidates.
+    pub candidate_radius_m: f64,
+    /// GPS noise standard deviation (emission model), metres.
+    pub sigma_m: f64,
+    /// Transition scale β: larger tolerates bigger detours between fixes.
+    pub beta_m: f64,
+    /// Keep at most this many candidates per fix (closest first).
+    pub max_candidates: usize,
+    /// Weight of the heading-agreement emission term (0 disables it).
+    pub heading_weight: f64,
+}
+
+impl Default for MapMatchConfig {
+    fn default() -> Self {
+        MapMatchConfig {
+            candidate_radius_m: 60.0,
+            sigma_m: 10.0,
+            beta_m: 12.0,
+            max_candidates: 8,
+            heading_weight: 3.0,
+        }
+    }
+}
+
+/// A uniform-grid spatial index over edges, for candidate lookup.
+#[derive(Debug)]
+pub struct EdgeIndex {
+    cell_m: f64,
+    cells: HashMap<(i32, i32), Vec<EdgeId>>,
+}
+
+impl EdgeIndex {
+    /// Builds the index; each edge is registered in every cell its bounding
+    /// box touches.
+    pub fn build(g: &Graph, cell_m: f64) -> Self {
+        let mut cells: HashMap<(i32, i32), Vec<EdgeId>> = HashMap::new();
+        for (i, e) in g.edges().enumerate() {
+            let a = g.coord(e.from);
+            let b = g.coord(e.to);
+            let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+            let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+            let (cx0, cx1) = ((x0 / cell_m).floor() as i32, (x1 / cell_m).floor() as i32);
+            let (cy0, cy1) = ((y0 / cell_m).floor() as i32, (y1 / cell_m).floor() as i32);
+            for cx in cx0..=cx1 {
+                for cy in cy0..=cy1 {
+                    cells.entry((cx, cy)).or_default().push(EdgeId(i as u32));
+                }
+            }
+        }
+        EdgeIndex { cell_m, cells }
+    }
+
+    /// Edges whose registered cells intersect the disc around `p`.
+    pub fn edges_near(&self, p: &Point, radius_m: f64) -> Vec<EdgeId> {
+        let r_cells = (radius_m / self.cell_m).ceil() as i32;
+        let (cx, cy) = ((p.x / self.cell_m).floor() as i32, (p.y / self.cell_m).floor() as i32);
+        let mut out = Vec::new();
+        for dx in -r_cells..=r_cells {
+            for dy in -r_cells..=r_cells {
+                if let Some(es) = self.cells.get(&(cx + dx, cy + dy)) {
+                    out.extend_from_slice(es);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    edge: EdgeId,
+    /// Fractional position of the projection along the edge, `[0, 1]`.
+    t: f64,
+    /// Distance from the fix to the projection, metres.
+    dist: f64,
+    /// Cosine between the vehicle heading and the edge direction.
+    heading_cos: f64,
+}
+
+/// Matches a GPS trace onto the network.
+///
+/// Returns `None` when the trace is too short or no consistent candidate
+/// chain exists (e.g. every fix is far from any road).
+pub fn map_match(g: &Graph, trace: &GpsTrace, cfg: &MapMatchConfig) -> Option<Path> {
+    if trace.len() < 2 {
+        return None;
+    }
+    let index = EdgeIndex::build(g, cfg.candidate_radius_m.max(25.0));
+
+    // Movement heading at each fix (central difference), used to
+    // disambiguate the two directed twins of a bidirectional street.
+    let headings: Vec<Option<(f64, f64)>> = (0..trace.points.len())
+        .map(|i| {
+            let before = &trace.points[i.saturating_sub(1)].pos;
+            let after = &trace.points[(i + 1).min(trace.points.len() - 1)].pos;
+            let (dx, dy) = (after.x - before.x, after.y - before.y);
+            let norm = (dx * dx + dy * dy).sqrt();
+            (norm > 5.0).then_some((dx / norm, dy / norm))
+        })
+        .collect();
+
+    // Candidate layers; fixes with no nearby road are skipped entirely.
+    let mut layers: Vec<Vec<Candidate>> = Vec::with_capacity(trace.len());
+    for (fi, fix) in trace.points.iter().enumerate() {
+        let mut cands: Vec<Candidate> = index
+            .edges_near(&fix.pos, cfg.candidate_radius_m)
+            .into_iter()
+            .filter_map(|e| {
+                let rec = g.edge(e);
+                let (a, b) = (g.coord(rec.from), g.coord(rec.to));
+                let proj: Projection = project_onto_segment(&fix.pos, &a, &b);
+                if proj.distance > cfg.candidate_radius_m {
+                    return None;
+                }
+                // Heading agreement in [-1, 1]; 1 when driving along the
+                // edge direction, -1 against it.
+                let heading_cos = headings[fi].map_or(0.0, |(hx, hy)| {
+                    let (ex, ey) = (b.x - a.x, b.y - a.y);
+                    let en = (ex * ex + ey * ey).sqrt().max(1e-9);
+                    hx * ex / en + hy * ey / en
+                });
+                Some(Candidate { edge: e, t: proj.t, dist: proj.distance, heading_cos })
+            })
+            .collect();
+        cands.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+        cands.truncate(cfg.max_candidates);
+        if !cands.is_empty() {
+            layers.push(cands);
+        }
+    }
+    if layers.len() < 2 {
+        return None;
+    }
+
+    // Viterbi: Gaussian emission on projection distance plus a heading
+    // agreement bonus that separates direction twins.
+    let emission = |c: &Candidate| {
+        -(c.dist * c.dist) / (2.0 * cfg.sigma_m * cfg.sigma_m)
+            + cfg.heading_weight * (c.heading_cos - 1.0)
+    };
+    let mut sp_cache: HashMap<(u32, u32), Option<f64>> = HashMap::new();
+    let mut route_dist = |g: &Graph, a: &Candidate, b: &Candidate| -> Option<f64> {
+        let (ea, eb) = (g.edge(a.edge), g.edge(b.edge));
+        if a.edge == b.edge {
+            let delta = (b.t - a.t) * ea.attrs.length_m;
+            // Small backward jitter is GPS noise, not a loop around the
+            // block; treat it as (almost) standing still.
+            if delta >= -30.0 {
+                return Some(delta.abs());
+            }
+        }
+        let tail = (1.0 - a.t) * ea.attrs.length_m;
+        let head = b.t * eb.attrs.length_m;
+        if ea.to == eb.from {
+            return Some(tail + head);
+        }
+        let between = *sp_cache.entry((ea.to.0, eb.from.0)).or_insert_with(|| {
+            shortest_path(g, ea.to, eb.from, CostModel::Length).map(|p| p.length_m(g))
+        });
+        between.map(|d| tail + d + head)
+    };
+
+    let mut score: Vec<f64> = layers[0].iter().map(emission).collect();
+    let mut back: Vec<Vec<usize>> = Vec::with_capacity(layers.len());
+    let mut positions: Vec<Vec<Point>> = Vec::with_capacity(layers.len());
+    for layer in &layers {
+        positions.push(
+            layer
+                .iter()
+                .map(|c| {
+                    let rec = g.edge(c.edge);
+                    g.coord(rec.from).lerp(&g.coord(rec.to), c.t)
+                })
+                .collect(),
+        );
+    }
+
+    for li in 1..layers.len() {
+        let mut next_score = vec![f64::NEG_INFINITY; layers[li].len()];
+        let mut next_back = vec![0usize; layers[li].len()];
+        for (j, cand) in layers[li].iter().enumerate() {
+            let em = emission(cand);
+            for (i, prev) in layers[li - 1].iter().enumerate() {
+                if score[i] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let Some(route) = route_dist(g, prev, cand) else { continue };
+                let gc = positions[li - 1][i].distance(&positions[li][j]);
+                // Severely detouring transitions are pruned outright.
+                if route > 4.0 * gc + 400.0 {
+                    continue;
+                }
+                let trans = -(route - gc).abs() / cfg.beta_m;
+                let s = score[i] + trans + em;
+                if s > next_score[j] {
+                    next_score[j] = s;
+                    next_back[j] = i;
+                }
+            }
+        }
+        // A fully disconnected layer would strand Viterbi; restart scores
+        // from emissions (handles long GPS gaps gracefully).
+        if next_score.iter().all(|&s| s == f64::NEG_INFINITY) {
+            next_score = layers[li].iter().map(emission).collect();
+        }
+        score = next_score;
+        back.push(next_back);
+    }
+
+    // Backtrack the best chain of candidates.
+    let mut best = 0usize;
+    for (i, &s) in score.iter().enumerate() {
+        if s > score[best] {
+            best = i;
+        }
+    }
+    if score[best] == f64::NEG_INFINITY {
+        return None;
+    }
+    let mut chain_rev = vec![best];
+    for b in back.iter().rev() {
+        chain_rev.push(b[*chain_rev.last().expect("non-empty")]);
+    }
+    chain_rev.reverse();
+    let matched: Vec<Candidate> =
+        chain_rev.iter().enumerate().map(|(li, &ci)| layers[li][ci]).collect();
+
+    stitch(g, &matched)
+}
+
+/// Stitches a candidate chain into a connected path, filling gaps between
+/// consecutive matched edges with shortest paths.
+fn stitch(g: &Graph, matched: &[Candidate]) -> Option<Path> {
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for c in matched {
+        match edges.last() {
+            None => edges.push(c.edge),
+            Some(&last) if last == c.edge => {}
+            Some(&last) => {
+                let (prev, cur) = (g.edge(last), g.edge(c.edge));
+                if prev.to != cur.from {
+                    match shortest_path(g, prev.to, cur.from, CostModel::Length) {
+                        Some(gap) => edges.extend_from_slice(gap.edges()),
+                        None => return None,
+                    }
+                }
+                edges.push(c.edge);
+            }
+        }
+    }
+    // Remove immediate back-and-forth artifacts (e, reverse(e)) produced by
+    // noisy fixes projecting onto both directions of the same street.
+    let mut cleaned: Vec<EdgeId> = Vec::with_capacity(edges.len());
+    for e in edges {
+        if let Some(&last) = cleaned.last() {
+            let (a, b) = (g.edge(last), g.edge(e));
+            if a.from == b.to && a.to == b.from {
+                cleaned.pop();
+                continue;
+            }
+        }
+        cleaned.push(e);
+    }
+    // Trim barely-touched terminal edges: a first candidate projecting at
+    // the very end of its edge (t ≈ 1) means the vehicle only started
+    // *after* that edge; symmetrically for the last candidate at t ≈ 0.
+    if cleaned.len() >= 2 {
+        if matched.first().is_some_and(|c| c.t >= 0.9 && cleaned[0] == c.edge) {
+            cleaned.remove(0);
+        }
+        if cleaned.len() >= 2
+            && matched.last().is_some_and(|c| c.t <= 0.1 && *cleaned.last().unwrap() == c.edge)
+        {
+            cleaned.pop();
+        }
+    }
+    if cleaned.is_empty() {
+        return None;
+    }
+    Path::from_edges(g, cleaned).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{simulate_fleet, SimulationConfig};
+    use pathrank_spatial::generators::{region_network, RegionConfig};
+    use pathrank_spatial::similarity::{weighted_jaccard, EdgeWeight};
+
+    #[test]
+    fn edge_index_finds_nearby_edges() {
+        let g = region_network(&RegionConfig::small_test(), 2);
+        let index = EdgeIndex::build(&g, 100.0);
+        // A point on a known vertex must see that vertex's incident edges.
+        let v = pathrank_spatial::graph::VertexId(0);
+        let p = g.coord(v);
+        let near = index.edges_near(&p, 60.0);
+        for (_, e) in g.out_edges(v) {
+            assert!(near.contains(&e), "index must return incident edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn matches_low_noise_traces_accurately() {
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let mut sim_cfg = SimulationConfig::small_test();
+        sim_cfg.gps_noise_std_m = 4.0;
+        sim_cfg.sampling_interval_s = 4.0;
+        let trips = simulate_fleet(&g, &sim_cfg, 17);
+        let mm = MapMatchConfig { sigma_m: 6.0, ..Default::default() };
+
+        let mut total_sim = 0.0;
+        let mut matched_count = 0usize;
+        for trip in trips.iter().take(8) {
+            let Some(matched) = map_match(&g, &trip.trace, &mm) else {
+                continue;
+            };
+            matched.validate(&g).unwrap();
+            total_sim += weighted_jaccard(&g, &matched, &trip.path, EdgeWeight::Length);
+            matched_count += 1;
+        }
+        assert!(matched_count >= 6, "most traces must match ({matched_count}/8)");
+        let avg = total_sim / matched_count as f64;
+        assert!(avg > 0.9, "average matched similarity too low: {avg:.3}");
+    }
+
+    #[test]
+    fn short_traces_return_none() {
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trace = GpsTrace { vehicle: 0, points: vec![] };
+        assert!(map_match(&g, &trace, &MapMatchConfig::default()).is_none());
+    }
+
+    #[test]
+    fn far_away_traces_return_none() {
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trace = GpsTrace {
+            vehicle: 0,
+            points: (0..5)
+                .map(|i| crate::gps::GpsPoint {
+                    pos: Point::new(-1.0e7 + i as f64, -1.0e7),
+                    t_s: i as f64 * 5.0,
+                })
+                .collect(),
+        };
+        assert!(map_match(&g, &trace, &MapMatchConfig::default()).is_none());
+    }
+}
