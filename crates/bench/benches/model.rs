@@ -20,21 +20,24 @@ fn model(c: &mut Criterion) {
     for dim in [64usize, 128] {
         let mut rng = StdRng::seed_from_u64(4);
         let pretrained = uniform(vocab, dim, -0.1, 0.1, &mut rng);
-        let model =
-            PathRankModel::new(vocab, Some(pretrained), ModelConfig::paper_default(dim));
+        let model = PathRankModel::new(vocab, Some(pretrained), ModelConfig::paper_default(dim));
 
         group.bench_with_input(BenchmarkId::new("forward_l32", dim), &dim, |b, _| {
             b.iter(|| model.score_path(black_box(&path)))
         });
-        group.bench_with_input(BenchmarkId::new("forward_backward_l32", dim), &dim, |b, _| {
-            b.iter(|| {
-                let mut tape = Tape::new(&model.store);
-                let loss = model.loss(&mut tape, black_box(&path), 0.5, None);
-                let mut grads = GradStore::new(&model.store);
-                tape.backward(loss, &mut grads);
-                grads
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("forward_backward_l32", dim),
+            &dim,
+            |b, _| {
+                b.iter(|| {
+                    let mut tape = Tape::new(&model.store);
+                    let loss = model.loss(&mut tape, black_box(&path), 0.5, None);
+                    let mut grads = GradStore::new(&model.store);
+                    tape.backward(loss, &mut grads);
+                    grads
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,6 +1,10 @@
 //! M1: routing-algorithm latency on the paper-scale synthetic region —
 //! Dijkstra vs A* vs bidirectional, plus Yen top-k and diversified top-k
 //! (the training-data generators whose cost dominates preprocessing).
+//! Each algorithm is measured both through the one-shot free function
+//! (transient engine per query) and on a reused [`QueryEngine`]; the
+//! machine-readable fresh-vs-reused comparison lives in the
+//! `bench_routing` binary (`BENCH_routing.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -9,6 +13,7 @@ use pathrank_spatial::algo::astar::astar_shortest_path;
 use pathrank_spatial::algo::bidijkstra::bidirectional_shortest_path;
 use pathrank_spatial::algo::dijkstra::shortest_path;
 use pathrank_spatial::algo::diversified::{diversified_top_k, DiversifiedConfig};
+use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::yen::yen_k_shortest;
 use pathrank_spatial::generators::{region_network, RegionConfig};
 use pathrank_spatial::graph::{CostModel, VertexId};
@@ -22,11 +27,23 @@ fn routing(c: &mut Criterion) {
     group.bench_function("dijkstra", |b| {
         b.iter(|| shortest_path(&g, black_box(s), black_box(t), CostModel::Length))
     });
+    group.bench_function("dijkstra_reused", |b| {
+        let mut engine = QueryEngine::new(&g);
+        b.iter(|| engine.shortest_path(black_box(s), black_box(t), CostModel::Length))
+    });
     group.bench_function("astar", |b| {
         b.iter(|| astar_shortest_path(&g, black_box(s), black_box(t), CostModel::Length))
     });
+    group.bench_function("astar_reused", |b| {
+        let mut engine = QueryEngine::new(&g);
+        b.iter(|| engine.astar_shortest_path(black_box(s), black_box(t), CostModel::Length))
+    });
     group.bench_function("bidirectional", |b| {
         b.iter(|| bidirectional_shortest_path(&g, black_box(s), black_box(t), CostModel::Length))
+    });
+    group.bench_function("bidirectional_reused", |b| {
+        let mut engine = QueryEngine::new(&g);
+        b.iter(|| engine.bidirectional_shortest_path(black_box(s), black_box(t), CostModel::Length))
     });
     group.finish();
 
@@ -36,9 +53,18 @@ fn routing(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("yen", k), &k, |b, &k| {
             b.iter(|| yen_k_shortest(&g, s, t, CostModel::Length, black_box(k)))
         });
+        group.bench_with_input(BenchmarkId::new("yen_reused", k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(&g);
+            b.iter(|| engine.yen_k_shortest(s, t, CostModel::Length, black_box(k)))
+        });
         group.bench_with_input(BenchmarkId::new("diversified", k), &k, |b, &k| {
             let cfg = DiversifiedConfig::with_k(k);
             b.iter(|| diversified_top_k(&g, s, t, CostModel::Length, black_box(&cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("diversified_reused", k), &k, |b, &k| {
+            let cfg = DiversifiedConfig::with_k(k);
+            let mut engine = QueryEngine::new(&g);
+            b.iter(|| engine.diversified_top_k(s, t, CostModel::Length, black_box(&cfg)))
         });
     }
     group.finish();

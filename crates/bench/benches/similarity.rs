@@ -31,7 +31,9 @@ fn similarity(c: &mut Criterion) {
     group.bench_function("weighted_dice", |bch| {
         bch.iter(|| weighted_dice(&g, black_box(a), black_box(b), EdgeWeight::Length))
     });
-    group.bench_function("lcs", |bch| bch.iter(|| lcs_similarity(black_box(a), black_box(b))));
+    group.bench_function("lcs", |bch| {
+        bch.iter(|| lcs_similarity(black_box(a), black_box(b)))
+    });
     group.finish();
 }
 

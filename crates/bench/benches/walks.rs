@@ -16,14 +16,21 @@ fn walks(c: &mut Criterion) {
     let mut group = c.benchmark_group("node2vec");
     group.sample_size(10);
     group.bench_function("walks_town", |b| {
-        let cfg = WalkConfig { walks_per_vertex: 2, walk_length: 20, p: 1.0, q: 0.5 };
+        let cfg = WalkConfig {
+            walks_per_vertex: 2,
+            walk_length: 20,
+            p: 1.0,
+            q: 0.5,
+        };
         b.iter(|| generate_walks(&g, black_box(&cfg), 7))
     });
     group.finish();
 
     let mut group = c.benchmark_group("alias_table");
     let weights: Vec<f64> = (1..=1000).map(|i| (i as f64).powf(0.75)).collect();
-    group.bench_function("build_1k", |b| b.iter(|| AliasTable::new(black_box(&weights))));
+    group.bench_function("build_1k", |b| {
+        b.iter(|| AliasTable::new(black_box(&weights)))
+    });
     let table = AliasTable::new(&weights);
     group.bench_function("sample", |b| {
         let mut rng = StdRng::seed_from_u64(3);

@@ -19,9 +19,15 @@ fn main() {
     let scale = Scale::parse(std::env::args());
     let mut wb = Workbench::new(scale.experiment_config());
     let dim = scale.embedding_dims()[0];
-    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let ccfg = CandidateConfig {
+        k: scale.k,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
 
-    println!("# A1: embedding ablation (D-TkDI, k = {}, M = {dim})", scale.k);
+    println!(
+        "# A1: embedding ablation (D-TkDI, k = {}, M = {dim})",
+        scale.k
+    );
     print_metric_header("Variant");
     for mode in [
         EmbeddingMode::TrainableRandom,

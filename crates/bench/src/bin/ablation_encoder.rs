@@ -14,9 +14,15 @@ fn main() {
     let scale = Scale::parse(std::env::args());
     let mut wb = Workbench::new(scale.experiment_config());
     let dim = scale.embedding_dims()[0];
-    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let ccfg = CandidateConfig {
+        k: scale.k,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
 
-    println!("# A2: encoder ablation (D-TkDI, k = {}, PR-A2, M = {dim})", scale.k);
+    println!(
+        "# A2: encoder ablation (D-TkDI, k = {}, PR-A2, M = {dim})",
+        scale.k
+    );
     print_metric_header("Encoder");
     for (label, encoder) in [
         ("GRU", EncoderKind::Gru),

@@ -14,10 +14,20 @@ fn main() {
     let scale = Scale::parse(std::env::args());
     let mut wb = Workbench::new(scale.experiment_config());
     let dim = scale.embedding_dims()[0];
-    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
-    let weights: &[f32] = if scale.quick { &[0.0, 0.5] } else { &[0.0, 0.25, 0.5, 1.0] };
+    let ccfg = CandidateConfig {
+        k: scale.k,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
+    let weights: &[f32] = if scale.quick {
+        &[0.0, 0.5]
+    } else {
+        &[0.0, 0.25, 0.5, 1.0]
+    };
 
-    println!("# A3: multi-task weight sweep (D-TkDI, k = {}, PR-A2, M = {dim})", scale.k);
+    println!(
+        "# A3: multi-task weight sweep (D-TkDI, k = {}, PR-A2, M = {dim})",
+        scale.k
+    );
     print_metric_header("lambda");
     for &w in weights {
         let mcfg = ModelConfig {

@@ -26,7 +26,9 @@ fn main() {
     print_metric_header("Method");
 
     let g = wb.graph.clone();
-    let sp = evaluate_with(&test_groups, |grp| baselines::shortest_length_ratio(&g, grp));
+    let sp = evaluate_with(&test_groups, |grp| {
+        baselines::shortest_length_ratio(&g, grp)
+    });
     print_metric_row("SP", 0, &sp);
     let fp = evaluate_with(&test_groups, |grp| baselines::fastest_time_ratio(&g, grp));
     print_metric_row("FP", 0, &fp);
@@ -34,9 +36,14 @@ fn main() {
     print_metric_row("SP+FP", 0, &blend);
 
     // PathRank (PR-A2, D-TkDI) for reference.
-    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
-    let mcfg =
-        ModelConfig { seed: scale.seed.wrapping_add(11), ..ModelConfig::paper_default(dim) };
+    let ccfg = CandidateConfig {
+        k: scale.k,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
+    let mcfg = ModelConfig {
+        seed: scale.seed.wrapping_add(11),
+        ..ModelConfig::paper_default(dim)
+    };
     let res = wb.run(mcfg, ccfg, scale.train_config());
     print_metric_row("PathRank", dim, &res.eval);
 }

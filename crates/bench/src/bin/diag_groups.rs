@@ -29,12 +29,17 @@ fn main() {
     );
 
     for strategy in [Strategy::TkDI, Strategy::DTkDI] {
-        let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(strategy) };
+        let ccfg = CandidateConfig {
+            k: scale.k,
+            ..CandidateConfig::paper_default(strategy)
+        };
         let groups = generate_groups(&wb.graph, &wb.train_paths, &ccfg, scale.threads);
 
         let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
-        let mut labels: Vec<f64> =
-            groups.iter().flat_map(|g| g.candidates.iter().map(|c| c.score)).collect();
+        let mut labels: Vec<f64> = groups
+            .iter()
+            .flat_map(|g| g.candidates.iter().map(|c| c.score))
+            .collect();
         labels.sort_by(f64::total_cmp);
 
         // Mean pairwise overlap between candidates within a group

@@ -15,8 +15,11 @@ fn main() {
     let scale = Scale::parse(std::env::args());
     let mut wb = Workbench::new(scale.experiment_config());
     let dim = scale.embedding_dims()[0];
-    let thresholds: &[f64] =
-        if scale.quick { &[0.5, 1.0] } else { &[0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] };
+    let thresholds: &[f64] = if scale.quick {
+        &[0.5, 1.0]
+    } else {
+        &[0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    };
 
     println!(
         "# F2: diversity-threshold sweep (D-TkDI, k = {}, PR-A2, M = {dim})",

@@ -14,7 +14,11 @@ fn main() {
     let scale = Scale::parse(std::env::args());
     let mut wb = Workbench::new(scale.experiment_config());
     let dim = scale.embedding_dims()[0];
-    let ks: &[usize] = if scale.quick { &[2, 4] } else { &[4, 6, 8, 10, 12] };
+    let ks: &[usize] = if scale.quick {
+        &[2, 4]
+    } else {
+        &[4, 6, 8, 10, 12]
+    };
 
     println!(
         "# F1: candidate-set size sweep (D-TkDI, PR-A2, M = {dim}; {} train / {} test)",
@@ -23,7 +27,10 @@ fn main() {
     );
     print_metric_header("k");
     for &k in ks {
-        let ccfg = CandidateConfig { k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+        let ccfg = CandidateConfig {
+            k,
+            ..CandidateConfig::paper_default(Strategy::DTkDI)
+        };
         let mcfg = ModelConfig {
             seed: scale.seed.wrapping_add(11),
             ..ModelConfig::paper_default(dim)

@@ -15,9 +15,16 @@ fn main() {
     let scale = Scale::parse(std::env::args());
     let mut wb = Workbench::new(scale.experiment_config());
     let dim = scale.embedding_dims()[0];
-    let fractions: &[f64] = if scale.quick { &[0.5, 1.0] } else { &[0.2, 0.4, 0.6, 0.8, 1.0] };
+    let fractions: &[f64] = if scale.quick {
+        &[0.5, 1.0]
+    } else {
+        &[0.2, 0.4, 0.6, 0.8, 1.0]
+    };
 
-    let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let ccfg = CandidateConfig {
+        k: scale.k,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
     // Generate the full candidate pool once, then train on prefixes; the
     // test set is fixed, so rows differ only in training-data volume.
     let all_groups = wb.train_groups(&ccfg);
@@ -38,8 +45,7 @@ fn main() {
             seed: scale.seed.wrapping_add(11),
             ..ModelConfig::paper_default(dim)
         };
-        let mut model =
-            PathRankModel::new(wb.graph.vertex_count(), Some(embedding.clone()), mcfg);
+        let mut model = PathRankModel::new(wb.graph.vertex_count(), Some(embedding.clone()), mcfg);
         train(&mut model, &samples, &scale.train_config());
         let eval = evaluate_model(&model, &test_groups);
         print_metric_row(&format!("{frac:.1}"), dim, &eval);

@@ -39,7 +39,15 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { vehicles: 60, trips: 6, epochs: 12, k: 10, seed: 2020, threads: 2, quick: false }
+        Scale {
+            vehicles: 60,
+            trips: 6,
+            epochs: 12,
+            k: 10,
+            seed: 2020,
+            threads: 2,
+            quick: false,
+        }
     }
 }
 
@@ -134,51 +142,6 @@ pub fn print_metric_header(first_col: &str) {
     println!("|----------|------|---------|---------|---------|---------|");
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(tokens: &[&str]) -> Scale {
-        let all = std::iter::once("bin".to_string()).chain(tokens.iter().map(|s| s.to_string()));
-        Scale::parse(all)
-    }
-
-    #[test]
-    fn defaults() {
-        let s = parse(&[]);
-        assert_eq!(s.vehicles, 60);
-        assert_eq!(s.k, 10);
-        assert!(!s.quick);
-    }
-
-    #[test]
-    fn flags_override_defaults() {
-        let s = parse(&["--quick", "--vehicles", "9", "--epochs", "3", "--seed", "99"]);
-        assert!(s.quick);
-        assert_eq!(s.vehicles, 9);
-        assert_eq!(s.epochs, 3);
-        assert_eq!(s.seed, 99);
-    }
-
-    #[test]
-    fn quick_config_is_small() {
-        let s = parse(&["--quick"]);
-        let cfg = s.experiment_config();
-        assert!(cfg.sim.n_vehicles <= 5);
-        assert_eq!(s.train_config().epochs, 2);
-        assert_eq!(s.embedding_dims(), vec![16, 32]);
-    }
-
-    #[test]
-    fn full_config_respects_scale() {
-        let s = parse(&["--vehicles", "12", "--trips", "3"]);
-        let cfg = s.experiment_config();
-        assert_eq!(cfg.sim.n_vehicles, 12);
-        assert_eq!(cfg.sim.trips_per_vehicle, 3);
-        assert_eq!(s.embedding_dims(), vec![64, 128]);
-    }
-}
-
 /// Runs one full "training-data strategies" table (paper Tables 1 and 2):
 /// strategies {TkDI, D-TkDI} × embedding sizes, for the given model
 /// variant. Prints paper-style rows to stdout.
@@ -201,7 +164,10 @@ pub fn run_strategy_table(mode: pathrank_core::model::EmbeddingMode, scale: &Sca
     print_metric_header("Strategy");
     for strategy in [Strategy::TkDI, Strategy::DTkDI] {
         for dim in scale.embedding_dims() {
-            let ccfg = CandidateConfig { k: scale.k, ..CandidateConfig::paper_default(strategy) };
+            let ccfg = CandidateConfig {
+                k: scale.k,
+                ..CandidateConfig::paper_default(strategy)
+            };
             let mcfg = ModelConfig {
                 embedding_mode: mode,
                 seed: scale.seed.wrapping_add(11),
@@ -217,5 +183,57 @@ pub fn run_strategy_table(mode: pathrank_core::model::EmbeddingMode, scale: &Sca
                 res.report.epoch_losses.last().copied().unwrap_or(f64::NAN),
             );
         }
+    }
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Scale {
+        let all = std::iter::once("bin".to_string()).chain(tokens.iter().map(|s| s.to_string()));
+        Scale::parse(all)
+    }
+
+    #[test]
+    fn defaults() {
+        let s = parse(&[]);
+        assert_eq!(s.vehicles, 60);
+        assert_eq!(s.k, 10);
+        assert!(!s.quick);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let s = parse(&[
+            "--quick",
+            "--vehicles",
+            "9",
+            "--epochs",
+            "3",
+            "--seed",
+            "99",
+        ]);
+        assert!(s.quick);
+        assert_eq!(s.vehicles, 9);
+        assert_eq!(s.epochs, 3);
+        assert_eq!(s.seed, 99);
+    }
+
+    #[test]
+    fn quick_config_is_small() {
+        let s = parse(&["--quick"]);
+        let cfg = s.experiment_config();
+        assert!(cfg.sim.n_vehicles <= 5);
+        assert_eq!(s.train_config().epochs, 2);
+        assert_eq!(s.embedding_dims(), vec![16, 32]);
+    }
+
+    #[test]
+    fn full_config_respects_scale() {
+        let s = parse(&["--vehicles", "12", "--trips", "3"]);
+        let cfg = s.experiment_config();
+        assert_eq!(cfg.sim.n_vehicles, 12);
+        assert_eq!(cfg.sim.trips_per_vehicle, 3);
+        assert_eq!(s.embedding_dims(), vec![64, 128]);
     }
 }

@@ -15,8 +15,8 @@
 use crossbeam::thread;
 use serde::{Deserialize, Serialize};
 
-use pathrank_spatial::algo::diversified::{diversified_top_k, DiversifiedConfig};
-use pathrank_spatial::algo::yen::yen_k_shortest;
+use pathrank_spatial::algo::diversified::DiversifiedConfig;
+use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::graph::{CostModel, Graph};
 use pathrank_spatial::path::Path;
 use pathrank_spatial::similarity::{weighted_jaccard, EdgeWeight};
@@ -103,10 +103,26 @@ impl TrainingGroup {
 }
 
 /// Generates the labelled candidate group for one trajectory.
+///
+/// One-shot convenience over [`generate_group_with`]; batch callers hold
+/// one [`QueryEngine`] per worker instead (see [`generate_groups`]).
 pub fn generate_group(g: &Graph, trajectory: &Path, cfg: &CandidateConfig) -> TrainingGroup {
+    generate_group_with(&mut QueryEngine::new(g), trajectory, cfg)
+}
+
+/// [`generate_group`] on a caller-provided engine. Candidate generation
+/// is the single heaviest routing consumer in the pipeline — k paths per
+/// trajectory, each accepted path firing one constrained spur search per
+/// prefix vertex — and all of it reuses the engine's search state.
+pub fn generate_group_with(
+    engine: &mut QueryEngine<'_>,
+    trajectory: &Path,
+    cfg: &CandidateConfig,
+) -> TrainingGroup {
+    let g = engine.graph();
     let (s, d) = (trajectory.source(), trajectory.target());
     let generated: Vec<(Path, f64)> = match cfg.strategy {
-        Strategy::TkDI => yen_k_shortest(g, s, d, CostModel::Length, cfg.k),
+        Strategy::TkDI => engine.yen_k_shortest(s, d, CostModel::Length, cfg.k),
         Strategy::DTkDI => {
             let dcfg = DiversifiedConfig {
                 k: cfg.k,
@@ -114,13 +130,16 @@ pub fn generate_group(g: &Graph, trajectory: &Path, cfg: &CandidateConfig) -> Tr
                 max_scan: cfg.max_scan,
                 weight: EdgeWeight::Length,
             };
-            diversified_top_k(g, s, d, CostModel::Length, &dcfg)
+            engine.diversified_top_k(s, d, CostModel::Length, &dcfg)
         }
     };
 
     let mut candidates: Vec<RankedCandidate> = Vec::with_capacity(generated.len() + 1);
     if cfg.include_trajectory {
-        candidates.push(RankedCandidate { path: trajectory.clone(), score: 1.0 });
+        candidates.push(RankedCandidate {
+            path: trajectory.clone(),
+            score: 1.0,
+        });
     }
     for (path, _) in generated {
         if cfg.include_trajectory && path.same_route(trajectory) {
@@ -129,12 +148,17 @@ pub fn generate_group(g: &Graph, trajectory: &Path, cfg: &CandidateConfig) -> Tr
         let score = weighted_jaccard(g, &path, trajectory, EdgeWeight::Length);
         candidates.push(RankedCandidate { path, score });
     }
-    TrainingGroup { trajectory: trajectory.clone(), candidates }
+    TrainingGroup {
+        trajectory: trajectory.clone(),
+        candidates,
+    }
 }
 
 /// Generates groups for many trajectories, splitting the work across
 /// `threads` OS threads (candidate generation dominates preprocessing
-/// time: each trajectory costs k constrained Dijkstra sweeps).
+/// time: each trajectory costs k constrained Dijkstra sweeps). Every
+/// worker allocates one [`QueryEngine`] and reuses it for its whole
+/// chunk.
 pub fn generate_groups(
     g: &Graph,
     trajectories: &[Path],
@@ -143,15 +167,30 @@ pub fn generate_groups(
 ) -> Vec<TrainingGroup> {
     let threads = threads.max(1);
     if threads == 1 || trajectories.len() < 2 * threads {
-        return trajectories.iter().map(|t| generate_group(g, t, cfg)).collect();
+        let mut engine = QueryEngine::new(g);
+        return trajectories
+            .iter()
+            .map(|t| generate_group_with(&mut engine, t, cfg))
+            .collect();
     }
     let chunk = trajectories.len().div_ceil(threads);
     let results: Vec<Vec<TrainingGroup>> = thread::scope(|scope| {
         let handles: Vec<_> = trajectories
             .chunks(chunk)
-            .map(|slice| scope.spawn(move |_| slice.iter().map(|t| generate_group(g, t, cfg)).collect()))
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    let mut engine = QueryEngine::new(g);
+                    slice
+                        .iter()
+                        .map(|t| generate_group_with(&mut engine, t, cfg))
+                        .collect()
+                })
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("thread scope failed");
     results.into_concat()
@@ -221,8 +260,11 @@ mod tests {
         let sp = shortest_path(&g, s, d, CostModel::Length).unwrap();
         let cfg = CandidateConfig::paper_default(Strategy::TkDI);
         let group = generate_group(&g, &sp, &cfg);
-        let copies =
-            group.candidates.iter().filter(|c| c.path.same_route(&sp)).count();
+        let copies = group
+            .candidates
+            .iter()
+            .filter(|c| c.path.same_route(&sp))
+            .count();
         assert_eq!(copies, 1);
         // And that copy is the score-1.0 trajectory entry.
         assert_eq!(group.candidates[0].score, 1.0);
@@ -260,6 +302,24 @@ mod tests {
     }
 
     #[test]
+    fn reused_engine_groups_match_one_shot() {
+        let (g, paths) = setup();
+        for strategy in [Strategy::TkDI, Strategy::DTkDI] {
+            let cfg = CandidateConfig::paper_default(strategy);
+            let mut engine = QueryEngine::new(&g);
+            for p in paths.iter().take(6) {
+                let fresh = generate_group(&g, p, &cfg);
+                let reused = generate_group_with(&mut engine, p, &cfg);
+                assert_eq!(fresh.len(), reused.len());
+                for (a, b) in fresh.candidates.iter().zip(reused.candidates.iter()) {
+                    assert!(a.path.same_route(&b.path));
+                    assert_eq!(a.score, b.score, "scores must be bit-identical");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn parallel_generation_matches_sequential() {
         let (g, paths) = setup();
         let cfg = CandidateConfig::paper_default(Strategy::DTkDI);
@@ -280,7 +340,10 @@ mod tests {
     fn k_bounds_candidate_count() {
         let (g, paths) = setup();
         for strategy in [Strategy::TkDI, Strategy::DTkDI] {
-            let cfg = CandidateConfig { k: 4, ..CandidateConfig::paper_default(strategy) };
+            let cfg = CandidateConfig {
+                k: 4,
+                ..CandidateConfig::paper_default(strategy)
+            };
             let group = generate_group(&g, &paths[0], &cfg);
             // k candidates plus (possibly) the trajectory itself.
             assert!(group.len() <= 5, "{strategy:?} produced {}", group.len());

@@ -73,8 +73,16 @@ pub fn evaluate_with(
     EvalResult {
         mae: mae(&all_pred, &all_truth),
         mare: mare(&all_pred, &all_truth),
-        tau: if rank_queries > 0 { tau_sum / rank_queries as f64 } else { 0.0 },
-        rho: if rank_queries > 0 { rho_sum / rank_queries as f64 } else { 0.0 },
+        tau: if rank_queries > 0 {
+            tau_sum / rank_queries as f64
+        } else {
+            0.0
+        },
+        rho: if rank_queries > 0 {
+            rho_sum / rank_queries as f64
+        } else {
+            0.0
+        },
         n_queries: rank_queries,
     }
 }
@@ -124,7 +132,10 @@ pub mod baselines {
     ) -> Vec<f64> {
         let costs: Vec<f64> = group.candidates.iter().map(|c| cost(&c.path)).collect();
         let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
-        costs.iter().map(|&c| if c > 0.0 { best / c } else { 0.0 }).collect()
+        costs
+            .iter()
+            .map(|&c| if c > 0.0 { best / c } else { 0.0 })
+            .collect()
     }
 }
 
@@ -140,7 +151,10 @@ mod tests {
         let g = region_network(&RegionConfig::small_test(), 50);
         let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 51);
         let (paths, _) = split_trips(&trips, 1.0, 52);
-        let cfg = CandidateConfig { k: 5, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+        let cfg = CandidateConfig {
+            k: 5,
+            ..CandidateConfig::paper_default(Strategy::DTkDI)
+        };
         let gs = generate_groups(&g, &paths[..8.min(paths.len())], &cfg, 2);
         (g, gs)
     }
@@ -159,7 +173,9 @@ mod tests {
     #[test]
     fn inverted_scorer_gets_negative_rank_correlation() {
         let (_, gs) = groups();
-        let r = evaluate_with(&gs, |g| g.candidates.iter().map(|c| 1.0 - c.score).collect());
+        let r = evaluate_with(&gs, |g| {
+            g.candidates.iter().map(|c| 1.0 - c.score).collect()
+        });
         assert!(r.tau < -0.9, "tau {}", r.tau);
         assert!(r.rho < -0.9, "rho {}", r.rho);
         assert!(r.mae > 0.0);
@@ -185,7 +201,11 @@ mod tests {
         // perfectly — and the oracle must dominate all of them.
         for (name, r) in [("len", len_base), ("time", time_base), ("blend", blend)] {
             assert!((-1.0..=1.0).contains(&r.tau), "{name} tau out of range");
-            assert!(r.tau < 0.999, "{name} baseline suspiciously perfect: {}", r.tau);
+            assert!(
+                r.tau < 0.999,
+                "{name} baseline suspiciously perfect: {}",
+                r.tau
+            );
             assert!(r.mae > 0.0, "{name} baseline cannot be exact on MAE");
             assert!(oracle.tau > r.tau, "oracle must beat the {name} baseline");
         }
@@ -193,7 +213,13 @@ mod tests {
 
     #[test]
     fn display_formats_all_metrics() {
-        let r = EvalResult { mae: 0.1, mare: 0.2, tau: 0.3, rho: 0.4, n_queries: 9 };
+        let r = EvalResult {
+            mae: 0.1,
+            mare: 0.2,
+            tau: 0.3,
+            rho: 0.4,
+            n_queries: 9,
+        };
         let s = r.to_string();
         for needle in ["0.1000", "0.2000", "0.3000", "0.4000", "9"] {
             assert!(s.contains(needle), "missing {needle} in {s}");

@@ -219,7 +219,10 @@ mod tests {
     #[test]
     fn average_ranks_with_ties() {
         // values 10, 20, 20, 30 -> ranks 1, 2.5, 2.5, 4.
-        assert_eq!(average_ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            average_ranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
         // Reversed order is handled through sorting.
         assert_eq!(average_ranks(&[30.0, 10.0]), vec![2.0, 1.0]);
     }

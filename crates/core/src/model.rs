@@ -137,12 +137,12 @@ impl PathRankModel {
             }
         };
         let encoder = match cfg.encoder {
-            EncoderKind::Gru => {
-                Encoder::Gru(GruCell::new(&mut store, "gru", cfg.dim, cfg.hidden, &mut rng))
-            }
-            EncoderKind::Lstm => {
-                Encoder::Lstm(LstmCell::new(&mut store, "lstm", cfg.dim, cfg.hidden, &mut rng))
-            }
+            EncoderKind::Gru => Encoder::Gru(GruCell::new(
+                &mut store, "gru", cfg.dim, cfg.hidden, &mut rng,
+            )),
+            EncoderKind::Lstm => Encoder::Lstm(LstmCell::new(
+                &mut store, "lstm", cfg.dim, cfg.hidden, &mut rng,
+            )),
             EncoderKind::MeanPool => Encoder::MeanPool,
         };
         let encoder_out = match cfg.encoder {
@@ -152,7 +152,14 @@ impl PathRankModel {
         let head = Linear::new(&mut store, "head", encoder_out, 1, &mut rng);
         let aux_head = (cfg.multi_task_weight > 0.0)
             .then(|| Linear::new(&mut store, "aux_head", encoder_out, 2, &mut rng));
-        PathRankModel { store, embedding, encoder, head, aux_head, cfg }
+        PathRankModel {
+            store,
+            embedding,
+            encoder,
+            head,
+            aux_head,
+            cfg,
+        }
     }
 
     /// The model configuration.
@@ -294,7 +301,10 @@ mod tests {
     fn all_encoders_run_and_differ() {
         let emb = pretrained(12, 8);
         let score = |encoder: EncoderKind| {
-            let cfg = ModelConfig { encoder, ..ModelConfig::paper_default(8) };
+            let cfg = ModelConfig {
+                encoder,
+                ..ModelConfig::paper_default(8)
+            };
             let model = PathRankModel::new(12, Some(emb.clone()), cfg);
             model.score_path(&[0, 3, 7, 11])
         };
@@ -311,8 +321,10 @@ mod tests {
     #[test]
     fn mean_pool_is_order_insensitive_gru_is_not() {
         let emb = pretrained(12, 8);
-        let cfg =
-            ModelConfig { encoder: EncoderKind::MeanPool, ..ModelConfig::paper_default(8) };
+        let cfg = ModelConfig {
+            encoder: EncoderKind::MeanPool,
+            ..ModelConfig::paper_default(8)
+        };
         let pool = PathRankModel::new(12, Some(emb.clone()), cfg);
         let fwd = pool.score_path(&[0, 1, 2, 3]);
         let rev = pool.score_path(&[3, 2, 1, 0]);
@@ -326,7 +338,10 @@ mod tests {
 
     #[test]
     fn multi_task_head_contributes_to_loss() {
-        let cfg = ModelConfig { multi_task_weight: 0.5, ..ModelConfig::paper_default(8) };
+        let cfg = ModelConfig {
+            multi_task_weight: 0.5,
+            ..ModelConfig::paper_default(8)
+        };
         let model = PathRankModel::new(10, Some(pretrained(10, 8)), cfg);
         let mut t1 = Tape::new(&model.store);
         let plain = model.loss(&mut t1, &[1, 2, 3], 0.5, None);
@@ -360,8 +375,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot rank an empty path")]
     fn rejects_empty_path() {
-        let model =
-            PathRankModel::new(10, Some(pretrained(10, 8)), ModelConfig::paper_default(8));
+        let model = PathRankModel::new(10, Some(pretrained(10, 8)), ModelConfig::paper_default(8));
         let _ = model.score_path(&[]);
     }
 }

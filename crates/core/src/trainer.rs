@@ -101,7 +101,11 @@ pub fn prepare_samples(g: &Graph, groups: &[TrainingGroup], multi_task: bool) ->
                 let time_ratio = (min_time / c.path.cost(g, CostModel::TravelTime)) as f32;
                 (len_ratio, time_ratio)
             });
-            samples.push(Sample { vertices, score: c.score as f32, aux });
+            samples.push(Sample {
+                vertices,
+                score: c.score as f32,
+                aux,
+            });
         }
     }
     samples
@@ -132,7 +136,10 @@ pub fn train(model: &mut PathRankModel, samples: &[Sample], cfg: &TrainConfig) -
         opt.set_learning_rate(opt.learning_rate() * cfg.lr_decay);
         let _ = epoch;
     }
-    TrainReport { epoch_losses, samples: samples.len() }
+    TrainReport {
+        epoch_losses,
+        samples: samples.len(),
+    }
 }
 
 /// Computes summed gradients and loss for one batch, in parallel.
@@ -152,7 +159,10 @@ fn batch_gradients(
             .chunks(chunk)
             .map(|ids| scope.spawn(move |_| worker(model, samples, ids)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("trainer worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trainer worker panicked"))
+            .collect()
     })
     .expect("thread scope failed");
 
@@ -192,7 +202,10 @@ mod tests {
         let g = region_network(&RegionConfig::small_test(), 42);
         let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 43);
         let (train_paths, _) = split_trips(&trips, 1.0, 44);
-        let cfg = CandidateConfig { k: 4, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+        let cfg = CandidateConfig {
+            k: 4,
+            ..CandidateConfig::paper_default(Strategy::DTkDI)
+        };
         let groups = generate_groups(&g, &train_paths[..6.min(train_paths.len())], &cfg, 2);
         (g, groups)
     }
@@ -242,7 +255,12 @@ mod tests {
         let (g, groups) = tiny_setup();
         let samples = prepare_samples(&g, &groups, false);
         let mut model = tiny_model(&g, 16, EmbeddingMode::Trainable);
-        let cfg = TrainConfig { epochs: 12, lr: 5e-3, threads: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 12,
+            lr: 5e-3,
+            threads: 1,
+            ..Default::default()
+        };
         let report = train(&mut model, &samples, &cfg);
         assert_eq!(report.epoch_losses.len(), 12);
         assert_eq!(report.samples, samples.len());
@@ -258,8 +276,16 @@ mod tests {
     fn parallel_training_matches_sequential() {
         let (g, groups) = tiny_setup();
         let samples = prepare_samples(&g, &groups, false);
-        let cfg1 = TrainConfig { epochs: 2, threads: 1, ..Default::default() };
-        let cfg2 = TrainConfig { epochs: 2, threads: 2, ..Default::default() };
+        let cfg1 = TrainConfig {
+            epochs: 2,
+            threads: 1,
+            ..Default::default()
+        };
+        let cfg2 = TrainConfig {
+            epochs: 2,
+            threads: 2,
+            ..Default::default()
+        };
         let mut m1 = tiny_model(&g, 8, EmbeddingMode::Trainable);
         let mut m2 = tiny_model(&g, 8, EmbeddingMode::Trainable);
         let r1 = train(&mut m1, &samples, &cfg1);
@@ -272,7 +298,10 @@ mod tests {
         // Predictions should agree closely too.
         let probe: Vec<u32> = samples[0].vertices.clone();
         let (p1, p2) = (m1.score_path(&probe), m2.score_path(&probe));
-        assert!((p1 - p2).abs() < 1e-2, "parallel and sequential models diverged");
+        assert!(
+            (p1 - p2).abs() < 1e-2,
+            "parallel and sequential models diverged"
+        );
     }
 
     #[test]
@@ -281,7 +310,10 @@ mod tests {
         let samples = prepare_samples(&g, &groups, false);
         let mut model = tiny_model(&g, 8, EmbeddingMode::FrozenPretrained);
         let before = model.store.value(model_embedding_id(&model)).clone();
-        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         train(&mut model, &samples, &cfg);
         let after = model.store.value(model_embedding_id(&model));
         assert_eq!(&before, after, "PR-A1 must not update the embedding");

@@ -18,7 +18,10 @@ impl AliasTable {
     /// If `weights` is empty, contains a negative/non-finite value, or sums
     /// to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         let total: f64 = weights
             .iter()
             .inspect(|&&w| assert!(w.is_finite() && w >= 0.0, "bad weight {w}"))

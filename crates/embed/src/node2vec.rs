@@ -61,7 +61,12 @@ pub fn train_node2vec(g: &Graph, cfg: &Node2VecConfig, seed: u64) -> Matrix {
         lr: cfg.lr,
         epochs: cfg.epochs,
     };
-    train_skipgram(&walks, g.vertex_count(), &sg_cfg, seed.wrapping_add(0x9E3779B97F4A7C15))
+    train_skipgram(
+        &walks,
+        g.vertex_count(),
+        &sg_cfg,
+        seed.wrapping_add(0x9E3779B97F4A7C15),
+    )
 }
 
 #[cfg(test)]
@@ -75,7 +80,12 @@ mod tests {
     #[test]
     fn shape_and_determinism() {
         let g = grid_network(&GridConfig::small_test(), 2);
-        let cfg = Node2VecConfig { dim: 16, walks_per_vertex: 2, walk_length: 10, ..Default::default() };
+        let cfg = Node2VecConfig {
+            dim: 16,
+            walks_per_vertex: 2,
+            walk_length: 10,
+            ..Default::default()
+        };
         let a = train_node2vec(&g, &cfg, 3);
         let b = train_node2vec(&g, &cfg, 3);
         assert_eq!(a.shape(), (25, 16));
@@ -89,7 +99,11 @@ mod tests {
     #[test]
     fn similarity_tracks_network_distance() {
         let g = grid_network(
-            &GridConfig { nx: 8, ny: 8, ..GridConfig::small_test() },
+            &GridConfig {
+                nx: 8,
+                ny: 8,
+                ..GridConfig::small_test()
+            },
             4,
         );
         let cfg = Node2VecConfig {
@@ -105,11 +119,11 @@ mod tests {
         let mut far = Vec::new();
         let dists: Vec<f64> = (0..g.vertex_count()).map(|v| tree.dist[v]).collect();
         let max_d = dists.iter().cloned().fold(0.0, f64::max);
-        for v in 1..g.vertex_count() {
+        for (v, &d) in dists.iter().enumerate().skip(1) {
             let c = cosine(&emb, 0, v);
-            if dists[v] < max_d * 0.25 {
+            if d < max_d * 0.25 {
                 near.push(c);
-            } else if dists[v] > max_d * 0.75 {
+            } else if d > max_d * 0.75 {
                 far.push(c);
             }
         }

@@ -29,25 +29,27 @@ pub struct SkipGramConfig {
 
 impl Default for SkipGramConfig {
     fn default() -> Self {
-        SkipGramConfig { dim: 64, window: 5, negative: 5, lr: 0.025, epochs: 2 }
+        SkipGramConfig {
+            dim: 64,
+            window: 5,
+            negative: 5,
+            lr: 0.025,
+            epochs: 2,
+        }
     }
 }
 
 /// Trains SGNS embeddings over `walks` for a vocabulary of `vocab` ids.
 /// Returns the input-embedding matrix (`vocab × dim`).
-pub fn train_skipgram(
-    walks: &[Vec<u32>],
-    vocab: usize,
-    cfg: &SkipGramConfig,
-    seed: u64,
-) -> Matrix {
+pub fn train_skipgram(walks: &[Vec<u32>], vocab: usize, cfg: &SkipGramConfig, seed: u64) -> Matrix {
     assert!(vocab > 0, "empty vocabulary");
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Input and output embeddings, uniformly initialised as in word2vec.
     let bound = 0.5 / cfg.dim as f32;
-    let mut w_in: Vec<f32> =
-        (0..vocab * cfg.dim).map(|_| rng.gen_range(-bound..bound)).collect();
+    let mut w_in: Vec<f32> = (0..vocab * cfg.dim)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
     let mut w_out: Vec<f32> = vec![0.0; vocab * cfg.dim];
 
     // Unigram^(3/4) negative-sampling distribution.
@@ -84,10 +86,11 @@ pub fn train_skipgram(
                     // the centre's input vector.
                     let c0 = center as usize * cfg.dim;
                     grad.iter_mut().for_each(|g| *g = 0.0);
-                    let update = |target: usize, label: f32,
-                                      w_in: &[f32],
-                                      w_out: &mut [f32],
-                                      grad: &mut [f32]| {
+                    let update = |target: usize,
+                                  label: f32,
+                                  w_in: &[f32],
+                                  w_out: &mut [f32],
+                                  grad: &mut [f32]| {
                         let t0 = target * cfg.dim;
                         let mut dot = 0.0f32;
                         for d in 0..cfg.dim {
@@ -147,7 +150,13 @@ mod tests {
             walks.push(a);
             walks.push(b);
         }
-        let cfg = SkipGramConfig { dim: 16, window: 3, negative: 4, lr: 0.05, epochs: 3 };
+        let cfg = SkipGramConfig {
+            dim: 16,
+            window: 3,
+            negative: 4,
+            lr: 0.05,
+            epochs: 3,
+        };
         let emb = train_skipgram(&walks, 10, &cfg, 13);
 
         let mut within = 0.0f32;
@@ -175,7 +184,10 @@ mod tests {
     #[test]
     fn output_shape_and_determinism() {
         let walks = vec![vec![0, 1, 2, 1, 0], vec![2, 1, 0, 1, 2]];
-        let cfg = SkipGramConfig { dim: 8, ..Default::default() };
+        let cfg = SkipGramConfig {
+            dim: 8,
+            ..Default::default()
+        };
         let a = train_skipgram(&walks, 3, &cfg, 4);
         let b = train_skipgram(&walks, 3, &cfg, 4);
         assert_eq!(a.shape(), (3, 8));
@@ -186,7 +198,10 @@ mod tests {
 
     #[test]
     fn empty_walks_return_initialisation() {
-        let cfg = SkipGramConfig { dim: 4, ..Default::default() };
+        let cfg = SkipGramConfig {
+            dim: 4,
+            ..Default::default()
+        };
         let emb = train_skipgram(&[], 5, &cfg, 1);
         assert_eq!(emb.shape(), (5, 4));
         assert!(emb.is_finite());
@@ -194,10 +209,19 @@ mod tests {
 
     #[test]
     fn embeddings_stay_finite() {
-        let walks: Vec<Vec<u32>> = (0..50).map(|i| vec![i % 7, (i + 1) % 7, (i + 2) % 7]).collect();
-        let cfg = SkipGramConfig { dim: 12, lr: 0.5, ..Default::default() };
+        let walks: Vec<Vec<u32>> = (0..50)
+            .map(|i| vec![i % 7, (i + 1) % 7, (i + 2) % 7])
+            .collect();
+        let cfg = SkipGramConfig {
+            dim: 12,
+            lr: 0.5,
+            ..Default::default()
+        };
         let emb = train_skipgram(&walks, 7, &cfg, 2);
-        assert!(emb.is_finite(), "even aggressive learning rates must not blow up");
+        assert!(
+            emb.is_finite(),
+            "even aggressive learning rates must not blow up"
+        );
     }
 
     #[test]

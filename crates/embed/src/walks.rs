@@ -30,7 +30,12 @@ pub struct WalkConfig {
 
 impl Default for WalkConfig {
     fn default() -> Self {
-        WalkConfig { walks_per_vertex: 10, walk_length: 40, p: 1.0, q: 0.5 }
+        WalkConfig {
+            walks_per_vertex: 10,
+            walk_length: 40,
+            p: 1.0,
+            q: 0.5,
+        }
     }
 }
 
@@ -134,7 +139,12 @@ mod tests {
     #[test]
     fn walks_have_requested_shape() {
         let g = grid_network(&GridConfig::small_test(), 1);
-        let cfg = WalkConfig { walks_per_vertex: 3, walk_length: 12, p: 1.0, q: 1.0 };
+        let cfg = WalkConfig {
+            walks_per_vertex: 3,
+            walk_length: 12,
+            p: 1.0,
+            q: 1.0,
+        };
         let walks = generate_walks(&g, &cfg, 5);
         assert_eq!(walks.len(), 3 * g.vertex_count());
         for w in &walks {
@@ -175,7 +185,12 @@ mod tests {
         b.add_edge(v0, v1, a).unwrap();
         b.add_edge(v1, v2, a).unwrap();
         let g = b.build();
-        let cfg = WalkConfig { walks_per_vertex: 1, walk_length: 10, p: 1.0, q: 1.0 };
+        let cfg = WalkConfig {
+            walks_per_vertex: 1,
+            walk_length: 10,
+            p: 1.0,
+            q: 1.0,
+        };
         let walks = generate_walks(&g, &cfg, 1);
         assert_eq!(walks[0], vec![0, 1, 2]);
         assert_eq!(walks[2], vec![2]);
@@ -203,7 +218,12 @@ mod tests {
         let g = b.build();
 
         let count_backtracks = |p: f64, seed: u64| {
-            let cfg = WalkConfig { walks_per_vertex: 5, walk_length: 30, p, q: 1.0 };
+            let cfg = WalkConfig {
+                walks_per_vertex: 5,
+                walk_length: 30,
+                p,
+                q: 1.0,
+            };
             let walks = generate_walks(&g, &cfg, seed);
             let mut backtracks = 0usize;
             for w in &walks {
@@ -227,7 +247,10 @@ mod tests {
     #[should_panic(expected = "p and q must be positive")]
     fn rejects_non_positive_p() {
         let g = grid_network(&GridConfig::small_test(), 1);
-        let cfg = WalkConfig { p: 0.0, ..Default::default() };
+        let cfg = WalkConfig {
+            p: 0.0,
+            ..Default::default()
+        };
         let _ = generate_walks(&g, &cfg, 1);
     }
 }

@@ -91,7 +91,10 @@ mod tests {
         assert_eq!(emb.dim(), 2);
         let mut tape = Tape::new(&store);
         let x = emb.lookup_trainable(&mut tape, &[2, 1]);
-        assert_eq!(tape.value(x), &Matrix::from_rows(&[&[5.0, 6.0], &[3.0, 4.0]]));
+        assert_eq!(
+            tape.value(x),
+            &Matrix::from_rows(&[&[5.0, 6.0], &[3.0, 4.0]])
+        );
     }
 
     #[test]
@@ -122,7 +125,10 @@ mod tests {
         let loss = tape.mse_scalar(y, 0.0);
         let mut grads = GradStore::new(&store);
         tape.backward(loss, &mut grads);
-        assert!(grads.get(emb.table).is_none(), "frozen table must receive no gradient");
+        assert!(
+            grads.get(emb.table).is_none(),
+            "frozen table must receive no gradient"
+        );
     }
 
     #[test]

@@ -55,7 +55,19 @@ impl GruCell {
         let bz = store.add(format!("{name}.bz"), Matrix::zeros(1, hidden_dim));
         let br = store.add(format!("{name}.br"), Matrix::zeros(1, hidden_dim));
         let bh = store.add(format!("{name}.bh"), Matrix::zeros(1, hidden_dim));
-        GruCell { wz, uz, bz, wr, ur, br, wh, uh, bh, in_dim, hidden_dim }
+        GruCell {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wh,
+            uh,
+            bh,
+            in_dim,
+            hidden_dim,
+        }
     }
 
     /// Input dimension.
@@ -177,7 +189,10 @@ mod tests {
         let a = run(Matrix::zeros(1, 3), &store);
         let b = run(Matrix::full(1, 3, 0.5), &store);
         for (x, y) in a.data().iter().zip(b.data().iter()) {
-            assert!((x - y).abs() < 1e-4, "candidate should dominate: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-4,
+                "candidate should dominate: {x} vs {y}"
+            );
         }
     }
 
@@ -246,8 +261,7 @@ mod tests {
                 let numeric = (up - down) / (2.0 * eps);
                 let analytic = grads.get(pid).map_or(0.0, |g| g.at(r, c));
                 assert!(
-                    (numeric - analytic).abs()
-                        < 1e-2 + 0.08 * numeric.abs().max(analytic.abs()),
+                    (numeric - analytic).abs() < 1e-2 + 0.08 * numeric.abs().max(analytic.abs()),
                     "{name}({r},{c}): numeric {numeric} vs analytic {analytic}"
                 );
             }

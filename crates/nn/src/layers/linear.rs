@@ -30,7 +30,12 @@ impl Linear {
     ) -> Self {
         let w = store.add(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
         let b = store.add(format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input dimension.

@@ -65,7 +65,22 @@ impl LstmCell {
         let bf = store.add(format!("{name}.bf"), Matrix::full(1, hidden_dim, 1.0));
         let bo = store.add(format!("{name}.bo"), Matrix::zeros(1, hidden_dim));
         let bg = store.add(format!("{name}.bg"), Matrix::zeros(1, hidden_dim));
-        LstmCell { wi, ui, bi, wf, uf, bf, wo, uo, bo, wg, ug, bg, in_dim, hidden_dim }
+        LstmCell {
+            wi,
+            ui,
+            bi,
+            wf,
+            uf,
+            bf,
+            wo,
+            uo,
+            bo,
+            wg,
+            ug,
+            bg,
+            in_dim,
+            hidden_dim,
+        }
     }
 
     /// Input dimension.
@@ -161,8 +176,11 @@ mod tests {
     fn sequence_gradients_reach_all_parameters() {
         let (store, cell) = cell(2, 3);
         let mut tape = Tape::new(&store);
-        let xs =
-            tape.input(Matrix::from_rows(&[&[0.5, -0.5], &[0.2, 0.9], &[-0.7, 0.1]]));
+        let xs = tape.input(Matrix::from_rows(&[
+            &[0.5, -0.5],
+            &[0.2, 0.9],
+            &[-0.7, 0.1],
+        ]));
         let h = cell.run_sequence(&mut tape, xs);
         let w = tape.input(Matrix::full(3, 1, 1.0));
         let y = tape.matmul(h, w);
@@ -211,8 +229,7 @@ mod tests {
                 let numeric = (up - down) / (2.0 * eps);
                 let analytic = grads.get(pid).map_or(0.0, |g| g.at(r, c));
                 assert!(
-                    (numeric - analytic).abs()
-                        < 1e-2 + 0.08 * numeric.abs().max(analytic.abs()),
+                    (numeric - analytic).abs() < 1e-2 + 0.08 * numeric.abs().max(analytic.abs()),
                     "{name}({r},{c}): numeric {numeric} vs analytic {analytic}"
                 );
             }

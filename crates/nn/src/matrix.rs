@@ -17,12 +17,20 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -30,7 +38,12 @@ impl Matrix {
     /// # Panics
     /// If `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "shape mismatch: {rows}x{cols} vs {}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "shape mismatch: {rows}x{cols} vs {}",
+            data.len()
+        );
         Matrix { rows, cols, data }
     }
 
@@ -43,7 +56,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -206,13 +223,26 @@ impl Matrix {
     /// Elementwise combination of two equal-shape matrices.
     pub fn zip(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
-        let data = self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&a| f(a)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
     }
 
     /// Scales every entry by `s`.
@@ -360,7 +390,10 @@ mod tests {
         assert_eq!(b.sub(&a), Matrix::from_rows(&[&[4.0, 4.0], &[4.0, 4.0]]));
         assert_eq!(a.mul(&b), Matrix::from_rows(&[&[5.0, 12.0], &[21.0, 32.0]]));
         assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]));
-        assert_eq!(a.map(|v| v - 1.0), Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 3.0]]));
+        assert_eq!(
+            a.map(|v| v - 1.0),
+            Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 3.0]])
+        );
     }
 
     #[test]
@@ -377,7 +410,10 @@ mod tests {
         let a = m2x3();
         let bias = Matrix::from_rows(&[&[10.0, 20.0, 30.0]]);
         let s = a.add_row_broadcast(&bias);
-        assert_eq!(s, Matrix::from_rows(&[&[11.0, 22.0, 33.0], &[14.0, 25.0, 36.0]]));
+        assert_eq!(
+            s,
+            Matrix::from_rows(&[&[11.0, 22.0, 33.0], &[14.0, 25.0, 36.0]])
+        );
         assert_eq!(a.sum_rows(), Matrix::from_rows(&[&[5.0, 7.0, 9.0]]));
         assert_eq!(a.mean_rows(), Matrix::from_rows(&[&[2.5, 3.5, 4.5]]));
     }

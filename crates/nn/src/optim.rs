@@ -30,12 +30,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum `mu` (velocity `v ← mu·v + g`, `θ ← θ − lr·v`).
     pub fn with_momentum(lr: f32, mu: f32) -> Self {
-        Sgd { lr, momentum: mu, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: mu,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -48,8 +56,8 @@ impl Optimizer for Sgd {
             if self.momentum == 0.0 {
                 store.value_mut(id).add_scaled_assign(g, -self.lr);
             } else {
-                let v = self.velocity[id.0]
-                    .get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+                let v =
+                    self.velocity[id.0].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
                 for (vv, &gv) in v.data_mut().iter_mut().zip(g.data().iter()) {
                     *vv = self.momentum * *vv + gv;
                 }
@@ -196,7 +204,10 @@ mod tests {
         let mut adam = Adam::new(0.1);
         adam.step(&mut store, &grads);
         let moved = 1.0 - store.value(w).at(0, 0);
-        assert!((moved - 0.1).abs() < 1e-3, "first Adam step ≈ lr, got {moved}");
+        assert!(
+            (moved - 0.1).abs() < 1e-3,
+            "first Adam step ≈ lr, got {moved}"
+        );
         assert_eq!(adam.steps(), 1);
     }
 

@@ -147,7 +147,12 @@ impl GradStore {
 
     /// Global L2 norm over all recorded gradients.
     pub fn global_norm(&self) -> f32 {
-        self.grads.iter().flatten().map(|g| g.sq_norm()).sum::<f32>().sqrt()
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| g.sq_norm())
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Clips the global norm to `max_norm`; returns the pre-clip norm.
@@ -166,7 +171,10 @@ impl GradStore {
 
     /// Iterates over `(id, gradient)` for parameters that received one.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
-        self.grads.iter().enumerate().filter_map(|(i, g)| g.as_ref().map(|m| (ParamId(i), m)))
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|m| (ParamId(i), m)))
     }
 }
 

@@ -108,7 +108,9 @@ pub fn read_params<R: BufRead>(input: R) -> Result<ParamStore, SerializeError> {
         let header = next()?;
         let mut it = header.split_ascii_whitespace();
         if it.next() != Some("param") {
-            return Err(SerializeError::Parse(format!("expected param line, got {header:?}")));
+            return Err(SerializeError::Parse(format!(
+                "expected param line, got {header:?}"
+            )));
         }
         let name = it
             .next()
@@ -155,7 +157,10 @@ mod tests {
 
     fn sample_store() -> ParamStore {
         let mut s = ParamStore::new();
-        s.add("embedding", Matrix::from_rows(&[&[0.1, -0.25], &[3.5e-8, 42.0]]));
+        s.add(
+            "embedding",
+            Matrix::from_rows(&[&[0.1, -0.25], &[3.5e-8, 42.0]]),
+        );
         s.add("head.w", Matrix::from_rows(&[&[1.0], &[-2.0], &[0.5]]));
         s.add("head.b", Matrix::zeros(1, 1));
         s
@@ -181,7 +186,10 @@ mod tests {
             Matrix::from_rows(&[&[f32::MIN_POSITIVE, f32::MAX, -1.0e-38, 0.0]]),
         );
         let back = params_from_str(&params_to_string(&s)).unwrap();
-        assert_eq!(back.value(crate::params::ParamId(0)), s.value(crate::params::ParamId(0)));
+        assert_eq!(
+            back.value(crate::params::ParamId(0)),
+            s.value(crate::params::ParamId(0))
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ enum Op {
     /// Parameter leaf: value lives in the [`ParamStore`].
     Param(ParamId),
     /// Sparse row gather from an embedding parameter.
-    Embed { param: ParamId, indices: Vec<u32> },
+    Embed {
+        param: ParamId,
+        indices: Vec<u32>,
+    },
     MatMul(Var, Var),
     Add(Var, Var),
     AddRowBroadcast(Var, Var),
@@ -57,7 +60,10 @@ pub struct Tape<'s> {
 impl<'s> Tape<'s> {
     /// A fresh tape over `store`.
     pub fn new(store: &'s ParamStore) -> Self {
-        Tape { store, nodes: Vec::with_capacity(64) }
+        Tape {
+            store,
+            nodes: Vec::with_capacity(64),
+        }
     }
 
     /// Number of recorded nodes.
@@ -76,7 +82,10 @@ impl<'s> Tape<'s> {
         let node = &self.nodes[v.0];
         match &node.op {
             Op::Param(p) => self.store.value(*p),
-            _ => node.value.as_ref().expect("non-param nodes own their value"),
+            _ => node
+                .value
+                .as_ref()
+                .expect("non-param nodes own their value"),
         }
     }
 
@@ -110,7 +119,13 @@ impl<'s> Tape<'s> {
         for (i, &ix) in indices.iter().enumerate() {
             out.row_mut(i).copy_from_slice(table.row(ix as usize));
         }
-        self.push(Op::Embed { param: id, indices: indices.to_vec() }, Some(out))
+        self.push(
+            Op::Embed {
+                param: id,
+                indices: indices.to_vec(),
+            },
+            Some(out),
+        )
     }
 
     /// Matrix product.
@@ -243,7 +258,11 @@ impl<'s> Tape<'s> {
                 }
                 Op::Relu(a) => {
                     let y = self.nodes[i].value.as_ref().expect("relu owns value");
-                    acc(&mut adj, a.0, g.zip(y, |gv, yv| if yv > 0.0 { gv } else { 0.0 }));
+                    acc(
+                        &mut adj,
+                        a.0,
+                        g.zip(y, |gv, yv| if yv > 0.0 { gv } else { 0.0 }),
+                    );
                 }
                 Op::Row(a, r) => {
                     let (rows, cols) = self.value(*a).shape();
@@ -360,36 +379,35 @@ mod tests {
     /// every differentiable op.
     #[test]
     fn finite_difference_check_all_ops() {
-        let build = |store: &ParamStore,
-                     w1: ParamId,
-                     w2: ParamId,
-                     b: ParamId,
-                     emb: ParamId|
-         -> f32 {
-            let mut t = Tape::new(store);
-            let x = t.embed(emb, &[1, 0, 2]); // 3×2
-            let w1v = t.param(w1); // 2×3
-            let h = t.matmul(x, w1v); // 3×3
-            let bv = t.param(b); // 1×3
-            let h = t.add_bias(h, bv);
-            let h = t.tanh(h);
-            let g = t.sigmoid(h);
-            let hg = t.mul(h, g);
-            let r = t.relu(hg);
-            let omr = t.one_minus(r);
-            let mix = t.sub(hg, omr);
-            let mix = t.scale(mix, 0.7);
-            let pooled = t.mean_rows(mix); // 1×3
-            let top = t.row(mix, 0); // 1×3
-            let sum = t.add(pooled, top);
-            let w2v = t.param(w2); // 3×1
-            let y = t.matmul(sum, w2v); // 1×1
-            let loss = t.mse_scalar(y, 0.5);
-            t.scalar(loss)
-        };
+        let build =
+            |store: &ParamStore, w1: ParamId, w2: ParamId, b: ParamId, emb: ParamId| -> f32 {
+                let mut t = Tape::new(store);
+                let x = t.embed(emb, &[1, 0, 2]); // 3×2
+                let w1v = t.param(w1); // 2×3
+                let h = t.matmul(x, w1v); // 3×3
+                let bv = t.param(b); // 1×3
+                let h = t.add_bias(h, bv);
+                let h = t.tanh(h);
+                let g = t.sigmoid(h);
+                let hg = t.mul(h, g);
+                let r = t.relu(hg);
+                let omr = t.one_minus(r);
+                let mix = t.sub(hg, omr);
+                let mix = t.scale(mix, 0.7);
+                let pooled = t.mean_rows(mix); // 1×3
+                let top = t.row(mix, 0); // 1×3
+                let sum = t.add(pooled, top);
+                let w2v = t.param(w2); // 3×1
+                let y = t.matmul(sum, w2v); // 1×1
+                let loss = t.mse_scalar(y, 0.5);
+                t.scalar(loss)
+            };
 
         let mut store = ParamStore::new();
-        let w1 = store.add("w1", Matrix::from_vec(2, 3, vec![0.3, -0.2, 0.5, 0.1, 0.4, -0.6]));
+        let w1 = store.add(
+            "w1",
+            Matrix::from_vec(2, 3, vec![0.3, -0.2, 0.5, 0.1, 0.4, -0.6]),
+        );
         let w2 = store.add("w2", Matrix::from_vec(3, 1, vec![0.7, -0.3, 0.2]));
         let b = store.add("b", Matrix::from_vec(1, 3, vec![0.05, -0.02, 0.1]));
         let emb = store.add(
@@ -437,7 +455,8 @@ mod tests {
                     let numeric = (up - down) / (2.0 * eps);
                     let analytic = grads.get(pid).map_or(0.0, |g| g.at(r, c));
                     assert!(
-                        (numeric - analytic).abs() < 2e-2 + 0.05 * numeric.abs().max(analytic.abs()),
+                        (numeric - analytic).abs()
+                            < 2e-2 + 0.05 * numeric.abs().max(analytic.abs()),
                         "param {pid:?} ({r},{c}): numeric {numeric} vs analytic {analytic}"
                     );
                 }

@@ -1,82 +1,37 @@
 //! A* search with a straight-line-distance heuristic.
 //!
-//! The heuristic is `h(v) = euclid(v, target) · min_cost_per_meter`, which
-//! is admissible as long as every edge's cost is at least
-//! `min_cost_per_meter · euclid(edge.from, edge.to)` — true for
-//! [`CostModel::Length`] whenever edge lengths are at least the straight-line
-//! distance between their endpoints (all generators in this crate guarantee
-//! it), and for [`CostModel::TravelTime`] via the network-wide maximum speed.
-//! For [`CostModel::Custom`] the bound degenerates to zero and A* becomes
-//! plain Dijkstra.
+//! The heuristic is `h(v) = euclid(v, target) · B` with `B` the
+//! [`safe_heuristic_bound`]: the largest per-metre rate every edge's cost
+//! provably covers (`min` over edges of `cost / straight-line span`).
+//! That keeps A* admissible on *any* graph — including ones whose edge
+//! lengths undercut their geometry — not just the generators'
+//! geometry-consistent networks. For [`CostModel::Custom`] no bound is
+//! known and A* degenerates to plain Dijkstra.
+//!
+//! [`safe_heuristic_bound`]: crate::algo::engine::safe_heuristic_bound
 
-use std::collections::BinaryHeap;
-
-use crate::graph::{CostModel, EdgeId, Graph, VertexId};
+use crate::algo::engine::QueryEngine;
+use crate::graph::{CostModel, Graph, VertexId};
 use crate::path::Path;
-use crate::util::{BitSet, MinCost};
 
 /// Cheapest `source -> target` path via A*, or `None` if unreachable or
 /// `source == target`. Produces a path with exactly the same cost as
 /// [`super::dijkstra::shortest_path`] while typically settling far fewer
 /// vertices.
+///
+/// One-shot convenience over [`QueryEngine::astar_shortest_path`]. Note
+/// the heuristic bound costs a one-off `O(E)` edge scan, which a
+/// transient engine pays on *every* call — for a single short query this
+/// can rival the search itself. Callers issuing repeated point-to-point
+/// queries should hold a [`QueryEngine`], which computes the bound once
+/// and reuses it.
 pub fn astar_shortest_path(
     g: &Graph,
     source: VertexId,
     target: VertexId,
     cost: CostModel<'_>,
 ) -> Option<Path> {
-    if source == target {
-        return None;
-    }
-    let n = g.vertex_count();
-    let per_meter = cost.min_cost_per_meter(g);
-    let tcoord = g.coord(target);
-    let h = |v: VertexId| g.coord(v).distance(&tcoord) * per_meter;
-
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
-    let mut settled = BitSet::new(n);
-    let mut heap: BinaryHeap<MinCost<VertexId>> = BinaryHeap::new();
-
-    dist[source.index()] = 0.0;
-    heap.push(MinCost { cost: h(source), item: source });
-
-    while let Some(MinCost { item: u, .. }) = heap.pop() {
-        if settled.contains(u.0) {
-            continue;
-        }
-        settled.insert(u.0);
-        if u == target {
-            break;
-        }
-        let du = dist[u.index()];
-        for (v, e) in g.out_edges(u) {
-            if settled.contains(v.0) {
-                continue;
-            }
-            let nd = du + cost.edge_cost(g, e);
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                parent[v.index()] = Some((u, e));
-                heap.push(MinCost { cost: nd + h(v), item: v });
-            }
-        }
-    }
-
-    if !dist[target.index()].is_finite() {
-        return None;
-    }
-    let mut vertices = vec![target];
-    let mut edges = Vec::new();
-    let mut cur = target;
-    while let Some((prev, e)) = parent[cur.index()] {
-        vertices.push(prev);
-        edges.push(e);
-        cur = prev;
-    }
-    vertices.reverse();
-    edges.reverse();
-    Some(Path::from_parts_unchecked(vertices, edges))
+    QueryEngine::new(g).astar_shortest_path(source, target, cost)
 }
 
 #[cfg(test)]

@@ -6,155 +6,24 @@
 //! Returns a path with exactly the same cost as the unidirectional search
 //! while typically settling about half as many vertices.
 
-use std::collections::BinaryHeap;
-
-use crate::graph::{CostModel, EdgeId, Graph, VertexId};
+use crate::algo::engine::QueryEngine;
+use crate::graph::{CostModel, Graph, VertexId};
 use crate::path::Path;
-use crate::util::{BitSet, MinCost};
-
-struct Side {
-    dist: Vec<f64>,
-    parent: Vec<Option<(VertexId, EdgeId)>>,
-    settled: BitSet,
-    heap: BinaryHeap<MinCost<VertexId>>,
-}
-
-impl Side {
-    fn new(n: usize, start: VertexId) -> Self {
-        let mut dist = vec![f64::INFINITY; n];
-        dist[start.index()] = 0.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(MinCost { cost: 0.0, item: start });
-        Side { dist, parent: vec![None; n], settled: BitSet::new(n), heap }
-    }
-
-    fn frontier_min(&mut self) -> f64 {
-        // Skip stale entries so the stopping test uses a live bound.
-        while let Some(top) = self.heap.peek() {
-            if self.settled.contains(top.item.0) {
-                self.heap.pop();
-            } else {
-                return top.cost;
-            }
-        }
-        f64::INFINITY
-    }
-}
 
 /// Cheapest `source -> target` path via bidirectional Dijkstra, or `None`
 /// if unreachable or `source == target`.
+///
+/// One-shot convenience over
+/// [`QueryEngine::bidirectional_shortest_path`], which keeps one
+/// [`crate::algo::engine::SearchSpace`] per direction alive across
+/// queries.
 pub fn bidirectional_shortest_path(
     g: &Graph,
     source: VertexId,
     target: VertexId,
     cost: CostModel<'_>,
 ) -> Option<Path> {
-    if source == target {
-        return None;
-    }
-    let n = g.vertex_count();
-    let mut fwd = Side::new(n, source);
-    let mut bwd = Side::new(n, target);
-    let mut best = f64::INFINITY;
-    let mut meet: Option<VertexId> = None;
-
-    loop {
-        let fmin = fwd.frontier_min();
-        let bmin = bwd.frontier_min();
-        if fmin + bmin >= best || (fmin.is_infinite() && bmin.is_infinite()) {
-            break;
-        }
-        // Expand the side with the smaller frontier minimum.
-        let forward = fmin <= bmin;
-        let (side, other): (&mut Side, &mut Side) =
-            if forward { (&mut fwd, &mut bwd) } else { (&mut bwd, &mut fwd) };
-
-        let Some(MinCost { cost: d, item: u }) = side.heap.pop() else { break };
-        if side.settled.contains(u.0) {
-            continue;
-        }
-        side.settled.insert(u.0);
-
-        if other.dist[u.index()].is_finite() {
-            let total = d + other.dist[u.index()];
-            if total < best {
-                best = total;
-                meet = Some(u);
-            }
-        }
-
-        let relax = |v: VertexId, e: EdgeId, side: &mut Side, other: &Side| {
-            let w = cost.edge_cost(g, e);
-            let nd = d + w;
-            if nd < side.dist[v.index()] {
-                side.dist[v.index()] = nd;
-                side.parent[v.index()] = Some((u, e));
-                side.heap.push(MinCost { cost: nd, item: v });
-            }
-            let _ = other;
-        };
-        if forward {
-            for (v, e) in g.out_edges(u) {
-                if !side.settled.contains(v.0) {
-                    relax(v, e, side, other);
-                }
-            }
-        } else {
-            for (v, e) in g.in_edges(u) {
-                if !side.settled.contains(v.0) {
-                    relax(v, e, side, other);
-                }
-            }
-        }
-        // Meeting can also happen on relaxed-but-unsettled vertices; check
-        // the just-relaxed neighbourhood cheaply through dist arrays.
-        if forward {
-            for (v, _) in g.out_edges(u) {
-                if fwd.dist[v.index()].is_finite() && bwd.dist[v.index()].is_finite() {
-                    let total = fwd.dist[v.index()] + bwd.dist[v.index()];
-                    if total < best {
-                        best = total;
-                        meet = Some(v);
-                    }
-                }
-            }
-        } else {
-            for (v, _) in g.in_edges(u) {
-                if fwd.dist[v.index()].is_finite() && bwd.dist[v.index()].is_finite() {
-                    let total = fwd.dist[v.index()] + bwd.dist[v.index()];
-                    if total < best {
-                        best = total;
-                        meet = Some(v);
-                    }
-                }
-            }
-        }
-    }
-
-    let meet = meet?;
-    // Reconstruct: source -> meet from the forward tree, meet -> target
-    // from the backward tree (whose parents point towards the target).
-    let mut vertices = Vec::new();
-    let mut edges = Vec::new();
-    let mut cur = meet;
-    while let Some((prev, e)) = fwd.parent[cur.index()] {
-        vertices.push(cur);
-        edges.push(e);
-        cur = prev;
-    }
-    vertices.push(cur);
-    debug_assert_eq!(cur, source);
-    vertices.reverse();
-    edges.reverse();
-
-    let mut cur = meet;
-    while let Some((next, e)) = bwd.parent[cur.index()] {
-        vertices.push(next);
-        edges.push(e);
-        cur = next;
-    }
-    debug_assert_eq!(cur, target);
-    Some(Path::from_parts_unchecked(vertices, edges))
+    QueryEngine::new(g).bidirectional_shortest_path(source, target, cost)
 }
 
 #[cfg(test)]
@@ -196,8 +65,9 @@ mod tests {
     #[test]
     fn trivial_cases() {
         let g = grid_network(&GridConfig::small_test(), 23);
-        assert!(bidirectional_shortest_path(&g, VertexId(0), VertexId(0), CostModel::Length)
-            .is_none());
+        assert!(
+            bidirectional_shortest_path(&g, VertexId(0), VertexId(0), CostModel::Length).is_none()
+        );
     }
 }
 
@@ -212,7 +82,9 @@ mod proptests {
 
     fn random_graph(n: usize, extra: Vec<(usize, usize, u32)>) -> Graph {
         let mut b = GraphBuilder::new();
-        let vs: Vec<_> = (0..n).map(|i| b.add_vertex(Point::new(i as f64, 0.0))).collect();
+        let vs: Vec<_> = (0..n)
+            .map(|i| b.add_vertex(Point::new(i as f64, 0.0)))
+            .collect();
         for i in 0..n {
             b.add_edge(
                 vs[i],

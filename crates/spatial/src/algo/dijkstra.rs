@@ -1,11 +1,18 @@
 //! Dijkstra shortest paths: one-to-one, one-to-all, and a constrained
 //! variant used as Yen's spur-path engine.
+//!
+//! The functions here are one-shot conveniences: each allocates a
+//! transient [`QueryEngine`] for a single search. Query-heavy code
+//! (top-k, map matching, candidate generation) should hold a
+//! [`QueryEngine`] instead and reuse its [`SearchSpace`] across queries —
+//! that is where the `O(V)` per-query setup cost actually matters.
+//!
+//! [`SearchSpace`]: crate::algo::engine::SearchSpace
 
-use std::collections::BinaryHeap;
-
+use crate::algo::engine::QueryEngine;
 use crate::graph::{CostModel, EdgeId, Graph, VertexId};
 use crate::path::Path;
-use crate::util::{BitSet, MinCost};
+use crate::util::BitSet;
 
 /// A one-to-all shortest path tree rooted at some source.
 #[derive(Debug, Clone)]
@@ -48,28 +55,35 @@ impl ShortestPathTree {
 }
 
 /// Runs Dijkstra from `source` to every vertex.
+///
+/// One-shot convenience over [`QueryEngine::shortest_path_tree`]; reuse an
+/// engine (and its allocation-free [`QueryEngine::one_to_all`] view) when
+/// running many trees against one graph.
 pub fn shortest_path_tree(g: &Graph, source: VertexId, cost: CostModel<'_>) -> ShortestPathTree {
-    run(g, source, None, cost, None, None)
+    QueryEngine::new(g).shortest_path_tree(source, cost)
 }
 
 /// Cheapest path from `source` to `target` under `cost`, or `None` if
 /// unreachable or `source == target`.
+///
+/// One-shot convenience over [`QueryEngine::shortest_path`].
 pub fn shortest_path(
     g: &Graph,
     source: VertexId,
     target: VertexId,
     cost: CostModel<'_>,
 ) -> Option<Path> {
-    if source == target {
-        return None;
-    }
-    run(g, source, Some(target), cost, None, None).path_to(target)
+    QueryEngine::new(g).shortest_path(source, target, cost)
 }
 
 /// Cheapest `source -> target` path avoiding banned vertices and edges.
 ///
 /// `banned_vertices` must not contain `source` or `target` for a path to
-/// exist. This is the spur-path engine of [`super::yen`].
+/// exist. This is the spur-path shape of [`super::yen`], as a one-shot
+/// plain-Dijkstra search. [`QueryEngine::constrained_shortest_path`]
+/// additionally directs the search with a cached A* bound (worth it only
+/// when the engine is reused — the bound costs an `O(E)` scan) and may
+/// therefore tie-break equal-cost optima differently.
 pub fn constrained_shortest_path(
     g: &Graph,
     source: VertexId,
@@ -78,66 +92,13 @@ pub fn constrained_shortest_path(
     banned_vertices: &BitSet,
     banned_edges: &BitSet,
 ) -> Option<Path> {
-    if source == target || banned_vertices.contains(source.0) || banned_vertices.contains(target.0)
-    {
-        return None;
-    }
-    run(g, source, Some(target), cost, Some(banned_vertices), Some(banned_edges)).path_to(target)
-}
-
-/// Shared Dijkstra core. With `target = Some(t)` the search stops as soon as
-/// `t` is settled (distances of unsettled vertices are then partial).
-fn run(
-    g: &Graph,
-    source: VertexId,
-    target: Option<VertexId>,
-    cost: CostModel<'_>,
-    banned_vertices: Option<&BitSet>,
-    banned_edges: Option<&BitSet>,
-) -> ShortestPathTree {
-    let n = g.vertex_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
-    let mut settled = BitSet::new(n);
-    let mut heap: BinaryHeap<MinCost<VertexId>> = BinaryHeap::new();
-
-    dist[source.index()] = 0.0;
-    heap.push(MinCost { cost: 0.0, item: source });
-
-    while let Some(MinCost { cost: d, item: u }) = heap.pop() {
-        if settled.contains(u.0) {
-            continue; // stale heap entry
-        }
-        settled.insert(u.0);
-        if target == Some(u) {
-            break;
-        }
-        for (v, e) in g.out_edges(u) {
-            if settled.contains(v.0) {
-                continue;
-            }
-            if let Some(bv) = banned_vertices {
-                if bv.contains(v.0) {
-                    continue;
-                }
-            }
-            if let Some(be) = banned_edges {
-                if be.contains(e.0) {
-                    continue;
-                }
-            }
-            let w = cost.edge_cost(g, e);
-            debug_assert!(w >= 0.0, "Dijkstra requires non-negative edge costs, got {w}");
-            let nd = d + w;
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                parent[v.index()] = Some((u, e));
-                heap.push(MinCost { cost: nd, item: v });
-            }
-        }
-    }
-
-    ShortestPathTree { source, dist, parent }
+    QueryEngine::new(g).constrained_shortest_path_dijkstra(
+        source,
+        target,
+        cost,
+        banned_vertices,
+        banned_edges,
+    )
 }
 
 #[cfg(test)]
@@ -158,8 +119,9 @@ mod tests {
     /// ```
     fn weighted() -> Graph {
         let mut b = GraphBuilder::new();
-        let v: Vec<_> =
-            (0..5).map(|i| b.add_vertex(Point::new(i as f64, 0.0))).collect();
+        let v: Vec<_> = (0..5)
+            .map(|i| b.add_vertex(Point::new(i as f64, 0.0)))
+            .collect();
         let mut add = |f: usize, t: usize, w: f64| {
             b.add_bidirectional(
                 v[f],
@@ -196,7 +158,11 @@ mod tests {
         let tree = shortest_path_tree(&g, VertexId(0), CostModel::Length);
         let expect = [0.0, 4.0, 5.0, 6.0, 7.0];
         for (i, &d) in expect.iter().enumerate() {
-            assert!((tree.dist[i] - d).abs() < 1e-12, "dist[{i}] = {} != {d}", tree.dist[i]);
+            assert!(
+                (tree.dist[i] - d).abs() < 1e-12,
+                "dist[{i}] = {} != {d}",
+                tree.dist[i]
+            );
         }
         // Every tree path's cost equals the recorded distance.
         for v in 1..5u32 {
@@ -217,7 +183,12 @@ mod tests {
         let v0 = b.add_vertex(Point::new(0.0, 0.0));
         let v1 = b.add_vertex(Point::new(1.0, 0.0));
         let v2 = b.add_vertex(Point::new(2.0, 0.0));
-        b.add_edge(v0, v1, EdgeAttrs::with_default_speed(1.0, RoadCategory::Rural)).unwrap();
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::with_default_speed(1.0, RoadCategory::Rural),
+        )
+        .unwrap();
         let g = b.build();
         assert!(shortest_path(&g, v0, v2, CostModel::Length).is_none());
         let tree = shortest_path_tree(&g, v0, CostModel::Length);
@@ -251,7 +222,10 @@ mod tests {
                 .unwrap();
         // Best remaining: 0-1-2-4 = 4+1+3 = 8 vs 0-3-4 = 9.
         assert!((p.length_m(&g) - 8.0).abs() < 1e-12);
-        assert_eq!(p.vertices(), &[VertexId(0), VertexId(1), VertexId(2), VertexId(4)]);
+        assert_eq!(
+            p.vertices(),
+            &[VertexId(0), VertexId(1), VertexId(2), VertexId(4)]
+        );
     }
 
     #[test]
@@ -280,12 +254,30 @@ mod tests {
         let v1 = b.add_vertex(Point::new(500.0, 500.0));
         let v2 = b.add_vertex(Point::new(500.0, -500.0));
         let v3 = b.add_vertex(Point::new(1000.0, 0.0));
-        b.add_edge(v0, v1, EdgeAttrs::with_default_speed(1000.0, RoadCategory::Residential))
-            .unwrap();
-        b.add_edge(v1, v3, EdgeAttrs::with_default_speed(1000.0, RoadCategory::Residential))
-            .unwrap();
-        b.add_edge(v0, v2, EdgeAttrs::with_default_speed(1100.0, RoadCategory::Highway)).unwrap();
-        b.add_edge(v2, v3, EdgeAttrs::with_default_speed(1100.0, RoadCategory::Highway)).unwrap();
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::with_default_speed(1000.0, RoadCategory::Residential),
+        )
+        .unwrap();
+        b.add_edge(
+            v1,
+            v3,
+            EdgeAttrs::with_default_speed(1000.0, RoadCategory::Residential),
+        )
+        .unwrap();
+        b.add_edge(
+            v0,
+            v2,
+            EdgeAttrs::with_default_speed(1100.0, RoadCategory::Highway),
+        )
+        .unwrap();
+        b.add_edge(
+            v2,
+            v3,
+            EdgeAttrs::with_default_speed(1100.0, RoadCategory::Highway),
+        )
+        .unwrap();
         let g = b.build();
         let short = shortest_path(&g, v0, v3, CostModel::Length).unwrap();
         let fast = shortest_path(&g, v0, v3, CostModel::TravelTime).unwrap();
@@ -328,8 +320,9 @@ mod proptests {
     /// strong connectivity) plus random extra edges.
     fn random_graph(n: usize, extra: Vec<(usize, usize, u32)>) -> Graph {
         let mut b = GraphBuilder::new();
-        let vs: Vec<_> =
-            (0..n).map(|i| b.add_vertex(Point::new(i as f64, (i * i % 7) as f64))).collect();
+        let vs: Vec<_> = (0..n)
+            .map(|i| b.add_vertex(Point::new(i as f64, (i * i % 7) as f64)))
+            .collect();
         for i in 0..n {
             b.add_edge(
                 vs[i],
@@ -364,12 +357,12 @@ mod proptests {
             let s = VertexId((s % n) as u32);
             let tree = shortest_path_tree(&g, s, CostModel::Length);
             let oracle = bellman_ford(&g, s);
-            for v in 0..n {
-                if oracle[v].is_finite() {
-                    prop_assert!((tree.dist[v] - oracle[v]).abs() < 1e-9,
-                        "dist[{v}]: dijkstra {} vs bf {}", tree.dist[v], oracle[v]);
+            for (v, (&bf, &dj)) in oracle.iter().zip(tree.dist.iter()).enumerate() {
+                if bf.is_finite() {
+                    prop_assert!((dj - bf).abs() < 1e-9,
+                        "dist[{v}]: dijkstra {} vs bf {}", dj, bf);
                 } else {
-                    prop_assert!(!tree.dist[v].is_finite());
+                    prop_assert!(!dj.is_finite());
                 }
             }
         }

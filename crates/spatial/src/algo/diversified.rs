@@ -10,7 +10,7 @@
 //! compact set of genuinely different alternatives, which the paper shows
 //! trains a markedly better ranking model (Tables 1 and 2).
 
-use crate::algo::yen::YenIter;
+use crate::algo::engine::QueryEngine;
 use crate::graph::{CostModel, Graph, VertexId};
 use crate::path::Path;
 use crate::similarity::{weighted_jaccard, EdgeWeight};
@@ -36,13 +36,20 @@ impl DiversifiedConfig {
     /// The paper-style default: k = 10, similarity threshold 0.8,
     /// length-weighted Jaccard, scanning at most `40 × k` candidates.
     pub fn with_k(k: usize) -> Self {
-        DiversifiedConfig { k, threshold: 0.8, max_scan: 40 * k.max(1), weight: EdgeWeight::Length }
+        DiversifiedConfig {
+            k,
+            threshold: 0.8,
+            max_scan: 40 * k.max(1),
+            weight: EdgeWeight::Length,
+        }
     }
 }
 
 /// Selects up to `cfg.k` diverse loopless shortest paths from `source` to
 /// `target`, in cost order, each with its cost. The first (overall
 /// cheapest) path is always kept.
+///
+/// One-shot convenience over [`QueryEngine::diversified_top_k`].
 pub fn diversified_top_k(
     g: &Graph,
     source: VertexId,
@@ -50,12 +57,27 @@ pub fn diversified_top_k(
     cost: CostModel<'_>,
     cfg: &DiversifiedConfig,
 ) -> Vec<(Path, f64)> {
+    diversified_top_k_with(&mut QueryEngine::new(g), source, target, cost, cfg)
+}
+
+/// [`diversified_top_k`] on a caller-provided engine: the underlying Yen
+/// enumeration (typically scanning several times `cfg.k` paths, each of
+/// which fires a batch of spur searches) reuses the engine's
+/// [`crate::algo::engine::SearchSpace`].
+pub fn diversified_top_k_with(
+    engine: &mut QueryEngine<'_>,
+    source: VertexId,
+    target: VertexId,
+    cost: CostModel<'_>,
+    cfg: &DiversifiedConfig,
+) -> Vec<(Path, f64)> {
+    let g = engine.graph();
     let mut kept: Vec<(Path, f64)> = Vec::with_capacity(cfg.k);
     if cfg.k == 0 {
         return kept;
     }
     let mut scanned = 0usize;
-    for (p, c) in YenIter::new(g, source, target, cost) {
+    for (p, c) in engine.yen_iter(source, target, cost) {
         scanned += 1;
         let diverse = kept
             .iter()
@@ -125,7 +147,12 @@ mod tests {
         let (g, s, t) = setup();
         let k = 5;
         let plain = yen_k_shortest(&g, s, t, CostModel::Length, k);
-        let cfg = DiversifiedConfig { k, threshold: 0.5, max_scan: 2000, weight: EdgeWeight::Length };
+        let cfg = DiversifiedConfig {
+            k,
+            threshold: 0.5,
+            max_scan: 2000,
+            weight: EdgeWeight::Length,
+        };
         let div = diversified_top_k(&g, s, t, CostModel::Length, &cfg);
         let mean_sim = |set: &[(Path, f64)]| {
             let mut total = 0.0;
@@ -136,7 +163,11 @@ mod tests {
                     count += 1;
                 }
             }
-            if count == 0 { 0.0 } else { total / count as f64 }
+            if count == 0 {
+                0.0
+            } else {
+                total / count as f64
+            }
         };
         assert!(
             mean_sim(&div) <= mean_sim(&plain) + 1e-12,
@@ -150,7 +181,10 @@ mod tests {
         let cfg = DiversifiedConfig::with_k(5);
         let kept = diversified_top_k(&g, s, t, CostModel::Length, &cfg);
         let best = yen_k_shortest(&g, s, t, CostModel::Length, 1);
-        assert!(kept[0].0.same_route(&best[0].0), "cheapest path is always kept");
+        assert!(
+            kept[0].0.same_route(&best[0].0),
+            "cheapest path is always kept"
+        );
         for w in kept.windows(2) {
             assert!(w[0].1 <= w[1].1 + 1e-9);
         }
@@ -159,8 +193,12 @@ mod tests {
     #[test]
     fn k_zero_and_max_scan_bound() {
         let (g, s, t) = setup();
-        let cfg =
-            DiversifiedConfig { k: 0, threshold: 0.5, max_scan: 10, weight: EdgeWeight::Length };
+        let cfg = DiversifiedConfig {
+            k: 0,
+            threshold: 0.5,
+            max_scan: 10,
+            weight: EdgeWeight::Length,
+        };
         assert!(diversified_top_k(&g, s, t, CostModel::Length, &cfg).is_empty());
         // With an impossible threshold and a small scan budget we still
         // terminate quickly with just the first path.

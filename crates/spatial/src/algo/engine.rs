@@ -1,0 +1,1013 @@
+//! Reusable query engine: generation-stamped search state shared across
+//! routing queries.
+//!
+//! Every routing algorithm in this crate needs the same per-search state —
+//! tentative distances, parent pointers, a settled set and a priority
+//! queue. Allocating and zero-filling those `O(V)` structures for every
+//! query dominates workloads that fire *many* queries against one graph:
+//! Yen's top-k runs hundreds of constrained spur searches per
+//! origin/destination pair, HMM map matching probes many-to-many shortest
+//! paths between candidate layers, and the training-data pipeline does all
+//! of the above per trajectory.
+//!
+//! [`SearchSpace`] keeps those arrays alive across queries and resets them
+//! in O(1) with a query-epoch counter: each vertex slot carries the epoch
+//! that last wrote it, so stale entries from earlier queries are simply
+//! never read. [`QueryEngine`] owns one space per search direction plus a
+//! reusable heap and exposes every algorithm of this crate as a method;
+//! the free functions in the sibling modules remain as thin wrappers that
+//! allocate a transient engine, so one-shot callers keep working
+//! unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use pathrank_spatial::algo::engine::QueryEngine;
+//! use pathrank_spatial::generators::{grid_network, GridConfig};
+//! use pathrank_spatial::graph::{CostModel, VertexId};
+//!
+//! let g = grid_network(&GridConfig::small_test(), 7);
+//! let mut engine = QueryEngine::new(&g);
+//! // Repeated queries reuse the same search arrays — no per-query O(V)
+//! // allocation after the first.
+//! let a = engine.shortest_path(VertexId(0), VertexId(24), CostModel::Length).unwrap();
+//! let b = engine.shortest_path(VertexId(24), VertexId(3), CostModel::TravelTime).unwrap();
+//! assert!(a.length_m(&g) > 0.0 && b.length_m(&g) > 0.0);
+//! ```
+
+use std::collections::BinaryHeap;
+
+use crate::algo::dijkstra::ShortestPathTree;
+use crate::algo::diversified::{diversified_top_k_with, DiversifiedConfig};
+use crate::algo::yen::YenIter;
+use crate::graph::{CostModel, EdgeId, Graph, VertexId};
+use crate::path::Path;
+use crate::util::{BitSet, MinCost};
+
+/// Sentinel parent entry marking a search root (or an untouched slot).
+const NO_PARENT: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// Generation-stamped single-search state: distances, parents, settled
+/// flags and the priority queue, reusable across queries with O(1) reset.
+///
+/// A slot is only meaningful when its stamp matches the current query
+/// epoch; [`SearchSpace::begin`] bumps the epoch, which invalidates every
+/// slot at once without touching memory. The settled flag is packed into
+/// the stamp's low bit, so the whole per-vertex bookkeeping is 24 bytes.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Current query epoch. Slot `v` is live iff `stamp[v] >> 1 == epoch`.
+    epoch: u64,
+    /// `(last-touching epoch << 1) | settled-bit`, per vertex.
+    stamp: Vec<u64>,
+    /// Tentative (then final) cost from the query source, per vertex.
+    dist: Vec<f64>,
+    /// `(parent vertex, connecting edge)` ids; `u32::MAX` marks the root.
+    parent: Vec<(u32, u32)>,
+    /// Reusable priority queue (cleared, not reallocated, between queries).
+    heap: BinaryHeap<MinCost<VertexId>>,
+}
+
+impl SearchSpace {
+    /// Creates a space for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SearchSpace {
+            epoch: 0,
+            stamp: vec![0; n],
+            dist: vec![f64::INFINITY; n],
+            parent: vec![NO_PARENT; n],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of vertex slots.
+    pub fn capacity(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Starts a new query: O(1) — bumps the epoch and clears the heap
+    /// (which keeps its backing allocation).
+    pub fn begin(&mut self) {
+        // With stamps packed as `epoch << 1 | settled`, epoch 2^63 would
+        // overflow the shift; at one query per nanosecond that is ~292
+        // years, so a plain increment is safe for any real workload.
+        self.epoch += 1;
+        self.heap.clear();
+    }
+
+    /// Whether `v` was touched (relaxed) by the current query.
+    #[inline]
+    pub fn reached(&self, v: VertexId) -> bool {
+        self.stamp[v.index()] >> 1 == self.epoch
+    }
+
+    /// Distance from the current query's source to `v`;
+    /// `f64::INFINITY` when unreached.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> f64 {
+        if self.reached(v) {
+            self.dist[v.index()]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Parent vertex and connecting edge of `v` on the current search
+    /// tree; `None` for the source and unreached vertices.
+    #[inline]
+    pub fn parent_of(&self, v: VertexId) -> Option<(VertexId, EdgeId)> {
+        if !self.reached(v) {
+            return None;
+        }
+        let (pv, pe) = self.parent[v.index()];
+        if pv == u32::MAX {
+            None
+        } else {
+            Some((VertexId(pv), EdgeId(pe)))
+        }
+    }
+
+    /// Whether `v` was settled (popped with final distance) this query.
+    #[inline]
+    fn is_settled(&self, v: VertexId) -> bool {
+        self.stamp[v.index()] == (self.epoch << 1) | 1
+    }
+
+    #[inline]
+    fn settle(&mut self, v: VertexId) {
+        debug_assert!(self.reached(v), "settling an unreached vertex");
+        self.stamp[v.index()] |= 1;
+    }
+
+    #[inline]
+    fn relax(&mut self, v: VertexId, d: f64, parent: (u32, u32)) {
+        let i = v.index();
+        self.stamp[i] = self.epoch << 1;
+        self.dist[i] = d;
+        self.parent[i] = parent;
+    }
+
+    /// The minimum key still on the heap, skipping entries already
+    /// settled (stale duplicates); `INFINITY` when the frontier is empty.
+    fn frontier_min(&mut self) -> f64 {
+        while let Some(top) = self.heap.peek() {
+            if self.is_settled(top.item) {
+                self.heap.pop();
+            } else {
+                return top.cost;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Dijkstra from `source`, stopping early once `target` is settled
+    /// (when given) and skipping banned vertices/edges (when given).
+    /// Starts a fresh query epoch.
+    fn run_dijkstra(
+        &mut self,
+        g: &Graph,
+        source: VertexId,
+        target: Option<VertexId>,
+        cost: CostModel<'_>,
+        banned_vertices: Option<&BitSet>,
+        banned_edges: Option<&BitSet>,
+    ) {
+        debug_assert_eq!(
+            self.capacity(),
+            g.vertex_count(),
+            "space sized for another graph"
+        );
+        self.begin();
+        self.relax(source, 0.0, NO_PARENT);
+        self.heap.push(MinCost {
+            cost: 0.0,
+            item: source,
+        });
+
+        while let Some(MinCost { cost: d, item: u }) = self.heap.pop() {
+            if self.is_settled(u) {
+                continue; // stale heap entry
+            }
+            self.settle(u);
+            if target == Some(u) {
+                break;
+            }
+            for (v, e) in g.out_edges(u) {
+                if self.is_settled(v) {
+                    continue;
+                }
+                if let Some(bv) = banned_vertices {
+                    if bv.contains(v.0) {
+                        continue;
+                    }
+                }
+                if let Some(be) = banned_edges {
+                    if be.contains(e.0) {
+                        continue;
+                    }
+                }
+                let w = cost.edge_cost(g, e);
+                debug_assert!(
+                    w >= 0.0,
+                    "Dijkstra requires non-negative edge costs, got {w}"
+                );
+                let nd = d + w;
+                if nd < self.dist(v) {
+                    self.relax(v, nd, (u.0, e.0));
+                    self.heap.push(MinCost { cost: nd, item: v });
+                }
+            }
+        }
+    }
+
+    /// A* from `source` to `target` with the straight-line heuristic
+    /// `h(v) = euclid(v, target) · per_meter`: `dist` holds g-scores, the
+    /// heap is keyed on f-scores. Starts a fresh epoch. Banned sets (when
+    /// given) only shrink the edge set, so the heuristic stays admissible.
+    fn run_astar(
+        &mut self,
+        g: &Graph,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+        per_meter: f64,
+        banned: Option<(&BitSet, &BitSet)>,
+    ) {
+        let (banned_vertices, banned_edges) = match banned {
+            Some((bv, be)) => (Some(bv), Some(be)),
+            None => (None, None),
+        };
+        debug_assert_eq!(
+            self.capacity(),
+            g.vertex_count(),
+            "space sized for another graph"
+        );
+        let tcoord = g.coord(target);
+        let h = |v: VertexId| g.coord(v).distance(&tcoord) * per_meter;
+
+        self.begin();
+        self.relax(source, 0.0, NO_PARENT);
+        self.heap.push(MinCost {
+            cost: h(source),
+            item: source,
+        });
+
+        while let Some(MinCost { item: u, .. }) = self.heap.pop() {
+            if self.is_settled(u) {
+                continue;
+            }
+            self.settle(u);
+            if u == target {
+                break;
+            }
+            let du = self.dist[u.index()];
+            for (v, e) in g.out_edges(u) {
+                if self.is_settled(v) {
+                    continue;
+                }
+                if let Some(bv) = banned_vertices {
+                    if bv.contains(v.0) {
+                        continue;
+                    }
+                }
+                if let Some(be) = banned_edges {
+                    if be.contains(e.0) {
+                        continue;
+                    }
+                }
+                let nd = du + cost.edge_cost(g, e);
+                if nd < self.dist(v) {
+                    self.relax(v, nd, (u.0, e.0));
+                    self.heap.push(MinCost {
+                        cost: nd + h(v),
+                        item: v,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Extracts the tree path `source -> target` recorded by the last
+    /// query, `None` when `target` is unreached or equals `source`.
+    fn extract_path(&self, source: VertexId, target: VertexId) -> Option<Path> {
+        if !self.reached(target) || target == source {
+            return None;
+        }
+        let mut vertices = vec![target];
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while let Some((prev, e)) = self.parent_of(cur) {
+            vertices.push(prev);
+            edges.push(e);
+            cur = prev;
+        }
+        debug_assert_eq!(cur, source, "parent chain must reach the source");
+        vertices.reverse();
+        edges.reverse();
+        Some(Path::from_parts_unchecked(vertices, edges))
+    }
+}
+
+/// Borrowed read-only view of a completed one-to-all search.
+///
+/// Unlike [`ShortestPathTree`] this does not copy the `O(V)` arrays; it
+/// reads straight from the engine's [`SearchSpace`], so a reused engine
+/// performs no per-query allocation for one-to-all queries either.
+#[derive(Debug)]
+pub struct TreeView<'a> {
+    space: &'a SearchSpace,
+    source: VertexId,
+}
+
+impl TreeView<'_> {
+    /// The search root.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Whether `v` was reached from the source.
+    #[inline]
+    pub fn reached(&self, v: VertexId) -> bool {
+        self.space.reached(v)
+    }
+
+    /// Cost of the cheapest path to `v`, `INFINITY` when unreachable.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> f64 {
+        self.space.dist(v)
+    }
+
+    /// Predecessor vertex and edge on a cheapest path to `v`.
+    #[inline]
+    pub fn parent_of(&self, v: VertexId) -> Option<(VertexId, EdgeId)> {
+        self.space.parent_of(v)
+    }
+
+    /// Extracts the tree path to `t` (allocates only the returned path).
+    pub fn path_to(&self, t: VertexId) -> Option<Path> {
+        self.space.extract_path(self.source, t)
+    }
+}
+
+/// A reusable routing facade over one graph: owns a forward and (lazily) a
+/// backward [`SearchSpace`] and runs every algorithm of this crate on
+/// them.
+///
+/// Create one per worker thread and keep it for the thread's lifetime;
+/// queries may freely interleave cost models, sources and constraint sets
+/// — the epoch stamps guarantee queries never observe each other's state
+/// (asserted bit-for-bit by `tests/engine_reuse.rs`).
+pub struct QueryEngine<'g> {
+    g: &'g Graph,
+    fwd: SearchSpace,
+    /// Backward space, allocated on the first bidirectional query.
+    bwd: Option<SearchSpace>,
+    /// Cached admissible A* bounds (see [`safe_heuristic_bound`]) for the
+    /// two graph-derived cost models — an `O(E)` scan per model that a
+    /// transient engine would redo on every query.
+    length_bound: Option<f64>,
+    travel_time_bound: Option<f64>,
+}
+
+/// The largest `B` such that `cost(e) >= B · euclid(e.from, e.to)` holds
+/// for every edge — i.e. `min_e cost(e) / euclid(e)`, ignoring
+/// zero-length hops. With it, `h(v) = euclid(v, target) · B` is an
+/// admissible *and consistent* A* heuristic on **any** graph (each edge
+/// of a path costs at least `B ·` its straight-line span, and spans
+/// chain through the triangle inequality), unlike a fixed
+/// `1 metre = 1 cost` assumption, which over-estimates on networks with
+/// shortcut edges shorter than their geometry. Returns `0.0` (heuristic
+/// off, A* degenerates to Dijkstra) when no edge constrains the bound.
+pub fn safe_heuristic_bound(g: &Graph, cost: CostModel<'_>) -> f64 {
+    let mut bound = f64::INFINITY;
+    for (i, e) in g.edges().enumerate() {
+        let span = g.coord(e.from).distance(&g.coord(e.to));
+        if span > 1e-9 {
+            bound = bound.min(cost.edge_cost(g, EdgeId(i as u32)) / span);
+        }
+    }
+    if bound.is_finite() {
+        bound.max(0.0)
+    } else {
+        0.0
+    }
+}
+
+impl<'g> QueryEngine<'g> {
+    /// Creates an engine for `g`. This is the only `O(V)` allocation; all
+    /// queries afterwards reuse it.
+    pub fn new(g: &'g Graph) -> Self {
+        QueryEngine {
+            g,
+            fwd: SearchSpace::new(g.vertex_count()),
+            bwd: None,
+            length_bound: None,
+            travel_time_bound: None,
+        }
+    }
+
+    /// The graph this engine routes on.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Cheapest `source -> target` path, or `None` if unreachable or
+    /// `source == target`. Engine counterpart of
+    /// [`crate::algo::dijkstra::shortest_path`].
+    pub fn shortest_path(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+    ) -> Option<Path> {
+        if source == target {
+            return None;
+        }
+        self.fwd
+            .run_dijkstra(self.g, source, Some(target), cost, None, None);
+        self.fwd.extract_path(source, target)
+    }
+
+    /// Cost of the cheapest `source -> target` path without materialising
+    /// it — the allocation-free probe map matching uses for its HMM
+    /// transition model.
+    pub fn shortest_path_cost(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+    ) -> Option<f64> {
+        if source == target {
+            return Some(0.0);
+        }
+        self.fwd
+            .run_dijkstra(self.g, source, Some(target), cost, None, None);
+        let d = self.fwd.dist(target);
+        d.is_finite().then_some(d)
+    }
+
+    /// One-to-all Dijkstra, returned as a borrowed [`TreeView`] (no
+    /// per-query `O(V)` allocation). The view is valid until the next
+    /// query on this engine.
+    pub fn one_to_all(&mut self, source: VertexId, cost: CostModel<'_>) -> TreeView<'_> {
+        self.fwd
+            .run_dijkstra(self.g, source, None, cost, None, None);
+        TreeView {
+            space: &self.fwd,
+            source,
+        }
+    }
+
+    /// One-to-all Dijkstra materialised into an owned
+    /// [`ShortestPathTree`] (compatibility shape; prefer
+    /// [`QueryEngine::one_to_all`] in reuse-heavy code).
+    pub fn shortest_path_tree(
+        &mut self,
+        source: VertexId,
+        cost: CostModel<'_>,
+    ) -> ShortestPathTree {
+        self.fwd
+            .run_dijkstra(self.g, source, None, cost, None, None);
+        let n = self.g.vertex_count();
+        let mut dist = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+        for i in 0..n as u32 {
+            let v = VertexId(i);
+            dist.push(self.fwd.dist(v));
+            parent.push(self.fwd.parent_of(v));
+        }
+        ShortestPathTree {
+            source,
+            dist,
+            parent,
+        }
+    }
+
+    /// Cheapest `source -> target` path avoiding banned vertices and
+    /// edges — Yen's spur-search engine. Engine counterpart of
+    /// [`crate::algo::dijkstra::constrained_shortest_path`].
+    ///
+    /// Spur searches are strongly target-directed, so this runs A* with
+    /// the engine's cached [`safe_heuristic_bound`] whenever the cost
+    /// model admits one (bans only remove edges, which preserves
+    /// admissibility); `Custom` costs fall back to plain Dijkstra. Either
+    /// way the returned path is cost-optimal among the non-banned paths,
+    /// though tie-breaking among equal-cost optima can differ from the
+    /// plain-Dijkstra variant.
+    pub fn constrained_shortest_path(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+        banned_vertices: &BitSet,
+        banned_edges: &BitSet,
+    ) -> Option<Path> {
+        if source == target
+            || banned_vertices.contains(source.0)
+            || banned_vertices.contains(target.0)
+        {
+            return None;
+        }
+        let bound = self.heuristic_bound(cost);
+        if bound > 0.0 {
+            self.fwd.run_astar(
+                self.g,
+                source,
+                target,
+                cost,
+                bound,
+                Some((banned_vertices, banned_edges)),
+            );
+        } else {
+            self.fwd.run_dijkstra(
+                self.g,
+                source,
+                Some(target),
+                cost,
+                Some(banned_vertices),
+                Some(banned_edges),
+            );
+        }
+        self.fwd.extract_path(source, target)
+    }
+
+    /// Plain-Dijkstra variant of
+    /// [`QueryEngine::constrained_shortest_path`], skipping the `O(E)`
+    /// heuristic-bound scan. The one-shot free wrapper uses this: a
+    /// transient engine serves exactly one search, so a whole-graph
+    /// precompute cannot amortize there.
+    pub(crate) fn constrained_shortest_path_dijkstra(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+        banned_vertices: &BitSet,
+        banned_edges: &BitSet,
+    ) -> Option<Path> {
+        if source == target
+            || banned_vertices.contains(source.0)
+            || banned_vertices.contains(target.0)
+        {
+            return None;
+        }
+        self.fwd.run_dijkstra(
+            self.g,
+            source,
+            Some(target),
+            cost,
+            Some(banned_vertices),
+            Some(banned_edges),
+        );
+        self.fwd.extract_path(source, target)
+    }
+
+    /// The cached [`safe_heuristic_bound`] for `cost`: computed on first
+    /// use for `Length`/`TravelTime`, always `0.0` for `Custom` (whose
+    /// per-edge costs can change between queries).
+    fn heuristic_bound(&mut self, cost: CostModel<'_>) -> f64 {
+        let g = self.g;
+        match cost {
+            CostModel::Length => *self
+                .length_bound
+                .get_or_insert_with(|| safe_heuristic_bound(g, CostModel::Length)),
+            CostModel::TravelTime => *self
+                .travel_time_bound
+                .get_or_insert_with(|| safe_heuristic_bound(g, CostModel::TravelTime)),
+            CostModel::Custom(_) => 0.0,
+        }
+    }
+
+    /// A* with the straight-line-distance heuristic. Engine counterpart
+    /// of [`crate::algo::astar::astar_shortest_path`], using the cached
+    /// [`safe_heuristic_bound`] (sound on arbitrary graphs, not just the
+    /// generators' geometry-consistent ones).
+    pub fn astar_shortest_path(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+    ) -> Option<Path> {
+        if source == target {
+            return None;
+        }
+        let bound = self.heuristic_bound(cost);
+        if bound > 0.0 {
+            self.fwd
+                .run_astar(self.g, source, target, cost, bound, None);
+        } else {
+            self.fwd
+                .run_dijkstra(self.g, source, Some(target), cost, None, None);
+        }
+        self.fwd.extract_path(source, target)
+    }
+
+    /// Bidirectional Dijkstra over the forward and backward spaces.
+    /// Engine counterpart of
+    /// [`crate::algo::bidijkstra::bidirectional_shortest_path`].
+    pub fn bidirectional_shortest_path(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+    ) -> Option<Path> {
+        if source == target {
+            return None;
+        }
+        let g = self.g;
+        let n = g.vertex_count();
+        let bwd = self.bwd.get_or_insert_with(|| SearchSpace::new(n));
+        let fwd = &mut self.fwd;
+
+        fwd.begin();
+        fwd.relax(source, 0.0, NO_PARENT);
+        fwd.heap.push(MinCost {
+            cost: 0.0,
+            item: source,
+        });
+        bwd.begin();
+        bwd.relax(target, 0.0, NO_PARENT);
+        bwd.heap.push(MinCost {
+            cost: 0.0,
+            item: target,
+        });
+
+        let mut best = f64::INFINITY;
+        let mut meet: Option<VertexId> = None;
+
+        loop {
+            let fmin = fwd.frontier_min();
+            let bmin = bwd.frontier_min();
+            if fmin + bmin >= best || (fmin.is_infinite() && bmin.is_infinite()) {
+                break;
+            }
+            // Expand the side with the smaller frontier minimum.
+            let forward = fmin <= bmin;
+            let (side, other): (&mut SearchSpace, &mut SearchSpace) =
+                if forward { (fwd, bwd) } else { (bwd, fwd) };
+
+            let Some(MinCost { cost: d, item: u }) = side.heap.pop() else {
+                break;
+            };
+            if side.is_settled(u) {
+                continue;
+            }
+            side.settle(u);
+
+            if other.reached(u) {
+                let total = d + other.dist(u);
+                if total < best {
+                    best = total;
+                    meet = Some(u);
+                }
+            }
+
+            // Relax the neighbourhood, then re-check meetings through the
+            // just-relaxed vertices (meets can happen on unsettled ones).
+            macro_rules! expand {
+                ($edges:ident) => {
+                    for (v, e) in g.$edges(u) {
+                        if side.is_settled(v) {
+                            continue;
+                        }
+                        let nd = d + cost.edge_cost(g, e);
+                        if nd < side.dist(v) {
+                            side.relax(v, nd, (u.0, e.0));
+                            side.heap.push(MinCost { cost: nd, item: v });
+                        }
+                        if other.reached(v) && side.reached(v) {
+                            let total = side.dist(v) + other.dist(v);
+                            if total < best {
+                                best = total;
+                                meet = Some(v);
+                            }
+                        }
+                    }
+                };
+            }
+            if forward {
+                expand!(out_edges);
+            } else {
+                expand!(in_edges);
+            }
+        }
+
+        let meet = meet?;
+        // Reconstruct: source -> meet from the forward tree, meet ->
+        // target from the backward tree (its parents point at the target).
+        let mut vertices = Vec::new();
+        let mut edges = Vec::new();
+        let mut cur = meet;
+        while let Some((prev, e)) = fwd.parent_of(cur) {
+            vertices.push(cur);
+            edges.push(e);
+            cur = prev;
+        }
+        vertices.push(cur);
+        debug_assert_eq!(cur, source);
+        vertices.reverse();
+        edges.reverse();
+
+        let mut cur = meet;
+        while let Some((next, e)) = bwd.parent_of(cur) {
+            vertices.push(next);
+            edges.push(e);
+            cur = next;
+        }
+        debug_assert_eq!(cur, target);
+        Some(Path::from_parts_unchecked(vertices, edges))
+    }
+
+    /// Lazy Yen top-k iterator whose spur searches all reuse this
+    /// engine's forward space. Engine counterpart of
+    /// [`crate::algo::yen::YenIter::new`].
+    pub fn yen_iter<'e, 'c>(
+        &'e mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'c>,
+    ) -> YenIter<'g, 'e, 'c> {
+        YenIter::on_engine(self, source, target, cost)
+    }
+
+    /// The k cheapest loopless paths. Engine counterpart of
+    /// [`crate::algo::yen::yen_k_shortest`].
+    pub fn yen_k_shortest(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+        k: usize,
+    ) -> Vec<(Path, f64)> {
+        self.yen_iter(source, target, cost).take(k).collect()
+    }
+
+    /// Diversified top-k (the paper's D-TkDI). Engine counterpart of
+    /// [`crate::algo::diversified::diversified_top_k`].
+    pub fn diversified_top_k(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+        cfg: &DiversifiedConfig,
+    ) -> Vec<(Path, f64)> {
+        diversified_top_k_with(self, source, target, cost, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{grid_network, GridConfig};
+    use crate::geometry::Point;
+    use crate::graph::{EdgeAttrs, RoadCategory};
+
+    fn line_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..n)
+            .map(|i| b.add_vertex(Point::new(i as f64 * 100.0, 0.0)))
+            .collect();
+        for w in vs.windows(2) {
+            b.add_bidirectional(
+                w[0],
+                w[1],
+                EdgeAttrs::with_default_speed(100.0, RoadCategory::Residential),
+            )
+            .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn epoch_reset_isolates_queries() {
+        // Query 1 reaches the whole line; query 2 early-exits after one
+        // hop. Distances from query 1 must not leak into query 2's view.
+        let g = line_graph(50);
+        let mut engine = QueryEngine::new(&g);
+        let far = engine.one_to_all(VertexId(0), CostModel::Length);
+        assert!(far.reached(VertexId(49)));
+        assert!((far.dist(VertexId(49)) - 4900.0).abs() < 1e-9);
+
+        engine
+            .shortest_path(VertexId(0), VertexId(1), CostModel::Length)
+            .unwrap();
+        // Early exit: vertex 49 is unreached in the *current* epoch even
+        // though its slot still physically holds query 1's values.
+        assert!(!engine.fwd.reached(VertexId(49)));
+        assert_eq!(engine.fwd.dist(VertexId(49)), f64::INFINITY);
+        assert!(engine.fwd.parent_of(VertexId(49)).is_none());
+    }
+
+    #[test]
+    fn interleaved_cost_models_stay_correct() {
+        let g = grid_network(&GridConfig::small_test(), 7);
+        let custom: Vec<f64> = (0..g.edge_count()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let n = g.vertex_count() as u32;
+        let mut engine = QueryEngine::new(&g);
+        for (s, t) in [(0, n - 1), (n - 1, 0), (3, n / 2), (n / 2, 3)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            for cost in [
+                CostModel::Length,
+                CostModel::Custom(&custom),
+                CostModel::TravelTime,
+            ] {
+                let fresh = crate::algo::dijkstra::shortest_path(&g, s, t, cost);
+                let reused = engine.shortest_path(s, t, cost);
+                match (fresh, reused) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.vertices(), b.vertices(), "{s:?}->{t:?}");
+                        assert_eq!(a.edges(), b.edges());
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("reachability mismatch: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_to_all_view_matches_materialised_tree() {
+        let g = grid_network(&GridConfig::small_test(), 9);
+        let mut engine = QueryEngine::new(&g);
+        let tree = engine.shortest_path_tree(VertexId(0), CostModel::Length);
+        let view_dists: Vec<f64> = {
+            let view = engine.one_to_all(VertexId(0), CostModel::Length);
+            g.vertices().map(|v| view.dist(v)).collect()
+        };
+        assert_eq!(tree.dist, view_dists);
+        let view = engine.one_to_all(VertexId(0), CostModel::Length);
+        for v in g.vertices() {
+            assert_eq!(tree.parent[v.index()], view.parent_of(v));
+            if v != VertexId(0) && view.reached(v) {
+                let p = view.path_to(v).unwrap();
+                p.validate(&g).unwrap();
+                assert!((p.length_m(&g) - view.dist(v)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_cost_matches_path_cost() {
+        let g = grid_network(&GridConfig::small_test(), 5);
+        let n = g.vertex_count() as u32;
+        let mut engine = QueryEngine::new(&g);
+        for (s, t) in [(0, n - 1), (2, n / 3), (n - 1, 1)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let c = engine.shortest_path_cost(s, t, CostModel::Length);
+            let p = engine.shortest_path(s, t, CostModel::Length);
+            match (c, p) {
+                (Some(c), Some(p)) => assert!((c - p.length_m(&g)).abs() < 1e-9),
+                (None, None) => {}
+                (c, p) => panic!("mismatch: cost {c:?} vs path {p:?}"),
+            }
+        }
+        assert_eq!(
+            engine.shortest_path_cost(VertexId(3), VertexId(3), CostModel::Length),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn disconnected_target_stays_unreached_after_reuse() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1.0, 0.0));
+        let v2 = b.add_vertex(Point::new(2.0, 0.0));
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::with_default_speed(1.0, RoadCategory::Rural),
+        )
+        .unwrap();
+        b.add_edge(
+            v2,
+            v0,
+            EdgeAttrs::with_default_speed(1.0, RoadCategory::Rural),
+        )
+        .unwrap();
+        let g = b.build();
+        let mut engine = QueryEngine::new(&g);
+        // First query from v2 reaches everything (v2 -> v0 -> v1)...
+        assert!(engine.shortest_path(v2, v1, CostModel::Length).is_some());
+        // ...which must not make v2 look reachable from v0 afterwards.
+        assert!(engine.shortest_path(v0, v2, CostModel::Length).is_none());
+        assert!(engine
+            .shortest_path_cost(v0, v2, CostModel::Length)
+            .is_none());
+    }
+
+    #[test]
+    fn yen_accepts_short_lived_custom_costs_on_long_lived_engine() {
+        // Regression guard for the lifetime decoupling: a per-worker
+        // engine outliving many per-iteration cost slices (the
+        // simulate_fleet pattern) must also work for the Yen/diversified
+        // family, not just shortest_path.
+        let g = grid_network(&GridConfig::small_test(), 2);
+        let t = VertexId((g.vertex_count() - 1) as u32);
+        let mut engine = QueryEngine::new(&g);
+        for round in 0..3u64 {
+            let costs: Vec<f64> = (0..g.edge_count())
+                .map(|i| 1.0 + ((i as u64 + round) % 7) as f64)
+                .collect();
+            let top = engine.yen_k_shortest(VertexId(0), t, CostModel::Custom(&costs), 3);
+            assert!(!top.is_empty());
+            let div = engine.diversified_top_k(
+                VertexId(0),
+                t,
+                CostModel::Custom(&costs),
+                &crate::algo::diversified::DiversifiedConfig::with_k(2),
+            );
+            assert!(!div.is_empty());
+        }
+    }
+
+    #[test]
+    fn safe_bound_keeps_astar_exact_on_shortcut_edges() {
+        // A "shortcut" edge whose length undercuts its straight-line span:
+        // under the naive 1-cost-per-metre heuristic, A* would
+        // over-estimate through v1 and return the wrong path. The safe
+        // bound (min cost/span = 100/1000) keeps the search exact.
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1000.0, 0.0));
+        let v2 = b.add_vertex(Point::new(2000.0, 0.0));
+        let a = |len| EdgeAttrs::with_default_speed(len, RoadCategory::Rural);
+        b.add_edge(v0, v1, a(100.0)).unwrap(); // shortcut: 100 m over a 1 km span
+        b.add_edge(v1, v2, a(100.0)).unwrap();
+        b.add_edge(v0, v2, a(900.0)).unwrap(); // direct but costlier (100+100 < 900)
+        let g = b.build();
+        assert!((safe_heuristic_bound(&g, CostModel::Length) - 0.1).abs() < 1e-12);
+        let mut engine = QueryEngine::new(&g);
+        let astar = engine
+            .astar_shortest_path(v0, v2, CostModel::Length)
+            .unwrap();
+        let dijkstra = engine.shortest_path(v0, v2, CostModel::Length).unwrap();
+        assert_eq!(astar.vertices(), dijkstra.vertices(), "A* must stay exact");
+        assert_eq!(astar.vertices(), &[v0, v1, v2]);
+    }
+
+    #[test]
+    fn safe_bound_degenerate_graphs() {
+        // All edges span zero distance: no usable bound, A* must fall
+        // back to Dijkstra rather than divide by zero.
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Point::new(5.0, 5.0));
+        let v1 = b.add_vertex(Point::new(5.0, 5.0));
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::with_default_speed(3.0, RoadCategory::Rural),
+        )
+        .unwrap();
+        let g = b.build();
+        assert_eq!(safe_heuristic_bound(&g, CostModel::Length), 0.0);
+        let mut engine = QueryEngine::new(&g);
+        let p = engine
+            .astar_shortest_path(v0, v1, CostModel::Length)
+            .unwrap();
+        assert_eq!(p.vertices(), &[v0, v1]);
+    }
+
+    #[test]
+    fn bidirectional_lazily_allocates_and_matches() {
+        let g = grid_network(&GridConfig::small_test(), 3);
+        let n = g.vertex_count() as u32;
+        let mut engine = QueryEngine::new(&g);
+        assert!(engine.bwd.is_none());
+        for (s, t) in [(0, n - 1), (n / 2, 0), (1, n - 2)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let uni = engine.shortest_path(s, t, CostModel::Length).unwrap();
+            let bi = engine
+                .bidirectional_shortest_path(s, t, CostModel::Length)
+                .unwrap();
+            bi.validate(&g).unwrap();
+            assert!((uni.length_m(&g) - bi.length_m(&g)).abs() < 1e-9);
+        }
+        assert!(engine.bwd.is_some());
+        assert!(engine
+            .bidirectional_shortest_path(VertexId(0), VertexId(0), CostModel::Length)
+            .is_none());
+    }
+
+    #[test]
+    fn heap_allocation_is_reused_across_queries() {
+        let g = grid_network(&GridConfig::small_test(), 1);
+        let n = g.vertex_count() as u32;
+        let mut engine = QueryEngine::new(&g);
+        // First sweep establishes the workload's high-water mark...
+        for i in 0..n {
+            engine.one_to_all(VertexId(i), CostModel::Length);
+        }
+        let cap_after_sweep = engine.fwd.heap.capacity();
+        assert!(cap_after_sweep > 0);
+        // ...after which repeating the same queries must not reallocate.
+        for i in 0..n {
+            engine.one_to_all(VertexId(i), CostModel::Length);
+        }
+        assert_eq!(
+            engine.fwd.heap.capacity(),
+            cap_after_sweep,
+            "steady-state queries must not regrow the heap"
+        );
+    }
+}

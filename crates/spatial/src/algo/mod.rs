@@ -1,5 +1,8 @@
 //! Routing algorithms over [`crate::graph::Graph`].
 //!
+//! * [`engine`] — the reusable query layer every algorithm runs on: a
+//!   generation-stamped [`engine::SearchSpace`] (O(1) reset, no per-query
+//!   `O(V)` allocation) behind the [`engine::QueryEngine`] facade;
 //! * [`dijkstra`] — textbook Dijkstra (one-to-one with early exit,
 //!   one-to-all trees, and a constrained variant that honours banned
 //!   vertex/edge sets — the inner engine of Yen's algorithm);
@@ -10,15 +13,24 @@
 //! * [`diversified`] — diversified top-k shortest paths (the paper's
 //!   D-TkDI strategy): enumerate in cost order, keep a path only if it is
 //!   dissimilar enough from every path kept so far.
+//!
+//! The per-algorithm modules export free functions for one-shot queries;
+//! each is a thin wrapper that allocates a transient engine. Query-heavy
+//! callers hold a [`engine::QueryEngine`] (one per worker thread) and use
+//! its methods instead.
 
 pub mod astar;
 pub mod bidijkstra;
 pub mod dijkstra;
 pub mod diversified;
+pub mod engine;
 pub mod yen;
 
 pub use astar::astar_shortest_path;
 pub use bidijkstra::bidirectional_shortest_path;
-pub use dijkstra::{constrained_shortest_path, shortest_path, shortest_path_tree, ShortestPathTree};
-pub use diversified::{diversified_top_k, DiversifiedConfig};
+pub use dijkstra::{
+    constrained_shortest_path, shortest_path, shortest_path_tree, ShortestPathTree,
+};
+pub use diversified::{diversified_top_k, diversified_top_k_with, DiversifiedConfig};
+pub use engine::{safe_heuristic_bound, QueryEngine, SearchSpace, TreeView};
 pub use yen::{yen_k_shortest, YenIter};

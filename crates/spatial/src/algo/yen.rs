@@ -5,13 +5,39 @@
 //! it has accumulated k *diverse* ones — which may require scanning far more
 //! than k candidates. The plain TkDI strategy is the first k items of the
 //! same iterator ([`yen_k_shortest`]).
+//!
+//! Yen's algorithm is the crate's heaviest [`SearchSpace`] customer: every
+//! accepted path triggers one constrained spur search per prefix vertex, so
+//! a top-10 query on a trunk-road pair easily fires hundreds of Dijkstra
+//! runs. All of them reuse one [`QueryEngine`] — either an engine borrowed
+//! from the caller ([`QueryEngine::yen_iter`]) or a transient one owned by
+//! the iterator ([`YenIter::new`]).
+//!
+//! [`SearchSpace`]: crate::algo::engine::SearchSpace
 
 use std::collections::{BinaryHeap, HashSet};
 
-use crate::algo::dijkstra::{constrained_shortest_path, shortest_path};
+use crate::algo::engine::QueryEngine;
 use crate::graph::{CostModel, Graph, VertexId};
 use crate::path::Path;
 use crate::util::{BitSet, MinCost};
+
+/// The engine a [`YenIter`] runs its searches on: its own, or one lent by
+/// the caller so spur searches share state with the caller's other queries.
+enum EngineRef<'g, 'e> {
+    /// Boxed so the iterator stays small when the engine is borrowed.
+    Owned(Box<QueryEngine<'g>>),
+    Borrowed(&'e mut QueryEngine<'g>),
+}
+
+impl<'g> EngineRef<'g, '_> {
+    fn get(&mut self) -> &mut QueryEngine<'g> {
+        match self {
+            EngineRef::Owned(engine) => engine,
+            EngineRef::Borrowed(engine) => engine,
+        }
+    }
+}
 
 /// Lazily yields the loopless shortest paths from `source` to `target` in
 /// non-decreasing cost order, each with its total cost.
@@ -28,9 +54,9 @@ use crate::util::{BitSet, MinCost};
 /// assert!(c1 <= c2);
 /// assert!(best.is_simple());
 /// ```
-pub struct YenIter<'a> {
-    g: &'a Graph,
-    cost: CostModel<'a>,
+pub struct YenIter<'g, 'e, 'c> {
+    engine: EngineRef<'g, 'e>,
+    cost: CostModel<'c>,
     source: VertexId,
     target: VertexId,
     /// Accepted paths (the `A` list of Yen's algorithm), in cost order.
@@ -44,19 +70,56 @@ pub struct YenIter<'a> {
     exhausted: bool,
 }
 
-impl<'a> YenIter<'a> {
-    /// Creates the iterator; no search happens until the first `next()`.
-    pub fn new(g: &'a Graph, source: VertexId, target: VertexId, cost: CostModel<'a>) -> Self {
+impl<'g, 'c> YenIter<'g, 'g, 'c> {
+    /// Creates the iterator over a transient engine of its own; no search
+    /// happens until the first `next()`. When the surrounding code already
+    /// holds a [`QueryEngine`], prefer [`QueryEngine::yen_iter`], which
+    /// reuses it.
+    pub fn new(
+        g: &'g Graph,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'c>,
+    ) -> YenIter<'g, 'g, 'c> {
+        Self::with_engine(
+            EngineRef::Owned(Box::new(QueryEngine::new(g))),
+            source,
+            target,
+            cost,
+        )
+    }
+}
+
+impl<'g, 'e, 'c> YenIter<'g, 'e, 'c> {
+    /// Creates the iterator on a borrowed engine (see
+    /// [`QueryEngine::yen_iter`]).
+    pub(crate) fn on_engine(
+        engine: &'e mut QueryEngine<'g>,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'c>,
+    ) -> YenIter<'g, 'e, 'c> {
+        Self::with_engine(EngineRef::Borrowed(engine), source, target, cost)
+    }
+
+    fn with_engine(
+        mut engine: EngineRef<'g, 'e>,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'c>,
+    ) -> YenIter<'g, 'e, 'c> {
+        let g = engine.get().graph();
+        let (nv, ne) = (g.vertex_count(), g.edge_count());
         YenIter {
-            g,
+            engine,
             cost,
             source,
             target,
             accepted: Vec::new(),
             candidates: BinaryHeap::new(),
             candidate_seen: HashSet::new(),
-            banned_vertices: BitSet::new(g.vertex_count()),
-            banned_edges: BitSet::new(g.edge_count()),
+            banned_vertices: BitSet::new(nv),
+            banned_edges: BitSet::new(ne),
             started: false,
             exhausted: false,
         }
@@ -69,8 +132,13 @@ impl<'a> YenIter<'a> {
 
     /// Generates spur candidates off the most recently accepted path.
     fn generate_candidates(&mut self) {
-        let (prev, _) = self.accepted.last().expect("called after first acceptance").clone();
+        let (prev, _) = self
+            .accepted
+            .last()
+            .expect("called after first acceptance")
+            .clone();
         let prev_vertices = prev.vertices().to_vec();
+        let g = self.engine.get().graph();
 
         for i in 0..prev.len() {
             let spur_node = prev_vertices[i];
@@ -93,8 +161,7 @@ impl<'a> YenIter<'a> {
                 self.banned_vertices.insert(v.0);
             }
 
-            let Some(spur) = constrained_shortest_path(
-                self.g,
+            let Some(spur) = self.engine.get().constrained_shortest_path(
                 spur_node,
                 self.target,
                 self.cost,
@@ -113,14 +180,17 @@ impl<'a> YenIter<'a> {
             debug_assert!(total.is_simple(), "Yen candidates must be loopless");
 
             if self.candidate_seen.insert(total.vertices().to_vec()) {
-                let c = total.cost(self.g, self.cost);
-                self.candidates.push(MinCost { cost: c, item: total });
+                let c = total.cost(g, self.cost);
+                self.candidates.push(MinCost {
+                    cost: c,
+                    item: total,
+                });
             }
         }
     }
 }
 
-impl Iterator for YenIter<'_> {
+impl Iterator for YenIter<'_, '_, '_> {
     type Item = (Path, f64);
 
     fn next(&mut self) -> Option<(Path, f64)> {
@@ -129,9 +199,14 @@ impl Iterator for YenIter<'_> {
         }
         if !self.started {
             self.started = true;
-            match shortest_path(self.g, self.source, self.target, self.cost) {
+            let g = self.engine.get().graph();
+            match self
+                .engine
+                .get()
+                .shortest_path(self.source, self.target, self.cost)
+            {
                 Some(p) => {
-                    let c = p.cost(self.g, self.cost);
+                    let c = p.cost(g, self.cost);
                     self.accepted.push((p.clone(), c));
                     return Some((p, c));
                 }
@@ -212,6 +287,21 @@ mod tests {
     }
 
     #[test]
+    fn engine_yen_matches_free_function() {
+        let (g, [c, _, _, _, _, h]) = yen_example();
+        let free = yen_k_shortest(&g, c, h, CostModel::Length, 10);
+        let mut engine = QueryEngine::new(&g);
+        let on_engine = engine.yen_k_shortest(c, h, CostModel::Length, 10);
+        assert_eq!(free.len(), on_engine.len());
+        for ((pa, ca), (pb, cb)) in free.iter().zip(on_engine.iter()) {
+            assert_eq!(pa.vertices(), pb.vertices());
+            assert!((ca - cb).abs() < 1e-12);
+        }
+        // The engine stays usable for ordinary queries afterwards.
+        assert!(engine.shortest_path(c, h, CostModel::Length).is_some());
+    }
+
+    #[test]
     fn costs_are_non_decreasing_and_paths_unique() {
         let g = grid_network(&GridConfig::small_test(), 99);
         let s = VertexId(0);
@@ -236,7 +326,9 @@ mod tests {
     fn exhausts_small_graphs() {
         // A diamond has exactly 3 simple paths 0 -> 3.
         let mut b = GraphBuilder::new();
-        let v: Vec<_> = (0..4).map(|i| b.add_vertex(Point::new(i as f64, 0.0))).collect();
+        let v: Vec<_> = (0..4)
+            .map(|i| b.add_vertex(Point::new(i as f64, 0.0)))
+            .collect();
         let a = |w: f64| EdgeAttrs::with_default_speed(w, RoadCategory::Rural);
         b.add_edge(v[0], v[1], a(1.0)).unwrap();
         b.add_edge(v[1], v[3], a(1.0)).unwrap();
@@ -256,7 +348,12 @@ mod tests {
         let mut b = GraphBuilder::new();
         let v0 = b.add_vertex(Point::new(0.0, 0.0));
         let v1 = b.add_vertex(Point::new(1.0, 0.0));
-        b.add_edge(v1, v0, EdgeAttrs::with_default_speed(1.0, RoadCategory::Rural)).unwrap();
+        b.add_edge(
+            v1,
+            v0,
+            EdgeAttrs::with_default_speed(1.0, RoadCategory::Rural),
+        )
+        .unwrap();
         let g = b.build();
         assert!(yen_k_shortest(&g, v0, v1, CostModel::Length, 5).is_empty());
     }

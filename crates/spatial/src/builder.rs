@@ -35,7 +35,10 @@ impl GraphBuilder {
 
     /// Creates a builder with pre-allocated capacity.
     pub fn with_capacity(vertices: usize, edges: usize) -> Self {
-        GraphBuilder { coords: Vec::with_capacity(vertices), edges: Vec::with_capacity(edges) }
+        GraphBuilder {
+            coords: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+        }
     }
 
     /// Number of vertices added so far.
@@ -175,7 +178,8 @@ impl GraphBuilder {
         }
         for e in &self.edges {
             if let (Some(nf), Some(nt)) = (remap[e.from.index()], remap[e.to.index()]) {
-                b.add_edge(nf, nt, e.attrs).expect("attrs already validated");
+                b.add_edge(nf, nt, e.attrs)
+                    .expect("attrs already validated");
             }
         }
         (b.build(), remap)

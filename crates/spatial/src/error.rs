@@ -46,7 +46,11 @@ impl fmt::Display for SpatialError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpatialError::VertexOutOfBounds { vertex, len } => {
-                write!(f, "vertex {} out of bounds (graph has {} vertices)", vertex.0, len)
+                write!(
+                    f,
+                    "vertex {} out of bounds (graph has {} vertices)",
+                    vertex.0, len
+                )
             }
             SpatialError::NoSuchEdge { from, to } => {
                 write!(f, "no edge from vertex {} to vertex {}", from.0, to.0)
@@ -56,7 +60,11 @@ impl fmt::Display for SpatialError {
             }
             SpatialError::TooShort => write!(f, "a path needs at least two vertices"),
             SpatialError::Unreachable { source, target } => {
-                write!(f, "vertex {} is unreachable from vertex {}", target.0, source.0)
+                write!(
+                    f,
+                    "vertex {} is unreachable from vertex {}",
+                    target.0, source.0
+                )
             }
             SpatialError::InvalidAttribute(msg) => write!(f, "invalid edge attribute: {msg}"),
             SpatialError::Parse(msg) => write!(f, "parse error: {msg}"),

@@ -104,7 +104,7 @@ fn build_grid_into(
     }
     // A street along row r (or column c) is arterial when that index is a
     // multiple of `arterial_every`.
-    let is_arterial = |idx: usize| cfg.arterial_every > 0 && idx % cfg.arterial_every == 0;
+    let is_arterial = |idx: usize| cfg.arterial_every > 0 && idx.is_multiple_of(cfg.arterial_every);
     for row in 0..cfg.ny {
         for col in 0..cfg.nx {
             let here = ids[row * cfg.nx + col];
@@ -151,8 +151,12 @@ fn connect_wiggly(
         return;
     }
     let dist = b.coord(u).distance(&b.coord(v));
-    b.add_bidirectional(u, v, EdgeAttrs::with_default_speed((dist * factor).max(1.0), cat))
-        .expect("generated street must be valid");
+    b.add_bidirectional(
+        u,
+        v,
+        EdgeAttrs::with_default_speed((dist * factor).max(1.0), cat),
+    )
+    .expect("generated street must be valid");
 }
 
 /// Configuration of [`ring_radial_network`].
@@ -171,7 +175,12 @@ pub struct RingRadialConfig {
 impl RingRadialConfig {
     /// A small deterministic city used in tests (4 rings × 8 spokes).
     pub fn small_test() -> Self {
-        RingRadialConfig { rings: 4, spokes: 8, ring_spacing_m: 150.0, wiggle: 0.1 }
+        RingRadialConfig {
+            rings: 4,
+            spokes: 8,
+            ring_spacing_m: 150.0,
+            wiggle: 0.1,
+        }
     }
 }
 
@@ -206,9 +215,20 @@ pub fn ring_radial_network(cfg: &RingRadialConfig, seed: u64) -> Graph {
             );
         }
     }
-    // Radial edges; innermost ring connects to the centre.
+    // Radial edges; innermost ring connects to the centre. The spoke
+    // index addresses several rings at once, so a range loop is clearer
+    // than nested iterators here.
+    #[allow(clippy::needless_range_loop)]
     for s in 0..cfg.spokes {
-        connect_wiggly(&mut b, centre, ring_ids[0][s], RoadCategory::Arterial, 0.0, cfg.wiggle, &mut rng);
+        connect_wiggly(
+            &mut b,
+            centre,
+            ring_ids[0][s],
+            RoadCategory::Arterial,
+            0.0,
+            cfg.wiggle,
+            &mut rng,
+        );
         for r in 0..cfg.rings - 1 {
             connect_wiggly(
                 &mut b,
@@ -374,7 +394,9 @@ fn closest_vertex(b: &GraphBuilder, candidates: &[VertexId], target: &Point) -> 
     *candidates
         .iter()
         .min_by(|&&u, &&v| {
-            b.coord(u).distance_sq(target).total_cmp(&b.coord(v).distance_sq(target))
+            b.coord(u)
+                .distance_sq(target)
+                .total_cmp(&b.coord(v).distance_sq(target))
         })
         .expect("towns are non-empty")
 }
@@ -401,7 +423,10 @@ fn lay_highway(
         let jitter = (rng.gen::<f64>() - 0.5) * 0.2 * spacing_m;
         let (dx, dy) = (z.x - a.x, z.y - a.y);
         let norm = (dx * dx + dy * dy).sqrt().max(1e-9);
-        let v = b.add_vertex(Point::new(base.x - dy / norm * jitter, base.y + dx / norm * jitter));
+        let v = b.add_vertex(Point::new(
+            base.x - dy / norm * jitter,
+            base.y + dx / norm * jitter,
+        ));
         connect_highway(b, prev, v, rng);
         prev = v;
     }
@@ -411,8 +436,12 @@ fn lay_highway(
 fn connect_highway(b: &mut GraphBuilder, u: VertexId, v: VertexId, rng: &mut StdRng) {
     let dist = b.coord(u).distance(&b.coord(v));
     let len = dist * (1.0 + rng.gen::<f64>() * 0.05);
-    b.add_bidirectional(u, v, EdgeAttrs::with_default_speed(len.max(1.0), RoadCategory::Highway))
-        .expect("highway edges are valid");
+    b.add_bidirectional(
+        u,
+        v,
+        EdgeAttrs::with_default_speed(len.max(1.0), RoadCategory::Highway),
+    )
+    .expect("highway edges are valid");
 }
 
 /// Keeps the largest strongly connected component so that every routing
@@ -503,14 +532,27 @@ mod tests {
     fn region_paper_scale_properties() {
         let g = region_network(&RegionConfig::paper_scale(), 2020);
         let n = g.vertex_count();
-        assert!((1200..8000).contains(&n), "expected ~2.5k vertices, got {n}");
+        assert!(
+            (1200..8000).contains(&n),
+            "expected ~2.5k vertices, got {n}"
+        );
         assert_eq!(g.largest_scc().len(), n);
         // Average out-degree in a road network sits between 1.5 and 4.5.
         let avg = g.edge_count() as f64 / n as f64;
-        assert!((1.5..4.5).contains(&avg), "unrealistic average degree {avg}");
+        assert!(
+            (1.5..4.5).contains(&avg),
+            "unrealistic average degree {avg}"
+        );
         // It contains all three main road classes.
-        for cat in [RoadCategory::Highway, RoadCategory::Arterial, RoadCategory::Residential] {
-            assert!(g.edges().any(|e| e.attrs.category == cat), "missing category {cat:?}");
+        for cat in [
+            RoadCategory::Highway,
+            RoadCategory::Arterial,
+            RoadCategory::Residential,
+        ] {
+            assert!(
+                g.edges().any(|e| e.attrs.category == cat),
+                "missing category {cat:?}"
+            );
         }
     }
 

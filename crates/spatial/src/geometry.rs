@@ -42,7 +42,10 @@ impl Point {
     /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
     #[inline]
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
-        Point { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
     }
 }
 
@@ -66,11 +69,22 @@ pub fn project_onto_segment(p: &Point, a: &Point, b: &Point) -> Projection {
     let aby = b.y - a.y;
     let len_sq = abx * abx + aby * aby;
     if len_sq <= f64::EPSILON {
-        return Projection { point: *a, distance: p.distance(a), t: 0.0 };
+        return Projection {
+            point: *a,
+            distance: p.distance(a),
+            t: 0.0,
+        };
     }
     let t = (((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq).clamp(0.0, 1.0);
-    let point = Point { x: a.x + t * abx, y: a.y + t * aby };
-    Projection { point, distance: p.distance(&point), t }
+    let point = Point {
+        x: a.x + t * abx,
+        y: a.y + t * aby,
+    };
+    Projection {
+        point,
+        distance: p.distance(&point),
+        t,
+    }
 }
 
 /// Distance from point `p` to segment `a -> b`, in metres.

@@ -105,7 +105,11 @@ pub struct EdgeAttrs {
 impl EdgeAttrs {
     /// Creates attributes with the category's default speed.
     pub fn with_default_speed(length_m: f64, category: RoadCategory) -> Self {
-        EdgeAttrs { length_m, speed_kmh: category.default_speed_kmh(), category }
+        EdgeAttrs {
+            length_m,
+            speed_kmh: category.default_speed_kmh(),
+            category,
+        }
     }
 
     /// Free-flow travel time over the edge, in seconds.
@@ -153,10 +157,17 @@ impl CostModel<'_> {
         }
     }
 
-    /// A lower bound on cost-per-metre over the whole graph, used to keep
-    /// A* heuristics admissible. For `Length` this is exactly 1; for
-    /// `TravelTime` it is `1 / v_max`; for `Custom` no bound is known and
-    /// the heuristic degenerates to Dijkstra (returns 0).
+    /// The *nominal* lower bound on cost-per-metre of travelled length:
+    /// exactly 1 for `Length`, `1 / v_max` for `TravelTime`, 0 (unknown)
+    /// for `Custom`.
+    ///
+    /// This bound is only admissible as an A* heuristic rate when every
+    /// edge's length covers its straight-line span — true for this
+    /// crate's generators, but not guaranteed for arbitrary
+    /// [`crate::builder::GraphBuilder`] input. The routing layer
+    /// therefore uses [`crate::algo::engine::safe_heuristic_bound`]
+    /// (per-edge `cost / span` minimum) instead; prefer that for any
+    /// heuristic work.
     pub fn min_cost_per_meter(&self, g: &Graph) -> f64 {
         match self {
             CostModel::Length => 1.0,
@@ -238,7 +249,10 @@ impl Graph {
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         let lo = self.out_offsets[v.index()] as usize;
         let hi = self.out_offsets[v.index() + 1] as usize;
-        self.out_targets[lo..hi].iter().copied().zip(self.out_edge_ids[lo..hi].iter().copied())
+        self.out_targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.out_edge_ids[lo..hi].iter().copied())
     }
 
     /// Incoming neighbours of `v` as `(tail, edge)` pairs.
@@ -246,7 +260,10 @@ impl Graph {
     pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         let lo = self.in_offsets[v.index()] as usize;
         let hi = self.in_offsets[v.index() + 1] as usize;
-        self.in_sources[lo..hi].iter().copied().zip(self.in_edge_ids[lo..hi].iter().copied())
+        self.in_sources[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.in_edge_ids[lo..hi].iter().copied())
     }
 
     /// Out-degree of `v`.
@@ -366,6 +383,53 @@ impl Graph {
     }
 }
 
+/// Approximate edge betweenness ("popularity"): counts how often each edge
+/// lies on a shortest-path tree from `samples` sampled roots, normalised to
+/// `[0, 1]`. High values mark the network's major corridors.
+///
+/// Real drivers concentrate on such corridors, and node2vec embeddings
+/// encode exactly this kind of topological centrality — the trajectory
+/// simulator uses this to give frozen-embedding models (PR-A1) a fair,
+/// realistic learnable signal.
+pub fn edge_popularity(g: &Graph, samples: usize, seed: u64) -> Vec<f64> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = g.vertex_count();
+    let mut counts = vec![0.0f64; g.edge_count()];
+    if n == 0 || g.edge_count() == 0 {
+        return counts;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engine = crate::algo::engine::QueryEngine::new(g);
+    for _ in 0..samples.max(1) {
+        let root = VertexId(rng.gen_range(0..n as u32));
+        let tree = engine.one_to_all(root, CostModel::Length);
+        // Each vertex contributes its tree edge; edges nearer the root are
+        // shared by more descendants, which we approximate by accumulating
+        // subtree sizes bottom-up through repeated parent walks capped for
+        // O(n · depth) worst cases on degenerate graphs.
+        for v in g.vertices() {
+            let mut cur = v;
+            let mut hops = 0usize;
+            while let Some((parent, e)) = tree.parent_of(cur) {
+                counts[e.index()] += 1.0;
+                cur = parent;
+                hops += 1;
+                if hops > n {
+                    break; // defensive: cannot happen on a valid tree
+                }
+            }
+        }
+    }
+    let max = counts.iter().cloned().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for c in counts.iter_mut() {
+            *c /= max;
+        }
+    }
+    counts
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,13 +441,30 @@ mod tests {
         let v0 = b.add_vertex(Point::new(0.0, 0.0));
         let v1 = b.add_vertex(Point::new(100.0, 0.0));
         let v2 = b.add_vertex(Point::new(200.0, 0.0));
-        b.add_edge(v0, v1, EdgeAttrs::with_default_speed(100.0, RoadCategory::Residential))
-            .unwrap();
-        b.add_edge(v1, v2, EdgeAttrs::with_default_speed(100.0, RoadCategory::Residential))
-            .unwrap();
-        b.add_edge(v0, v2, EdgeAttrs::with_default_speed(250.0, RoadCategory::Residential))
-            .unwrap();
-        b.add_edge(v2, v0, EdgeAttrs::with_default_speed(200.0, RoadCategory::Arterial)).unwrap();
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::with_default_speed(100.0, RoadCategory::Residential),
+        )
+        .unwrap();
+        b.add_edge(
+            v1,
+            v2,
+            EdgeAttrs::with_default_speed(100.0, RoadCategory::Residential),
+        )
+        .unwrap();
+        b.add_edge(
+            v0,
+            v2,
+            EdgeAttrs::with_default_speed(250.0, RoadCategory::Residential),
+        )
+        .unwrap();
+        b.add_edge(
+            v2,
+            v0,
+            EdgeAttrs::with_default_speed(200.0, RoadCategory::Arterial),
+        )
+        .unwrap();
         b.build()
     }
 
@@ -415,9 +496,19 @@ mod tests {
         let mut b = GraphBuilder::new();
         let v0 = b.add_vertex(Point::new(0.0, 0.0));
         let v1 = b.add_vertex(Point::new(10.0, 0.0));
-        b.add_edge(v0, v1, EdgeAttrs::with_default_speed(500.0, RoadCategory::Rural)).unwrap();
-        let short =
-            b.add_edge(v0, v1, EdgeAttrs::with_default_speed(10.0, RoadCategory::Rural)).unwrap();
+        b.add_edge(
+            v0,
+            v1,
+            EdgeAttrs::with_default_speed(500.0, RoadCategory::Rural),
+        )
+        .unwrap();
+        let short = b
+            .add_edge(
+                v0,
+                v1,
+                EdgeAttrs::with_default_speed(10.0, RoadCategory::Rural),
+            )
+            .unwrap();
         let g = b.build();
         assert_eq!(g.find_edge(v0, v1), Some(short));
         assert_eq!(g.find_edge(v1, v0), None);
@@ -425,7 +516,11 @@ mod tests {
 
     #[test]
     fn travel_time_from_speed() {
-        let attrs = EdgeAttrs { length_m: 1000.0, speed_kmh: 36.0, category: RoadCategory::Rural };
+        let attrs = EdgeAttrs {
+            length_m: 1000.0,
+            speed_kmh: 36.0,
+            category: RoadCategory::Rural,
+        };
         // 36 km/h = 10 m/s => 100 seconds for a kilometre.
         assert!((attrs.travel_time_s() - 100.0).abs() < 1e-9);
     }
@@ -466,7 +561,12 @@ mod tests {
         let v2 = b.add_vertex(Point::new(2.0, 0.0));
         let dangling = b.add_vertex(Point::new(9.0, 9.0));
         for (a, z) in [(v0, v1), (v1, v2), (v2, v0), (v0, dangling)] {
-            b.add_edge(a, z, EdgeAttrs::with_default_speed(10.0, RoadCategory::Rural)).unwrap();
+            b.add_edge(
+                a,
+                z,
+                EdgeAttrs::with_default_speed(10.0, RoadCategory::Rural),
+            )
+            .unwrap();
         }
         let g = b.build();
         let scc = g.largest_scc();
@@ -480,51 +580,4 @@ mod tests {
         }
         assert_eq!(RoadCategory::from_tag(b'?'), None);
     }
-}
-
-/// Approximate edge betweenness ("popularity"): counts how often each edge
-/// lies on a shortest-path tree from `samples` sampled roots, normalised to
-/// `[0, 1]`. High values mark the network's major corridors.
-///
-/// Real drivers concentrate on such corridors, and node2vec embeddings
-/// encode exactly this kind of topological centrality — the trajectory
-/// simulator uses this to give frozen-embedding models (PR-A1) a fair,
-/// realistic learnable signal.
-pub fn edge_popularity(g: &Graph, samples: usize, seed: u64) -> Vec<f64> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    let n = g.vertex_count();
-    let mut counts = vec![0.0f64; g.edge_count()];
-    if n == 0 || g.edge_count() == 0 {
-        return counts;
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..samples.max(1) {
-        let root = VertexId(rng.gen_range(0..n as u32));
-        let tree = crate::algo::dijkstra::shortest_path_tree(g, root, CostModel::Length);
-        // Each vertex contributes its tree edge; edges nearer the root are
-        // shared by more descendants, which we approximate by accumulating
-        // subtree sizes bottom-up through repeated parent walks capped for
-        // O(n · depth) worst cases on degenerate graphs.
-        for v in g.vertices() {
-            let mut cur = v;
-            let mut hops = 0usize;
-            while let Some((parent, e)) = tree.parent[cur.index()] {
-                counts[e.index()] += 1.0;
-                cur = parent;
-                hops += 1;
-                if hops > n {
-                    break; // defensive: cannot happen on a valid tree
-                }
-            }
-        }
-    }
-    let max = counts.iter().cloned().fold(0.0f64, f64::max);
-    if max > 0.0 {
-        for c in counts.iter_mut() {
-            *c /= max;
-        }
-    }
-    counts
 }

@@ -84,7 +84,9 @@ pub fn read_graph<R: BufRead>(input: R) -> Result<Graph, SpatialError> {
         let line = next_line()?;
         let mut it = line.split_ascii_whitespace();
         if it.next() != Some("v") {
-            return Err(SpatialError::Parse(format!("expected vertex line {i}, got {line:?}")));
+            return Err(SpatialError::Parse(format!(
+                "expected vertex line {i}, got {line:?}"
+            )));
         }
         let x = parse_f64(it.next(), "vertex x")?;
         let y = parse_f64(it.next(), "vertex y")?;
@@ -95,7 +97,9 @@ pub fn read_graph<R: BufRead>(input: R) -> Result<Graph, SpatialError> {
         let line = next_line()?;
         let mut it = line.split_ascii_whitespace();
         if it.next() != Some("e") {
-            return Err(SpatialError::Parse(format!("expected edge line {i}, got {line:?}")));
+            return Err(SpatialError::Parse(format!(
+                "expected edge line {i}, got {line:?}"
+            )));
         }
         let from = parse_u32(it.next(), "edge from")?;
         let to = parse_u32(it.next(), "edge to")?;
@@ -105,10 +109,19 @@ pub fn read_graph<R: BufRead>(input: R) -> Result<Graph, SpatialError> {
             .next()
             .and_then(|s| s.bytes().next())
             .ok_or_else(|| SpatialError::Parse("missing category tag".into()))?;
-        let category = RoadCategory::from_tag(tag)
-            .ok_or_else(|| SpatialError::Parse(format!("unknown category tag {:?}", tag as char)))?;
-        b.add_edge(VertexId(from), VertexId(to), EdgeAttrs { length_m, speed_kmh, category })
-            .map_err(|e| SpatialError::Parse(format!("edge {i}: {e}")))?;
+        let category = RoadCategory::from_tag(tag).ok_or_else(|| {
+            SpatialError::Parse(format!("unknown category tag {:?}", tag as char))
+        })?;
+        b.add_edge(
+            VertexId(from),
+            VertexId(to),
+            EdgeAttrs {
+                length_m,
+                speed_kmh,
+                category,
+            },
+        )
+        .map_err(|e| SpatialError::Parse(format!("edge {i}: {e}")))?;
     }
     Ok(b.build())
 }
@@ -121,7 +134,9 @@ pub fn graph_from_str(s: &str) -> Result<Graph, SpatialError> {
 fn parse_count(line: &str, keyword: &str) -> Result<usize, SpatialError> {
     let mut it = line.split_ascii_whitespace();
     if it.next() != Some(keyword) {
-        return Err(SpatialError::Parse(format!("expected {keyword:?} line, got {line:?}")));
+        return Err(SpatialError::Parse(format!(
+            "expected {keyword:?} line, got {line:?}"
+        )));
     }
     it.next()
         .and_then(|s| s.parse().ok())

@@ -12,7 +12,8 @@
 //! * routing algorithms: [`algo::dijkstra`], [`algo::astar`],
 //!   [`algo::bidijkstra`], Yen's top-k shortest paths ([`algo::yen`]) and
 //!   the diversified top-k used by the paper's D-TkDI training-data
-//!   strategy ([`algo::diversified`]);
+//!   strategy ([`algo::diversified`]) — all running on the reusable,
+//!   generation-stamped query layer in [`algo::engine`];
 //! * path [`similarity`] measures, most importantly the weighted Jaccard
 //!   similarity that defines PathRank's ground-truth ranking scores.
 //!
@@ -43,6 +44,7 @@ pub mod path;
 pub mod similarity;
 pub mod util;
 
+pub use algo::engine::QueryEngine;
 pub use builder::GraphBuilder;
 pub use error::SpatialError;
 pub use graph::{CostModel, EdgeId, Graph, RoadCategory, VertexId};

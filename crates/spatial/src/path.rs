@@ -105,7 +105,10 @@ impl Path {
 
     /// Total free-flow travel time in seconds.
     pub fn travel_time_s(&self, g: &Graph) -> f64 {
-        self.edges.iter().map(|&e| g.edge(e).attrs.travel_time_s()).sum()
+        self.edges
+            .iter()
+            .map(|&e| g.edge(e).attrs.travel_time_s())
+            .sum()
     }
 
     /// Total cost under an arbitrary [`CostModel`].
@@ -213,7 +216,10 @@ mod tests {
     #[test]
     fn from_vertices_rejects_short() {
         let g = ring();
-        assert_eq!(Path::from_vertices(&g, vec![VertexId(0)]).unwrap_err(), SpatialError::TooShort);
+        assert_eq!(
+            Path::from_vertices(&g, vec![VertexId(0)]).unwrap_err(),
+            SpatialError::TooShort
+        );
     }
 
     #[test]
@@ -235,11 +241,8 @@ mod tests {
     #[test]
     fn prefix_and_concat() {
         let g = ring();
-        let p = Path::from_vertices(
-            &g,
-            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)],
-        )
-        .unwrap();
+        let p = Path::from_vertices(&g, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)])
+            .unwrap();
         assert!(p.prefix(0).is_none());
         assert!(p.prefix(4).is_none());
         let pre = p.prefix(2).unwrap();
@@ -256,7 +259,14 @@ mod tests {
         let g = ring();
         let p = Path::from_vertices(
             &g,
-            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3), VertexId(0), VertexId(2)],
+            vec![
+                VertexId(0),
+                VertexId(1),
+                VertexId(2),
+                VertexId(3),
+                VertexId(0),
+                VertexId(2),
+            ],
         )
         .unwrap();
         assert!(!p.is_simple());

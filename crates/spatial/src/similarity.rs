@@ -158,7 +158,11 @@ pub fn lcs_similarity(a: &Path, b: &Path) -> f64 {
     let mut curr = vec![0u32; short.len() + 1];
     for &lv in long {
         for (j, &sv) in short.iter().enumerate() {
-            curr[j + 1] = if lv == sv { prev[j] + 1 } else { prev[j + 1].max(curr[j]) };
+            curr[j + 1] = if lv == sv {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
         }
         std::mem::swap(&mut prev, &mut curr);
     }
@@ -236,9 +240,9 @@ mod tests {
     fn partial_overlap_weighted_jaccard() {
         let g = diamond();
         let p = path(&g, &[0, 1, 3]); // e0, e1: weights 120 + 120
-        // Make a path sharing only e0 by extending: 0 -> 1 uses e0; then we
-        // need an outgoing edge from 1 other than e1 — there is none, so
-        // instead check overlap_ratio asymmetry with a sub-path.
+                                      // Make a path sharing only e0 by extending: 0 -> 1 uses e0; then we
+                                      // need an outgoing edge from 1 other than e1 — there is none, so
+                                      // instead check overlap_ratio asymmetry with a sub-path.
         let pre = p.prefix(1).unwrap(); // 0 -> 1, edge e0
         let wj = weighted_jaccard(&g, &pre, &p, EdgeWeight::Length);
         assert!((wj - 120.0 / 240.0).abs() < 1e-12);
@@ -253,7 +257,10 @@ mod tests {
         let p = path(&g, &[0, 1, 3]);
         let q = path(&g, &[0, 3]);
         for w in [EdgeWeight::Length, EdgeWeight::TravelTime, EdgeWeight::Unit] {
-            assert_eq!(weighted_jaccard(&g, &p, &q, w), weighted_jaccard(&g, &q, &p, w));
+            assert_eq!(
+                weighted_jaccard(&g, &p, &q, w),
+                weighted_jaccard(&g, &q, &p, w)
+            );
         }
     }
 
@@ -300,8 +307,10 @@ mod proptests {
         if s == t {
             return None;
         }
-        let paths: Vec<_> =
-            YenIter::new(g, s, t, CostModel::Length).take(8).map(|(p, _)| p).collect();
+        let paths: Vec<_> = YenIter::new(g, s, t, CostModel::Length)
+            .take(8)
+            .map(|(p, _)| p)
+            .collect();
         if paths.is_empty() {
             return None;
         }

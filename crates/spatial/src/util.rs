@@ -18,7 +18,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates a bitset able to hold ids in `0..capacity`, all clear.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0u64; capacity.div_ceil(64)], len: capacity }
+        BitSet {
+            words: vec![0u64; capacity.div_ceil(64)],
+            len: capacity,
+        }
     }
 
     /// Capacity in bits.
@@ -30,7 +33,11 @@ impl BitSet {
     /// Sets bit `i`.
     #[inline]
     pub fn insert(&mut self, i: u32) {
-        debug_assert!((i as usize) < self.len, "bit {i} out of capacity {}", self.len);
+        debug_assert!(
+            (i as usize) < self.len,
+            "bit {i} out of capacity {}",
+            self.len
+        );
         self.words[(i / 64) as usize] |= 1u64 << (i % 64);
     }
 
@@ -130,8 +137,14 @@ mod tests {
     #[test]
     fn min_cost_nan_sorts_last() {
         let mut h = BinaryHeap::new();
-        h.push(MinCost { cost: f64::NAN, item: 'n' });
-        h.push(MinCost { cost: 5.0, item: 'x' });
+        h.push(MinCost {
+            cost: f64::NAN,
+            item: 'n',
+        });
+        h.push(MinCost {
+            cost: 5.0,
+            item: 'x',
+        });
         assert_eq!(h.pop().unwrap().item, 'x');
         assert_eq!(h.pop().unwrap().item, 'n');
     }

@@ -42,7 +42,10 @@ impl GpsTrace {
 
     /// Sum of straight-line distances between consecutive fixes, in metres.
     pub fn measured_length_m(&self) -> f64 {
-        self.points.windows(2).map(|w| w[0].pos.distance(&w[1].pos)).sum()
+        self.points
+            .windows(2)
+            .map(|w| w[0].pos.distance(&w[1].pos))
+            .sum()
     }
 }
 
@@ -65,9 +68,18 @@ mod tests {
         let trace = GpsTrace {
             vehicle: 7,
             points: vec![
-                GpsPoint { pos: Point::new(0.0, 0.0), t_s: 0.0 },
-                GpsPoint { pos: Point::new(3.0, 4.0), t_s: 10.0 },
-                GpsPoint { pos: Point::new(3.0, 10.0), t_s: 20.0 },
+                GpsPoint {
+                    pos: Point::new(0.0, 0.0),
+                    t_s: 0.0,
+                },
+                GpsPoint {
+                    pos: Point::new(3.0, 4.0),
+                    t_s: 10.0,
+                },
+                GpsPoint {
+                    pos: Point::new(3.0, 10.0),
+                    t_s: 20.0,
+                },
             ],
         };
         assert_eq!(trace.len(), 3);
@@ -78,7 +90,10 @@ mod tests {
 
     #[test]
     fn empty_trace() {
-        let trace = GpsTrace { vehicle: 0, points: vec![] };
+        let trace = GpsTrace {
+            vehicle: 0,
+            points: vec![],
+        };
         assert!(trace.is_empty());
         assert_eq!(trace.duration_s(), 0.0);
         assert_eq!(trace.measured_length_m(), 0.0);

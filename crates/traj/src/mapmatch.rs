@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use pathrank_spatial::algo::dijkstra::shortest_path;
+use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::geometry::{project_onto_segment, Point, Projection};
 use pathrank_spatial::graph::{CostModel, EdgeId, Graph};
 use pathrank_spatial::path::Path;
@@ -75,7 +75,10 @@ impl EdgeIndex {
     /// Edges whose registered cells intersect the disc around `p`.
     pub fn edges_near(&self, p: &Point, radius_m: f64) -> Vec<EdgeId> {
         let r_cells = (radius_m / self.cell_m).ceil() as i32;
-        let (cx, cy) = ((p.x / self.cell_m).floor() as i32, (p.y / self.cell_m).floor() as i32);
+        let (cx, cy) = (
+            (p.x / self.cell_m).floor() as i32,
+            (p.y / self.cell_m).floor() as i32,
+        );
         let mut out = Vec::new();
         for dx in -r_cells..=r_cells {
             for dy in -r_cells..=r_cells {
@@ -105,7 +108,24 @@ struct Candidate {
 ///
 /// Returns `None` when the trace is too short or no consistent candidate
 /// chain exists (e.g. every fix is far from any road).
+///
+/// One-shot convenience over [`map_match_with`], which reuses a
+/// caller-provided [`QueryEngine`] across traces — the HMM transition
+/// model probes a shortest path between every candidate pair of
+/// consecutive GPS fixes, so matching is routing-query dominated.
 pub fn map_match(g: &Graph, trace: &GpsTrace, cfg: &MapMatchConfig) -> Option<Path> {
+    map_match_with(&mut QueryEngine::new(g), trace, cfg)
+}
+
+/// [`map_match`] on a caller-provided engine: all route-distance probes
+/// (many per fix pair) and gap-filling searches reuse the engine's
+/// search state instead of allocating per query.
+pub fn map_match_with(
+    engine: &mut QueryEngine<'_>,
+    trace: &GpsTrace,
+    cfg: &MapMatchConfig,
+) -> Option<Path> {
+    let g = engine.graph();
     if trace.len() < 2 {
         return None;
     }
@@ -143,7 +163,12 @@ pub fn map_match(g: &Graph, trace: &GpsTrace, cfg: &MapMatchConfig) -> Option<Pa
                     let en = (ex * ex + ey * ey).sqrt().max(1e-9);
                     hx * ex / en + hy * ey / en
                 });
-                Some(Candidate { edge: e, t: proj.t, dist: proj.distance, heading_cos })
+                Some(Candidate {
+                    edge: e,
+                    t: proj.t,
+                    dist: proj.distance,
+                    heading_cos,
+                })
             })
             .collect();
         cands.sort_by(|a, b| a.dist.total_cmp(&b.dist));
@@ -163,26 +188,30 @@ pub fn map_match(g: &Graph, trace: &GpsTrace, cfg: &MapMatchConfig) -> Option<Pa
             + cfg.heading_weight * (c.heading_cos - 1.0)
     };
     let mut sp_cache: HashMap<(u32, u32), Option<f64>> = HashMap::new();
-    let mut route_dist = |g: &Graph, a: &Candidate, b: &Candidate| -> Option<f64> {
-        let (ea, eb) = (g.edge(a.edge), g.edge(b.edge));
-        if a.edge == b.edge {
-            let delta = (b.t - a.t) * ea.attrs.length_m;
-            // Small backward jitter is GPS noise, not a loop around the
-            // block; treat it as (almost) standing still.
-            if delta >= -30.0 {
-                return Some(delta.abs());
+    let mut route_dist =
+        |engine: &mut QueryEngine<'_>, a: &Candidate, b: &Candidate| -> Option<f64> {
+            let g = engine.graph();
+            let (ea, eb) = (g.edge(a.edge), g.edge(b.edge));
+            if a.edge == b.edge {
+                let delta = (b.t - a.t) * ea.attrs.length_m;
+                // Small backward jitter is GPS noise, not a loop around the
+                // block; treat it as (almost) standing still.
+                if delta >= -30.0 {
+                    return Some(delta.abs());
+                }
             }
-        }
-        let tail = (1.0 - a.t) * ea.attrs.length_m;
-        let head = b.t * eb.attrs.length_m;
-        if ea.to == eb.from {
-            return Some(tail + head);
-        }
-        let between = *sp_cache.entry((ea.to.0, eb.from.0)).or_insert_with(|| {
-            shortest_path(g, ea.to, eb.from, CostModel::Length).map(|p| p.length_m(g))
-        });
-        between.map(|d| tail + d + head)
-    };
+            let tail = (1.0 - a.t) * ea.attrs.length_m;
+            let head = b.t * eb.attrs.length_m;
+            if ea.to == eb.from {
+                return Some(tail + head);
+            }
+            // The cost-only probe never materialises a path, so cache misses
+            // allocate nothing on the reused engine.
+            let between = *sp_cache
+                .entry((ea.to.0, eb.from.0))
+                .or_insert_with(|| engine.shortest_path_cost(ea.to, eb.from, CostModel::Length));
+            between.map(|d| tail + d + head)
+        };
 
     let mut score: Vec<f64> = layers[0].iter().map(emission).collect();
     let mut back: Vec<Vec<usize>> = Vec::with_capacity(layers.len());
@@ -208,7 +237,9 @@ pub fn map_match(g: &Graph, trace: &GpsTrace, cfg: &MapMatchConfig) -> Option<Pa
                 if score[i] == f64::NEG_INFINITY {
                     continue;
                 }
-                let Some(route) = route_dist(g, prev, cand) else { continue };
+                let Some(route) = route_dist(engine, prev, cand) else {
+                    continue;
+                };
                 let gc = positions[li - 1][i].distance(&positions[li][j]);
                 // Severely detouring transitions are pruned outright.
                 if route > 4.0 * gc + 400.0 {
@@ -246,15 +277,19 @@ pub fn map_match(g: &Graph, trace: &GpsTrace, cfg: &MapMatchConfig) -> Option<Pa
         chain_rev.push(b[*chain_rev.last().expect("non-empty")]);
     }
     chain_rev.reverse();
-    let matched: Vec<Candidate> =
-        chain_rev.iter().enumerate().map(|(li, &ci)| layers[li][ci]).collect();
+    let matched: Vec<Candidate> = chain_rev
+        .iter()
+        .enumerate()
+        .map(|(li, &ci)| layers[li][ci])
+        .collect();
 
-    stitch(g, &matched)
+    stitch(engine, &matched)
 }
 
 /// Stitches a candidate chain into a connected path, filling gaps between
 /// consecutive matched edges with shortest paths.
-fn stitch(g: &Graph, matched: &[Candidate]) -> Option<Path> {
+fn stitch(engine: &mut QueryEngine<'_>, matched: &[Candidate]) -> Option<Path> {
+    let g = engine.graph();
     let mut edges: Vec<EdgeId> = Vec::new();
     for c in matched {
         match edges.last() {
@@ -263,7 +298,7 @@ fn stitch(g: &Graph, matched: &[Candidate]) -> Option<Path> {
             Some(&last) => {
                 let (prev, cur) = (g.edge(last), g.edge(c.edge));
                 if prev.to != cur.from {
-                    match shortest_path(g, prev.to, cur.from, CostModel::Length) {
+                    match engine.shortest_path(prev.to, cur.from, CostModel::Length) {
                         Some(gap) => edges.extend_from_slice(gap.edges()),
                         None => return None,
                     }
@@ -289,11 +324,16 @@ fn stitch(g: &Graph, matched: &[Candidate]) -> Option<Path> {
     // the very end of its edge (t ≈ 1) means the vehicle only started
     // *after* that edge; symmetrically for the last candidate at t ≈ 0.
     if cleaned.len() >= 2 {
-        if matched.first().is_some_and(|c| c.t >= 0.9 && cleaned[0] == c.edge) {
+        if matched
+            .first()
+            .is_some_and(|c| c.t >= 0.9 && cleaned[0] == c.edge)
+        {
             cleaned.remove(0);
         }
         if cleaned.len() >= 2
-            && matched.last().is_some_and(|c| c.t <= 0.1 && *cleaned.last().unwrap() == c.edge)
+            && matched
+                .last()
+                .is_some_and(|c| c.t <= 0.1 && *cleaned.last().unwrap() == c.edge)
         {
             cleaned.pop();
         }
@@ -331,7 +371,10 @@ mod tests {
         sim_cfg.gps_noise_std_m = 4.0;
         sim_cfg.sampling_interval_s = 4.0;
         let trips = simulate_fleet(&g, &sim_cfg, 17);
-        let mm = MapMatchConfig { sigma_m: 6.0, ..Default::default() };
+        let mm = MapMatchConfig {
+            sigma_m: 6.0,
+            ..Default::default()
+        };
 
         let mut total_sim = 0.0;
         let mut matched_count = 0usize;
@@ -343,15 +386,44 @@ mod tests {
             total_sim += weighted_jaccard(&g, &matched, &trip.path, EdgeWeight::Length);
             matched_count += 1;
         }
-        assert!(matched_count >= 6, "most traces must match ({matched_count}/8)");
+        assert!(
+            matched_count >= 6,
+            "most traces must match ({matched_count}/8)"
+        );
         let avg = total_sim / matched_count as f64;
         assert!(avg > 0.9, "average matched similarity too low: {avg:.3}");
     }
 
     #[test]
+    fn reused_engine_matches_identically() {
+        // One engine across all traces must reproduce the one-shot
+        // matcher's output exactly — the map-matching face of the
+        // stale-generation bug class.
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 17);
+        let cfg = MapMatchConfig::default();
+        let mut engine = QueryEngine::new(&g);
+        for trip in trips.iter().take(6) {
+            let fresh = map_match(&g, &trip.trace, &cfg);
+            let reused = map_match_with(&mut engine, &trip.trace, &cfg);
+            match (fresh, reused) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.vertices(), b.vertices());
+                    assert_eq!(a.edges(), b.edges());
+                }
+                (None, None) => {}
+                (a, b) => panic!("match divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn short_traces_return_none() {
         let g = region_network(&RegionConfig::small_test(), 4);
-        let trace = GpsTrace { vehicle: 0, points: vec![] };
+        let trace = GpsTrace {
+            vehicle: 0,
+            points: vec![],
+        };
         assert!(map_match(&g, &trace, &MapMatchConfig::default()).is_none());
     }
 

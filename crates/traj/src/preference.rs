@@ -119,7 +119,11 @@ impl DriverPreference {
     /// node2vec embedding can capture).
     pub fn edge_costs_with_popularity(&self, g: &Graph, popularity: Option<&[f64]>) -> Vec<f64> {
         if let Some(pop) = popularity {
-            assert_eq!(pop.len(), g.edge_count(), "popularity must cover every edge");
+            assert_eq!(
+                pop.len(),
+                g.edge_count(),
+                "popularity must cover every edge"
+            );
         }
         let mut rng = StdRng::seed_from_u64(self.familiarity_seed);
         let mut costs = Vec::with_capacity(g.edge_count());
@@ -200,7 +204,9 @@ mod tests {
                 }
                 let preferred = shortest_path(&g, s, t, CostModel::Custom(&costs));
                 let shortest = shortest_path(&g, s, t, CostModel::Length);
-                let (Some(p), Some(sh)) = (preferred, shortest) else { continue };
+                let (Some(p), Some(sh)) = (preferred, shortest) else {
+                    continue;
+                };
                 total += 1;
                 // Bounded detour: drivers are biased, not crazy.
                 assert!(

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use pathrank_spatial::algo::dijkstra::shortest_path;
+use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::geometry::Point;
 use pathrank_spatial::graph::{edge_popularity, CostModel, Graph, VertexId};
 use pathrank_spatial::path::Path;
@@ -83,6 +83,8 @@ pub fn simulate_fleet(g: &Graph, cfg: &SimulationConfig, seed: u64) -> Vec<Trip>
     let mut rng = StdRng::seed_from_u64(seed);
     let n = g.vertex_count() as u32;
     let mut trips = Vec::with_capacity(cfg.n_vehicles * cfg.trips_per_vehicle);
+    // One reused engine routes every trip of the fleet.
+    let mut engine = QueryEngine::new(g);
     // Shared corridor popularity: part of every driver's taste, and the
     // topological component of the signal PathRank learns.
     let popularity = edge_popularity(g, 48, seed.wrapping_add(0x5eed));
@@ -103,12 +105,16 @@ pub fn simulate_fleet(g: &Graph, cfg: &SimulationConfig, seed: u64) -> Vec<Trip>
             if euclid < cfg.min_trip_euclid_m || euclid > cfg.max_trip_euclid_m {
                 continue;
             }
-            let Some(path) = shortest_path(g, s, t, CostModel::Custom(&costs)) else {
+            let Some(path) = engine.shortest_path(s, t, CostModel::Custom(&costs)) else {
                 continue;
             };
             let factor = rng.gen_range(cfg.speed_factor.0..=cfg.speed_factor.1);
             let trace = emit_trace(g, &path, vehicle, cfg, factor, &mut rng);
-            trips.push(Trip { vehicle, path, trace });
+            trips.push(Trip {
+                vehicle,
+                path,
+                trace,
+            });
             produced += 1;
         }
     }
@@ -132,7 +138,10 @@ fn emit_trace(
     let mut emit = |pos: Point, t: f64, rng: &mut StdRng| {
         let nx = sample_standard_normal(rng) * cfg.gps_noise_std_m;
         let ny = sample_standard_normal(rng) * cfg.gps_noise_std_m;
-        points.push(GpsPoint { pos: Point::new(pos.x + nx, pos.y + ny), t_s: t });
+        points.push(GpsPoint {
+            pos: Point::new(pos.x + nx, pos.y + ny),
+            t_s: t,
+        });
     };
 
     for (i, &e) in path.edges().iter().enumerate() {
@@ -189,7 +198,10 @@ mod tests {
     fn traces_cover_paths_in_time_and_space() {
         let (g, trips) = setup();
         for trip in &trips {
-            assert!(trip.trace.len() >= 2, "every trip emits at least start and end fixes");
+            assert!(
+                trip.trace.len() >= 2,
+                "every trip emits at least start and end fixes"
+            );
             // Timestamps strictly increase.
             for w in trip.trace.points.windows(2) {
                 assert!(w[1].t_s > w[0].t_s);
@@ -225,8 +237,13 @@ mod tests {
         let costs = pref.edge_costs(&g);
         let s = VertexId(0);
         let t = VertexId((g.vertex_count() - 1) as u32);
-        let p1 = shortest_path(&g, s, t, CostModel::Custom(&costs)).unwrap();
-        let p2 = shortest_path(&g, s, t, CostModel::Custom(&costs)).unwrap();
+        let mut engine = QueryEngine::new(&g);
+        let p1 = engine
+            .shortest_path(s, t, CostModel::Custom(&costs))
+            .unwrap();
+        let p2 = engine
+            .shortest_path(s, t, CostModel::Custom(&costs))
+            .unwrap();
         assert!(p1.same_route(&p2));
     }
 

@@ -36,7 +36,10 @@ fn mean_pairwise_similarity(g: &Graph, paths: &[(Path, f64)]) -> f64 {
 
 fn describe(g: &Graph, label: &str, paths: &[(Path, f64)]) {
     println!("\n== {label} ({} paths) ==", paths.len());
-    println!("{:>4} {:>10} {:>10} {:>6}", "#", "length_m", "time_s", "hops");
+    println!(
+        "{:>4} {:>10} {:>10} {:>6}",
+        "#", "length_m", "time_s", "hops"
+    );
     for (i, (p, _)) in paths.iter().enumerate() {
         println!(
             "{:>4} {:>10.0} {:>10.0} {:>6}",
@@ -46,7 +49,10 @@ fn describe(g: &Graph, label: &str, paths: &[(Path, f64)]) {
             p.len()
         );
     }
-    println!("mean pairwise weighted-Jaccard: {:.3}", mean_pairwise_similarity(g, paths));
+    println!(
+        "mean pairwise weighted-Jaccard: {:.3}",
+        mean_pairwise_similarity(g, paths)
+    );
 }
 
 fn main() {
@@ -65,7 +71,10 @@ fn main() {
     let plain = yen_k_shortest(&g, s, t, CostModel::Length, k);
     describe(&g, "TkDI: plain top-k shortest paths", &plain);
 
-    let cfg = DiversifiedConfig { threshold: 0.6, ..DiversifiedConfig::with_k(k) };
+    let cfg = DiversifiedConfig {
+        threshold: 0.6,
+        ..DiversifiedConfig::with_k(k)
+    };
     let diverse = diversified_top_k(&g, s, t, CostModel::Length, &cfg);
     describe(&g, "D-TkDI: diversified top-k (threshold 0.6)", &diverse);
 
@@ -74,6 +83,10 @@ fn main() {
     println!(
         "\ndiversification cut mean pairwise overlap from {plain_sim:.3} to {diverse_sim:.3} \
          ({}x more diverse)",
-        if diverse_sim > 0.0 { (plain_sim / diverse_sim).round() } else { f64::INFINITY }
+        if diverse_sim > 0.0 {
+            (plain_sim / diverse_sim).round()
+        } else {
+            f64::INFINITY
+        }
     );
 }

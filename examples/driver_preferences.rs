@@ -22,7 +22,11 @@ fn main() {
     let n = g.vertex_count() as u32;
     let mut rng = StdRng::seed_from_u64(5);
 
-    println!("network: {} vertices / {} edges", g.vertex_count(), g.edge_count());
+    println!(
+        "network: {} vertices / {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
     println!(
         "\n{:>7} {:>9} {:>11} {:>11} {:>12} {:>12}",
         "driver", "trip", "detour_len", "detour_time", "sim_shortest", "sim_fastest"

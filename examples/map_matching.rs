@@ -15,7 +15,11 @@ use pathrank::traj::simulator::{simulate_fleet, SimulationConfig};
 
 fn main() {
     let g = region_network(&RegionConfig::small_test(), 7);
-    println!("network: {} vertices / {} edges", g.vertex_count(), g.edge_count());
+    println!(
+        "network: {} vertices / {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
     println!(
         "\n{:>10} {:>9} {:>9} {:>12}",
         "noise_std", "trips", "matched", "mean_jaccard"
@@ -30,7 +34,10 @@ fn main() {
             ..SimulationConfig::small_test()
         };
         let trips = simulate_fleet(&g, &sim, 99);
-        let mm = MapMatchConfig { sigma_m: noise.max(4.0), ..MapMatchConfig::default() };
+        let mm = MapMatchConfig {
+            sigma_m: noise.max(4.0),
+            ..MapMatchConfig::default()
+        };
 
         let mut matched = 0usize;
         let mut total_sim = 0.0;
@@ -40,7 +47,11 @@ fn main() {
                 matched += 1;
             }
         }
-        let mean = if matched > 0 { total_sim / matched as f64 } else { 0.0 };
+        let mean = if matched > 0 {
+            total_sim / matched as f64
+        } else {
+            0.0
+        };
         println!("{noise:>10.0} {:>9} {matched:>9} {mean:>12.3}", trips.len());
     }
 

@@ -33,9 +33,16 @@ fn main() {
     );
 
     // 2. Train PathRank PR-A2 with D-TkDI training data.
-    let ccfg = CandidateConfig { k: 6, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let ccfg = CandidateConfig {
+        k: 6,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
     let mcfg = ModelConfig::paper_default(32);
-    let tcfg = TrainConfig { epochs: 6, lr: 2e-3, ..TrainConfig::default() };
+    let tcfg = TrainConfig {
+        epochs: 6,
+        lr: 2e-3,
+        ..TrainConfig::default()
+    };
     let (result, model) = wb.run_with_model(mcfg, ccfg, tcfg);
     println!("test metrics: {}", result.eval);
 

@@ -25,7 +25,10 @@ fn graph_serialisation_preserves_routing() {
     let t = VertexId((g.vertex_count() - 2) as u32);
     let a = shortest_path(&g, s, t, CostModel::Length).unwrap();
     let b = shortest_path(&restored, s, t, CostModel::Length).unwrap();
-    assert!(a.same_route(&b), "routing must be identical on the restored graph");
+    assert!(
+        a.same_route(&b),
+        "routing must be identical on the restored graph"
+    );
 }
 
 #[test]
@@ -35,10 +38,18 @@ fn candidate_groups_contain_the_optimal_path() {
     let g = region();
     let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 34);
     let trajectory = &trips[0].path;
-    let sp = shortest_path(&g, trajectory.source(), trajectory.target(), CostModel::Length)
-        .expect("connected");
+    let sp = shortest_path(
+        &g,
+        trajectory.source(),
+        trajectory.target(),
+        CostModel::Length,
+    )
+    .expect("connected");
     for strategy in [Strategy::TkDI, Strategy::DTkDI] {
-        let cfg = CandidateConfig { k: 5, ..CandidateConfig::paper_default(strategy) };
+        let cfg = CandidateConfig {
+            k: 5,
+            ..CandidateConfig::paper_default(strategy)
+        };
         let group = generate_group(&g, trajectory, &cfg);
         assert!(
             group.candidates.iter().any(|c| c.path.same_route(&sp)),
@@ -54,7 +65,10 @@ fn simulated_trajectory_scores_higher_than_distant_alternatives() {
     // route-identical.
     let g = region();
     let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 35);
-    let cfg = CandidateConfig { k: 6, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let cfg = CandidateConfig {
+        k: 6,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
     for trip in trips.iter().take(5) {
         let group = generate_group(&g, &trip.path, &cfg);
         assert_eq!(group.candidates[0].score, 1.0);
@@ -73,9 +87,15 @@ fn map_matched_path_scores_near_original() {
     // ground-truth driven path must be high (i.e. labels barely change if
     // we train from matched instead of true paths).
     let g = region();
-    let sim = SimulationConfig { gps_noise_std_m: 5.0, ..SimulationConfig::small_test() };
+    let sim = SimulationConfig {
+        gps_noise_std_m: 5.0,
+        ..SimulationConfig::small_test()
+    };
     let trips = simulate_fleet(&g, &sim, 36);
-    let mm = MapMatchConfig { sigma_m: 6.0, ..MapMatchConfig::default() };
+    let mm = MapMatchConfig {
+        sigma_m: 6.0,
+        ..MapMatchConfig::default()
+    };
     let mut total = 0.0;
     let mut n = 0usize;
     for trip in trips.iter().take(6) {
@@ -85,7 +105,11 @@ fn map_matched_path_scores_near_original() {
         }
     }
     assert!(n >= 4, "most traces must match");
-    assert!(total / n as f64 > 0.85, "matched paths too dissimilar: {}", total / n as f64);
+    assert!(
+        total / n as f64 > 0.85,
+        "matched paths too dissimilar: {}",
+        total / n as f64
+    );
 }
 
 #[test]

@@ -12,10 +12,22 @@ fn run_once(seed: u64, threads: usize) -> (f64, f64, f64, f64) {
     cfg.seed = seed;
     cfg.threads = threads;
     let mut wb = Workbench::new(cfg);
-    let ccfg = CandidateConfig { k: 4, ..CandidateConfig::paper_default(Strategy::DTkDI) };
-    let tcfg = TrainConfig { epochs: 3, threads, ..TrainConfig::default() };
+    let ccfg = CandidateConfig {
+        k: 4,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
+    let tcfg = TrainConfig {
+        epochs: 3,
+        threads,
+        ..TrainConfig::default()
+    };
     let result = wb.run(ModelConfig::paper_default(16), ccfg, tcfg);
-    (result.eval.mae, result.eval.mare, result.eval.tau, result.eval.rho)
+    (
+        result.eval.mae,
+        result.eval.mare,
+        result.eval.tau,
+        result.eval.rho,
+    )
 }
 
 #[test]
@@ -38,6 +50,16 @@ fn thread_count_changes_results_only_marginally() {
     // numeric drift but nothing structural.
     let a = run_once(77, 1);
     let b = run_once(77, 2);
-    assert!((a.0 - b.0).abs() < 5e-2, "MAE drift too large: {} vs {}", a.0, b.0);
-    assert!((a.2 - b.2).abs() < 0.3, "tau drift too large: {} vs {}", a.2, b.2);
+    assert!(
+        (a.0 - b.0).abs() < 5e-2,
+        "MAE drift too large: {} vs {}",
+        a.0,
+        b.0
+    );
+    assert!(
+        (a.2 - b.2).abs() < 0.3,
+        "tau drift too large: {} vs {}",
+        a.2,
+        b.2
+    );
 }

@@ -15,13 +15,21 @@ fn medium_config() -> ExperimentConfig {
 }
 
 fn train_cfg(epochs: usize) -> TrainConfig {
-    TrainConfig { epochs, lr: 2e-3, threads: 2, ..TrainConfig::default() }
+    TrainConfig {
+        epochs,
+        lr: 2e-3,
+        threads: 2,
+        ..TrainConfig::default()
+    }
 }
 
 #[test]
 fn full_pipeline_learns_something() {
     let mut wb = Workbench::new(medium_config());
-    let ccfg = CandidateConfig { k: 6, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let ccfg = CandidateConfig {
+        k: 6,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
     let result = wb.run(ModelConfig::paper_default(32), ccfg, train_cfg(8));
 
     // Training loss decreased.
@@ -38,7 +46,10 @@ fn both_strategies_and_variants_run() {
     let mut wb = Workbench::new(ExperimentConfig::small_test());
     for strategy in [Strategy::TkDI, Strategy::DTkDI] {
         for mode in [EmbeddingMode::FrozenPretrained, EmbeddingMode::Trainable] {
-            let ccfg = CandidateConfig { k: 4, ..CandidateConfig::paper_default(strategy) };
+            let ccfg = CandidateConfig {
+                k: 4,
+                ..CandidateConfig::paper_default(strategy)
+            };
             let mcfg = ModelConfig {
                 embedding_mode: mode,
                 ..ModelConfig::paper_default(16)
@@ -53,13 +64,18 @@ fn both_strategies_and_variants_run() {
 #[test]
 fn trained_model_outranks_random_scores() {
     let mut wb = Workbench::new(medium_config());
-    let ccfg = CandidateConfig { k: 6, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let ccfg = CandidateConfig {
+        k: 6,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
     let result = wb.run(ModelConfig::paper_default(32), ccfg, train_cfg(8));
 
     // A deterministic pseudo-random scorer as the floor.
     let test_groups = wb.test_groups(6);
     let random = evaluate_with(&test_groups, |g| {
-        (0..g.len()).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0).collect()
+        (0..g.len())
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0)
+            .collect()
     });
     assert!(
         result.eval.tau > random.tau,
@@ -75,12 +91,17 @@ fn baselines_are_outperformed_or_matched_on_mae() {
     // weighted-Jaccard scale, so the learned model should at least match
     // them on MAE.
     let mut wb = Workbench::new(medium_config());
-    let ccfg = CandidateConfig { k: 6, ..CandidateConfig::paper_default(Strategy::DTkDI) };
+    let ccfg = CandidateConfig {
+        k: 6,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
     let result = wb.run(ModelConfig::paper_default(32), ccfg, train_cfg(8));
 
     let g = wb.graph.clone();
     let test_groups = wb.test_groups(6);
-    let sp = evaluate_with(&test_groups, |grp| baselines::shortest_length_ratio(&g, grp));
+    let sp = evaluate_with(&test_groups, |grp| {
+        baselines::shortest_length_ratio(&g, grp)
+    });
     assert!(
         result.eval.mae <= sp.mae * 1.2,
         "PathRank MAE {} should be competitive with SP baseline {}",

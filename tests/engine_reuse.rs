@@ -1,0 +1,251 @@
+//! Reuse-correctness suite for the generation-stamped query engine.
+//!
+//! The classic failure mode of reusable search state is the *stale
+//! generation* bug: a slot written by query N is read by query N+k because
+//! the reset was skipped or the stamp check is wrong. These tests hammer a
+//! single [`QueryEngine`] with interleaved queries that maximise the
+//! chance of such leakage — alternating cost models, sources, banned
+//! vertex/edge sets and algorithms — and require **bit-identical** output
+//! (vertex/edge id sequences and `f64` distances compared with `==`)
+//! versus fresh-allocation runs.
+
+use pathrank::spatial::algo::dijkstra::{
+    constrained_shortest_path, shortest_path, shortest_path_tree,
+};
+use pathrank::spatial::algo::engine::QueryEngine;
+use pathrank::spatial::algo::yen::yen_k_shortest;
+use pathrank::spatial::algo::{astar_shortest_path, bidirectional_shortest_path};
+use pathrank::spatial::generators::{grid_network, region_network, GridConfig, RegionConfig};
+use pathrank::spatial::graph::{CostModel, Graph, VertexId};
+use pathrank::spatial::path::Path;
+use pathrank::spatial::util::BitSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_same_path(fresh: Option<Path>, reused: Option<Path>, ctx: &str) {
+    match (fresh, reused) {
+        (Some(a), Some(b)) => {
+            assert_eq!(
+                a.vertices(),
+                b.vertices(),
+                "vertex sequence diverged: {ctx}"
+            );
+            assert_eq!(a.edges(), b.edges(), "edge sequence diverged: {ctx}");
+        }
+        (None, None) => {}
+        (a, b) => panic!("reachability diverged ({ctx}): fresh {a:?} vs reused {b:?}"),
+    }
+}
+
+/// Deterministic per-iteration cost perturbation so interleaved custom
+/// models differ from each other (a stale dist from model A is nearly
+/// always wrong under model B).
+fn custom_costs(g: &Graph, salt: u64) -> Vec<f64> {
+    (0..g.edge_count())
+        .map(|i| 1.0 + ((i as u64).wrapping_mul(2654435761).wrapping_add(salt * 97) % 1000) as f64)
+        .collect()
+}
+
+#[test]
+fn interleaved_queries_match_fresh_bit_for_bit() {
+    let g = region_network(&RegionConfig::small_test(), 42);
+    let n = g.vertex_count() as u32;
+    let mut engine = QueryEngine::new(&g);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    for round in 0..60u64 {
+        let s = VertexId(rng.gen_range(0..n));
+        let t = VertexId(rng.gen_range(0..n));
+        let costs = custom_costs(&g, round);
+        // Rotate through cost models so consecutive queries on the same
+        // engine never share one.
+        match round % 3 {
+            0 => {
+                let fresh = shortest_path(&g, s, t, CostModel::Length);
+                let reused = engine.shortest_path(s, t, CostModel::Length);
+                assert_same_path(fresh, reused, &format!("round {round} Length {s:?}->{t:?}"));
+            }
+            1 => {
+                let fresh = shortest_path(&g, s, t, CostModel::TravelTime);
+                let reused = engine.shortest_path(s, t, CostModel::TravelTime);
+                assert_same_path(
+                    fresh,
+                    reused,
+                    &format!("round {round} TravelTime {s:?}->{t:?}"),
+                );
+            }
+            _ => {
+                let fresh = shortest_path(&g, s, t, CostModel::Custom(&costs));
+                let reused = engine.shortest_path(s, t, CostModel::Custom(&costs));
+                assert_same_path(fresh, reused, &format!("round {round} Custom {s:?}->{t:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_banned_sets_match_fresh() {
+    // Alternate banned vertex/edge sets (including empty ones) across a
+    // reused engine: a leaked ban or a leaked distance both change paths.
+    let g = grid_network(&GridConfig::small_test(), 13);
+    let n = g.vertex_count() as u32;
+    let mut engine = QueryEngine::new(&g);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    for round in 0..40u64 {
+        let s = VertexId(rng.gen_range(0..n));
+        let t = VertexId(rng.gen_range(0..n));
+        let mut bv = BitSet::new(g.vertex_count());
+        let mut be = BitSet::new(g.edge_count());
+        if round % 2 == 0 {
+            for _ in 0..rng.gen_range(1..5usize) {
+                bv.insert(rng.gen_range(0..n));
+            }
+            for _ in 0..rng.gen_range(1..7usize) {
+                be.insert(rng.gen_range(0..g.edge_count() as u32));
+            }
+        }
+        // Bit-identity is asserted fresh-engine vs reused-engine (same
+        // algorithm); the free wrapper runs plain Dijkstra, which may
+        // tie-break differently, so it is held to cost equality.
+        let fresh =
+            QueryEngine::new(&g).constrained_shortest_path(s, t, CostModel::Length, &bv, &be);
+        let reused = engine.constrained_shortest_path(s, t, CostModel::Length, &bv, &be);
+        let free = constrained_shortest_path(&g, s, t, CostModel::Length, &bv, &be);
+        match (&free, &reused) {
+            (Some(a), Some(b)) => assert!(
+                (a.length_m(&g) - b.length_m(&g)).abs() < 1e-9,
+                "round {round}: free Dijkstra vs engine cost mismatch"
+            ),
+            (None, None) => {}
+            (a, b) => panic!("round {round}: reachability diverged: {a:?} vs {b:?}"),
+        }
+        assert_same_path(
+            fresh,
+            reused,
+            &format!("round {round} constrained {s:?}->{t:?}"),
+        );
+
+        // Interleave an unconstrained query so ban-free state follows
+        // ban-heavy state on the same space.
+        let fresh = shortest_path(&g, t, s, CostModel::Length);
+        let reused = engine.shortest_path(t, s, CostModel::Length);
+        assert_same_path(
+            fresh,
+            reused,
+            &format!("round {round} unconstrained {t:?}->{s:?}"),
+        );
+    }
+}
+
+#[test]
+fn interleaved_algorithms_share_one_engine() {
+    // Dijkstra, A*, bidirectional and one-to-all all run back-to-back on
+    // one engine; each must equal its fresh counterpart. A* and
+    // bidirectional guarantee equal *cost* (tie-breaking may differ), so
+    // costs are compared exactly through path equality where specified
+    // and through cost equality otherwise.
+    let g = region_network(&RegionConfig::small_test(), 8);
+    let n = g.vertex_count() as u32;
+    let mut engine = QueryEngine::new(&g);
+    let mut rng = StdRng::seed_from_u64(1234);
+
+    for round in 0..25u64 {
+        let s = VertexId(rng.gen_range(0..n));
+        let t = VertexId(rng.gen_range(0..n));
+        for cost in [CostModel::Length, CostModel::TravelTime] {
+            let fresh = astar_shortest_path(&g, s, t, cost);
+            let reused = engine.astar_shortest_path(s, t, cost);
+            assert_same_path(fresh, reused, &format!("round {round} astar {s:?}->{t:?}"));
+
+            let fresh = bidirectional_shortest_path(&g, s, t, cost);
+            let reused = engine.bidirectional_shortest_path(s, t, cost);
+            assert_same_path(fresh, reused, &format!("round {round} bidir {s:?}->{t:?}"));
+        }
+        // One-to-all: distances and parents must be bit-identical.
+        let fresh_tree = shortest_path_tree(&g, s, CostModel::Length);
+        let view = engine.one_to_all(s, CostModel::Length);
+        for v in g.vertices() {
+            assert!(
+                fresh_tree.dist[v.index()] == view.dist(v)
+                    || (fresh_tree.dist[v.index()].is_infinite() && view.dist(v).is_infinite()),
+                "round {round}: dist[{v:?}] {} vs {}",
+                fresh_tree.dist[v.index()],
+                view.dist(v)
+            );
+            assert_eq!(
+                fresh_tree.parent[v.index()],
+                view.parent_of(v),
+                "round {round} {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn yen_on_engine_is_deterministic_and_matches_fresh() {
+    // Mirrors tests/determinism.rs for the engine path: repeated engine
+    // runs must be identical to each other *and* to the fresh-allocation
+    // enumeration, including after unrelated queries poisoned the space.
+    let g = region_network(&RegionConfig::small_test(), 3);
+    let n = g.vertex_count() as u32;
+    let pairs = [(0, n - 1), (3, n / 2), (n / 4, n - 2)];
+
+    for &(a, b) in &pairs {
+        let (s, t) = (VertexId(a), VertexId(b));
+        let fresh = yen_k_shortest(&g, s, t, CostModel::Length, 8);
+
+        let mut engine = QueryEngine::new(&g);
+        let first = engine.yen_k_shortest(s, t, CostModel::Length, 8);
+
+        // Poison the search space with unrelated interleaved queries...
+        engine.shortest_path(t, s, CostModel::TravelTime);
+        engine.one_to_all(VertexId(0), CostModel::Length);
+        let costs = custom_costs(&g, 5);
+        engine.shortest_path(s, t, CostModel::Custom(&costs));
+
+        // ...then the same top-k must come out again, bit-identical.
+        let second = engine.yen_k_shortest(s, t, CostModel::Length, 8);
+
+        assert_eq!(fresh.len(), first.len());
+        assert_eq!(first.len(), second.len());
+        for ((fp, fc), ((p1, c1), (p2, c2))) in fresh.iter().zip(first.iter().zip(second.iter())) {
+            assert_eq!(fp.vertices(), p1.vertices(), "fresh vs engine run 1");
+            assert_eq!(p1.vertices(), p2.vertices(), "engine run 1 vs run 2");
+            assert!(
+                fc == c1 && c1 == c2,
+                "costs must be bit-identical: {fc} {c1} {c2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_views_reflect_only_the_latest_query() {
+    // Run a broad query, then a narrow early-exit query: the view of the
+    // narrow query must not resurrect reachability from the broad one.
+    let g = grid_network(&GridConfig::small_test(), 4);
+    let mut engine = QueryEngine::new(&g);
+
+    let broad: Vec<f64> = {
+        let view = engine.one_to_all(VertexId(0), CostModel::Length);
+        g.vertices().map(|v| view.dist(v)).collect()
+    };
+    assert!(broad.iter().all(|d| d.is_finite()), "grid is connected");
+
+    // Early-exit one-to-one towards an adjacent vertex settles only a tiny
+    // neighbourhood; far corners stay unreached *in this epoch*.
+    engine
+        .shortest_path(VertexId(0), VertexId(1), CostModel::Length)
+        .unwrap();
+    let partial_tree = engine.shortest_path_tree(VertexId(0), CostModel::Length);
+    // A full tree query afterwards must again reach everything with the
+    // same distances as the first broad query.
+    for (v, &expect) in g.vertices().zip(broad.iter()) {
+        assert!(
+            partial_tree.dist[v.index()] == expect,
+            "{v:?}: {} vs {expect}",
+            partial_tree.dist[v.index()]
+        );
+    }
+}

@@ -11,8 +11,15 @@ use pathrank::nn::Tape;
 #[test]
 fn trained_model_roundtrips_through_text_format() {
     let mut wb = Workbench::new(ExperimentConfig::small_test());
-    let ccfg = CandidateConfig { k: 4, ..CandidateConfig::paper_default(Strategy::DTkDI) };
-    let tcfg = TrainConfig { epochs: 2, threads: 1, ..TrainConfig::default() };
+    let ccfg = CandidateConfig {
+        k: 4,
+        ..CandidateConfig::paper_default(Strategy::DTkDI)
+    };
+    let tcfg = TrainConfig {
+        epochs: 2,
+        threads: 1,
+        ..TrainConfig::default()
+    };
     let (_, model) = wb.run_with_model(ModelConfig::paper_default(16), ccfg, tcfg);
 
     // Serialise and restore the parameter store.
@@ -38,6 +45,10 @@ fn trained_model_roundtrips_through_text_format() {
     assert_eq!(tape.value(x).rows(), probe.len());
     // Full-model equality: serialise the restored store again; the text
     // fixed point proves the persisted state is stable.
-    assert_eq!(text, params_to_string(&restored), "serialisation is a fixed point");
+    assert_eq!(
+        text,
+        params_to_string(&restored),
+        "serialisation is a fixed point"
+    );
     assert!((0.0..=1.0).contains(&from_model));
 }

@@ -1,0 +1,240 @@
+//! Offline micro-benchmark harness, API-compatible with the subset of
+//! `criterion` this workspace uses (see `vendor/README.md`): benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `sample_size`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short warm-up, then `sample_size`
+//! timed samples (each a batch of iterations sized so one sample takes
+//! ~`TARGET_SAMPLE_NS`); the reported figure is the median ns/iteration.
+//! Like real criterion, running without `--bench` in the args (as
+//! `cargo test` does for bench targets) executes each benchmark body once
+//! as a smoke test instead of timing it.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_NS: u128 = 8_000_000; // ~8 ms per sample
+const WARMUP_NS: u128 = 30_000_000; // ~30 ms warm-up
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// Times closures handed to it by benchmark bodies.
+pub struct Bencher {
+    /// Median ns/iter measured by the last `iter` call.
+    median_ns: f64,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median ns per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke_only {
+            black_box(f());
+            self.median_ns = f64::NAN;
+            return;
+        }
+        // Warm up and estimate the cost of one iteration.
+        let mut iters_done: u64 = 0;
+        let warm_start = Instant::now();
+        let mut one = loop {
+            black_box(f());
+            iters_done += 1;
+            let spent = warm_start.elapsed().as_nanos();
+            if spent >= WARMUP_NS || iters_done >= 1_000_000 {
+                break (spent / iters_done as u128).max(1);
+            }
+        };
+        // Timed samples: batches of ~TARGET_SAMPLE_NS.
+        let samples = 15usize;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let batch = (TARGET_SAMPLE_NS / one).clamp(1, 1 << 24) as u64;
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let spent = t0.elapsed().as_nanos();
+            per_iter.push(spent as f64 / batch as f64);
+            one = (spent / batch as u128).max(1);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// One named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    smoke_only: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op: sample sizing here is time-budget based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            median_ns: f64::NAN,
+            smoke_only: self.smoke_only,
+        };
+        f(&mut b);
+        self.report(&id.name, b.median_ns);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            median_ns: f64::NAN,
+            smoke_only: self.smoke_only,
+        };
+        f(&mut b, input);
+        self.report(&id.name, b.median_ns);
+        self
+    }
+
+    fn report(&self, bench: &str, median_ns: f64) {
+        if self.smoke_only {
+            println!("bench {}/{}: ok (smoke)", self.name, bench);
+        } else {
+            println!(
+                "bench {}/{}: median {:.0} ns/iter",
+                self.name, bench, median_ns
+            );
+        }
+    }
+
+    /// Ends the group (compatibility no-op).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark manager.
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; cargo test does not. Without it we
+        // only smoke-run the bodies, keeping `cargo test` fast.
+        let timed = std::env::args().any(|a| a == "--bench");
+        Criterion { smoke_only: !timed }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let smoke_only = self.smoke_only;
+        BenchmarkGroup {
+            name: name.into(),
+            smoke_only,
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_bodies_once() {
+        // Under `cargo test` there is no `--bench` argument, so this runs
+        // the closures exactly once each and must return quickly.
+        let mut c = Criterion::default();
+        assert!(c.smoke_only);
+        demo(&mut c);
+    }
+
+    #[test]
+    fn timed_mode_measures() {
+        let mut b = Bencher {
+            median_ns: f64::NAN,
+            smoke_only: false,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.median_ns.is_finite() && b.median_ns > 0.0);
+    }
+}

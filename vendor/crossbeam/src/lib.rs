@@ -1,0 +1,87 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since 1.63), with crossbeam's call
+//! signatures: the scope closure receives `&Scope`, `spawn` closures take
+//! the scope as an argument, and `scope` returns a `Result`.
+
+#![warn(missing_docs)]
+
+/// Scoped threads with crossbeam's API shape.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle that can spawn borrowing threads.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before this returns. The `Err` variant
+    /// exists for crossbeam signature compatibility: `std::thread::scope`
+    /// propagates child panics by unwinding, so `Ok` is always returned.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let total: u64 = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        })
+        .expect("scope succeeds");
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7u32).join().expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope succeeds");
+        assert_eq!(out, 7);
+    }
+}

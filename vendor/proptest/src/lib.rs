@@ -1,0 +1,340 @@
+//! Offline mini property-testing framework, API-compatible with the subset
+//! of `proptest` this workspace uses (see `vendor/README.md`):
+//!
+//! * the `proptest! { #![proptest_config(...)] #[test] fn f(x in strat) {..} }`
+//!   macro form;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`;
+//! * range strategies over integers and floats, tuple strategies,
+//!   `proptest::collection::vec`, and `Just`.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with its inputs printed, which is enough to reproduce (generation is
+//! deterministic per test and case index).
+
+#![warn(missing_docs)]
+
+/// Test-runner configuration and failure plumbing.
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case's assumptions were not met; it is skipped, not failed.
+        Reject(String),
+        /// A property assertion failed.
+        Fail(String),
+    }
+
+    /// Result type the generated test bodies return.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// A vector strategy: `size.start..size.end` elements of `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec strategy: empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Splits a per-test seed and case index into an rng stream.
+    pub fn case_rng(test_name: &str, attempt: u64) -> StdRng {
+        // FNV-1a over the test name keeps different properties on
+        // different streams while staying fully deterministic.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// Asserts a property inside a `proptest!` body; failure fails the case
+/// (with formatted context) instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Skips the current case (without failing) when its precondition is unmet.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(0usize..5, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut passed: u32 = 0;
+            let mut attempt: u64 = 0;
+            // A rejection budget like real proptest's, so a too-strict
+            // prop_assume! aborts loudly instead of spinning forever.
+            let max_attempts = (config.cases as u64) * 16 + 1024;
+            while passed < config.cases {
+                attempt += 1;
+                assert!(
+                    attempt <= max_attempts,
+                    "proptest {}: too many rejected cases ({} attempts, {} passed)",
+                    stringify!($name), attempt, passed,
+                );
+                let mut rng = $crate::__rt::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    attempt,
+                );
+                $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng); )+
+                let case_desc = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                    $(&$arg,)+
+                );
+                let outcome: $crate::test_runner::TestCaseResult =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                        "proptest {} failed at case {} (attempt {}): {}\ninputs:{}",
+                        stringify!($name), passed, attempt, msg, case_desc,
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in -2.0f64..2.0, n in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(n < 5);
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            v in collection::vec((0usize..10, 0u32..100), 0..20),
+        ) {
+            prop_assert!(v.len() < 20);
+            for (a, b) in &v {
+                prop_assert!(*a < 10 && *b < 100, "bad element ({a}, {b})");
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0u32..7) {
+            prop_assert!(x < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failing_property_inner failed")]
+    fn failing_property_reports() {
+        // The macro declares a plain fn here (no #[test]); calling it fires
+        // the failure, which must panic with the property name and inputs.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn failing_property_inner(x in 0u32..4) {
+                prop_assert!(x < 2, "x was {}", x);
+            }
+        }
+        failing_property_inner();
+    }
+}

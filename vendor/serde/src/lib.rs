@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! performs all persistence through hand-rolled text formats
+//! (`pathrank_spatial::io`, `pathrank_nn::serialize`), so the traits are
+//! pure markers here: deriving them records serialisability intent and
+//! keeps the type annotations source-compatible with the real crate. If a
+//! later PR needs actual wire formats, swap this stub for real serde — no
+//! call sites change.
+
+#![warn(missing_docs)]
+
+/// Marker: the type is serialisable (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker: the type is deserialisable (no-op stand-in).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,77 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline serde stand-in: each emits an empty marker-trait impl.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote`, which the
+//! offline environment cannot fetch). Supports plain structs and enums,
+//! including lifetime/type generics without bounds; exotic generic
+//! signatures fail loudly at compile time rather than silently.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Emits `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_name_and_generics(input);
+    format!(
+        "impl{g} ::serde::Serialize for {name}{g} {{}}",
+        g = generics
+    )
+    .parse()
+    .expect("generated impl must parse")
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_name_and_generics(input);
+    let out = if generics.is_empty() {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    } else {
+        let params = generics.trim_start_matches('<').trim_end_matches('>');
+        format!("impl<'de, {params}> ::serde::Deserialize<'de> for {name}<{params}> {{}}")
+    };
+    out.parse().expect("generated impl must parse")
+}
+
+/// Extracts the type name and a simple `<...>` generic parameter list (no
+/// bounds or defaults supported) from a struct/enum definition.
+fn parse_name_and_generics(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("expected a name after `{kw}`");
+        };
+        let name = name.to_string();
+        // Collect a `<...>` generic list if one follows.
+        let mut generics = String::new();
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            let mut depth = 0i32;
+            for tt in tokens.by_ref() {
+                let s = tt.to_string();
+                if s == "<" {
+                    depth += 1;
+                } else if s == ">" {
+                    depth -= 1;
+                }
+                assert!(
+                    !(s == ":" || s == "="),
+                    "offline serde derive does not support bounds/defaults in \
+                     generics of `{name}`; use the real serde for that"
+                );
+                generics.push_str(&s);
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        return (name, generics);
+    }
+    panic!("derive input contained no `struct` or `enum`");
+}
