@@ -1,19 +1,23 @@
 //! M1: routing-algorithm latency on the paper-scale synthetic region —
 //! Dijkstra vs A* vs bidirectional, plus Yen top-k and diversified top-k
 //! (the training-data generators whose cost dominates preprocessing).
-//! Each algorithm is measured both through the one-shot free function
-//! (transient engine per query) and on a reused [`QueryEngine`]; the
-//! machine-readable fresh-vs-reused comparison lives in the
-//! `bench_routing` binary (`BENCH_routing.json`).
+//! Each algorithm is measured through the one-shot free function
+//! (transient engine per query), on a reused [`QueryEngine`], and — for
+//! the goal-directed workloads — on an engine with ALT landmarks
+//! attached (`*_alt` rows; exact, see `spatial::algo::landmarks`); the
+//! machine-readable comparison lives in the `bench_routing` binary
+//! (`BENCH_routing.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use pathrank_spatial::algo::astar::astar_shortest_path;
 use pathrank_spatial::algo::bidijkstra::bidirectional_shortest_path;
 use pathrank_spatial::algo::dijkstra::shortest_path;
 use pathrank_spatial::algo::diversified::{diversified_top_k, DiversifiedConfig};
 use pathrank_spatial::algo::engine::QueryEngine;
+use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::algo::yen::yen_k_shortest;
 use pathrank_spatial::generators::{region_network, RegionConfig};
 use pathrank_spatial::graph::{CostModel, VertexId};
@@ -22,6 +26,11 @@ fn routing(c: &mut Criterion) {
     let g = region_network(&RegionConfig::paper_scale(), 2020);
     let n = g.vertex_count() as u32;
     let (s, t) = (VertexId(17 % n), VertexId(n - 23));
+    let table = Arc::new(LandmarkTable::build(
+        &g,
+        LandmarkMetric::Length,
+        &LandmarkConfig::default(),
+    ));
 
     let mut group = c.benchmark_group("point_to_point");
     group.bench_function("dijkstra", |b| {
@@ -36,6 +45,10 @@ fn routing(c: &mut Criterion) {
     });
     group.bench_function("astar_reused", |b| {
         let mut engine = QueryEngine::new(&g);
+        b.iter(|| engine.astar_shortest_path(black_box(s), black_box(t), CostModel::Length))
+    });
+    group.bench_function("astar_alt", |b| {
+        let mut engine = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
         b.iter(|| engine.astar_shortest_path(black_box(s), black_box(t), CostModel::Length))
     });
     group.bench_function("bidirectional", |b| {
@@ -55,6 +68,10 @@ fn routing(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("yen_reused", k), &k, |b, &k| {
             let mut engine = QueryEngine::new(&g);
+            b.iter(|| engine.yen_k_shortest(s, t, CostModel::Length, black_box(k)))
+        });
+        group.bench_with_input(BenchmarkId::new("yen_alt", k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
             b.iter(|| engine.yen_k_shortest(s, t, CostModel::Length, black_box(k)))
         });
         group.bench_with_input(BenchmarkId::new("diversified", k), &k, |b, &k| {

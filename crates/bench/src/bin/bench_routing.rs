@@ -1,5 +1,6 @@
 //! Machine-readable routing benchmark: fresh-allocation baseline vs
-//! reused [`QueryEngine`], written to `BENCH_routing.json`.
+//! reused [`QueryEngine`] vs ALT-landmark-guided engine, written to
+//! `BENCH_routing.json`.
 //!
 //! Measures median ns/query for the three routing workloads the training
 //! pipeline leans on — repeated one-to-one queries, one-to-all trees, and
@@ -9,17 +10,23 @@
 //! search*; plain Dijkstra throughout). The **reused** rows run the
 //! shipped engine: one `SearchSpace` with generation-stamped O(1) reset,
 //! cached A* heuristic bounds, and target-directed spur searches. The
-//! JSON makes the perf trajectory of the routing layer trackable across
-//! PRs.
+//! **reused_alt** rows additionally attach a precomputed
+//! [`LandmarkTable`], upgrading every heuristic to the landmark
+//! triangle-inequality bound (answers stay exact — asserted against the
+//! baseline before timing; the table build itself is reported under
+//! `"alt"`). The JSON makes the perf trajectory of the routing layer
+//! trackable across PRs.
 //!
 //! ```text
 //! cargo run --release -p pathrank-bench --bin bench_routing [-- --quick] [--out FILE]
 //! ```
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use pathrank_spatial::algo::engine::QueryEngine;
+use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::generators::{region_network, RegionConfig};
 use pathrank_spatial::graph::{CostModel, Graph, VertexId};
 use rand::rngs::StdRng;
@@ -290,28 +297,51 @@ fn main() {
     let yen_pairs = &p2p[..n_yen.min(p2p.len())];
     let tree_sources: Vec<VertexId> = p2p.iter().take(n_trees).map(|&(s, _)| s).collect();
 
-    // The engine's answers must agree with the baseline's before any
-    // timing is trusted (equal costs; tie-breaking may differ).
+    // ALT preprocessing (timed): the landmark table every `reused_alt`
+    // row routes with.
+    let t0 = Instant::now();
+    let table = Arc::new(LandmarkTable::build(
+        &g,
+        LandmarkMetric::Length,
+        &LandmarkConfig::default(),
+    ));
+    let alt_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "ALT: {} landmarks precomputed in {alt_build_ms:.1} ms",
+        table.k()
+    );
+
+    // The engines' answers must agree with the baseline's before any
+    // timing is trusted (equal costs; tie-breaking may differ) — for the
+    // plain reused engine *and* the ALT-guided one.
     {
         let mut engine = QueryEngine::new(&g);
+        let mut alt = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
+        assert!(alt.uses_alt(CostModel::Length));
         for &(s, t) in &p2p {
             let a =
                 seed_baseline::shortest_path(&g, s, t, CostModel::Length).map(|p| p.length_m(&g));
-            let b = engine
-                .shortest_path(s, t, CostModel::Length)
-                .map(|p| p.length_m(&g));
-            match (a, b) {
-                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6, "cost mismatch {s:?}->{t:?}"),
-                (None, None) => {}
-                (a, b) => panic!("reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
+            for engine in [&mut engine, &mut alt] {
+                let b = engine
+                    .astar_shortest_path(s, t, CostModel::Length)
+                    .map(|p| p.length_m(&g));
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-6, "cost mismatch {s:?}->{t:?}")
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
+                }
             }
         }
         for &(s, t) in yen_pairs {
             let a = seed_baseline::yen_k_shortest(&g, s, t, CostModel::Length, YEN_K);
-            let b = engine.yen_k_shortest(s, t, CostModel::Length, YEN_K);
-            assert_eq!(a.len(), b.len(), "yen count mismatch {s:?}->{t:?}");
-            for ((_, ca), (_, cb)) in a.iter().zip(b.iter()) {
-                assert!((ca - cb).abs() < 1e-6, "yen cost mismatch {s:?}->{t:?}");
+            for engine in [&mut engine, &mut alt] {
+                let b = engine.yen_k_shortest(s, t, CostModel::Length, YEN_K);
+                assert_eq!(a.len(), b.len(), "yen count mismatch {s:?}->{t:?}");
+                for ((_, ca), (_, cb)) in a.iter().zip(b.iter()) {
+                    assert!((ca - cb).abs() < 1e-6, "yen cost mismatch {s:?}->{t:?}");
+                }
             }
         }
     }
@@ -360,7 +390,15 @@ fn main() {
         }
     });
     record("one_to_one", "reused", p2p.len(), reps, reused);
+    let mut engine = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
+    let reused_alt = measure(reps, p2p.len(), || {
+        for &(s, t) in &p2p {
+            std::hint::black_box(engine.astar_shortest_path(s, t, CostModel::Length));
+        }
+    });
+    record("one_to_one", "reused_alt", p2p.len(), reps, reused_alt);
     let speedup_p2p = fresh / reused;
+    let speedup_p2p_alt = fresh / reused_alt;
     let speedup_p2p_reuse_only = fresh / reused_dijkstra;
 
     // One-to-all trees: the edge-popularity / preprocessing shape. The
@@ -402,7 +440,15 @@ fn main() {
         }
     });
     record("yen_top_k", "reused", yen_pairs.len(), reps, reused);
+    let mut engine = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
+    let reused_alt = measure(reps, yen_pairs.len(), || {
+        for &(s, t) in yen_pairs {
+            std::hint::black_box(engine.yen_k_shortest(s, t, CostModel::Length, YEN_K));
+        }
+    });
+    record("yen_top_k", "reused_alt", yen_pairs.len(), reps, reused_alt);
     let speedup_yen = fresh / reused;
+    let speedup_yen_alt = fresh / reused_alt;
 
     // Hand-rolled JSON (the workspace deliberately has no serde backend).
     let mut json = String::new();
@@ -416,6 +462,17 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"reused\": \"QueryEngine: generation-stamped SearchSpace + cached A* bounds\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"reused_alt\": \"QueryEngine + LandmarkTable: ALT triangle-inequality heuristic (exact)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"alt\": {{\"landmarks\": {}, \"active_per_query\": {}, \"build_ms\": {:.1}}},",
+        table.k(),
+        pathrank_spatial::algo::landmarks::ACTIVE_LANDMARKS,
+        alt_build_ms
     );
     let _ = writeln!(
         json,
@@ -444,6 +501,10 @@ fn main() {
         json,
         "  \"speedup_reused_over_fresh\": {{\"one_to_one\": {speedup_p2p:.3}, \"one_to_all\": {speedup_tree:.3}, \"yen_top_k\": {speedup_yen:.3}}},"
     );
+    let _ = writeln!(
+        json,
+        "  \"speedup_alt_over_fresh\": {{\"one_to_one\": {speedup_p2p_alt:.3}, \"yen_top_k\": {speedup_yen_alt:.3}}},"
+    );
     // Same-algorithm comparison (Dijkstra both sides): the share of the
     // one-to-one speedup attributable to state reuse alone, with the
     // cached-A*-bound effect factored out. one_to_all is same-algorithm
@@ -456,6 +517,9 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write benchmark json");
     eprintln!(
-        "speedups (reused/fresh): one_to_one {speedup_p2p:.2}x, one_to_all {speedup_tree:.2}x, yen {speedup_yen:.2}x -> {out_path}"
+        "speedups (reused/fresh): one_to_one {speedup_p2p:.2}x, one_to_all {speedup_tree:.2}x, yen {speedup_yen:.2}x"
+    );
+    eprintln!(
+        "speedups (alt/fresh):    one_to_one {speedup_p2p_alt:.2}x, yen {speedup_yen_alt:.2}x -> {out_path}"
     );
 }

@@ -12,11 +12,14 @@
 //!   so their labels cluster near one value, starving the regressor of
 //!   signal).
 
+use std::sync::Arc;
+
 use crossbeam::thread;
 use serde::{Deserialize, Serialize};
 
 use pathrank_spatial::algo::diversified::DiversifiedConfig;
 use pathrank_spatial::algo::engine::QueryEngine;
+use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::graph::{CostModel, Graph};
 use pathrank_spatial::path::Path;
 use pathrank_spatial::similarity::{weighted_jaccard, EdgeWeight};
@@ -158,16 +161,48 @@ pub fn generate_group_with(
 /// `threads` OS threads (candidate generation dominates preprocessing
 /// time: each trajectory costs k constrained Dijkstra sweeps). Every
 /// worker allocates one [`QueryEngine`] and reuses it for its whole
-/// chunk.
+/// chunk; all workers share one ALT landmark table
+/// ([`pathrank_spatial::algo::landmarks::LandmarkTable`], built here
+/// once under the length metric the candidate searches run on), so every
+/// spur search is landmark-directed. ALT preserves exactness — candidate
+/// *costs* are identical to the plain engine's; only tie-breaking among
+/// equal-cost optima may differ. Callers that already hold a table for
+/// this graph (e.g. `Workbench`) pass it through
+/// [`generate_groups_with_landmarks`] instead of re-precomputing.
 pub fn generate_groups(
     g: &Graph,
     trajectories: &[Path],
     cfg: &CandidateConfig,
     threads: usize,
 ) -> Vec<TrainingGroup> {
+    generate_groups_with_landmarks(g, trajectories, cfg, threads, None)
+}
+
+/// [`generate_groups`] on a caller-provided ALT table (must be built on
+/// `g` under the length metric); `None` builds a transient one.
+pub fn generate_groups_with_landmarks(
+    g: &Graph,
+    trajectories: &[Path],
+    cfg: &CandidateConfig,
+    threads: usize,
+    landmarks: Option<Arc<LandmarkTable>>,
+) -> Vec<TrainingGroup> {
     let threads = threads.max(1);
+    if trajectories.is_empty() {
+        return Vec::new();
+    }
+    let table = landmarks.unwrap_or_else(|| {
+        Arc::new(LandmarkTable::build(
+            g,
+            LandmarkMetric::Length,
+            &LandmarkConfig {
+                threads,
+                ..LandmarkConfig::default()
+            },
+        ))
+    });
     if threads == 1 || trajectories.len() < 2 * threads {
-        let mut engine = QueryEngine::new(g);
+        let mut engine = QueryEngine::new(g).with_landmarks(table);
         return trajectories
             .iter()
             .map(|t| generate_group_with(&mut engine, t, cfg))
@@ -178,8 +213,9 @@ pub fn generate_groups(
         let handles: Vec<_> = trajectories
             .chunks(chunk)
             .map(|slice| {
+                let table = Arc::clone(&table);
                 scope.spawn(move |_| {
-                    let mut engine = QueryEngine::new(g);
+                    let mut engine = QueryEngine::new(g).with_landmarks(table);
                     slice
                         .iter()
                         .map(|t| generate_group_with(&mut engine, t, cfg))
@@ -332,6 +368,28 @@ mod tests {
             for (x, y) in a.candidates.iter().zip(b.candidates.iter()) {
                 assert!(x.path.same_route(&y.path));
                 assert_eq!(x.score, y.score);
+            }
+        }
+    }
+
+    #[test]
+    fn alt_threaded_groups_match_plain_engine_generation() {
+        // generate_groups now runs every worker on ALT landmarks; on the
+        // float-geometry region network the optimum is unique, so the
+        // groups must be identical to a plain (landmark-free) engine's —
+        // same candidate routes, bit-identical scores.
+        let (g, paths) = setup();
+        for strategy in [Strategy::TkDI, Strategy::DTkDI] {
+            let cfg = CandidateConfig::paper_default(strategy);
+            let alt = generate_groups(&g, &paths, &cfg, 2);
+            let mut plain_engine = QueryEngine::new(&g);
+            for (group, p) in alt.iter().zip(paths.iter()) {
+                let plain = generate_group_with(&mut plain_engine, p, &cfg);
+                assert_eq!(group.len(), plain.len());
+                for (a, b) in group.candidates.iter().zip(plain.candidates.iter()) {
+                    assert!(a.path.same_route(&b.path), "{strategy:?} route diverged");
+                    assert_eq!(a.score, b.score, "{strategy:?} score diverged");
+                }
             }
         }
     }

@@ -14,11 +14,13 @@
 //! for baseline comparisons ([`Workbench::test_groups`]).
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use pathrank_embed::node2vec::{train_node2vec, Node2VecConfig};
 use pathrank_nn::matrix::Matrix;
 use pathrank_spatial::algo::engine::QueryEngine;
+use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::generators::{region_network, RegionConfig};
 use pathrank_spatial::graph::Graph;
 use pathrank_spatial::path::Path;
@@ -26,7 +28,7 @@ use pathrank_traj::dataset::TrajectoryDataset;
 use pathrank_traj::mapmatch::MapMatchConfig;
 use pathrank_traj::simulator::{simulate_fleet, SimulationConfig};
 
-use crate::candidates::{generate_groups, CandidateConfig, Strategy, TrainingGroup};
+use crate::candidates::{generate_groups_with_landmarks, CandidateConfig, Strategy, TrainingGroup};
 use crate::eval::{evaluate_model, EvalResult};
 use crate::model::{EmbeddingMode, ModelConfig, PathRankModel};
 use crate::trainer::{prepare_samples, train, TrainConfig, TrainReport};
@@ -126,6 +128,8 @@ pub struct Workbench {
     embeddings: HashMap<usize, Matrix>,
     train_group_cache: HashMap<String, Vec<TrainingGroup>>,
     test_group_cache: HashMap<String, Vec<TrainingGroup>>,
+    /// ALT landmark table for serving-time engines, built on first use.
+    landmarks: OnceLock<Arc<LandmarkTable>>,
 }
 
 impl Workbench {
@@ -150,6 +154,7 @@ impl Workbench {
             embeddings: HashMap::new(),
             train_group_cache: HashMap::new(),
             test_group_cache: HashMap::new(),
+            landmarks: OnceLock::new(),
         }
     }
 
@@ -165,6 +170,29 @@ impl Workbench {
     /// matching reuses one across all traces.
     pub fn query_engine(&self) -> QueryEngine<'_> {
         QueryEngine::new(&self.graph)
+    }
+
+    /// The workbench's shared ALT landmark table (length metric — what
+    /// candidate serving routes on), built once and cached.
+    pub fn landmark_table(&self) -> &Arc<LandmarkTable> {
+        self.landmarks.get_or_init(|| {
+            Arc::new(LandmarkTable::build(
+                &self.graph,
+                LandmarkMetric::Length,
+                &LandmarkConfig {
+                    threads: self.cfg.threads.max(1),
+                    ..LandmarkConfig::default()
+                },
+            ))
+        })
+    }
+
+    /// Like [`Workbench::query_engine`], but landmark-directed: the
+    /// engine serves the same exact answers with tighter searches —
+    /// the configuration for query-heavy serving paths.
+    pub fn alt_query_engine(&self) -> QueryEngine<'_> {
+        self.query_engine()
+            .with_landmarks(Arc::clone(self.landmark_table()))
     }
 
     /// The node2vec embedding for dimensionality `dim` (cached).
@@ -194,7 +222,13 @@ impl Workbench {
         if let Some(gs) = self.train_group_cache.get(&key) {
             return gs.clone();
         }
-        let gs = generate_groups(&self.graph, &self.train_paths, ccfg, self.cfg.threads);
+        let gs = generate_groups_with_landmarks(
+            &self.graph,
+            &self.train_paths,
+            ccfg,
+            self.cfg.threads,
+            Some(Arc::clone(self.landmark_table())),
+        );
         self.train_group_cache.insert(key, gs.clone());
         gs
     }
@@ -219,7 +253,13 @@ impl Workbench {
         if let Some(gs) = self.test_group_cache.get(&key) {
             return gs.clone();
         }
-        let gs = generate_groups(&self.graph, &self.test_paths, ccfg, self.cfg.threads);
+        let gs = generate_groups_with_landmarks(
+            &self.graph,
+            &self.test_paths,
+            ccfg,
+            self.cfg.threads,
+            Some(Arc::clone(self.landmark_table())),
+        );
         self.test_group_cache.insert(key, gs.clone());
         gs
     }
@@ -312,6 +352,26 @@ mod tests {
             p1.is_some() || p2.is_some(),
             "SCC network must route somewhere"
         );
+    }
+
+    #[test]
+    fn alt_workbench_engine_matches_plain_engine() {
+        use pathrank_spatial::graph::{CostModel, VertexId};
+        let wb = Workbench::new(ExperimentConfig::small_test());
+        // The table is built once and shared by every ALT engine.
+        let t1 = Arc::as_ptr(wb.landmark_table());
+        let t2 = Arc::as_ptr(wb.landmark_table());
+        assert_eq!(t1, t2, "landmark table must be cached");
+        let mut plain = wb.query_engine();
+        let mut alt = wb.alt_query_engine();
+        assert!(alt.uses_alt(CostModel::Length));
+        let n = wb.graph.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 2, 1), (n - 1, n / 3)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let a = plain.shortest_path_cost(s, t, CostModel::Length);
+            let b = alt.shortest_path_cost(s, t, CostModel::Length);
+            assert_eq!(a, b, "{s:?}->{t:?} ALT cost diverged");
+        }
     }
 
     #[test]

@@ -36,10 +36,13 @@
 //! ```
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::algo::dijkstra::ShortestPathTree;
 use crate::algo::diversified::{diversified_top_k_with, DiversifiedConfig};
+use crate::algo::landmarks::{LandmarkTable, NodeVectors};
 use crate::algo::yen::YenIter;
+use crate::geometry::Point;
 use crate::graph::{CostModel, EdgeId, Graph, VertexId};
 use crate::path::Path;
 use crate::util::{BitSet, MinCost};
@@ -162,7 +165,11 @@ impl SearchSpace {
 
     /// Dijkstra from `source`, stopping early once `target` is settled
     /// (when given) and skipping banned vertices/edges (when given).
-    /// Starts a fresh query epoch.
+    /// Starts a fresh query epoch. With `reverse` the search runs over
+    /// incoming edges, yielding distances *into* `source` (the parent
+    /// chain then points forward: `parent_of(v)` is the next hop on a
+    /// cheapest `v -> source` path).
+    #[allow(clippy::too_many_arguments)]
     fn run_dijkstra(
         &mut self,
         g: &Graph,
@@ -171,6 +178,7 @@ impl SearchSpace {
         cost: CostModel<'_>,
         banned_vertices: Option<&BitSet>,
         banned_edges: Option<&BitSet>,
+        reverse: bool,
     ) {
         debug_assert_eq!(
             self.capacity(),
@@ -192,45 +200,55 @@ impl SearchSpace {
             if target == Some(u) {
                 break;
             }
-            for (v, e) in g.out_edges(u) {
-                if self.is_settled(v) {
-                    continue;
-                }
-                if let Some(bv) = banned_vertices {
-                    if bv.contains(v.0) {
-                        continue;
+            macro_rules! relax_edges {
+                ($edges:ident) => {
+                    for (v, e) in g.$edges(u) {
+                        if self.is_settled(v) {
+                            continue;
+                        }
+                        if let Some(bv) = banned_vertices {
+                            if bv.contains(v.0) {
+                                continue;
+                            }
+                        }
+                        if let Some(be) = banned_edges {
+                            if be.contains(e.0) {
+                                continue;
+                            }
+                        }
+                        let w = cost.edge_cost(g, e);
+                        debug_assert!(
+                            w >= 0.0,
+                            "Dijkstra requires non-negative edge costs, got {w}"
+                        );
+                        let nd = d + w;
+                        if nd < self.dist(v) {
+                            self.relax(v, nd, (u.0, e.0));
+                            self.heap.push(MinCost { cost: nd, item: v });
+                        }
                     }
-                }
-                if let Some(be) = banned_edges {
-                    if be.contains(e.0) {
-                        continue;
-                    }
-                }
-                let w = cost.edge_cost(g, e);
-                debug_assert!(
-                    w >= 0.0,
-                    "Dijkstra requires non-negative edge costs, got {w}"
-                );
-                let nd = d + w;
-                if nd < self.dist(v) {
-                    self.relax(v, nd, (u.0, e.0));
-                    self.heap.push(MinCost { cost: nd, item: v });
-                }
+                };
+            }
+            if reverse {
+                relax_edges!(in_edges);
+            } else {
+                relax_edges!(out_edges);
             }
         }
     }
 
-    /// A* from `source` to `target` with the straight-line heuristic
-    /// `h(v) = euclid(v, target) · per_meter`: `dist` holds g-scores, the
-    /// heap is keyed on f-scores. Starts a fresh epoch. Banned sets (when
-    /// given) only shrink the edge set, so the heuristic stays admissible.
+    /// A* from `source` to `target` under an admissible, consistent
+    /// [`Heuristic`]: `dist` holds g-scores, the heap is keyed on
+    /// f-scores. Starts a fresh epoch. Banned sets (when given) only
+    /// shrink the edge set, which can only *increase* true distances, so
+    /// any full-graph lower bound — Euclidean or ALT — stays admissible.
     fn run_astar(
         &mut self,
         g: &Graph,
         source: VertexId,
         target: VertexId,
         cost: CostModel<'_>,
-        per_meter: f64,
+        heuristic: &Heuristic<'_>,
         banned: Option<(&BitSet, &BitSet)>,
     ) {
         let (banned_vertices, banned_edges) = match banned {
@@ -242,8 +260,7 @@ impl SearchSpace {
             g.vertex_count(),
             "space sized for another graph"
         );
-        let tcoord = g.coord(target);
-        let h = |v: VertexId| g.coord(v).distance(&tcoord) * per_meter;
+        let h = |v: VertexId| heuristic.eval(g, v);
 
         self.begin();
         self.relax(source, 0.0, NO_PARENT);
@@ -308,6 +325,89 @@ impl SearchSpace {
     }
 }
 
+/// An admissible, consistent lower bound on the remaining distance to a
+/// search's goal endpoint — the abstraction every target-directed search
+/// in this crate consumes (A*, Yen/diversified spur searches via
+/// [`QueryEngine::constrained_shortest_path`], and the pruning rule of
+/// [`QueryEngine::bidirectional_shortest_path`]).
+///
+/// Variants are ordered from weakest to strongest: `None` degenerates the
+/// search to plain Dijkstra; `Euclid` is straight-line distance scaled by
+/// [`safe_heuristic_bound`]; `Alt` is the landmark triangle-inequality
+/// bound maxed with the Euclidean one, so attaching landmarks can only
+/// tighten the search. All variants are exact: they never overestimate,
+/// so every guided search returns cost-optimal paths (tie-breaking among
+/// equal-cost optima may differ between variants).
+#[derive(Debug)]
+pub enum Heuristic<'a> {
+    /// No usable bound (e.g. [`CostModel::Custom`] with no landmark
+    /// table): the search runs as plain Dijkstra.
+    None,
+    /// `h(v) = euclid(v, anchor) · per_meter` with the cached
+    /// [`safe_heuristic_bound`] rate.
+    Euclid {
+        /// The goal endpoint's coordinates.
+        anchor: Point,
+        /// Admissible cost-per-metre rate (see [`safe_heuristic_bound`]).
+        per_meter: f64,
+    },
+    /// `h(v) = max(ALT triangle bound, euclid(v, anchor) · per_meter)`.
+    Alt {
+        /// The landmark distance table (metric-checked by the engine).
+        table: &'a LandmarkTable,
+        /// Cached distance vectors for the goal endpoint.
+        cache: &'a NodeVectors,
+        /// `false`: bound on `d(v, endpoint)` (forward search toward the
+        /// target); `true`: bound on `d(endpoint, v)` (the backward side
+        /// of a bidirectional search, whose goal is the source).
+        reverse: bool,
+        /// The goal endpoint's coordinates.
+        anchor: Point,
+        /// Admissible cost-per-metre rate for the Euclidean floor.
+        per_meter: f64,
+    },
+}
+
+impl Heuristic<'_> {
+    /// Whether the heuristic provides any guidance (an inactive one makes
+    /// `run_astar` pointless — callers run plain Dijkstra instead).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        !matches!(self, Heuristic::None)
+    }
+
+    /// Whether this is the landmark-backed variant.
+    #[inline]
+    pub fn is_alt(&self) -> bool {
+        matches!(self, Heuristic::Alt { .. })
+    }
+
+    /// Lower bound on the distance between `v` and the goal endpoint.
+    /// May legitimately return `INFINITY` (the ALT vectors prove the
+    /// endpoint unreachable from `v`); never NaN.
+    #[inline]
+    pub fn eval(&self, g: &Graph, v: VertexId) -> f64 {
+        match self {
+            Heuristic::None => 0.0,
+            Heuristic::Euclid { anchor, per_meter } => g.coord(v).distance(anchor) * per_meter,
+            Heuristic::Alt {
+                table,
+                cache,
+                reverse,
+                anchor,
+                per_meter,
+            } => {
+                let alt = if *reverse {
+                    table.bound_from_node(cache, v)
+                } else {
+                    table.bound_to_node(cache, v)
+                };
+                alt.max(g.coord(v).distance(anchor) * per_meter)
+            }
+        }
+    }
+}
+
 /// Borrowed read-only view of a completed one-to-all search.
 ///
 /// Unlike [`ShortestPathTree`] this does not copy the `O(V)` arrays; it
@@ -317,12 +417,22 @@ impl SearchSpace {
 pub struct TreeView<'a> {
     space: &'a SearchSpace,
     source: VertexId,
+    /// Reverse sweeps ([`QueryEngine::one_to_all_rev`]) store next-hops,
+    /// not predecessors; a forward `Path` cannot be extracted from them.
+    reverse: bool,
 }
 
 impl TreeView<'_> {
     /// The search root.
     pub fn source(&self) -> VertexId {
         self.source
+    }
+
+    /// Whether this view came from a reverse sweep
+    /// ([`QueryEngine::one_to_all_rev`]): `dist(v)` is then `d(v, root)`
+    /// and `parent_of(v)` the next hop *toward* the root.
+    pub fn is_reverse(&self) -> bool {
+        self.reverse
     }
 
     /// Whether `v` was reached from the source.
@@ -337,14 +447,26 @@ impl TreeView<'_> {
         self.space.dist(v)
     }
 
-    /// Predecessor vertex and edge on a cheapest path to `v`.
+    /// Predecessor vertex and edge on a cheapest path to `v` (next hop on
+    /// reverse views).
     #[inline]
     pub fn parent_of(&self, v: VertexId) -> Option<(VertexId, EdgeId)> {
         self.space.parent_of(v)
     }
 
     /// Extracts the tree path to `t` (allocates only the returned path).
+    /// Always `None` on reverse views — their parent chains run toward
+    /// the root with forward-directed edges, so a `source -> t` path
+    /// cannot be assembled from them (debug builds assert instead of
+    /// silently returning nothing).
     pub fn path_to(&self, t: VertexId) -> Option<Path> {
+        debug_assert!(
+            !self.reverse,
+            "path_to is not meaningful on a reverse TreeView"
+        );
+        if self.reverse {
+            return None;
+        }
         self.space.extract_path(self.source, t)
     }
 }
@@ -367,6 +489,17 @@ pub struct QueryEngine<'g> {
     /// transient engine would redo on every query.
     length_bound: Option<f64>,
     travel_time_bound: Option<f64>,
+    /// Optional shared ALT landmark table (see
+    /// [`QueryEngine::with_landmarks`]); queries whose cost model does
+    /// not match the table's metric fall back to the non-ALT heuristics.
+    landmarks: Option<Arc<LandmarkTable>>,
+    /// Landmark vectors cached for the current query *target* (forward
+    /// searches aim at it; refilled only when the target changes, so
+    /// Yen's same-target spur storm gathers them once).
+    alt_target: NodeVectors,
+    /// Landmark vectors cached for the current query *source* (consulted
+    /// by the backward half of bidirectional searches).
+    alt_source: NodeVectors,
 }
 
 /// The largest `B` such that `cost(e) >= B · euclid(e.from, e.to)` holds
@@ -403,7 +536,50 @@ impl<'g> QueryEngine<'g> {
             bwd: None,
             length_bound: None,
             travel_time_bound: None,
+            landmarks: None,
+            alt_target: NodeVectors::new(),
+            alt_source: NodeVectors::new(),
         }
+    }
+
+    /// Attaches a precomputed ALT landmark table: every target-directed
+    /// query whose cost model matches the table's metric upgrades its
+    /// heuristic to `max(ALT triangle bound, Euclidean bound)` — strictly
+    /// at least as tight, so searches settle no more vertices and stay
+    /// exact. Queries under any other cost model (notably
+    /// [`CostModel::Custom`], whose per-edge costs can change between
+    /// queries and would break the precomputed metric) silently fall back
+    /// to the engine's non-ALT behaviour.
+    ///
+    /// The table is `Arc`-shared: build once, clone the handle into every
+    /// worker's engine.
+    ///
+    /// # Panics
+    /// If the table's graph fingerprint (vertex and edge counts) does not
+    /// match this engine's graph — a wrong-graph table would pass every
+    /// per-query check yet silently return suboptimal paths.
+    pub fn with_landmarks(mut self, table: Arc<LandmarkTable>) -> Self {
+        assert_eq!(
+            (table.vertex_count(), table.edge_count()),
+            (self.g.vertex_count(), self.g.edge_count()),
+            "landmark table built for a different graph"
+        );
+        self.alt_target.invalidate();
+        self.alt_source.invalidate();
+        self.landmarks = Some(table);
+        self
+    }
+
+    /// The attached landmark table, if any.
+    pub fn landmark_table(&self) -> Option<&Arc<LandmarkTable>> {
+        self.landmarks.as_ref()
+    }
+
+    /// Whether a query under `cost` would consult the ALT table (i.e. a
+    /// table is attached and its metric matches). Exposed so tests and
+    /// benchmarks can assert which heuristic regime a query runs in.
+    pub fn uses_alt(&self, cost: CostModel<'_>) -> bool {
+        self.landmarks.as_ref().is_some_and(|t| t.usable_for(&cost))
     }
 
     /// The graph this engine routes on.
@@ -411,9 +587,46 @@ impl<'g> QueryEngine<'g> {
         self.g
     }
 
+    /// Builds the strongest available forward heuristic for a
+    /// `source -> target` query, preparing the target-side landmark cache
+    /// when ALT applies. A free-standing fn over disjoint fields so
+    /// callers can keep `self.fwd` mutably borrowed alongside the result.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_heuristic<'a>(
+        g: &Graph,
+        landmarks: &'a Option<Arc<LandmarkTable>>,
+        cache: &'a mut NodeVectors,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+        per_meter: f64,
+    ) -> Heuristic<'a> {
+        match landmarks {
+            Some(table) if table.usable_for(&cost) => {
+                table.prepare(cache, target);
+                table.select_active(cache, source, true);
+                Heuristic::Alt {
+                    table,
+                    cache,
+                    reverse: false,
+                    anchor: g.coord(target),
+                    per_meter,
+                }
+            }
+            _ if per_meter > 0.0 => Heuristic::Euclid {
+                anchor: g.coord(target),
+                per_meter,
+            },
+            _ => Heuristic::None,
+        }
+    }
+
     /// Cheapest `source -> target` path, or `None` if unreachable or
     /// `source == target`. Engine counterpart of
-    /// [`crate::algo::dijkstra::shortest_path`].
+    /// [`crate::algo::dijkstra::shortest_path`]: plain Dijkstra, upgraded
+    /// to ALT-guided A* when landmarks are attached and the cost model
+    /// matches their metric (same optimal cost; tie-breaking among
+    /// equal-cost optima may differ).
     pub fn shortest_path(
         &mut self,
         source: VertexId,
@@ -423,14 +636,14 @@ impl<'g> QueryEngine<'g> {
         if source == target {
             return None;
         }
-        self.fwd
-            .run_dijkstra(self.g, source, Some(target), cost, None, None);
+        self.run_one_to_one(source, target, cost);
         self.fwd.extract_path(source, target)
     }
 
     /// Cost of the cheapest `source -> target` path without materialising
     /// it — the allocation-free probe map matching uses for its HMM
-    /// transition model.
+    /// transition model. ALT-guided exactly like
+    /// [`QueryEngine::shortest_path`].
     pub fn shortest_path_cost(
         &mut self,
         source: VertexId,
@@ -440,10 +653,31 @@ impl<'g> QueryEngine<'g> {
         if source == target {
             return Some(0.0);
         }
-        self.fwd
-            .run_dijkstra(self.g, source, Some(target), cost, None, None);
+        self.run_one_to_one(source, target, cost);
         let d = self.fwd.dist(target);
         d.is_finite().then_some(d)
+    }
+
+    /// Shared one-to-one search on the forward space: ALT-guided A* when
+    /// the attached landmarks cover `cost`, plain early-exit Dijkstra
+    /// otherwise (bit-identical to the pre-landmark engine in that case).
+    fn run_one_to_one(&mut self, source: VertexId, target: VertexId, cost: CostModel<'_>) {
+        if self.uses_alt(cost) {
+            let per_meter = self.heuristic_bound(cost);
+            let h = Self::forward_heuristic(
+                self.g,
+                &self.landmarks,
+                &mut self.alt_target,
+                source,
+                target,
+                cost,
+                per_meter,
+            );
+            self.fwd.run_astar(self.g, source, target, cost, &h, None);
+        } else {
+            self.fwd
+                .run_dijkstra(self.g, source, Some(target), cost, None, None, false);
+        }
     }
 
     /// One-to-all Dijkstra, returned as a borrowed [`TreeView`] (no
@@ -451,10 +685,29 @@ impl<'g> QueryEngine<'g> {
     /// query on this engine.
     pub fn one_to_all(&mut self, source: VertexId, cost: CostModel<'_>) -> TreeView<'_> {
         self.fwd
-            .run_dijkstra(self.g, source, None, cost, None, None);
+            .run_dijkstra(self.g, source, None, cost, None, None, false);
         TreeView {
             space: &self.fwd,
             source,
+            reverse: false,
+        }
+    }
+
+    /// One-to-all *reverse* Dijkstra: `dist(v)` on the returned view is
+    /// the cost of the cheapest `v -> target` path, and `parent_of(v)` is
+    /// the *next hop* toward `target` (so `path_to` returns `None` on
+    /// reverse views). Runs on the backward space, so it does not disturb
+    /// a forward view. This is the sweep the ALT preprocessing
+    /// ([`crate::algo::landmarks::LandmarkTable::build`]) fans out across
+    /// worker engines.
+    pub fn one_to_all_rev(&mut self, target: VertexId, cost: CostModel<'_>) -> TreeView<'_> {
+        let n = self.g.vertex_count();
+        let bwd = self.bwd.get_or_insert_with(|| SearchSpace::new(n));
+        bwd.run_dijkstra(self.g, target, None, cost, None, None, true);
+        TreeView {
+            space: bwd,
+            source: target,
+            reverse: true,
         }
     }
 
@@ -467,7 +720,7 @@ impl<'g> QueryEngine<'g> {
         cost: CostModel<'_>,
     ) -> ShortestPathTree {
         self.fwd
-            .run_dijkstra(self.g, source, None, cost, None, None);
+            .run_dijkstra(self.g, source, None, cost, None, None, false);
         let n = self.g.vertex_count();
         let mut dist = Vec::with_capacity(n);
         let mut parent = Vec::with_capacity(n);
@@ -488,12 +741,15 @@ impl<'g> QueryEngine<'g> {
     /// [`crate::algo::dijkstra::constrained_shortest_path`].
     ///
     /// Spur searches are strongly target-directed, so this runs A* with
-    /// the engine's cached [`safe_heuristic_bound`] whenever the cost
-    /// model admits one (bans only remove edges, which preserves
-    /// admissibility); `Custom` costs fall back to plain Dijkstra. Either
-    /// way the returned path is cost-optimal among the non-banned paths,
-    /// though tie-breaking among equal-cost optima can differ from the
-    /// plain-Dijkstra variant.
+    /// the strongest [`Heuristic`] the engine can justify: the ALT
+    /// triangle bound (maxed with the Euclidean bound) when landmarks are
+    /// attached and cover the cost model, the cached
+    /// [`safe_heuristic_bound`] alone otherwise; `Custom` costs without
+    /// landmarks fall back to plain Dijkstra. Bans only remove
+    /// edges/vertices — true distances can only grow — so every variant
+    /// stays admissible and the returned path is cost-optimal among the
+    /// non-banned paths, though tie-breaking among equal-cost optima can
+    /// differ between variants.
     pub fn constrained_shortest_path(
         &mut self,
         source: VertexId,
@@ -508,14 +764,23 @@ impl<'g> QueryEngine<'g> {
         {
             return None;
         }
-        let bound = self.heuristic_bound(cost);
-        if bound > 0.0 {
+        let per_meter = self.heuristic_bound(cost);
+        let h = Self::forward_heuristic(
+            self.g,
+            &self.landmarks,
+            &mut self.alt_target,
+            source,
+            target,
+            cost,
+            per_meter,
+        );
+        if h.is_active() {
             self.fwd.run_astar(
                 self.g,
                 source,
                 target,
                 cost,
-                bound,
+                &h,
                 Some((banned_vertices, banned_edges)),
             );
         } else {
@@ -526,6 +791,7 @@ impl<'g> QueryEngine<'g> {
                 cost,
                 Some(banned_vertices),
                 Some(banned_edges),
+                false,
             );
         }
         self.fwd.extract_path(source, target)
@@ -557,6 +823,7 @@ impl<'g> QueryEngine<'g> {
             cost,
             Some(banned_vertices),
             Some(banned_edges),
+            false,
         );
         self.fwd.extract_path(source, target)
     }
@@ -577,10 +844,11 @@ impl<'g> QueryEngine<'g> {
         }
     }
 
-    /// A* with the straight-line-distance heuristic. Engine counterpart
+    /// A* under the engine's strongest [`Heuristic`]. Engine counterpart
     /// of [`crate::algo::astar::astar_shortest_path`], using the cached
     /// [`safe_heuristic_bound`] (sound on arbitrary graphs, not just the
-    /// generators' geometry-consistent ones).
+    /// generators' geometry-consistent ones) — tightened to the ALT
+    /// triangle bound when landmarks are attached and cover `cost`.
     pub fn astar_shortest_path(
         &mut self,
         source: VertexId,
@@ -590,13 +858,21 @@ impl<'g> QueryEngine<'g> {
         if source == target {
             return None;
         }
-        let bound = self.heuristic_bound(cost);
-        if bound > 0.0 {
-            self.fwd
-                .run_astar(self.g, source, target, cost, bound, None);
+        let per_meter = self.heuristic_bound(cost);
+        let h = Self::forward_heuristic(
+            self.g,
+            &self.landmarks,
+            &mut self.alt_target,
+            source,
+            target,
+            cost,
+            per_meter,
+        );
+        if h.is_active() {
+            self.fwd.run_astar(self.g, source, target, cost, &h, None);
         } else {
             self.fwd
-                .run_dijkstra(self.g, source, Some(target), cost, None, None);
+                .run_dijkstra(self.g, source, Some(target), cost, None, None, false);
         }
         self.fwd.extract_path(source, target)
     }
@@ -604,6 +880,16 @@ impl<'g> QueryEngine<'g> {
     /// Bidirectional Dijkstra over the forward and backward spaces.
     /// Engine counterpart of
     /// [`crate::algo::bidijkstra::bidirectional_shortest_path`].
+    ///
+    /// When landmarks are attached and cover `cost`, both directions
+    /// apply goal-directed *pruning*: a settled vertex `u` whose
+    /// `dist(u) + lower-bound(remaining)` already reaches the best
+    /// connection found is not expanded. Unlike potential-based
+    /// bidirectional A*, this keeps both frontiers Dijkstra-ordered, so
+    /// the classic `fmin + bmin >= best` termination stays valid and the
+    /// result stays exact: no vertex on a strictly better path can ever
+    /// be pruned (its `dist + bound` is below that path's cost, which is
+    /// below `best`).
     pub fn bidirectional_shortest_path(
         &mut self,
         source: VertexId,
@@ -614,6 +900,37 @@ impl<'g> QueryEngine<'g> {
             return None;
         }
         let g = self.g;
+        let use_alt = self.uses_alt(cost);
+        let per_meter = if use_alt {
+            self.heuristic_bound(cost)
+        } else {
+            0.0
+        };
+        let (hf, hb) = match self.landmarks.as_deref() {
+            Some(table) if use_alt => {
+                table.prepare(&mut self.alt_target, target);
+                table.select_active(&mut self.alt_target, source, true);
+                table.prepare(&mut self.alt_source, source);
+                table.select_active(&mut self.alt_source, target, false);
+                (
+                    Heuristic::Alt {
+                        table,
+                        cache: &self.alt_target,
+                        reverse: false,
+                        anchor: g.coord(target),
+                        per_meter,
+                    },
+                    Heuristic::Alt {
+                        table,
+                        cache: &self.alt_source,
+                        reverse: true,
+                        anchor: g.coord(source),
+                        per_meter,
+                    },
+                )
+            }
+            _ => (Heuristic::None, Heuristic::None),
+        };
         let n = g.vertex_count();
         let bwd = self.bwd.get_or_insert_with(|| SearchSpace::new(n));
         let fwd = &mut self.fwd;
@@ -659,6 +976,21 @@ impl<'g> QueryEngine<'g> {
                     best = total;
                     meet = Some(u);
                 }
+            }
+
+            // ALT pruning: every s-t path through u costs at least
+            // dist(u) + bound(remaining); when that can no longer beat
+            // the best connection, skip the expansion. `Heuristic::None`
+            // evaluates to 0, where `d >= best` implies the loop's
+            // termination condition anyway, so the plain search is
+            // bit-identical to the pre-landmark engine.
+            let remaining = if forward {
+                hf.eval(g, u)
+            } else {
+                hb.eval(g, u)
+            };
+            if remaining > 0.0 && d + remaining >= best {
+                continue;
             }
 
             // Relax the neighbourhood, then re-check meetings through the
@@ -987,6 +1319,98 @@ mod tests {
         assert!(engine
             .bidirectional_shortest_path(VertexId(0), VertexId(0), CostModel::Length)
             .is_none());
+    }
+
+    #[test]
+    fn alt_engine_costs_match_plain_engine_on_grid() {
+        // A grid maximises equal-cost ties; ALT may tie-break differently
+        // but every cost must be bit-identical (uniform 100 m edges sum
+        // exactly in f64).
+        use crate::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
+        let g = grid_network(&GridConfig::small_test(), 13);
+        let table = Arc::new(LandmarkTable::build(
+            &g,
+            LandmarkMetric::Length,
+            &LandmarkConfig::default(),
+        ));
+        let mut plain = QueryEngine::new(&g);
+        let mut alt = QueryEngine::new(&g).with_landmarks(table);
+        assert!(alt.uses_alt(CostModel::Length));
+        let n = g.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n - 1, 0), (3, n / 2), (n / 3, 2 * n / 3)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            for run in [
+                QueryEngine::shortest_path,
+                QueryEngine::astar_shortest_path,
+                QueryEngine::bidirectional_shortest_path,
+            ] {
+                let a = run(&mut plain, s, t, CostModel::Length).map(|p| p.length_m(&g));
+                let b = run(&mut alt, s, t, CostModel::Length).map(|p| p.length_m(&g));
+                assert_eq!(a, b, "{s:?}->{t:?} cost diverged under ALT");
+            }
+            let ca = plain.shortest_path_cost(s, t, CostModel::Length);
+            let cb = alt.shortest_path_cost(s, t, CostModel::Length);
+            assert_eq!(ca, cb, "{s:?}->{t:?} cost probe diverged under ALT");
+            let ya = plain.yen_k_shortest(s, t, CostModel::Length, 5);
+            let yb = alt.yen_k_shortest(s, t, CostModel::Length, 5);
+            assert_eq!(ya.len(), yb.len());
+            for ((_, a), (_, b)) in ya.iter().zip(yb.iter()) {
+                assert_eq!(a, b, "{s:?}->{t:?} Yen cost sequence diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn alt_falls_back_on_metric_mismatch_and_custom_costs() {
+        use crate::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
+        let g = grid_network(&GridConfig::small_test(), 5);
+        let table = Arc::new(LandmarkTable::build(
+            &g,
+            LandmarkMetric::Length,
+            &LandmarkConfig::default(),
+        ));
+        let custom: Vec<f64> = (0..g.edge_count()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut alt = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
+        assert!(alt.uses_alt(CostModel::Length));
+        assert!(!alt.uses_alt(CostModel::TravelTime));
+        assert!(!alt.uses_alt(CostModel::Custom(&custom)));
+        // Fallback is plain Dijkstra: paths (not just costs) must be
+        // bit-identical to an engine without landmarks.
+        let mut plain = QueryEngine::new(&g);
+        let t = VertexId((g.vertex_count() - 1) as u32);
+        let a = plain
+            .shortest_path(VertexId(0), t, CostModel::Custom(&custom))
+            .unwrap();
+        let b = alt
+            .shortest_path(VertexId(0), t, CostModel::Custom(&custom))
+            .unwrap();
+        assert_eq!(a.vertices(), b.vertices());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn alt_one_to_all_rev_matches_forward_on_bidirectional_graph() {
+        let g = grid_network(&GridConfig::small_test(), 9);
+        let mut engine = QueryEngine::new(&g);
+        let t = VertexId(7);
+        let fwd: Vec<f64> = {
+            let view = engine.one_to_all(t, CostModel::Length);
+            g.vertices().map(|v| view.dist(v)).collect()
+        };
+        let rev: Vec<f64> = {
+            let view = engine.one_to_all_rev(t, CostModel::Length);
+            g.vertices().map(|v| view.dist(v)).collect()
+        };
+        // The grid generator adds every edge bidirectionally with equal
+        // length, so d(t, v) == d(v, t) bit-for-bit.
+        assert_eq!(fwd, rev);
+        // And the reverse sweep must not disturb the forward space.
+        let before = engine.one_to_all(VertexId(0), CostModel::Length).dist(t);
+        engine.one_to_all_rev(t, CostModel::Length);
+        // Forward space epoch moved on: the old view is gone, but a fresh
+        // forward query still answers identically.
+        let after = engine.one_to_all(VertexId(0), CostModel::Length).dist(t);
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //!   one-to-all trees, and a constrained variant that honours banned
 //!   vertex/edge sets — the inner engine of Yen's algorithm);
 //! * [`astar`] — A* with an admissible straight-line-distance heuristic;
+//! * [`landmarks`] — ALT preprocessing: landmark distance tables whose
+//!   triangle-inequality bounds upgrade every target-directed search on a
+//!   [`engine::QueryEngine`] (see [`engine::Heuristic`] and
+//!   [`engine::QueryEngine::with_landmarks`]) while provably preserving
+//!   exactness;
 //! * [`bidijkstra`] — bidirectional Dijkstra;
 //! * [`yen`] — Yen's algorithm for the top-k loopless shortest paths,
 //!   exposed as a lazy iterator (the paper's TkDI training-data strategy);
@@ -24,6 +29,7 @@ pub mod bidijkstra;
 pub mod dijkstra;
 pub mod diversified;
 pub mod engine;
+pub mod landmarks;
 pub mod yen;
 
 pub use astar::astar_shortest_path;
@@ -32,5 +38,6 @@ pub use dijkstra::{
     constrained_shortest_path, shortest_path, shortest_path_tree, ShortestPathTree,
 };
 pub use diversified::{diversified_top_k, diversified_top_k_with, DiversifiedConfig};
-pub use engine::{safe_heuristic_bound, QueryEngine, SearchSpace, TreeView};
+pub use engine::{safe_heuristic_bound, Heuristic, QueryEngine, SearchSpace, TreeView};
+pub use landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable, NodeVectors};
 pub use yen::{yen_k_shortest, YenIter};

@@ -4,11 +4,10 @@
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
 
-use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::graph::Graph;
 use pathrank_spatial::path::Path;
 
-use crate::mapmatch::{map_match_with, MapMatchConfig};
+use crate::mapmatch::{MapMatchConfig, MapMatcher};
 use crate::simulator::Trip;
 
 /// A set of trajectory paths ready for training-data generation.
@@ -30,12 +29,13 @@ impl TrajectoryDataset {
 
     /// Builds the dataset by map-matching each trip's GPS trace (the full
     /// paper pipeline). Trips whose trace cannot be matched are dropped.
-    /// One [`QueryEngine`] serves every trace's route probes.
+    /// One [`MapMatcher`] — a single spatial index plus a single query
+    /// engine — serves every trace.
     pub fn from_map_matching(g: &Graph, trips: &[Trip], cfg: &MapMatchConfig) -> Self {
-        let mut engine = QueryEngine::new(g);
+        let mut matcher = MapMatcher::new(g, cfg.clone());
         let paths = trips
             .iter()
-            .filter_map(|t| map_match_with(&mut engine, &t.trace, cfg))
+            .filter_map(|t| matcher.match_trace(&t.trace))
             .collect();
         TrajectoryDataset { paths }
     }

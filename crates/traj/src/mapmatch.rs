@@ -9,8 +9,10 @@
 //! stitched into a connected [`Path`] with shortest-path gap filling.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pathrank_spatial::algo::engine::QueryEngine;
+use pathrank_spatial::algo::landmarks::LandmarkTable;
 use pathrank_spatial::geometry::{project_onto_segment, Point, Projection};
 use pathrank_spatial::graph::{CostModel, EdgeId, Graph};
 use pathrank_spatial::path::Path;
@@ -93,6 +95,62 @@ impl EdgeIndex {
     }
 }
 
+/// A reusable matcher: one [`EdgeIndex`] and one [`QueryEngine`] serving
+/// any number of traces.
+///
+/// [`map_match_with`] already reuses a caller's engine, but it still
+/// rebuilds the `O(E)` spatial grid per trace; batch callers (dataset
+/// assembly, servers) hold a `MapMatcher` instead, which hoists the index
+/// build out of the per-trace loop entirely. The engine can additionally
+/// carry ALT landmarks ([`MapMatcher::with_landmarks`]) so every HMM
+/// transition probe and gap-filling search is landmark-directed — probes
+/// are exact either way, so matches are unaffected apart from equal-cost
+/// tie-breaking.
+pub struct MapMatcher<'g> {
+    engine: QueryEngine<'g>,
+    index: EdgeIndex,
+    cfg: MapMatchConfig,
+}
+
+impl<'g> MapMatcher<'g> {
+    /// Builds the matcher: indexes the graph once for `cfg`'s candidate
+    /// radius and allocates the reusable engine.
+    pub fn new(g: &'g Graph, cfg: MapMatchConfig) -> Self {
+        let index = EdgeIndex::build(g, cfg.candidate_radius_m.max(25.0));
+        MapMatcher {
+            engine: QueryEngine::new(g),
+            index,
+            cfg,
+        }
+    }
+
+    /// Attaches ALT landmarks to the matcher's engine (see
+    /// [`QueryEngine::with_landmarks`]); transition probes fall back to
+    /// plain searches automatically if the table's metric ever stops
+    /// matching the probes' cost model.
+    pub fn with_landmarks(mut self, table: Arc<LandmarkTable>) -> Self {
+        self.engine = self.engine.with_landmarks(table);
+        self
+    }
+
+    /// The matcher configuration.
+    pub fn config(&self) -> &MapMatchConfig {
+        &self.cfg
+    }
+
+    /// The spatial index (built once in [`MapMatcher::new`]; exposed so
+    /// tests can assert it is reused across traces).
+    pub fn index(&self) -> &EdgeIndex {
+        &self.index
+    }
+
+    /// Matches one trace; equivalent to [`map_match`] but with the index
+    /// and engine shared across calls.
+    pub fn match_trace(&mut self, trace: &GpsTrace) -> Option<Path> {
+        match_on(&mut self.engine, &self.index, trace, &self.cfg)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
     edge: EdgeId,
@@ -119,9 +177,26 @@ pub fn map_match(g: &Graph, trace: &GpsTrace, cfg: &MapMatchConfig) -> Option<Pa
 
 /// [`map_match`] on a caller-provided engine: all route-distance probes
 /// (many per fix pair) and gap-filling searches reuse the engine's
-/// search state instead of allocating per query.
+/// search state instead of allocating per query. Still builds the
+/// spatial index per call — batch callers hold a [`MapMatcher`], which
+/// hoists that too.
 pub fn map_match_with(
     engine: &mut QueryEngine<'_>,
+    trace: &GpsTrace,
+    cfg: &MapMatchConfig,
+) -> Option<Path> {
+    if trace.len() < 2 {
+        return None;
+    }
+    let index = EdgeIndex::build(engine.graph(), cfg.candidate_radius_m.max(25.0));
+    match_on(engine, &index, trace, cfg)
+}
+
+/// The matcher core: candidate layers from a prebuilt index, Viterbi over
+/// engine-probed route distances, stitching.
+fn match_on(
+    engine: &mut QueryEngine<'_>,
+    index: &EdgeIndex,
     trace: &GpsTrace,
     cfg: &MapMatchConfig,
 ) -> Option<Path> {
@@ -129,7 +204,6 @@ pub fn map_match_with(
     if trace.len() < 2 {
         return None;
     }
-    let index = EdgeIndex::build(g, cfg.candidate_radius_m.max(25.0));
 
     // Movement heading at each fix (central difference), used to
     // disambiguate the two directed twins of a bidirectional street.
@@ -413,6 +487,61 @@ mod tests {
                 }
                 (None, None) => {}
                 (a, b) => panic!("match divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matcher_reuses_one_index_across_traces() {
+        // The ROADMAP fix: `map_match_with` rebuilt the spatial grid per
+        // trace; a MapMatcher must hold one index for its lifetime and
+        // still reproduce the one-shot matcher's output exactly.
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 17);
+        let cfg = MapMatchConfig::default();
+        let mut matcher = MapMatcher::new(&g, cfg.clone());
+        let index_ptr: *const EdgeIndex = matcher.index();
+        for trip in trips.iter().take(6) {
+            let fresh = map_match(&g, &trip.trace, &cfg);
+            let hoisted = matcher.match_trace(&trip.trace);
+            match (fresh, hoisted) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.vertices(), b.vertices());
+                    assert_eq!(a.edges(), b.edges());
+                }
+                (None, None) => {}
+                (a, b) => panic!("match divergence: {a:?} vs {b:?}"),
+            }
+            assert!(
+                std::ptr::eq(index_ptr, matcher.index()),
+                "matcher must keep one index across traces"
+            );
+        }
+    }
+
+    #[test]
+    fn alt_matcher_recovers_routes_like_plain_matcher() {
+        use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
+        use std::sync::Arc;
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 17);
+        let table = Arc::new(LandmarkTable::build(
+            &g,
+            LandmarkMetric::Length,
+            &LandmarkConfig::default(),
+        ));
+        let cfg = MapMatchConfig::default();
+        let mut plain = MapMatcher::new(&g, cfg.clone());
+        let mut alt = MapMatcher::new(&g, cfg).with_landmarks(table);
+        for trip in trips.iter().take(6) {
+            // ALT probes return bit-identical route costs, so the Viterbi
+            // decisions — and the matched routes — must agree.
+            let a = plain.match_trace(&trip.trace);
+            let b = alt.match_trace(&trip.trace);
+            match (a, b) {
+                (Some(a), Some(b)) => assert_eq!(a.edges(), b.edges()),
+                (None, None) => {}
+                (a, b) => panic!("ALT match divergence: {a:?} vs {b:?}"),
             }
         }
     }
