@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use pathrank_spatial::algo::astar::astar_shortest_path;
 use pathrank_spatial::algo::bidijkstra::bidirectional_shortest_path;
+use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
 use pathrank_spatial::algo::dijkstra::shortest_path;
 use pathrank_spatial::algo::diversified::{diversified_top_k, DiversifiedConfig};
 use pathrank_spatial::algo::engine::QueryEngine;
@@ -30,6 +31,11 @@ fn routing(c: &mut Criterion) {
         &g,
         LandmarkMetric::Length,
         &LandmarkConfig::default(),
+    ));
+    let ch = Arc::new(ContractionHierarchy::build(
+        &g,
+        LandmarkMetric::Length,
+        &ChConfig::default(),
     ));
 
     let mut group = c.benchmark_group("point_to_point");
@@ -50,6 +56,10 @@ fn routing(c: &mut Criterion) {
     group.bench_function("astar_alt", |b| {
         let mut engine = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
         b.iter(|| engine.astar_shortest_path(black_box(s), black_box(t), CostModel::Length))
+    });
+    group.bench_function("ch", |b| {
+        let mut engine = QueryEngine::new(&g).with_ch(Arc::clone(&ch));
+        b.iter(|| engine.shortest_path(black_box(s), black_box(t), CostModel::Length))
     });
     group.bench_function("bidirectional", |b| {
         b.iter(|| bidirectional_shortest_path(&g, black_box(s), black_box(t), CostModel::Length))
@@ -72,6 +82,12 @@ fn routing(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("yen_alt", k), &k, |b, &k| {
             let mut engine = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
+            b.iter(|| engine.yen_k_shortest(s, t, CostModel::Length, black_box(k)))
+        });
+        group.bench_with_input(BenchmarkId::new("yen_ch_alt", k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(&g)
+                .with_landmarks(Arc::clone(&table))
+                .with_ch(Arc::clone(&ch));
             b.iter(|| engine.yen_k_shortest(s, t, CostModel::Length, black_box(k)))
         });
         group.bench_with_input(BenchmarkId::new("diversified", k), &k, |b, &k| {

@@ -1,21 +1,24 @@
 //! Machine-readable routing benchmark: fresh-allocation baseline vs
-//! reused [`QueryEngine`] vs ALT-landmark-guided engine, written to
-//! `BENCH_routing.json`.
+//! reused [`QueryEngine`] vs ALT-landmark-guided engine vs
+//! contraction-hierarchy-backed engine, written to `BENCH_routing.json`.
 //!
-//! Measures median ns/query for the three routing workloads the training
-//! pipeline leans on — repeated one-to-one queries, one-to-all trees, and
-//! Yen top-k. The **fresh** rows run a faithful reconstruction of the
-//! seed's pre-engine routing layer (every search allocates fresh `O(V)`
-//! `dist`/`parent` vectors, a bitset and a heap; Yen allocates per *spur
-//! search*; plain Dijkstra throughout). The **reused** rows run the
-//! shipped engine: one `SearchSpace` with generation-stamped O(1) reset,
-//! cached A* heuristic bounds, and target-directed spur searches. The
-//! **reused_alt** rows additionally attach a precomputed
-//! [`LandmarkTable`], upgrading every heuristic to the landmark
-//! triangle-inequality bound (answers stay exact — asserted against the
-//! baseline before timing; the table build itself is reported under
-//! `"alt"`). The JSON makes the perf trajectory of the routing layer
-//! trackable across PRs.
+//! Measures median ns/query for the routing workloads the training
+//! pipeline leans on — repeated one-to-one queries (length and
+//! travel-time metrics), one-to-all trees, and Yen top-k. The **fresh**
+//! rows run a faithful reconstruction of the seed's pre-engine routing
+//! layer (every search allocates fresh `O(V)` `dist`/`parent` vectors, a
+//! bitset and a heap; Yen allocates per *spur search*; plain Dijkstra
+//! throughout). The **reused** rows run the shipped engine: one
+//! `SearchSpace` with generation-stamped O(1) reset, cached A* heuristic
+//! bounds, and target-directed spur searches. The **reused_alt** rows
+//! additionally attach a precomputed [`LandmarkTable`] (build time under
+//! `"alt"`), and the **reused_ch** rows a [`ContractionHierarchy`]
+//! (build time under `"ch"`): unconstrained point-to-point queries run
+//! the bidirectional upward search, Yen spur searches keep ALT. The
+//! `fastest_one_to_one` rows exercise the TravelTime metric through a
+//! TravelTime-built landmark table (fastest-path serving). Answers stay
+//! exact — asserted against the baseline before timing. The JSON makes
+//! the perf trajectory of the routing layer trackable across PRs.
 //!
 //! ```text
 //! cargo run --release -p pathrank-bench --bin bench_routing [-- --quick] [--out FILE]
@@ -25,6 +28,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
+use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::generators::{region_network, RegionConfig};
@@ -311,17 +315,47 @@ fn main() {
         table.k()
     );
 
+    // TravelTime-metric landmark table: the fastest-path serving index.
+    let t0 = Instant::now();
+    let tt_table = Arc::new(LandmarkTable::build(
+        &g,
+        LandmarkMetric::TravelTime,
+        &LandmarkConfig::default(),
+    ));
+    let alt_tt_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Contraction hierarchy (timed): the index every `reused_ch` row
+    // routes with.
+    let t0 = Instant::now();
+    let ch = Arc::new(ContractionHierarchy::build(
+        &g,
+        LandmarkMetric::Length,
+        &ChConfig::default(),
+    ));
+    let ch_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "CH: {} shortcuts over {} edges in {ch_build_ms:.1} ms",
+        ch.shortcut_count(),
+        g.edge_count()
+    );
+
     // The engines' answers must agree with the baseline's before any
     // timing is trusted (equal costs; tie-breaking may differ) — for the
-    // plain reused engine *and* the ALT-guided one.
+    // plain reused engine, the ALT-guided one *and* the CH-backed one.
     {
         let mut engine = QueryEngine::new(&g);
         let mut alt = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
+        let mut chx = QueryEngine::new(&g)
+            .with_landmarks(Arc::clone(&table))
+            .with_ch(Arc::clone(&ch));
+        let mut tt = QueryEngine::new(&g).with_landmarks(Arc::clone(&tt_table));
         assert!(alt.uses_alt(CostModel::Length));
+        assert!(chx.uses_ch(CostModel::Length));
+        assert!(tt.uses_alt(CostModel::TravelTime));
         for &(s, t) in &p2p {
             let a =
                 seed_baseline::shortest_path(&g, s, t, CostModel::Length).map(|p| p.length_m(&g));
-            for engine in [&mut engine, &mut alt] {
+            for engine in [&mut engine, &mut alt, &mut chx] {
                 let b = engine
                     .astar_shortest_path(s, t, CostModel::Length)
                     .map(|p| p.length_m(&g));
@@ -333,10 +367,22 @@ fn main() {
                     (a, b) => panic!("reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
                 }
             }
+            let a = seed_baseline::shortest_path(&g, s, t, CostModel::TravelTime)
+                .map(|p| p.travel_time_s(&g));
+            let b = tt
+                .astar_shortest_path(s, t, CostModel::TravelTime)
+                .map(|p| p.travel_time_s(&g));
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-6, "TT cost mismatch {s:?}->{t:?}")
+                }
+                (None, None) => {}
+                (a, b) => panic!("TT reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
+            }
         }
         for &(s, t) in yen_pairs {
             let a = seed_baseline::yen_k_shortest(&g, s, t, CostModel::Length, YEN_K);
-            for engine in [&mut engine, &mut alt] {
+            for engine in [&mut engine, &mut alt, &mut chx] {
                 let b = engine.yen_k_shortest(s, t, CostModel::Length, YEN_K);
                 assert_eq!(a.len(), b.len(), "yen count mismatch {s:?}->{t:?}");
                 for ((_, ca), (_, cb)) in a.iter().zip(b.iter()) {
@@ -397,9 +443,45 @@ fn main() {
         }
     });
     record("one_to_one", "reused_alt", p2p.len(), reps, reused_alt);
+    let mut engine = QueryEngine::new(&g).with_ch(Arc::clone(&ch));
+    let reused_ch = measure(reps, p2p.len(), || {
+        for &(s, t) in &p2p {
+            std::hint::black_box(engine.shortest_path(s, t, CostModel::Length));
+        }
+    });
+    record("one_to_one", "reused_ch", p2p.len(), reps, reused_ch);
     let speedup_p2p = fresh / reused;
     let speedup_p2p_alt = fresh / reused_alt;
+    let speedup_p2p_ch = fresh / reused_ch;
     let speedup_p2p_reuse_only = fresh / reused_dijkstra;
+
+    // Fastest-path (TravelTime) serving: the fresh baseline vs the
+    // TravelTime-metric landmark table the Workbench now carries.
+    let fresh_tt = measure(reps, p2p.len(), || {
+        for &(s, t) in &p2p {
+            std::hint::black_box(seed_baseline::shortest_path(
+                &g,
+                s,
+                t,
+                CostModel::TravelTime,
+            ));
+        }
+    });
+    record("fastest_one_to_one", "fresh", p2p.len(), reps, fresh_tt);
+    let mut engine = QueryEngine::new(&g).with_landmarks(Arc::clone(&tt_table));
+    let reused_alt_tt = measure(reps, p2p.len(), || {
+        for &(s, t) in &p2p {
+            std::hint::black_box(engine.astar_shortest_path(s, t, CostModel::TravelTime));
+        }
+    });
+    record(
+        "fastest_one_to_one",
+        "reused_alt",
+        p2p.len(),
+        reps,
+        reused_alt_tt,
+    );
+    let speedup_tt_alt = fresh_tt / reused_alt_tt;
 
     // One-to-all trees: the edge-popularity / preprocessing shape. The
     // reused side also skips materialising the O(V) result arrays by
@@ -447,8 +529,26 @@ fn main() {
         }
     });
     record("yen_top_k", "reused_alt", yen_pairs.len(), reps, reused_alt);
+    // ALT + CH together: the initial unconstrained path of each Yen
+    // enumeration takes the CH backend, the spur searches stay ALT.
+    let mut engine = QueryEngine::new(&g)
+        .with_landmarks(Arc::clone(&table))
+        .with_ch(Arc::clone(&ch));
+    let reused_ch_yen = measure(reps, yen_pairs.len(), || {
+        for &(s, t) in yen_pairs {
+            std::hint::black_box(engine.yen_k_shortest(s, t, CostModel::Length, YEN_K));
+        }
+    });
+    record(
+        "yen_top_k",
+        "reused_ch",
+        yen_pairs.len(),
+        reps,
+        reused_ch_yen,
+    );
     let speedup_yen = fresh / reused;
     let speedup_yen_alt = fresh / reused_alt;
+    let speedup_yen_ch = fresh / reused_ch_yen;
 
     // Hand-rolled JSON (the workspace deliberately has no serde backend).
     let mut json = String::new();
@@ -469,10 +569,22 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"alt\": {{\"landmarks\": {}, \"active_per_query\": {}, \"build_ms\": {:.1}}},",
+        "  \"reused_ch\": \"QueryEngine + ContractionHierarchy: bidirectional upward search with shortcut unpacking (exact)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"alt\": {{\"landmarks\": {}, \"active_per_query\": {}, \"build_ms\": {:.1}, \"travel_time_build_ms\": {:.1}}},",
         table.k(),
         pathrank_spatial::algo::landmarks::ACTIVE_LANDMARKS,
-        alt_build_ms
+        alt_build_ms,
+        alt_tt_build_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"ch\": {{\"shortcuts\": {}, \"arcs\": {}, \"build_ms\": {:.1}}},",
+        ch.shortcut_count(),
+        ch.arcs().len(),
+        ch_build_ms
     );
     let _ = writeln!(
         json,
@@ -503,7 +615,11 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"speedup_alt_over_fresh\": {{\"one_to_one\": {speedup_p2p_alt:.3}, \"yen_top_k\": {speedup_yen_alt:.3}}},"
+        "  \"speedup_alt_over_fresh\": {{\"one_to_one\": {speedup_p2p_alt:.3}, \"yen_top_k\": {speedup_yen_alt:.3}, \"fastest_one_to_one\": {speedup_tt_alt:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_ch_over_fresh\": {{\"one_to_one\": {speedup_p2p_ch:.3}, \"yen_top_k\": {speedup_yen_ch:.3}}},"
     );
     // Same-algorithm comparison (Dijkstra both sides): the share of the
     // one-to-one speedup attributable to state reuse alone, with the
@@ -520,6 +636,9 @@ fn main() {
         "speedups (reused/fresh): one_to_one {speedup_p2p:.2}x, one_to_all {speedup_tree:.2}x, yen {speedup_yen:.2}x"
     );
     eprintln!(
-        "speedups (alt/fresh):    one_to_one {speedup_p2p_alt:.2}x, yen {speedup_yen_alt:.2}x -> {out_path}"
+        "speedups (alt/fresh):    one_to_one {speedup_p2p_alt:.2}x, yen {speedup_yen_alt:.2}x, fastest {speedup_tt_alt:.2}x"
+    );
+    eprintln!(
+        "speedups (ch/fresh):     one_to_one {speedup_p2p_ch:.2}x, yen {speedup_yen_ch:.2}x -> {out_path}"
     );
 }

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use crossbeam::thread;
 use serde::{Deserialize, Serialize};
 
+use pathrank_spatial::algo::ch::ContractionHierarchy;
 use pathrank_spatial::algo::diversified::DiversifiedConfig;
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
@@ -187,6 +188,29 @@ pub fn generate_groups_with_landmarks(
     threads: usize,
     landmarks: Option<Arc<LandmarkTable>>,
 ) -> Vec<TrainingGroup> {
+    generate_groups_with_backends(g, trajectories, cfg, threads, landmarks, None)
+}
+
+/// [`generate_groups`] with every search index the caller already holds:
+/// an ALT table (`None` builds a transient one) and optionally a
+/// contraction hierarchy, both built on `g` under the length metric.
+///
+/// Each worker engine attaches both indexes and lets the per-query
+/// [`pathrank_spatial::algo::engine::SearchBackend`] dispatch sort out
+/// the rest: the unconstrained initial shortest path of every Yen /
+/// diversified enumeration takes the CH fast path, while the banned-set
+/// spur searches — where shortcuts would be unsound — stay ALT-guided.
+/// A transient CH is *not* built here: unlike the ALT table, its build
+/// cost only amortises across many trajectory batches, so it is worth
+/// holding only at the `Workbench` / server level.
+pub fn generate_groups_with_backends(
+    g: &Graph,
+    trajectories: &[Path],
+    cfg: &CandidateConfig,
+    threads: usize,
+    landmarks: Option<Arc<LandmarkTable>>,
+    ch: Option<Arc<ContractionHierarchy>>,
+) -> Vec<TrainingGroup> {
     let threads = threads.max(1);
     if trajectories.is_empty() {
         return Vec::new();
@@ -201,8 +225,15 @@ pub fn generate_groups_with_landmarks(
             },
         ))
     });
+    let worker_engine = |table: Arc<LandmarkTable>, ch: Option<Arc<ContractionHierarchy>>| {
+        let engine = QueryEngine::new(g).with_landmarks(table);
+        match ch {
+            Some(ch) => engine.with_ch(ch),
+            None => engine,
+        }
+    };
     if threads == 1 || trajectories.len() < 2 * threads {
-        let mut engine = QueryEngine::new(g).with_landmarks(table);
+        let mut engine = worker_engine(table, ch);
         return trajectories
             .iter()
             .map(|t| generate_group_with(&mut engine, t, cfg))
@@ -214,8 +245,10 @@ pub fn generate_groups_with_landmarks(
             .chunks(chunk)
             .map(|slice| {
                 let table = Arc::clone(&table);
+                let ch = ch.clone();
+                let worker_engine = &worker_engine;
                 scope.spawn(move |_| {
-                    let mut engine = QueryEngine::new(g).with_landmarks(table);
+                    let mut engine = worker_engine(table, ch);
                     slice
                         .iter()
                         .map(|t| generate_group_with(&mut engine, t, cfg))
@@ -384,6 +417,36 @@ mod tests {
             let alt = generate_groups(&g, &paths, &cfg, 2);
             let mut plain_engine = QueryEngine::new(&g);
             for (group, p) in alt.iter().zip(paths.iter()) {
+                let plain = generate_group_with(&mut plain_engine, p, &cfg);
+                assert_eq!(group.len(), plain.len());
+                for (a, b) in group.candidates.iter().zip(plain.candidates.iter()) {
+                    assert!(a.path.same_route(&b.path), "{strategy:?} route diverged");
+                    assert_eq!(a.score, b.score, "{strategy:?} score diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ch_backed_groups_match_plain_engine_generation() {
+        // Workers attach the CH next to the ALT table; the unconstrained
+        // initial path of each enumeration moves to the CH backend while
+        // spur searches stay ALT. On the float-geometry region the
+        // optimum is unique, so groups must be identical to a plain
+        // engine's — same candidate routes, bit-identical scores.
+        use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+        let (g, paths) = setup();
+        let ch = Arc::new(ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig::default(),
+        ));
+        for strategy in [Strategy::TkDI, Strategy::DTkDI] {
+            let cfg = CandidateConfig::paper_default(strategy);
+            let fast =
+                generate_groups_with_backends(&g, &paths, &cfg, 2, None, Some(Arc::clone(&ch)));
+            let mut plain_engine = QueryEngine::new(&g);
+            for (group, p) in fast.iter().zip(paths.iter()) {
                 let plain = generate_group_with(&mut plain_engine, p, &cfg);
                 assert_eq!(group.len(), plain.len());
                 for (a, b) in group.candidates.iter().zip(plain.candidates.iter()) {

@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use pathrank_embed::node2vec::{train_node2vec, Node2VecConfig};
 use pathrank_nn::matrix::Matrix;
+use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::generators::{region_network, RegionConfig};
@@ -28,7 +29,7 @@ use pathrank_traj::dataset::TrajectoryDataset;
 use pathrank_traj::mapmatch::MapMatchConfig;
 use pathrank_traj::simulator::{simulate_fleet, SimulationConfig};
 
-use crate::candidates::{generate_groups_with_landmarks, CandidateConfig, Strategy, TrainingGroup};
+use crate::candidates::{generate_groups_with_backends, CandidateConfig, Strategy, TrainingGroup};
 use crate::eval::{evaluate_model, EvalResult};
 use crate::model::{EmbeddingMode, ModelConfig, PathRankModel};
 use crate::trainer::{prepare_samples, train, TrainConfig, TrainReport};
@@ -130,6 +131,12 @@ pub struct Workbench {
     test_group_cache: HashMap<String, Vec<TrainingGroup>>,
     /// ALT landmark table for serving-time engines, built on first use.
     landmarks: OnceLock<Arc<LandmarkTable>>,
+    /// TravelTime-metric landmark table for fastest-path serving, built
+    /// on first use.
+    tt_landmarks: OnceLock<Arc<LandmarkTable>>,
+    /// Contraction hierarchy (length metric), built on first use and
+    /// shared by every CH-backed engine.
+    ch: OnceLock<Arc<ContractionHierarchy>>,
 }
 
 impl Workbench {
@@ -155,6 +162,8 @@ impl Workbench {
             train_group_cache: HashMap::new(),
             test_group_cache: HashMap::new(),
             landmarks: OnceLock::new(),
+            tt_landmarks: OnceLock::new(),
+            ch: OnceLock::new(),
         }
     }
 
@@ -195,6 +204,53 @@ impl Workbench {
             .with_landmarks(Arc::clone(self.landmark_table()))
     }
 
+    /// The workbench's shared TravelTime-metric landmark table, for
+    /// fastest-path serving (same build API, different metric — the
+    /// length table cannot cover `CostModel::TravelTime` queries).
+    pub fn travel_time_landmark_table(&self) -> &Arc<LandmarkTable> {
+        self.tt_landmarks.get_or_init(|| {
+            Arc::new(LandmarkTable::build(
+                &self.graph,
+                LandmarkMetric::TravelTime,
+                &LandmarkConfig {
+                    threads: self.cfg.threads.max(1),
+                    ..LandmarkConfig::default()
+                },
+            ))
+        })
+    }
+
+    /// An engine for fastest-path (TravelTime) serving: ALT-directed
+    /// under the TravelTime metric. Length queries on this engine fall
+    /// back to plain searches (the metric gate is per query).
+    pub fn fastest_query_engine(&self) -> QueryEngine<'_> {
+        self.query_engine()
+            .with_landmarks(Arc::clone(self.travel_time_landmark_table()))
+    }
+
+    /// The workbench's shared contraction hierarchy (length metric),
+    /// built once and cached next to the landmark table.
+    pub fn ch_index(&self) -> &Arc<ContractionHierarchy> {
+        self.ch.get_or_init(|| {
+            Arc::new(ContractionHierarchy::build(
+                &self.graph,
+                LandmarkMetric::Length,
+                &ChConfig {
+                    threads: self.cfg.threads.max(1),
+                    ..ChConfig::default()
+                },
+            ))
+        })
+    }
+
+    /// The strongest serving engine: ALT landmarks *and* the contraction
+    /// hierarchy attached. Unconstrained point-to-point queries dispatch
+    /// to the CH, constrained (spur) searches to ALT, everything else to
+    /// plain searches — all exact.
+    pub fn ch_query_engine(&self) -> QueryEngine<'_> {
+        self.alt_query_engine().with_ch(Arc::clone(self.ch_index()))
+    }
+
     /// The node2vec embedding for dimensionality `dim` (cached).
     pub fn embedding(&mut self, dim: usize) -> Matrix {
         if let Some(m) = self.embeddings.get(&dim) {
@@ -222,12 +278,13 @@ impl Workbench {
         if let Some(gs) = self.train_group_cache.get(&key) {
             return gs.clone();
         }
-        let gs = generate_groups_with_landmarks(
+        let gs = generate_groups_with_backends(
             &self.graph,
             &self.train_paths,
             ccfg,
             self.cfg.threads,
             Some(Arc::clone(self.landmark_table())),
+            Some(Arc::clone(self.ch_index())),
         );
         self.train_group_cache.insert(key, gs.clone());
         gs
@@ -253,12 +310,13 @@ impl Workbench {
         if let Some(gs) = self.test_group_cache.get(&key) {
             return gs.clone();
         }
-        let gs = generate_groups_with_landmarks(
+        let gs = generate_groups_with_backends(
             &self.graph,
             &self.test_paths,
             ccfg,
             self.cfg.threads,
             Some(Arc::clone(self.landmark_table())),
+            Some(Arc::clone(self.ch_index())),
         );
         self.test_group_cache.insert(key, gs.clone());
         gs
@@ -371,6 +429,60 @@ mod tests {
             let a = plain.shortest_path_cost(s, t, CostModel::Length);
             let b = alt.shortest_path_cost(s, t, CostModel::Length);
             assert_eq!(a, b, "{s:?}->{t:?} ALT cost diverged");
+        }
+    }
+
+    #[test]
+    fn ch_workbench_engine_matches_plain_engine() {
+        use pathrank_spatial::algo::engine::SearchBackend;
+        use pathrank_spatial::graph::{CostModel, VertexId};
+        let wb = Workbench::new(ExperimentConfig::small_test());
+        // The hierarchy is built once and shared by every CH engine.
+        let c1 = Arc::as_ptr(wb.ch_index());
+        let c2 = Arc::as_ptr(wb.ch_index());
+        assert_eq!(c1, c2, "contraction hierarchy must be cached");
+        let mut plain = wb.query_engine();
+        let mut fast = wb.ch_query_engine();
+        assert_eq!(fast.backend_for(CostModel::Length), SearchBackend::Ch);
+        assert_eq!(
+            fast.constrained_backend_for(CostModel::Length),
+            SearchBackend::Alt,
+            "spur searches must stay off the CH"
+        );
+        let n = wb.graph.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 2, 1), (n - 1, n / 3)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let a = plain.shortest_path_cost(s, t, CostModel::Length);
+            let b = fast.shortest_path_cost(s, t, CostModel::Length);
+            assert_eq!(a, b, "{s:?}->{t:?} CH cost diverged");
+        }
+    }
+
+    #[test]
+    fn travel_time_workbench_engine_serves_fastest_paths() {
+        use pathrank_spatial::algo::engine::SearchBackend;
+        use pathrank_spatial::graph::{CostModel, VertexId};
+        let wb = Workbench::new(ExperimentConfig::small_test());
+        let t1 = Arc::as_ptr(wb.travel_time_landmark_table());
+        let t2 = Arc::as_ptr(wb.travel_time_landmark_table());
+        assert_eq!(t1, t2, "TravelTime table must be cached");
+        let mut plain = wb.query_engine();
+        let mut fastest = wb.fastest_query_engine();
+        assert_eq!(
+            fastest.backend_for(CostModel::TravelTime),
+            SearchBackend::Alt
+        );
+        assert_eq!(
+            fastest.backend_for(CostModel::Length),
+            SearchBackend::Plain,
+            "the TravelTime table must not cover length queries"
+        );
+        let n = wb.graph.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 3, n / 2)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let a = plain.shortest_path_cost(s, t, CostModel::TravelTime);
+            let b = fastest.shortest_path_cost(s, t, CostModel::TravelTime);
+            assert_eq!(a, b, "{s:?}->{t:?} fastest-path cost diverged");
         }
     }
 

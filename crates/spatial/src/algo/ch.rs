@@ -1,0 +1,1170 @@
+//! Contraction hierarchies: preprocessing-based exact point-to-point
+//! routing, an order of magnitude past what ALT's goal direction buys.
+//!
+//! A contraction hierarchy (CH) assigns every vertex a *rank* and
+//! "contracts" vertices in rank order: removing a vertex from the
+//! remaining graph and inserting **shortcut arcs** between its neighbours
+//! wherever the removed vertex was on their only shortest path (decided
+//! by a local *witness search*). A point-to-point query then runs two
+//! tiny Dijkstra searches that only ever relax arcs leading to
+//! higher-ranked vertices — forward from the source, backward from the
+//! target — and meets near the top of the hierarchy; the best meeting
+//! vertex closes an exact shortest path. Shortcuts *unpack* recursively
+//! into the original [`EdgeId`] sequence, so callers still receive real
+//! [`crate::path::Path`]s.
+//!
+//! Design choices mirroring [`crate::algo::landmarks::LandmarkTable`]:
+//!
+//! * **Exactness is metric-bound.** The hierarchy is built under one
+//!   [`LandmarkMetric`]; queries under any other cost model (notably
+//!   [`CostModel::Custom`]) must not consult it —
+//!   [`ContractionHierarchy::usable_for`] is the per-query gate the
+//!   engine checks, falling back to ALT or plain search.
+//! * **Constrained searches never use the CH.** Unlike ALT lower bounds,
+//!   which survive banned vertex/edge sets, shortcuts bake full-graph
+//!   paths into single arcs: a banned edge may hide inside a shortcut.
+//!   The engine therefore keeps Yen spur searches on their ALT path and
+//!   reserves the CH for unconstrained probes.
+//! * **Deterministic, parallel-friendly build.** The node order is
+//!   edge-difference with lazy updates and lowest-id tie-breaks; initial
+//!   priorities (one independent simulated contraction per vertex) are
+//!   computed across `threads` workers, and the result is bit-identical
+//!   for any thread count (asserted by the unit tests).
+//!
+//! A witness search is capped ([`ChConfig::witness_settle_cap`]); hitting
+//! the cap may insert a redundant shortcut but can never drop a needed
+//! one, so caps trade index size for build time without touching
+//! correctness.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crossbeam::thread;
+
+use crate::algo::landmarks::LandmarkMetric;
+use crate::graph::{CostModel, EdgeId, Graph, VertexId};
+use crate::util::MinCost;
+
+/// Parameters of hierarchy construction.
+#[derive(Debug, Clone, Copy)]
+pub struct ChConfig {
+    /// Worker threads for the initial-priority sweep.
+    pub threads: usize,
+    /// Settled-vertex cap per witness search. Larger caps prove more
+    /// witnesses (fewer shortcuts, smaller index) at higher build cost;
+    /// any cap is exact.
+    pub witness_settle_cap: usize,
+}
+
+impl Default for ChConfig {
+    fn default() -> Self {
+        ChConfig {
+            threads: 4,
+            witness_settle_cap: 128,
+        }
+    }
+}
+
+/// What an arc expands to: an original graph edge, or the concatenation
+/// of two lower-level arcs (the pair a contracted vertex joined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChArcKind {
+    /// A real edge of the underlying graph.
+    Original(EdgeId),
+    /// A shortcut: expands to arc `.0` followed by arc `.1`.
+    Shortcut(u32, u32),
+}
+
+/// One arc of the hierarchy's search graph (original edge or shortcut).
+#[derive(Debug, Clone, Copy)]
+pub struct ChArc {
+    /// Tail vertex.
+    pub from: VertexId,
+    /// Head vertex.
+    pub to: VertexId,
+    /// Arc weight under the build metric (for shortcuts, the sum of the
+    /// two child arc weights as computed at contraction time).
+    pub weight: f64,
+    /// Expansion rule.
+    pub kind: ChArcKind,
+}
+
+/// A built contraction hierarchy over one graph and one metric.
+///
+/// Build once per (graph, metric), wrap in an `Arc`, and hand a clone to
+/// every worker's `QueryEngine::with_ch` — the index is immutable and
+/// `Sync`, so sharing is free. Queries need a per-worker [`ChSearch`]
+/// scratch state (the engine owns one lazily).
+#[derive(Debug, Clone)]
+pub struct ContractionHierarchy {
+    metric: LandmarkMetric,
+    /// Vertex count of the graph the hierarchy was built for.
+    n: usize,
+    /// Edge count of the graph the hierarchy was built for (attach-time
+    /// fingerprint against wrong-graph indexes).
+    m: usize,
+    /// `rank[v]` = contraction position of `v` (0 contracted first).
+    rank: Vec<u32>,
+    /// Arc pool: original edges first (`arc i` = `EdgeId(i)` for `i < m`),
+    /// shortcuts appended in creation order.
+    arcs: Vec<ChArc>,
+    // Search graph in CSR form, one contiguous segment per rank holding
+    // the *upward out-arcs* (to higher-ranked heads) followed by the
+    // *downward in-arcs* (from higher-ranked tails). The forward search
+    // expands the first part and stall-checks the second; the backward
+    // search does the reverse — so every settle reads one contiguous
+    // memory region (the query is cache-line-bound).
+    seg_offsets: Vec<u32>,
+    seg_mid: Vec<u32>,
+    seg_arcs: Vec<SearchArc>,
+}
+
+/// One adjacency entry of the query-time search graphs, with the data
+/// the hot loop needs inlined (endpoint + weight), so a query reads the
+/// CSR sequentially and touches the arc pool only during unpacking.
+#[derive(Debug, Clone, Copy)]
+struct SearchArc {
+    /// The *rank* of the arc's other endpoint: head on upward entries,
+    /// tail on downward ones (the query loop runs entirely in rank
+    /// space, see [`ContractionHierarchy::assemble`]).
+    other: u32,
+    /// Index into the arc pool (for parent chains / unpacking).
+    arc: u32,
+    /// Arc weight under the build metric.
+    weight: f64,
+}
+
+/// Per-vertex slot of a [`ChSide`]: stamp, distance and parent packed
+/// into one 16-byte entry so a vertex touch costs one cache line, not
+/// three (the query is memory-bound on exactly these random accesses).
+/// Slots are indexed by *rank*, not vertex id — see
+/// [`ContractionHierarchy::assemble`].
+#[derive(Debug, Clone, Copy)]
+struct ChEntry {
+    /// `(last-touching epoch << 1) | settled-bit`.
+    stamp: u32,
+    /// Arc that reached the vertex; `u32::MAX` marks the search root.
+    parent_arc: u32,
+    /// Tentative (then final) distance in the current epoch.
+    dist: f64,
+}
+
+/// Epoch-stamped scratch state for one direction of a CH query.
+#[derive(Debug, Clone)]
+struct ChSide {
+    epoch: u32,
+    entries: Vec<ChEntry>,
+    heap: BinaryHeap<MinCost<VertexId>>,
+}
+
+impl ChSide {
+    fn new(n: usize) -> Self {
+        ChSide {
+            epoch: 0,
+            entries: vec![
+                ChEntry {
+                    stamp: 0,
+                    parent_arc: u32::MAX,
+                    dist: f64::INFINITY,
+                };
+                n
+            ],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn begin(&mut self) {
+        // The 31-bit epoch wraps after ~2^31 queries; re-zeroing the
+        // stamps then keeps the invalidation sound at amortised zero
+        // cost.
+        if self.epoch >= (u32::MAX >> 1) - 1 {
+            for e in self.entries.iter_mut() {
+                e.stamp = 0;
+            }
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn reached(&self, v: VertexId) -> bool {
+        self.entries[v.index()].stamp >> 1 == self.epoch
+    }
+
+    #[inline]
+    fn dist(&self, v: VertexId) -> f64 {
+        let e = &self.entries[v.index()];
+        if e.stamp >> 1 == self.epoch {
+            e.dist
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn parent_arc(&self, v: VertexId) -> u32 {
+        self.entries[v.index()].parent_arc
+    }
+
+    #[inline]
+    fn is_settled(&self, v: VertexId) -> bool {
+        self.entries[v.index()].stamp == (self.epoch << 1) | 1
+    }
+
+    #[inline]
+    fn settle(&mut self, v: VertexId) {
+        self.entries[v.index()].stamp |= 1;
+    }
+
+    #[inline]
+    fn relax(&mut self, v: VertexId, d: f64, parent_arc: u32) {
+        self.entries[v.index()] = ChEntry {
+            stamp: self.epoch << 1,
+            dist: d,
+            parent_arc,
+        };
+    }
+}
+
+/// Reusable per-worker scratch state for CH queries: two stamped search
+/// sides plus the unpack buffers. Create once
+/// ([`ChSearch::new`] with the graph's vertex count) and reuse across
+/// queries — steady-state queries perform no `O(V)` allocation, matching
+/// the engine's `SearchSpace` discipline.
+#[derive(Debug, Clone)]
+pub struct ChSearch {
+    fwd: ChSide,
+    bwd: ChSide,
+    /// Unpacked original-edge sequence of the last successful query.
+    edge_buf: Vec<EdgeId>,
+    /// Matching vertex sequence (`edge_buf.len() + 1` entries), emitted
+    /// during unpacking so path assembly never re-reads the graph.
+    vertex_buf: Vec<VertexId>,
+    /// Explicit expansion stack (recursion-free shortcut unpacking).
+    unpack_stack: Vec<u32>,
+    /// Forward parent-arc chain scratch (meet back to the source).
+    chain_buf: Vec<u32>,
+}
+
+impl ChSearch {
+    /// Creates scratch state for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        ChSearch {
+            fwd: ChSide::new(n),
+            bwd: ChSide::new(n),
+            edge_buf: Vec::new(),
+            vertex_buf: Vec::new(),
+            unpack_stack: Vec::new(),
+            chain_buf: Vec::new(),
+        }
+    }
+
+    /// Number of vertex slots.
+    pub fn capacity(&self) -> usize {
+        self.fwd.entries.len()
+    }
+}
+
+/// Build-time working state: dynamic adjacency among uncontracted
+/// vertices, in arc-index form over the growing arc pool.
+struct Builder {
+    arcs: Vec<ChArc>,
+    out_adj: Vec<Vec<u32>>,
+    in_adj: Vec<Vec<u32>>,
+    /// `u32::MAX` while uncontracted, final rank afterwards.
+    rank: Vec<u32>,
+    /// Contracted-neighbour count (the "deleted neighbours" uniformity
+    /// term of the priority).
+    deleted_neighbors: Vec<u32>,
+    /// Hierarchy depth below the vertex (`max(level of contracted
+    /// neighbours) + 1`): penalising it keeps the hierarchy flat, which
+    /// directly bounds how many arcs a query's upward closure crosses.
+    level: Vec<u32>,
+    cap: usize,
+}
+
+/// Scratch for witness searches; per worker during the parallel
+/// initial-priority sweep, then reused by the sequential contraction
+/// loop.
+struct WitnessSpace {
+    epoch: u64,
+    stamp: Vec<u64>,
+    dist: Vec<f64>,
+    heap: BinaryHeap<MinCost<VertexId>>,
+    /// Deduplicated `(neighbor, best arc, best weight)` gather buffers.
+    ins: Vec<(VertexId, u32, f64)>,
+    outs: Vec<(VertexId, u32, f64)>,
+}
+
+impl WitnessSpace {
+    fn new(n: usize) -> Self {
+        WitnessSpace {
+            epoch: 0,
+            stamp: vec![0; n],
+            dist: vec![f64::INFINITY; n],
+            heap: BinaryHeap::new(),
+            ins: Vec::new(),
+            outs: Vec::new(),
+        }
+    }
+}
+
+impl Builder {
+    fn new(g: &Graph, metric: LandmarkMetric, cap: usize) -> Self {
+        let n = g.vertex_count();
+        let cost = metric.cost_model();
+        let mut arcs = Vec::with_capacity(g.edge_count());
+        let mut out_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut in_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, e) in g.edges().enumerate() {
+            let id = EdgeId(i as u32);
+            arcs.push(ChArc {
+                from: e.from,
+                to: e.to,
+                weight: cost.edge_cost(g, id),
+                kind: ChArcKind::Original(id),
+            });
+            out_adj[e.from.index()].push(i as u32);
+            in_adj[e.to.index()].push(i as u32);
+        }
+        Builder {
+            arcs,
+            out_adj,
+            in_adj,
+            rank: vec![u32::MAX; n],
+            deleted_neighbors: vec![0; n],
+            level: vec![0; n],
+            cap,
+        }
+    }
+
+    #[inline]
+    fn contracted(&self, v: VertexId) -> bool {
+        self.rank[v.index()] != u32::MAX
+    }
+
+    /// Gathers `v`'s uncontracted in/out neighbours into `space.ins` /
+    /// `space.outs`, deduplicating parallel arcs onto the cheapest one
+    /// (lowest arc id on weight ties, for determinism).
+    fn gather_neighbors(&self, v: VertexId, space: &mut WitnessSpace) {
+        fn push_min(buf: &mut Vec<(VertexId, u32, f64)>, nb: VertexId, arc: u32, w: f64) {
+            for slot in buf.iter_mut() {
+                if slot.0 == nb {
+                    if w < slot.2 {
+                        *slot = (nb, arc, w);
+                    }
+                    return;
+                }
+            }
+            buf.push((nb, arc, w));
+        }
+        space.ins.clear();
+        space.outs.clear();
+        for &a in &self.in_adj[v.index()] {
+            let arc = self.arcs[a as usize];
+            if arc.from != v && !self.contracted(arc.from) {
+                push_min(&mut space.ins, arc.from, a, arc.weight);
+            }
+        }
+        for &a in &self.out_adj[v.index()] {
+            let arc = self.arcs[a as usize];
+            if arc.to != v && !self.contracted(arc.to) {
+                push_min(&mut space.outs, arc.to, a, arc.weight);
+            }
+        }
+    }
+
+    /// Local Dijkstra from `source` among uncontracted vertices, skipping
+    /// `avoid`, bounded by `limit` and the settle cap. Leaves tentative
+    /// distances in `space` (upper bounds on the true local distance —
+    /// safe for witness tests even when the cap truncates the search).
+    fn witness_search(
+        &self,
+        space: &mut WitnessSpace,
+        source: VertexId,
+        avoid: VertexId,
+        limit: f64,
+    ) {
+        space.epoch += 1;
+        space.heap.clear();
+        let e = space.epoch;
+        space.stamp[source.index()] = e << 1;
+        space.dist[source.index()] = 0.0;
+        space.heap.push(MinCost {
+            cost: 0.0,
+            item: source,
+        });
+        let mut settled = 0usize;
+        while let Some(MinCost { cost: d, item: u }) = space.heap.pop() {
+            if space.stamp[u.index()] == (e << 1) | 1 {
+                continue;
+            }
+            space.stamp[u.index()] |= 1;
+            settled += 1;
+            if d > limit || settled >= self.cap {
+                break;
+            }
+            for &a in &self.out_adj[u.index()] {
+                let arc = self.arcs[a as usize];
+                let v = arc.to;
+                if v == avoid || self.contracted(v) || space.stamp[v.index()] == (e << 1) | 1 {
+                    continue;
+                }
+                let nd = d + arc.weight;
+                let live = space.stamp[v.index()] >> 1 == e;
+                if nd <= limit && (!live || nd < space.dist[v.index()]) {
+                    space.stamp[v.index()] = e << 1;
+                    space.dist[v.index()] = nd;
+                    space.heap.push(MinCost { cost: nd, item: v });
+                }
+            }
+        }
+    }
+
+    /// Simulates contracting `v`: fills `needed` with the shortcuts the
+    /// contraction would insert and returns the number of incident arcs
+    /// it would remove. Pure (does not mutate the builder), so the
+    /// initial-priority sweep can run it from many threads.
+    fn plan_contraction(
+        &self,
+        v: VertexId,
+        space: &mut WitnessSpace,
+        needed: &mut Vec<(u32, u32, f64)>,
+    ) -> usize {
+        needed.clear();
+        self.gather_neighbors(v, space);
+        let removed = space.ins.len() + space.outs.len();
+        if space.ins.is_empty() || space.outs.is_empty() {
+            return removed;
+        }
+        let max_out = space
+            .outs
+            .iter()
+            .map(|&(_, _, w)| w)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ins = std::mem::take(&mut space.ins);
+        let outs = std::mem::take(&mut space.outs);
+        for &(u, a_in, duv) in &ins {
+            self.witness_search(space, u, v, duv + max_out);
+            for &(w, a_out, dvw) in &outs {
+                if w == u {
+                    continue;
+                }
+                let via = duv + dvw;
+                let witness = if space.stamp[w.index()] >> 1 == space.epoch {
+                    space.dist[w.index()]
+                } else {
+                    f64::INFINITY
+                };
+                if witness > via {
+                    needed.push((a_in, a_out, via));
+                }
+            }
+        }
+        space.ins = ins;
+        space.outs = outs;
+        removed
+    }
+
+    /// The lazy-update priority of `v`: twice the edge difference plus
+    /// the deleted-neighbours uniformity term.
+    fn priority(
+        &self,
+        v: VertexId,
+        space: &mut WitnessSpace,
+        needed: &mut Vec<(u32, u32, f64)>,
+    ) -> i64 {
+        let removed = self.plan_contraction(v, space, needed);
+        2 * (needed.len() as i64 - removed as i64)
+            + self.deleted_neighbors[v.index()] as i64
+            + 8 * self.level[v.index()] as i64
+    }
+
+    /// Contracts `v` at `rank`: inserts the planned shortcuts, bumps the
+    /// neighbours' deleted counters and prunes their adjacency of arcs
+    /// into contracted territory.
+    fn contract(&mut self, v: VertexId, rank: u32, needed: &[(u32, u32, f64)]) {
+        self.rank[v.index()] = rank;
+        for &(a_in, a_out, weight) in needed {
+            let from = self.arcs[a_in as usize].from;
+            let to = self.arcs[a_out as usize].to;
+            let id = self.arcs.len() as u32;
+            self.arcs.push(ChArc {
+                from,
+                to,
+                weight,
+                kind: ChArcKind::Shortcut(a_in, a_out),
+            });
+            self.out_adj[from.index()].push(id);
+            self.in_adj[to.index()].push(id);
+        }
+        // Bump + prune each distinct uncontracted neighbour once.
+        let mut neighbors: Vec<VertexId> = Vec::new();
+        for &a in self.in_adj[v.index()]
+            .iter()
+            .chain(&self.out_adj[v.index()])
+        {
+            let arc = self.arcs[a as usize];
+            for nb in [arc.from, arc.to] {
+                if nb != v && !self.contracted(nb) && !neighbors.contains(&nb) {
+                    neighbors.push(nb);
+                }
+            }
+        }
+        for nb in neighbors {
+            self.deleted_neighbors[nb.index()] += 1;
+            let bumped = self.level[v.index()] + 1;
+            if self.level[nb.index()] < bumped {
+                self.level[nb.index()] = bumped;
+            }
+            let arcs = &self.arcs;
+            let rank = &self.rank;
+            let live = |a: &u32| {
+                let arc = arcs[*a as usize];
+                rank[arc.from.index()] == u32::MAX && rank[arc.to.index()] == u32::MAX
+            };
+            self.out_adj[nb.index()].retain(live);
+            self.in_adj[nb.index()].retain(live);
+        }
+    }
+}
+
+impl ContractionHierarchy {
+    /// Builds the hierarchy under `metric`.
+    ///
+    /// Node order is edge-difference + deleted-neighbours with lazy
+    /// updates (ties broken on the lowest vertex id); the initial
+    /// priority of every vertex is an independent simulated contraction,
+    /// fanned out over `cfg.threads` workers. The result is bit-identical
+    /// for any thread count.
+    pub fn build(g: &Graph, metric: LandmarkMetric, cfg: &ChConfig) -> Self {
+        let n = g.vertex_count();
+        let mut b = Builder::new(g, metric, cfg.witness_settle_cap.max(2));
+
+        // Initial priorities: pure per-vertex simulations, parallelised.
+        let threads = cfg.threads.max(1).min(n.max(1));
+        let mut init_prio = vec![0i64; n];
+        if n > 0 {
+            let per = n.div_ceil(threads);
+            let bref = &b;
+            thread::scope(|scope| {
+                for (ci, chunk) in init_prio.chunks_mut(per).enumerate() {
+                    scope.spawn(move |_| {
+                        let mut space = WitnessSpace::new(n);
+                        let mut needed = Vec::new();
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            let v = VertexId((ci * per + j) as u32);
+                            *slot = bref.priority(v, &mut space, &mut needed);
+                        }
+                    });
+                }
+            })
+            .expect("CH priority worker panicked");
+        }
+
+        let mut queue: BinaryHeap<Reverse<(i64, u32)>> = init_prio
+            .iter()
+            .enumerate()
+            .map(|(v, &p)| Reverse((p, v as u32)))
+            .collect();
+
+        let mut space = WitnessSpace::new(n);
+        let mut needed = Vec::new();
+        let mut next_rank = 0u32;
+        while let Some(Reverse((_stale_prio, v))) = queue.pop() {
+            let v = VertexId(v);
+            if b.contracted(v) {
+                continue;
+            }
+            // Lazy update: contracting other vertices may have changed
+            // v's priority; recompute, and if v no longer wins, requeue.
+            let prio = b.priority(v, &mut space, &mut needed);
+            if let Some(&Reverse((top, _))) = queue.peek() {
+                if prio > top {
+                    queue.push(Reverse((prio, v.0)));
+                    continue;
+                }
+            }
+            b.contract(v, next_rank, &needed);
+            next_rank += 1;
+        }
+        debug_assert_eq!(next_rank as usize, n);
+
+        Self::assemble(metric, g.edge_count(), b.rank, b.arcs)
+    }
+
+    /// Builds the CSR search graphs from the rank array and arc pool
+    /// (shared by [`ContractionHierarchy::build`] and the io layer's
+    /// deserialiser).
+    ///
+    /// The search graphs live in **rank space**: CSR buckets and
+    /// [`SearchArc::other`] use a vertex's rank, not its id. Every query
+    /// climbs into the same top-of-hierarchy vertices, so rank-ordering
+    /// the per-vertex state and adjacency clusters that shared hot
+    /// region into a few contiguous cache lines (a large constant-factor
+    /// win on the memory-bound query loop). The arc *pool* stays in
+    /// vertex space for unpacking.
+    pub(crate) fn assemble(
+        metric: LandmarkMetric,
+        m: usize,
+        rank: Vec<u32>,
+        arcs: Vec<ChArc>,
+    ) -> Self {
+        let n = rank.len();
+        let mut up: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut down: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, arc) in arcs.iter().enumerate() {
+            let (rf, rt) = (rank[arc.from.index()], rank[arc.to.index()]);
+            if rf < rt {
+                up[rf as usize].push(i as u32);
+            } else {
+                down[rt as usize].push(i as u32);
+            }
+        }
+        // Contraction can leave several parallel arcs between one vertex
+        // pair (an original edge plus successively cheaper shortcuts);
+        // only the cheapest can ever lie on a shortest path, so the
+        // search graphs keep just that one (lowest arc id on ties, for
+        // determinism — buckets hold ids in ascending order). The arc
+        // *pool* keeps everything: dominated arcs may still be children
+        // of shortcuts and are needed for unpacking.
+        let dedupe = |bucket: &mut Vec<u32>, key: fn(&ChArc) -> VertexId| {
+            let mut keep: Vec<u32> = Vec::with_capacity(bucket.len());
+            for &a in bucket.iter() {
+                let arc = &arcs[a as usize];
+                match keep
+                    .iter_mut()
+                    .find(|b| key(&arcs[(**b) as usize]) == key(arc))
+                {
+                    Some(b) => {
+                        if arc.weight < arcs[*b as usize].weight {
+                            *b = a;
+                        }
+                    }
+                    None => keep.push(a),
+                }
+            }
+            *bucket = keep;
+        };
+        for bucket in up.iter_mut() {
+            dedupe(bucket, |a| a.to);
+        }
+        for bucket in down.iter_mut() {
+            dedupe(bucket, |a| a.from);
+        }
+        let mut seg_offsets = Vec::with_capacity(n + 1);
+        let mut seg_mid = Vec::with_capacity(n);
+        let mut seg_arcs: Vec<SearchArc> =
+            Vec::with_capacity(up.iter().chain(&down).map(Vec::len).sum());
+        seg_offsets.push(0u32);
+        for r in 0..n {
+            for (bucket, upward) in [(&up[r], true), (&down[r], false)] {
+                for &a in bucket {
+                    let arc = &arcs[a as usize];
+                    let other = if upward { arc.to } else { arc.from };
+                    seg_arcs.push(SearchArc {
+                        other: rank[other.index()],
+                        arc: a,
+                        weight: arc.weight,
+                    });
+                }
+                if upward {
+                    seg_mid.push(seg_arcs.len() as u32);
+                }
+            }
+            seg_offsets.push(seg_arcs.len() as u32);
+        }
+        ContractionHierarchy {
+            metric,
+            n,
+            m,
+            rank,
+            arcs,
+            seg_offsets,
+            seg_mid,
+            seg_arcs,
+        }
+    }
+
+    /// The metric the hierarchy was built under.
+    pub fn metric(&self) -> LandmarkMetric {
+        self.metric
+    }
+
+    /// Vertex count of the graph the hierarchy was built for.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Edge count of the graph the hierarchy was built for.
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Number of shortcut arcs the contraction inserted.
+    pub fn shortcut_count(&self) -> usize {
+        self.arcs.len() - self.m
+    }
+
+    /// The full arc pool (original edges first, then shortcuts).
+    pub fn arcs(&self) -> &[ChArc] {
+        &self.arcs
+    }
+
+    /// Contraction rank of `v` (higher = contracted later = nearer the
+    /// top of the hierarchy).
+    pub fn rank(&self, v: VertexId) -> u32 {
+        self.rank[v.index()]
+    }
+
+    /// The rank array, indexed by vertex id.
+    pub fn ranks(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// Whether queries under `cost` may use this hierarchy — the same
+    /// gate as [`crate::algo::landmarks::LandmarkTable::usable_for`]:
+    /// only the build metric matches, `Custom` never does.
+    pub fn usable_for(&self, cost: &CostModel<'_>) -> bool {
+        self.n > 0 && self.metric.matches(cost)
+    }
+
+    /// Runs the upward bidirectional query and returns the meeting
+    /// vertex (as a *rank*) and total arc-weight distance; `None` when
+    /// unreachable. The whole search operates in rank space.
+    fn run_query(
+        &self,
+        search: &mut ChSearch,
+        source: VertexId,
+        target: VertexId,
+    ) -> Option<(VertexId, f64)> {
+        debug_assert_eq!(search.capacity(), self.n, "search sized for another graph");
+        let source = VertexId(self.rank[source.index()]);
+        let target = VertexId(self.rank[target.index()]);
+        let fwd = &mut search.fwd;
+        let bwd = &mut search.bwd;
+        fwd.begin();
+        bwd.begin();
+        fwd.relax(source, 0.0, u32::MAX);
+        fwd.heap.push(MinCost {
+            cost: 0.0,
+            item: source,
+        });
+        bwd.relax(target, 0.0, u32::MAX);
+        bwd.heap.push(MinCost {
+            cost: 0.0,
+            item: target,
+        });
+
+        // Two-phase query. On a well-contracted hierarchy the *full*
+        // upward closure of a vertex is tiny (a few dozen vertices at
+        // paper scale — measured smaller than what an alternating
+        // bidirectional loop settles), so exhausting the forward side
+        // first and then sweeping the backward side beats interleaving:
+        // each phase runs a tight single-side loop over state that stays
+        // cache-hot, with no per-iteration frontier comparisons or
+        // cross-side reads.
+        //
+        // Phase 1: forward upward closure, stall-on-demand (a vertex
+        // whose label is beaten through a higher-ranked neighbour keeps
+        // its label — a valid path cost, fine for meet checks — but is
+        // not expanded; no shortest path continues through it).
+        while let Some(MinCost { cost: d, item: u }) = fwd.heap.pop() {
+            if fwd.is_settled(u) {
+                continue;
+            }
+            fwd.settle(u);
+            let lo = self.seg_offsets[u.index()] as usize;
+            let mid = self.seg_mid[u.index()] as usize;
+            let hi = self.seg_offsets[u.index() + 1] as usize;
+            let stalled = self.seg_arcs[mid..hi]
+                .iter()
+                .any(|sa| fwd.dist(VertexId(sa.other)) + sa.weight < d);
+            if stalled {
+                continue;
+            }
+            for sa in &self.seg_arcs[lo..mid] {
+                let v = VertexId(sa.other);
+                if fwd.is_settled(v) {
+                    continue;
+                }
+                let nd = d + sa.weight;
+                if nd < fwd.dist(v) {
+                    fwd.relax(v, nd, sa.arc);
+                    fwd.heap.push(MinCost { cost: nd, item: v });
+                }
+            }
+        }
+
+        // Phase 2: backward upward closure with meet checks against the
+        // completed forward side; prunes on the best connection found.
+        let mut best = f64::INFINITY;
+        let mut meet: Option<VertexId> = None;
+        while let Some(MinCost { cost: d, item: u }) = bwd.heap.pop() {
+            if bwd.is_settled(u) {
+                continue;
+            }
+            // Heap keys are non-decreasing: nothing below `best` left.
+            if d >= best {
+                break;
+            }
+            bwd.settle(u);
+            if fwd.reached(u) {
+                let total = d + fwd.dist(u);
+                if total < best {
+                    best = total;
+                    meet = Some(u);
+                }
+            }
+            let lo = self.seg_offsets[u.index()] as usize;
+            let mid = self.seg_mid[u.index()] as usize;
+            let hi = self.seg_offsets[u.index() + 1] as usize;
+            let stalled = self.seg_arcs[lo..mid]
+                .iter()
+                .any(|sa| bwd.dist(VertexId(sa.other)) + sa.weight < d);
+            if stalled {
+                continue;
+            }
+            for sa in &self.seg_arcs[mid..hi] {
+                let v = VertexId(sa.other);
+                if bwd.is_settled(v) {
+                    continue;
+                }
+                let nd = d + sa.weight;
+                // A label at or past `best` can never improve the meet
+                // (the forward distance is non-negative).
+                if nd < bwd.dist(v) && nd < best {
+                    bwd.relax(v, nd, sa.arc);
+                    bwd.heap.push(MinCost { cost: nd, item: v });
+                }
+            }
+        }
+        meet.map(|m| (m, best))
+    }
+
+    /// Expands `arc` into original edges appended to `edges`, emitting
+    /// each edge's head vertex into `vertices` alongside (explicit
+    /// stack; shortcut nesting can be deep). Original-edge arcs carry
+    /// their endpoints in the pool, so no graph lookups are needed.
+    fn expand_arc(
+        &self,
+        arc: u32,
+        stack: &mut Vec<u32>,
+        edges: &mut Vec<EdgeId>,
+        vertices: &mut Vec<VertexId>,
+    ) {
+        stack.clear();
+        stack.push(arc);
+        while let Some(a) = stack.pop() {
+            let rec = &self.arcs[a as usize];
+            match rec.kind {
+                ChArcKind::Original(e) => {
+                    edges.push(e);
+                    vertices.push(rec.to);
+                }
+                ChArcKind::Shortcut(first, second) => {
+                    stack.push(second);
+                    stack.push(first);
+                }
+            }
+        }
+    }
+
+    /// Cheapest `source -> target` distance as the sum of arc weights.
+    ///
+    /// This is the raw query result (exact up to float association of
+    /// shortcut sums); the engine recomputes costs left-to-right over the
+    /// unpacked edges so they are bit-identical to Dijkstra's fold order.
+    pub fn query_cost(
+        &self,
+        search: &mut ChSearch,
+        source: VertexId,
+        target: VertexId,
+    ) -> Option<f64> {
+        if source == target {
+            return Some(0.0);
+        }
+        self.run_query(search, source, target).map(|(_, d)| d)
+    }
+
+    /// Cheapest `source -> target` path as the unpacked original-edge
+    /// sequence (borrowed from the search's reusable buffer; valid until
+    /// the next query). `None` when unreachable or `source == target`.
+    pub fn query_edges<'s>(
+        &self,
+        search: &'s mut ChSearch,
+        source: VertexId,
+        target: VertexId,
+    ) -> Option<&'s [EdgeId]> {
+        self.query_path(search, source, target).map(|(e, _)| e)
+    }
+
+    /// Like [`ContractionHierarchy::query_edges`], also handing back the
+    /// matching vertex sequence (`edges.len() + 1` entries, source
+    /// first) assembled during unpacking.
+    pub fn query_path<'s>(
+        &self,
+        search: &'s mut ChSearch,
+        source: VertexId,
+        target: VertexId,
+    ) -> Option<(&'s [EdgeId], &'s [VertexId])> {
+        if source == target {
+            return None;
+        }
+        let (meet, _) = self.run_query(search, source, target)?;
+        // Forward chain: arcs source -> meet, gathered top-down. The
+        // parent chains live in rank space; the pool arcs they name are
+        // in vertex space.
+        let mut chain = std::mem::take(&mut search.chain_buf);
+        chain.clear();
+        let mut cur = meet;
+        loop {
+            let a = search.fwd.parent_arc(cur);
+            if a == u32::MAX {
+                break;
+            }
+            chain.push(a);
+            cur = VertexId(self.rank[self.arcs[a as usize].from.index()]);
+        }
+        debug_assert_eq!(
+            cur.0,
+            self.rank[source.index()],
+            "forward chain must reach the source"
+        );
+        let mut edges = std::mem::take(&mut search.edge_buf);
+        let mut vertices = std::mem::take(&mut search.vertex_buf);
+        let mut stack = std::mem::take(&mut search.unpack_stack);
+        edges.clear();
+        vertices.clear();
+        vertices.push(source);
+        for &a in chain.iter().rev() {
+            self.expand_arc(a, &mut stack, &mut edges, &mut vertices);
+        }
+        // Backward chain: arcs meet -> target, already in path order.
+        let mut cur = meet;
+        loop {
+            let a = search.bwd.parent_arc(cur);
+            if a == u32::MAX {
+                break;
+            }
+            self.expand_arc(a, &mut stack, &mut edges, &mut vertices);
+            cur = VertexId(self.rank[self.arcs[a as usize].to.index()]);
+        }
+        debug_assert_eq!(
+            cur.0,
+            self.rank[target.index()],
+            "backward chain must reach the target"
+        );
+        search.chain_buf = chain;
+        search.edge_buf = edges;
+        search.vertex_buf = vertices;
+        search.unpack_stack = stack;
+        Some((&search.edge_buf, &search.vertex_buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra::shortest_path;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{grid_network, region_network, GridConfig, RegionConfig};
+    use crate::geometry::Point;
+    use crate::graph::{EdgeAttrs, RoadCategory};
+    use crate::path::Path;
+
+    fn region() -> Graph {
+        region_network(&RegionConfig::small_test(), 11)
+    }
+
+    #[test]
+    fn ch_ranks_are_a_permutation() {
+        let g = region();
+        let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+        let mut ranks: Vec<u32> = g.vertices().map(|v| ch.rank(v)).collect();
+        ranks.sort_unstable();
+        let expect: Vec<u32> = (0..g.vertex_count() as u32).collect();
+        assert_eq!(ranks, expect, "ranks must be a permutation of 0..n");
+        assert_eq!(ch.vertex_count(), g.vertex_count());
+        assert_eq!(ch.edge_count(), g.edge_count());
+        assert!(ch.arcs().len() >= g.edge_count());
+    }
+
+    #[test]
+    fn ch_parallel_build_matches_sequential_bitwise() {
+        let g = region();
+        let seq = ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig {
+                threads: 1,
+                ..ChConfig::default()
+            },
+        );
+        let par = ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig {
+                threads: 4,
+                ..ChConfig::default()
+            },
+        );
+        assert_eq!(seq.rank, par.rank, "node order must not depend on threads");
+        assert_eq!(seq.arcs.len(), par.arcs.len());
+        for (a, b) in seq.arcs.iter().zip(par.arcs.iter()) {
+            assert_eq!((a.from, a.to, a.kind), (b.from, b.to, b.kind));
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn ch_queries_match_dijkstra_on_grid() {
+        // A grid maximises equal-cost ties; costs (recomputed over the
+        // unpacked edges) must still match exactly.
+        let g = grid_network(&GridConfig::small_test(), 13);
+        let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+        let mut search = ChSearch::new(g.vertex_count());
+        let n = g.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n - 1, 0), (3, n / 2), (n / 3, 2 * n / 3)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let plain = shortest_path(&g, s, t, CostModel::Length).map(|p| p.length_m(&g));
+            let ch_cost = ch
+                .query_edges(&mut search, s, t)
+                .map(|edges| edges.iter().map(|&e| g.edge(e).attrs.length_m).sum::<f64>());
+            assert_eq!(plain, ch_cost, "{s:?}->{t:?} CH cost diverged");
+        }
+    }
+
+    #[test]
+    fn ch_unpacked_paths_are_contiguous_and_valid() {
+        let g = region();
+        let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+        assert!(ch.shortcut_count() > 0, "region CH should need shortcuts");
+        let mut search = ChSearch::new(g.vertex_count());
+        let n = g.vertex_count() as u32;
+        let mut checked = 0usize;
+        for (s, t) in [(0, n - 1), (n / 2, 1), (n - 1, n / 3), (7 % n, n - 2)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            if let Some(edges) = ch.query_edges(&mut search, s, t) {
+                let p = Path::from_edges(&g, edges.to_vec())
+                    .expect("unpacked edges must form a contiguous path");
+                assert_eq!(p.source(), s);
+                assert_eq!(p.target(), t);
+                p.validate(&g).unwrap();
+                let plain = shortest_path(&g, s, t, CostModel::Length).unwrap();
+                assert_eq!(p.length_m(&g), plain.length_m(&g), "{s:?}->{t:?}");
+                checked += 1;
+            }
+        }
+        assert!(checked >= 2, "region pairs should mostly be routable");
+    }
+
+    #[test]
+    fn ch_travel_time_metric_queries_are_exact() {
+        let g = region();
+        let ch = ContractionHierarchy::build(&g, LandmarkMetric::TravelTime, &ChConfig::default());
+        assert!(ch.usable_for(&CostModel::TravelTime));
+        assert!(!ch.usable_for(&CostModel::Length));
+        let mut search = ChSearch::new(g.vertex_count());
+        let n = g.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 2, 1)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let plain = shortest_path(&g, s, t, CostModel::TravelTime)
+                .map(|p| p.cost(&g, CostModel::TravelTime));
+            let ch_cost = ch.query_edges(&mut search, s, t).map(|edges| {
+                edges
+                    .iter()
+                    .fold(0.0, |a, &e| a + CostModel::TravelTime.edge_cost(&g, e))
+            });
+            match (plain, ch_cost) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{s:?}->{t:?}: {a} vs {b}"),
+                (None, None) => {}
+                (a, b) => panic!("reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ch_metric_gate() {
+        let g = region();
+        let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+        assert!(ch.usable_for(&CostModel::Length));
+        assert!(!ch.usable_for(&CostModel::TravelTime));
+        let custom = vec![1.0; g.edge_count()];
+        assert!(!ch.usable_for(&CostModel::Custom(&custom)));
+        assert_eq!(ch.metric(), LandmarkMetric::Length);
+    }
+
+    #[test]
+    fn ch_disconnected_components_and_self_queries() {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_vertex(Point::new(0.0, 0.0));
+        let a1 = b.add_vertex(Point::new(100.0, 0.0));
+        let c0 = b.add_vertex(Point::new(0.0, 9000.0));
+        let c1 = b.add_vertex(Point::new(100.0, 9000.0));
+        let attrs = || EdgeAttrs::with_default_speed(100.0, RoadCategory::Residential);
+        b.add_bidirectional(a0, a1, attrs()).unwrap();
+        b.add_bidirectional(c0, c1, attrs()).unwrap();
+        let g = b.build();
+        let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+        let mut search = ChSearch::new(g.vertex_count());
+        assert!(ch.query_edges(&mut search, a0, c1).is_none());
+        assert!(ch.query_cost(&mut search, a1, c0).is_none());
+        assert_eq!(ch.query_cost(&mut search, a0, a0), Some(0.0));
+        assert!(ch.query_edges(&mut search, a0, a0).is_none());
+        let within = ch.query_cost(&mut search, a0, a1);
+        assert_eq!(within, Some(100.0));
+    }
+
+    #[test]
+    fn ch_search_state_reuse_is_clean_across_queries() {
+        // An early-exiting query right after a full sweep must not see
+        // stale distances — the ChSide epoch discipline mirrors the
+        // engine's SearchSpace.
+        let g = grid_network(&GridConfig::small_test(), 7);
+        let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+        let mut search = ChSearch::new(g.vertex_count());
+        let n = g.vertex_count() as u32;
+        let pairs = [(0, n - 1), (1, 2), (n - 1, 0), (n / 2, n / 2 + 1)];
+        // Interleave: fresh scratch state must agree with reused one.
+        for &(s, t) in &pairs {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let reused = ch.query_cost(&mut search, s, t);
+            let mut fresh = ChSearch::new(g.vertex_count());
+            let expect = ch.query_cost(&mut fresh, s, t);
+            assert_eq!(reused, expect, "{s:?}->{t:?} state leaked across queries");
+        }
+    }
+
+    #[test]
+    fn ch_witness_cap_trades_size_not_correctness() {
+        let g = region();
+        let tight = ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig {
+                witness_settle_cap: 2,
+                ..ChConfig::default()
+            },
+        );
+        let roomy = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+        assert!(
+            tight.shortcut_count() >= roomy.shortcut_count(),
+            "a tighter witness cap can only add shortcuts"
+        );
+        let mut st = ChSearch::new(g.vertex_count());
+        let mut sr = ChSearch::new(g.vertex_count());
+        let n = g.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 3, 2 * n / 3)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let a = tight.query_cost(&mut st, s, t);
+            let b = roomy.query_cost(&mut sr, s, t);
+            match (a, b) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+                (None, None) => {}
+                (a, b) => panic!("cap changed reachability: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

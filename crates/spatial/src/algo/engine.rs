@@ -38,6 +38,7 @@
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use crate::algo::ch::{ChSearch, ContractionHierarchy};
 use crate::algo::dijkstra::ShortestPathTree;
 use crate::algo::diversified::{diversified_top_k_with, DiversifiedConfig};
 use crate::algo::landmarks::{LandmarkTable, NodeVectors};
@@ -408,6 +409,41 @@ impl Heuristic<'_> {
     }
 }
 
+/// The index-backed search regime a point-to-point query dispatches
+/// through, resolved **per query** from the engine's attached indexes and
+/// the query's cost model ([`QueryEngine::backend_for`]).
+///
+/// Variants are ordered from weakest to strongest. Resolution picks the
+/// strongest backend whose exactness precondition holds:
+///
+/// * [`SearchBackend::Ch`] — a [`ContractionHierarchy`] is attached and
+///   its metric matches the query's cost model. Only *unconstrained*
+///   queries qualify: shortcuts bake full-graph paths into single arcs,
+///   so a banned vertex or edge could hide inside one
+///   ([`QueryEngine::constrained_backend_for`] therefore never returns
+///   `Ch`).
+/// * [`SearchBackend::Alt`] — a [`LandmarkTable`] is attached and covers
+///   the cost model. Landmark lower bounds survive banned sets (bans
+///   only shrink the graph), so this is also the strongest constrained
+///   regime.
+/// * [`SearchBackend::Plain`] — no usable index: plain Dijkstra, or A*
+///   under the cached Euclidean [`safe_heuristic_bound`] where the entry
+///   point is explicitly goal-directed.
+///
+/// Every regime is exact: backends change how much work a query does,
+/// never which cost it returns (tie-breaking among equal-cost optima may
+/// differ — locked in by `tests/alt_exactness.rs` and
+/// `tests/ch_exactness.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchBackend {
+    /// No index: Dijkstra / cached-Euclidean A*.
+    Plain,
+    /// ALT landmark triangle-inequality bounds.
+    Alt,
+    /// Contraction-hierarchy bidirectional upward search.
+    Ch,
+}
+
 /// Borrowed read-only view of a completed one-to-all search.
 ///
 /// Unlike [`ShortestPathTree`] this does not copy the `O(V)` arrays; it
@@ -493,6 +529,12 @@ pub struct QueryEngine<'g> {
     /// [`QueryEngine::with_landmarks`]); queries whose cost model does
     /// not match the table's metric fall back to the non-ALT heuristics.
     landmarks: Option<Arc<LandmarkTable>>,
+    /// Optional shared contraction hierarchy (see [`QueryEngine::with_ch`]):
+    /// the strongest backend for unconstrained point-to-point queries,
+    /// gated per query exactly like the landmark table.
+    ch: Option<Arc<ContractionHierarchy>>,
+    /// CH scratch state, allocated on the first CH-backed query.
+    ch_search: Option<ChSearch>,
     /// Landmark vectors cached for the current query *target* (forward
     /// searches aim at it; refilled only when the target changes, so
     /// Yen's same-target spur storm gathers them once).
@@ -537,6 +579,8 @@ impl<'g> QueryEngine<'g> {
             length_bound: None,
             travel_time_bound: None,
             landmarks: None,
+            ch: None,
+            ch_search: None,
             alt_target: NodeVectors::new(),
             alt_source: NodeVectors::new(),
         }
@@ -582,6 +626,114 @@ impl<'g> QueryEngine<'g> {
         self.landmarks.as_ref().is_some_and(|t| t.usable_for(&cost))
     }
 
+    /// Attaches a prebuilt contraction hierarchy: every *unconstrained*
+    /// point-to-point query whose cost model matches the hierarchy's
+    /// metric dispatches to the CH bidirectional upward search
+    /// ([`SearchBackend::Ch`]) instead of Dijkstra/A*. Constrained
+    /// searches (Yen spur searches with banned sets) and queries under
+    /// any other cost model keep their ALT or plain regime — see
+    /// [`SearchBackend`] for the full fallback rules.
+    ///
+    /// The hierarchy is `Arc`-shared: build once, clone the handle into
+    /// every worker's engine. Composes with
+    /// [`QueryEngine::with_landmarks`] — attach both and each query gets
+    /// the strongest backend it qualifies for.
+    ///
+    /// # Panics
+    /// If the hierarchy's graph fingerprint (vertex and edge counts)
+    /// does not match this engine's graph.
+    pub fn with_ch(mut self, ch: Arc<ContractionHierarchy>) -> Self {
+        assert_eq!(
+            (ch.vertex_count(), ch.edge_count()),
+            (self.g.vertex_count(), self.g.edge_count()),
+            "contraction hierarchy built for a different graph"
+        );
+        self.ch_search = None;
+        self.ch = Some(ch);
+        self
+    }
+
+    /// The attached contraction hierarchy, if any.
+    pub fn ch_index(&self) -> Option<&Arc<ContractionHierarchy>> {
+        self.ch.as_ref()
+    }
+
+    /// Whether an unconstrained query under `cost` would run on the CH.
+    pub fn uses_ch(&self, cost: CostModel<'_>) -> bool {
+        self.ch.as_ref().is_some_and(|c| c.usable_for(&cost))
+    }
+
+    /// Resolves the [`SearchBackend`] an unconstrained point-to-point
+    /// query under `cost` dispatches through: the strongest attached
+    /// index whose metric covers the cost model.
+    pub fn backend_for(&self, cost: CostModel<'_>) -> SearchBackend {
+        if self.uses_ch(cost) {
+            SearchBackend::Ch
+        } else if self.uses_alt(cost) {
+            SearchBackend::Alt
+        } else {
+            SearchBackend::Plain
+        }
+    }
+
+    /// Resolves the backend for a *constrained* search (banned vertex or
+    /// edge sets — Yen and diversified spur searches). Never
+    /// [`SearchBackend::Ch`]: a banned edge may hide inside a shortcut,
+    /// so shortcuts are unsound under bans, while ALT lower bounds stay
+    /// admissible (bans only shrink the graph).
+    pub fn constrained_backend_for(&self, cost: CostModel<'_>) -> SearchBackend {
+        if self.uses_alt(cost) {
+            SearchBackend::Alt
+        } else {
+            SearchBackend::Plain
+        }
+    }
+
+    /// Runs the CH query for `source -> target` and leaves the unpacked
+    /// original-edge sequence in the scratch buffer (borrowed).
+    fn ch_edges(&mut self, source: VertexId, target: VertexId) -> Option<&[EdgeId]> {
+        let ch = self
+            .ch
+            .as_ref()
+            .expect("CH backend resolved without an index");
+        let n = self.g.vertex_count();
+        let search = self.ch_search.get_or_insert_with(|| ChSearch::new(n));
+        ch.query_edges(search, source, target)
+    }
+
+    /// CH-backed [`QueryEngine::shortest_path`]: unpacks the shortcut
+    /// chain into a real [`Path`] (both sequences come straight out of
+    /// the unpack buffers — no graph lookups).
+    fn ch_shortest_path(&mut self, source: VertexId, target: VertexId) -> Option<Path> {
+        let ch = self
+            .ch
+            .as_ref()
+            .expect("CH backend resolved without an index");
+        let n = self.g.vertex_count();
+        let search = self.ch_search.get_or_insert_with(|| ChSearch::new(n));
+        let (edges, vertices) = ch.query_path(search, source, target)?;
+        Some(Path::from_parts_unchecked(
+            vertices.to_vec(),
+            edges.to_vec(),
+        ))
+    }
+
+    /// CH-backed cost probe. The cost is recomputed left-to-right over
+    /// the unpacked edges — the same fold order as Dijkstra's relaxation
+    /// chain — so it is bit-identical to the plain engine whenever the
+    /// optimum is unique (shortcut-weight sums alone could differ in the
+    /// last bits through float re-association).
+    fn ch_shortest_path_cost(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+    ) -> Option<f64> {
+        let g = self.g;
+        let edges = self.ch_edges(source, target)?;
+        Some(edges.iter().fold(0.0, |acc, &e| acc + cost.edge_cost(g, e)))
+    }
+
     /// The graph this engine routes on.
     pub fn graph(&self) -> &'g Graph {
         self.g
@@ -623,10 +775,10 @@ impl<'g> QueryEngine<'g> {
 
     /// Cheapest `source -> target` path, or `None` if unreachable or
     /// `source == target`. Engine counterpart of
-    /// [`crate::algo::dijkstra::shortest_path`]: plain Dijkstra, upgraded
-    /// to ALT-guided A* when landmarks are attached and the cost model
-    /// matches their metric (same optimal cost; tie-breaking among
-    /// equal-cost optima may differ).
+    /// [`crate::algo::dijkstra::shortest_path`], dispatched through
+    /// [`QueryEngine::backend_for`]: CH bidirectional upward search,
+    /// ALT-guided A*, or plain early-exit Dijkstra (same optimal cost in
+    /// every regime; tie-breaking among equal-cost optima may differ).
     pub fn shortest_path(
         &mut self,
         source: VertexId,
@@ -636,14 +788,26 @@ impl<'g> QueryEngine<'g> {
         if source == target {
             return None;
         }
-        self.run_one_to_one(source, target, cost);
-        self.fwd.extract_path(source, target)
+        match self.backend_for(cost) {
+            SearchBackend::Ch => self.ch_shortest_path(source, target),
+            SearchBackend::Alt => {
+                self.run_alt_one_to_one(source, target, cost);
+                self.fwd.extract_path(source, target)
+            }
+            SearchBackend::Plain => {
+                self.fwd
+                    .run_dijkstra(self.g, source, Some(target), cost, None, None, false);
+                self.fwd.extract_path(source, target)
+            }
+        }
     }
 
     /// Cost of the cheapest `source -> target` path without materialising
-    /// it — the allocation-free probe map matching uses for its HMM
-    /// transition model. ALT-guided exactly like
-    /// [`QueryEngine::shortest_path`].
+    /// it — the probe map matching uses for its HMM transition model.
+    /// Backend-dispatched exactly like [`QueryEngine::shortest_path`]; on
+    /// the CH backend this is the single biggest win (the probe is pure
+    /// search, and the CH search settles orders of magnitude fewer
+    /// vertices).
     pub fn shortest_path_cost(
         &mut self,
         source: VertexId,
@@ -653,31 +817,37 @@ impl<'g> QueryEngine<'g> {
         if source == target {
             return Some(0.0);
         }
-        self.run_one_to_one(source, target, cost);
-        let d = self.fwd.dist(target);
-        d.is_finite().then_some(d)
+        match self.backend_for(cost) {
+            SearchBackend::Ch => self.ch_shortest_path_cost(source, target, cost),
+            SearchBackend::Alt => {
+                self.run_alt_one_to_one(source, target, cost);
+                let d = self.fwd.dist(target);
+                d.is_finite().then_some(d)
+            }
+            SearchBackend::Plain => {
+                self.fwd
+                    .run_dijkstra(self.g, source, Some(target), cost, None, None, false);
+                let d = self.fwd.dist(target);
+                d.is_finite().then_some(d)
+            }
+        }
     }
 
-    /// Shared one-to-one search on the forward space: ALT-guided A* when
-    /// the attached landmarks cover `cost`, plain early-exit Dijkstra
-    /// otherwise (bit-identical to the pre-landmark engine in that case).
-    fn run_one_to_one(&mut self, source: VertexId, target: VertexId, cost: CostModel<'_>) {
-        if self.uses_alt(cost) {
-            let per_meter = self.heuristic_bound(cost);
-            let h = Self::forward_heuristic(
-                self.g,
-                &self.landmarks,
-                &mut self.alt_target,
-                source,
-                target,
-                cost,
-                per_meter,
-            );
-            self.fwd.run_astar(self.g, source, target, cost, &h, None);
-        } else {
-            self.fwd
-                .run_dijkstra(self.g, source, Some(target), cost, None, None, false);
-        }
+    /// ALT-guided one-to-one A* on the forward space (the
+    /// [`SearchBackend::Alt`] arm of the point-to-point dispatch).
+    fn run_alt_one_to_one(&mut self, source: VertexId, target: VertexId, cost: CostModel<'_>) {
+        debug_assert!(self.uses_alt(cost));
+        let per_meter = self.heuristic_bound(cost);
+        let h = Self::forward_heuristic(
+            self.g,
+            &self.landmarks,
+            &mut self.alt_target,
+            source,
+            target,
+            cost,
+            per_meter,
+        );
+        self.fwd.run_astar(self.g, source, target, cost, &h, None);
     }
 
     /// One-to-all Dijkstra, returned as a borrowed [`TreeView`] (no
@@ -750,6 +920,11 @@ impl<'g> QueryEngine<'g> {
     /// stays admissible and the returned path is cost-optimal among the
     /// non-banned paths, though tie-breaking among equal-cost optima can
     /// differ between variants.
+    ///
+    /// An attached [`ContractionHierarchy`] is deliberately **never**
+    /// consulted here ([`QueryEngine::constrained_backend_for`]): a
+    /// banned edge may hide inside a shortcut, so CH answers would be
+    /// unsound under bans.
     pub fn constrained_shortest_path(
         &mut self,
         source: VertexId,
@@ -758,6 +933,7 @@ impl<'g> QueryEngine<'g> {
         banned_vertices: &BitSet,
         banned_edges: &BitSet,
     ) -> Option<Path> {
+        debug_assert_ne!(self.constrained_backend_for(cost), SearchBackend::Ch);
         if source == target
             || banned_vertices.contains(source.0)
             || banned_vertices.contains(target.0)
@@ -844,11 +1020,13 @@ impl<'g> QueryEngine<'g> {
         }
     }
 
-    /// A* under the engine's strongest [`Heuristic`]. Engine counterpart
-    /// of [`crate::algo::astar::astar_shortest_path`], using the cached
-    /// [`safe_heuristic_bound`] (sound on arbitrary graphs, not just the
-    /// generators' geometry-consistent ones) — tightened to the ALT
-    /// triangle bound when landmarks are attached and cover `cost`.
+    /// Goal-directed point-to-point query. Engine counterpart of
+    /// [`crate::algo::astar::astar_shortest_path`], dispatched through
+    /// [`QueryEngine::backend_for`]: the CH search when a hierarchy
+    /// covers `cost`, otherwise A* under the strongest [`Heuristic`] the
+    /// engine can justify (ALT triangle bound, or the cached
+    /// [`safe_heuristic_bound`] — sound on arbitrary graphs, not just the
+    /// generators' geometry-consistent ones).
     pub fn astar_shortest_path(
         &mut self,
         source: VertexId,
@@ -857,6 +1035,9 @@ impl<'g> QueryEngine<'g> {
     ) -> Option<Path> {
         if source == target {
             return None;
+        }
+        if self.backend_for(cost) == SearchBackend::Ch {
+            return self.ch_shortest_path(source, target);
         }
         let per_meter = self.heuristic_bound(cost);
         let h = Self::forward_heuristic(
@@ -898,6 +1079,11 @@ impl<'g> QueryEngine<'g> {
     ) -> Option<Path> {
         if source == target {
             return None;
+        }
+        // The CH query *is* a bidirectional search — over the upward
+        // search graphs — so the Ch backend replaces this entirely.
+        if self.backend_for(cost) == SearchBackend::Ch {
+            return self.ch_shortest_path(source, target);
         }
         let g = self.g;
         let use_alt = self.uses_alt(cost);

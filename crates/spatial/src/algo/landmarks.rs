@@ -255,6 +255,34 @@ impl LandmarkTable {
         self.k() > 0 && self.metric.matches(cost)
     }
 
+    /// Raw distance vectors (`d(L_l, v)` then `d(v, L_l)`, each `k * n`
+    /// row-major) — the serialisation payload of [`crate::io`].
+    pub(crate) fn raw_vectors(&self) -> (&[f64], &[f64]) {
+        (&self.from_landmark, &self.to_landmark)
+    }
+
+    /// Reassembles a table from its serialised parts (`crate::io`
+    /// deserialiser; slice lengths are validated there).
+    pub(crate) fn from_raw_parts(
+        metric: LandmarkMetric,
+        n: usize,
+        m: usize,
+        landmarks: Vec<VertexId>,
+        from_landmark: Vec<f64>,
+        to_landmark: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(from_landmark.len(), landmarks.len() * n);
+        debug_assert_eq!(to_landmark.len(), landmarks.len() * n);
+        LandmarkTable {
+            metric,
+            n,
+            m,
+            landmarks,
+            from_landmark,
+            to_landmark,
+        }
+    }
+
     /// Fills `cache` with this table's distance vectors for `node`
     /// (no-op when already cached — the per-query target caching that
     /// makes Yen's hundreds of same-target spur searches pay for the

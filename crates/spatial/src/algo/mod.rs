@@ -12,6 +12,11 @@
 //!   [`engine::QueryEngine`] (see [`engine::Heuristic`] and
 //!   [`engine::QueryEngine::with_landmarks`]) while provably preserving
 //!   exactness;
+//! * [`ch`] — contraction hierarchies: shortcut-based preprocessing that
+//!   turns unconstrained point-to-point queries into two tiny upward
+//!   searches (see [`engine::SearchBackend`] and
+//!   [`engine::QueryEngine::with_ch`]), with shortcut unpacking back to
+//!   original edge sequences;
 //! * [`bidijkstra`] — bidirectional Dijkstra;
 //! * [`yen`] — Yen's algorithm for the top-k loopless shortest paths,
 //!   exposed as a lazy iterator (the paper's TkDI training-data strategy);
@@ -26,6 +31,7 @@
 
 pub mod astar;
 pub mod bidijkstra;
+pub mod ch;
 pub mod dijkstra;
 pub mod diversified;
 pub mod engine;
@@ -34,10 +40,13 @@ pub mod yen;
 
 pub use astar::astar_shortest_path;
 pub use bidijkstra::bidirectional_shortest_path;
+pub use ch::{ChConfig, ChSearch, ContractionHierarchy};
 pub use dijkstra::{
     constrained_shortest_path, shortest_path, shortest_path_tree, ShortestPathTree,
 };
 pub use diversified::{diversified_top_k, diversified_top_k_with, DiversifiedConfig};
-pub use engine::{safe_heuristic_bound, Heuristic, QueryEngine, SearchSpace, TreeView};
+pub use engine::{
+    safe_heuristic_bound, Heuristic, QueryEngine, SearchBackend, SearchSpace, TreeView,
+};
 pub use landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable, NodeVectors};
 pub use yen::{yen_k_shortest, YenIter};

@@ -1,4 +1,5 @@
-//! Plain-text serialisation of road networks.
+//! Plain-text serialisation of road networks and their precomputed
+//! search indexes.
 //!
 //! The format is a stable, diff-friendly line format (one vertex or edge
 //! per line) so that generated networks can be checked into experiment
@@ -16,15 +17,39 @@
 //! ```
 //!
 //! Edge lines are `e <from> <to> <length_m> <speed_kmh> <category-tag>`.
+//!
+//! The precomputed indexes the engine layer routes with round-trip the
+//! same way, each under its own versioned header, so servers can persist
+//! them next to the graph and skip the precompute on restart:
+//!
+//! * [`write_landmarks`] / [`read_landmarks`] — ALT
+//!   [`LandmarkTable`]s: the metric, the graph fingerprint, the landmark
+//!   ids and the forward/backward distance vectors;
+//! * [`write_ch`] / [`read_ch`] — [`ContractionHierarchy`] indexes: the
+//!   metric, the fingerprint, the rank permutation and the arc pool
+//!   (original edges and shortcuts); the query-time CSR is rebuilt on
+//!   read.
+//!
+//! Floats are written with Rust's shortest-round-trip `Display`, so
+//! distances survive the text round-trip **bit-identically** — a
+//! reloaded index answers exactly like the one that was saved (asserted
+//! by the round-trip tests). Readers validate headers, counts, id
+//! ranges and shortcut topology, and reject corrupt input with
+//! [`SpatialError::Parse`] rather than building an index that would
+//! silently mis-route.
 
 use std::io::{BufRead, Write};
 
+use crate::algo::ch::{ChArc, ChArcKind, ContractionHierarchy};
+use crate::algo::landmarks::{LandmarkMetric, LandmarkTable};
 use crate::builder::GraphBuilder;
 use crate::error::SpatialError;
 use crate::geometry::Point;
-use crate::graph::{EdgeAttrs, Graph, RoadCategory, VertexId};
+use crate::graph::{EdgeAttrs, EdgeId, Graph, RoadCategory, VertexId};
 
 const MAGIC: &str = "pathrank-graph v1";
+const LANDMARKS_MAGIC: &str = "pathrank-landmarks v1";
+const CH_MAGIC: &str = "pathrank-ch v1";
 
 /// Writes `g` to `out` in the v1 text format.
 pub fn write_graph<W: Write>(g: &Graph, out: &mut W) -> std::io::Result<()> {
@@ -131,6 +156,325 @@ pub fn graph_from_str(s: &str) -> Result<Graph, SpatialError> {
     read_graph(s.as_bytes())
 }
 
+fn metric_tag(metric: LandmarkMetric) -> &'static str {
+    match metric {
+        LandmarkMetric::Length => "length",
+        LandmarkMetric::TravelTime => "travel_time",
+    }
+}
+
+fn parse_metric(line: &str) -> Result<LandmarkMetric, SpatialError> {
+    let mut it = line.split_ascii_whitespace();
+    if it.next() != Some("metric") {
+        return Err(SpatialError::Parse(format!(
+            "expected metric line, got {line:?}"
+        )));
+    }
+    match it.next() {
+        Some("length") => Ok(LandmarkMetric::Length),
+        Some("travel_time") => Ok(LandmarkMetric::TravelTime),
+        other => Err(SpatialError::Parse(format!("unknown metric {other:?}"))),
+    }
+}
+
+/// `graph <n> <m>` fingerprint line.
+fn parse_fingerprint(line: &str) -> Result<(usize, usize), SpatialError> {
+    let mut it = line.split_ascii_whitespace();
+    if it.next() != Some("graph") {
+        return Err(SpatialError::Parse(format!(
+            "expected graph fingerprint line, got {line:?}"
+        )));
+    }
+    let n = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SpatialError::Parse("bad vertex count in fingerprint".into()))?;
+    let m = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SpatialError::Parse("bad edge count in fingerprint".into()))?;
+    Ok((n, m))
+}
+
+/// Skips blank lines and yields the next trimmed content line.
+fn next_content_line(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> Result<String, SpatialError> {
+    loop {
+        match lines.next() {
+            Some(Ok(l)) => {
+                let t = l.trim().to_string();
+                if !t.is_empty() {
+                    return Ok(t);
+                }
+            }
+            Some(Err(e)) => return Err(SpatialError::Parse(e.to_string())),
+            None => return Err(SpatialError::Parse("unexpected end of input".into())),
+        }
+    }
+}
+
+/// Caps the element count fed to `Vec::with_capacity` by readers, so a
+/// corrupt header claiming billions of entries cannot force a huge
+/// allocation (or a capacity overflow) before per-line validation gets
+/// a chance to reject the file — the vectors still grow to any honest
+/// size.
+const MAX_PREALLOC: usize = 1 << 20;
+
+/// Parses a whitespace-separated vector of exactly `count` distances:
+/// non-negative (possibly infinite) floats. Negative or NaN entries are
+/// rejected — a tampered distance would silently break the ALT bounds'
+/// admissibility, turning corruption into wrong routes instead of an
+/// error.
+fn parse_f64_row(line: &str, prefix: &str, count: usize) -> Result<Vec<f64>, SpatialError> {
+    let mut it = line.split_ascii_whitespace();
+    if it.next() != Some(prefix) {
+        return Err(SpatialError::Parse(format!(
+            "expected {prefix:?} row, got {line:?}"
+        )));
+    }
+    let row: Result<Vec<f64>, _> = it.map(|t| t.parse::<f64>()).collect();
+    let row = row.map_err(|e| SpatialError::Parse(format!("bad float in {prefix:?} row: {e}")))?;
+    if row.len() != count {
+        return Err(SpatialError::Parse(format!(
+            "{prefix:?} row has {} values, expected {count}",
+            row.len()
+        )));
+    }
+    if let Some(d) = row.iter().find(|d| d.is_nan() || **d < 0.0) {
+        return Err(SpatialError::Parse(format!(
+            "invalid distance {d} in {prefix:?} row"
+        )));
+    }
+    Ok(row)
+}
+
+/// Writes an ALT landmark table in the v1 text format.
+pub fn write_landmarks<W: Write>(table: &LandmarkTable, out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "{LANDMARKS_MAGIC}")?;
+    writeln!(out, "metric {}", metric_tag(table.metric()))?;
+    writeln!(out, "graph {} {}", table.vertex_count(), table.edge_count())?;
+    write!(out, "landmarks {}", table.k())?;
+    for l in table.landmarks() {
+        write!(out, " {}", l.0)?;
+    }
+    writeln!(out)?;
+    let n = table.vertex_count();
+    let (from, to) = table.raw_vectors();
+    for l in 0..table.k() {
+        for (prefix, vec) in [("F", from), ("T", to)] {
+            write!(out, "{prefix}")?;
+            for d in &vec[l * n..(l + 1) * n] {
+                write!(out, " {d}")?;
+            }
+            writeln!(out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Serialises an ALT landmark table to a `String`.
+pub fn landmarks_to_string(table: &LandmarkTable) -> String {
+    let mut buf = Vec::new();
+    write_landmarks(table, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Reads an ALT landmark table in the v1 text format. The caller is
+/// responsible for attaching it only to the graph it was built for — the
+/// embedded fingerprint is re-checked by
+/// [`crate::algo::engine::QueryEngine::with_landmarks`].
+pub fn read_landmarks<R: BufRead>(input: R) -> Result<LandmarkTable, SpatialError> {
+    let mut lines = input.lines();
+    let header = next_content_line(&mut lines)?;
+    if header != LANDMARKS_MAGIC {
+        return Err(SpatialError::Parse(format!("bad header {header:?}")));
+    }
+    let metric = parse_metric(&next_content_line(&mut lines)?)?;
+    let (n, m) = parse_fingerprint(&next_content_line(&mut lines)?)?;
+    let lm_line = next_content_line(&mut lines)?;
+    let mut it = lm_line.split_ascii_whitespace();
+    if it.next() != Some("landmarks") {
+        return Err(SpatialError::Parse(format!(
+            "expected landmarks line, got {lm_line:?}"
+        )));
+    }
+    let k: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SpatialError::Parse("bad landmark count".into()))?;
+    let landmarks: Vec<VertexId> = it
+        .map(|t| t.parse::<u32>().map(VertexId))
+        .collect::<Result<_, _>>()
+        .map_err(|e| SpatialError::Parse(format!("bad landmark id: {e}")))?;
+    if landmarks.len() != k {
+        return Err(SpatialError::Parse(format!(
+            "landmark line has {} ids, expected {k}",
+            landmarks.len()
+        )));
+    }
+    if let Some(l) = landmarks.iter().find(|l| l.index() >= n) {
+        return Err(SpatialError::VertexOutOfBounds { vertex: *l, len: n });
+    }
+    let mut from = Vec::with_capacity(k.saturating_mul(n).min(MAX_PREALLOC));
+    let mut to = Vec::with_capacity(k.saturating_mul(n).min(MAX_PREALLOC));
+    for _ in 0..k {
+        from.extend(parse_f64_row(&next_content_line(&mut lines)?, "F", n)?);
+        to.extend(parse_f64_row(&next_content_line(&mut lines)?, "T", n)?);
+    }
+    Ok(LandmarkTable::from_raw_parts(
+        metric, n, m, landmarks, from, to,
+    ))
+}
+
+/// Parses an ALT landmark table from its v1 text representation.
+pub fn landmarks_from_str(s: &str) -> Result<LandmarkTable, SpatialError> {
+    read_landmarks(s.as_bytes())
+}
+
+/// Writes a contraction hierarchy in the v1 text format: the rank
+/// permutation plus the arc pool (`a <from> <to> <weight> e <edge>` for
+/// original edges, `a <from> <to> <weight> s <lo> <hi>` for shortcuts).
+pub fn write_ch<W: Write>(ch: &ContractionHierarchy, out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "{CH_MAGIC}")?;
+    writeln!(out, "metric {}", metric_tag(ch.metric()))?;
+    writeln!(out, "graph {} {}", ch.vertex_count(), ch.edge_count())?;
+    write!(out, "ranks")?;
+    for r in ch.ranks() {
+        write!(out, " {r}")?;
+    }
+    writeln!(out)?;
+    writeln!(out, "arcs {}", ch.arcs().len())?;
+    for arc in ch.arcs() {
+        match arc.kind {
+            ChArcKind::Original(e) => writeln!(
+                out,
+                "a {} {} {} e {}",
+                arc.from.0, arc.to.0, arc.weight, e.0
+            )?,
+            ChArcKind::Shortcut(lo, hi) => writeln!(
+                out,
+                "a {} {} {} s {lo} {hi}",
+                arc.from.0, arc.to.0, arc.weight
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Serialises a contraction hierarchy to a `String`.
+pub fn ch_to_string(ch: &ContractionHierarchy) -> String {
+    let mut buf = Vec::new();
+    write_ch(ch, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Reads a contraction hierarchy in the v1 text format, rebuilding the
+/// query-time search graphs. Validates the rank permutation, arc
+/// endpoints and shortcut topology (children must precede their
+/// shortcut, so unpacking provably terminates); corrupt input yields
+/// [`SpatialError::Parse`] instead of an index that would mis-route.
+pub fn read_ch<R: BufRead>(input: R) -> Result<ContractionHierarchy, SpatialError> {
+    let mut lines = input.lines();
+    let header = next_content_line(&mut lines)?;
+    if header != CH_MAGIC {
+        return Err(SpatialError::Parse(format!("bad header {header:?}")));
+    }
+    let metric = parse_metric(&next_content_line(&mut lines)?)?;
+    let (n, m) = parse_fingerprint(&next_content_line(&mut lines)?)?;
+    let rank_line = next_content_line(&mut lines)?;
+    let mut it = rank_line.split_ascii_whitespace();
+    if it.next() != Some("ranks") {
+        return Err(SpatialError::Parse(format!(
+            "expected ranks line, got {rank_line:?}"
+        )));
+    }
+    let rank: Vec<u32> = it
+        .map(|t| t.parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| SpatialError::Parse(format!("bad rank: {e}")))?;
+    if rank.len() != n {
+        return Err(SpatialError::Parse(format!(
+            "rank line has {} entries, expected {n}",
+            rank.len()
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &r in &rank {
+        if (r as usize) >= n || seen[r as usize] {
+            return Err(SpatialError::Parse(format!(
+                "ranks are not a permutation of 0..{n} (offending rank {r})"
+            )));
+        }
+        seen[r as usize] = true;
+    }
+    let arc_count = parse_count(&next_content_line(&mut lines)?, "arcs")?;
+    if arc_count < m {
+        return Err(SpatialError::Parse(format!(
+            "arc pool ({arc_count}) smaller than the edge count ({m})"
+        )));
+    }
+    let mut arcs: Vec<ChArc> = Vec::with_capacity(arc_count.min(MAX_PREALLOC));
+    for i in 0..arc_count {
+        let line = next_content_line(&mut lines)?;
+        let mut it = line.split_ascii_whitespace();
+        if it.next() != Some("a") {
+            return Err(SpatialError::Parse(format!(
+                "expected arc line {i}, got {line:?}"
+            )));
+        }
+        let from = parse_u32(it.next(), "arc from")?;
+        let to = parse_u32(it.next(), "arc to")?;
+        if from as usize >= n || to as usize >= n {
+            return Err(SpatialError::Parse(format!(
+                "arc {i} endpoint out of range ({from} -> {to}, {n} vertices)"
+            )));
+        }
+        let weight = parse_f64(it.next(), "arc weight")?;
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(SpatialError::Parse(format!("arc {i} has weight {weight}")));
+        }
+        let kind = match it.next() {
+            Some("e") => {
+                let e = parse_u32(it.next(), "arc edge id")?;
+                if e as usize >= m {
+                    return Err(SpatialError::Parse(format!(
+                        "arc {i} names edge {e} outside the graph's {m} edges"
+                    )));
+                }
+                ChArcKind::Original(EdgeId(e))
+            }
+            Some("s") => {
+                let lo = parse_u32(it.next(), "shortcut child")?;
+                let hi = parse_u32(it.next(), "shortcut child")?;
+                if lo as usize >= i || hi as usize >= i {
+                    return Err(SpatialError::Parse(format!(
+                        "shortcut arc {i} references a non-preceding child ({lo}, {hi})"
+                    )));
+                }
+                ChArcKind::Shortcut(lo, hi)
+            }
+            other => {
+                return Err(SpatialError::Parse(format!(
+                    "arc {i} has unknown kind {other:?}"
+                )))
+            }
+        };
+        arcs.push(ChArc {
+            from: VertexId(from),
+            to: VertexId(to),
+            weight,
+            kind,
+        });
+    }
+    Ok(ContractionHierarchy::assemble(metric, m, rank, arcs))
+}
+
+/// Parses a contraction hierarchy from its v1 text representation.
+pub fn ch_from_str(s: &str) -> Result<ContractionHierarchy, SpatialError> {
+    read_ch(s.as_bytes())
+}
+
 fn parse_count(line: &str, keyword: &str) -> Result<usize, SpatialError> {
     let mut it = line.split_ascii_whitespace();
     if it.next() != Some(keyword) {
@@ -200,5 +544,195 @@ mod tests {
         let g = grid_network(&GridConfig::small_test(), 13);
         let text = graph_to_string(&g).replace('\n', "\n\n");
         assert_eq!(graph_from_str(&text).unwrap(), g);
+    }
+
+    mod indexes {
+        use super::*;
+        use crate::algo::ch::{ChConfig, ChSearch, ContractionHierarchy};
+        use crate::algo::engine::QueryEngine;
+        use crate::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
+        use crate::graph::{CostModel, VertexId};
+        use std::sync::Arc;
+
+        fn region() -> Graph {
+            region_network(&RegionConfig::small_test(), 23)
+        }
+
+        #[test]
+        fn landmarks_roundtrip_bit_identical() {
+            let g = region();
+            for metric in [LandmarkMetric::Length, LandmarkMetric::TravelTime] {
+                let table = LandmarkTable::build(&g, metric, &LandmarkConfig::default());
+                let text = landmarks_to_string(&table);
+                let back = landmarks_from_str(&text).unwrap();
+                assert_eq!(back.metric(), table.metric());
+                assert_eq!(back.vertex_count(), table.vertex_count());
+                assert_eq!(back.edge_count(), table.edge_count());
+                assert_eq!(back.landmarks(), table.landmarks());
+                for l in 0..table.k() {
+                    for v in g.vertices() {
+                        assert_eq!(
+                            back.from_landmark(l, v).to_bits(),
+                            table.from_landmark(l, v).to_bits(),
+                            "forward vector diverged after round-trip"
+                        );
+                        assert_eq!(
+                            back.to_landmark(l, v).to_bits(),
+                            table.to_landmark(l, v).to_bits(),
+                            "backward vector diverged after round-trip"
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn reloaded_landmarks_serve_identical_queries() {
+            let g = region();
+            let table =
+                LandmarkTable::build(&g, LandmarkMetric::Length, &LandmarkConfig::default());
+            let reloaded = landmarks_from_str(&landmarks_to_string(&table)).unwrap();
+            let mut a = QueryEngine::new(&g).with_landmarks(Arc::new(table));
+            let mut b = QueryEngine::new(&g).with_landmarks(Arc::new(reloaded));
+            assert!(b.uses_alt(CostModel::Length));
+            let n = g.vertex_count() as u32;
+            for (s, t) in [(0, n - 1), (n / 2, 1), (n / 3, 2 * n / 3)] {
+                let (s, t) = (VertexId(s), VertexId(t));
+                let pa = a.astar_shortest_path(s, t, CostModel::Length);
+                let pb = b.astar_shortest_path(s, t, CostModel::Length);
+                assert_eq!(
+                    pa.map(|p| p.edges().to_vec()),
+                    pb.map(|p| p.edges().to_vec()),
+                    "reloaded table changed an answer"
+                );
+            }
+        }
+
+        #[test]
+        fn ch_roundtrip_serves_identical_queries() {
+            let g = region();
+            let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+            let text = ch_to_string(&ch);
+            let back = ch_from_str(&text).unwrap();
+            assert_eq!(back.metric(), ch.metric());
+            assert_eq!(back.vertex_count(), ch.vertex_count());
+            assert_eq!(back.edge_count(), ch.edge_count());
+            assert_eq!(back.shortcut_count(), ch.shortcut_count());
+            assert_eq!(back.ranks(), ch.ranks());
+            let mut sa = ChSearch::new(g.vertex_count());
+            let mut sb = ChSearch::new(g.vertex_count());
+            let n = g.vertex_count() as u32;
+            for (s, t) in [(0, n - 1), (n / 2, 1), (n - 1, n / 3), (3, n - 2)] {
+                let (s, t) = (VertexId(s), VertexId(t));
+                let ea = ch.query_edges(&mut sa, s, t).map(<[_]>::to_vec);
+                let eb = back.query_edges(&mut sb, s, t).map(<[_]>::to_vec);
+                assert_eq!(ea, eb, "reloaded CH changed an answer for {s:?}->{t:?}");
+            }
+        }
+
+        #[test]
+        fn index_headers_are_versioned_and_checked() {
+            let g = region();
+            let table =
+                LandmarkTable::build(&g, LandmarkMetric::Length, &LandmarkConfig::default());
+            let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+            // Wrong or missing versions are rejected outright.
+            assert!(landmarks_from_str("pathrank-landmarks v0\n").is_err());
+            assert!(ch_from_str("pathrank-ch v0\n").is_err());
+            // Feeding one format to the other reader fails on the header.
+            assert!(landmarks_from_str(&ch_to_string(&ch)).is_err());
+            assert!(ch_from_str(&landmarks_to_string(&table)).is_err());
+        }
+
+        #[test]
+        fn corrupt_landmark_input_is_rejected() {
+            let g = region();
+            let table =
+                LandmarkTable::build(&g, LandmarkMetric::Length, &LandmarkConfig::default());
+            let text = landmarks_to_string(&table);
+            // Truncation (anywhere) must error, never mis-build.
+            assert!(landmarks_from_str(&text[..text.len() / 2]).is_err());
+            assert!(landmarks_from_str(&text[..text.len() * 9 / 10]).is_err());
+            // A tampered metric tag.
+            assert!(landmarks_from_str(&text.replace("metric length", "metric banana")).is_err());
+            // A landmark id outside the graph.
+            let k_line = format!("landmarks {}", table.k());
+            let bad = text.replace(&k_line, &format!("landmarks {} 99999", table.k() - 1));
+            assert!(landmarks_from_str(&bad).is_err());
+            // A NaN or negative distance smuggled into a row: either
+            // would silently break the triangle bounds' admissibility,
+            // so both must be parse errors.
+            for bad_value in ["NaN", "-1e9"] {
+                let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+                let f_row = lines.iter().position(|l| l.starts_with('F')).unwrap();
+                let mut toks: Vec<&str> = lines[f_row].split_ascii_whitespace().collect();
+                toks[1] = bad_value;
+                lines[f_row] = toks.join(" ");
+                assert!(
+                    landmarks_from_str(&lines.join("\n")).is_err(),
+                    "{bad_value} distance must be rejected"
+                );
+            }
+            // A header claiming an absurd element count must error (on
+            // truncation), not abort on a huge preallocation.
+            let huge = text.replace(
+                &format!("graph {} {}", g.vertex_count(), g.edge_count()),
+                "graph 999999999999 5",
+            );
+            assert!(landmarks_from_str(&huge).is_err());
+        }
+
+        #[test]
+        fn corrupt_ch_input_is_rejected() {
+            let g = region();
+            let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
+            let text = ch_to_string(&ch);
+            assert!(ch_from_str(&text[..text.len() / 2]).is_err());
+            // An absurd arc count errors on truncation instead of
+            // aborting on a huge preallocation.
+            let arcs_line = format!("arcs {}", ch.arcs().len());
+            let huge = text.replace(&arcs_line, "arcs 18446744073709551615");
+            assert!(ch_from_str(&huge).is_err());
+            // A rank out of range / duplicated breaks the permutation.
+            let ranks_line = text
+                .lines()
+                .find(|l| l.starts_with("ranks"))
+                .unwrap()
+                .to_string();
+            let mut toks: Vec<&str> = ranks_line.split_ascii_whitespace().collect();
+            toks[1] = "999999";
+            assert!(ch_from_str(&text.replace(&ranks_line, &toks.join(" "))).is_err());
+            let dup = {
+                let mut t: Vec<&str> = ranks_line.split_ascii_whitespace().collect();
+                t[1] = t[2];
+                text.replace(&ranks_line, &t.join(" "))
+            };
+            assert!(ch_from_str(&dup).is_err());
+            // A shortcut referencing a later arc (expansion would not
+            // terminate) is rejected by the topology check.
+            let shortcut_line = text
+                .lines()
+                .find(|l| l.starts_with('a') && l.contains(" s "))
+                .expect("region CH has shortcuts")
+                .to_string();
+            let mut toks: Vec<String> = shortcut_line
+                .split_ascii_whitespace()
+                .map(str::to_string)
+                .collect();
+            toks[5] = format!("{}", ch.arcs().len() + 7);
+            assert!(ch_from_str(&text.replace(&shortcut_line, &toks.join(" "))).is_err());
+            // Negative or non-finite weights are rejected.
+            let arc_line = text
+                .lines()
+                .find(|l| l.starts_with("a "))
+                .unwrap()
+                .to_string();
+            let mut toks: Vec<String> = arc_line
+                .split_ascii_whitespace()
+                .map(str::to_string)
+                .collect();
+            toks[3] = "-5".into();
+            assert!(ch_from_str(&text.replace(&arc_line, &toks.join(" "))).is_err());
+        }
     }
 }

@@ -8,13 +8,15 @@
 //! decoding picks the most likely candidate sequence, which is then
 //! stitched into a connected [`Path`] with shortest-path gap filling.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use pathrank_spatial::algo::ch::ContractionHierarchy;
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::LandmarkTable;
 use pathrank_spatial::geometry::{project_onto_segment, Point, Projection};
-use pathrank_spatial::graph::{CostModel, EdgeId, Graph};
+use pathrank_spatial::graph::{CostModel, EdgeId, Graph, VertexId};
 use pathrank_spatial::path::Path;
 
 use crate::gps::GpsTrace;
@@ -95,21 +97,93 @@ impl EdgeIndex {
     }
 }
 
-/// A reusable matcher: one [`EdgeIndex`] and one [`QueryEngine`] serving
-/// any number of traces.
+/// Statistics of a matcher's shortest-path probe cache
+/// ([`MapMatcher::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Route-distance probes issued by the HMM transition model.
+    pub sp_probes: u64,
+    /// Probes answered from the shared cache without a search.
+    pub sp_cache_hits: u64,
+}
+
+impl MatchStats {
+    /// Fraction of probes served from the cache (`0.0` before any probe).
+    pub fn hit_rate(&self) -> f64 {
+        if self.sp_probes == 0 {
+            0.0
+        } else {
+            self.sp_cache_hits as f64 / self.sp_probes as f64
+        }
+    }
+}
+
+/// Shortest-path probe cache, keyed by `(source, target, metric)`.
+///
+/// Vehicles of one fleet drive the same corridors, so consecutive-fix
+/// candidate pairs repeat heavily *across* traces — a [`MapMatcher`]
+/// keeps one of these for its lifetime (the ROADMAP's fleet-level
+/// sp-cache), while the one-shot entry points use a transient per-trace
+/// one. Cached values are exactly what the engine would return, so the
+/// cache can never change a match. `Custom` cost models bypass the cache
+/// entirely (their per-edge costs may change between queries).
+#[derive(Debug, Default)]
+struct SpCache {
+    map: HashMap<(u32, u32, u8), Option<f64>>,
+    stats: MatchStats,
+}
+
+impl SpCache {
+    /// Stable per-metric tag; `None` for uncacheable models.
+    fn metric_tag(cost: &CostModel<'_>) -> Option<u8> {
+        match cost {
+            CostModel::Length => Some(0),
+            CostModel::TravelTime => Some(1),
+            CostModel::Custom(_) => None,
+        }
+    }
+
+    /// `engine.shortest_path_cost(s, t, cost)` through the cache.
+    fn probe(
+        &mut self,
+        engine: &mut QueryEngine<'_>,
+        s: VertexId,
+        t: VertexId,
+        cost: CostModel<'_>,
+    ) -> Option<f64> {
+        let Some(tag) = Self::metric_tag(&cost) else {
+            return engine.shortest_path_cost(s, t, cost);
+        };
+        self.stats.sp_probes += 1;
+        match self.map.entry((s.0, t.0, tag)) {
+            Entry::Occupied(e) => {
+                self.stats.sp_cache_hits += 1;
+                *e.get()
+            }
+            Entry::Vacant(e) => *e.insert(engine.shortest_path_cost(s, t, cost)),
+        }
+    }
+}
+
+/// A reusable matcher: one [`EdgeIndex`], one [`QueryEngine`] and one
+/// shared shortest-path cache serving any number of traces.
 ///
 /// [`map_match_with`] already reuses a caller's engine, but it still
 /// rebuilds the `O(E)` spatial grid per trace; batch callers (dataset
 /// assembly, servers) hold a `MapMatcher` instead, which hoists the index
-/// build out of the per-trace loop entirely. The engine can additionally
-/// carry ALT landmarks ([`MapMatcher::with_landmarks`]) so every HMM
-/// transition probe and gap-filling search is landmark-directed — probes
-/// are exact either way, so matches are unaffected apart from equal-cost
+/// build out of the per-trace loop entirely and shares the probe cache
+/// across a whole fleet ([`MapMatcher::stats`] reports its hit rate).
+/// The engine can additionally carry ALT landmarks
+/// ([`MapMatcher::with_landmarks`]) or a contraction hierarchy
+/// ([`MapMatcher::with_ch`]) so every HMM transition probe and
+/// gap-filling search takes the strongest available backend — probes are
+/// exact either way, so matches are unaffected apart from equal-cost
 /// tie-breaking.
 pub struct MapMatcher<'g> {
     engine: QueryEngine<'g>,
     index: EdgeIndex,
     cfg: MapMatchConfig,
+    cache: SpCache,
 }
 
 impl<'g> MapMatcher<'g> {
@@ -121,6 +195,7 @@ impl<'g> MapMatcher<'g> {
             engine: QueryEngine::new(g),
             index,
             cfg,
+            cache: SpCache::default(),
         }
     }
 
@@ -133,9 +208,29 @@ impl<'g> MapMatcher<'g> {
         self
     }
 
+    /// Attaches a contraction hierarchy (see [`QueryEngine::with_ch`]):
+    /// the HMM transition probes and gap-filling searches are exactly the
+    /// unconstrained point-to-point shape the CH backend accelerates.
+    pub fn with_ch(mut self, ch: Arc<ContractionHierarchy>) -> Self {
+        self.engine = self.engine.with_ch(ch);
+        self
+    }
+
     /// The matcher configuration.
     pub fn config(&self) -> &MapMatchConfig {
         &self.cfg
+    }
+
+    /// Cumulative probe-cache statistics across every trace this matcher
+    /// has served.
+    pub fn stats(&self) -> MatchStats {
+        self.cache.stats
+    }
+
+    /// Clears the shared probe cache and its counters (e.g. between
+    /// fleets whose traffic patterns differ).
+    pub fn reset_cache(&mut self) {
+        self.cache = SpCache::default();
     }
 
     /// The spatial index (built once in [`MapMatcher::new`]; exposed so
@@ -144,10 +239,16 @@ impl<'g> MapMatcher<'g> {
         &self.index
     }
 
-    /// Matches one trace; equivalent to [`map_match`] but with the index
-    /// and engine shared across calls.
+    /// Matches one trace; equivalent to [`map_match`] but with the index,
+    /// engine and probe cache shared across calls.
     pub fn match_trace(&mut self, trace: &GpsTrace) -> Option<Path> {
-        match_on(&mut self.engine, &self.index, trace, &self.cfg)
+        match_on(
+            &mut self.engine,
+            &self.index,
+            trace,
+            &self.cfg,
+            &mut self.cache,
+        )
     }
 }
 
@@ -189,16 +290,17 @@ pub fn map_match_with(
         return None;
     }
     let index = EdgeIndex::build(engine.graph(), cfg.candidate_radius_m.max(25.0));
-    match_on(engine, &index, trace, cfg)
+    match_on(engine, &index, trace, cfg, &mut SpCache::default())
 }
 
 /// The matcher core: candidate layers from a prebuilt index, Viterbi over
-/// engine-probed route distances, stitching.
+/// engine-probed route distances (through `sp_cache`), stitching.
 fn match_on(
     engine: &mut QueryEngine<'_>,
     index: &EdgeIndex,
     trace: &GpsTrace,
     cfg: &MapMatchConfig,
+    sp_cache: &mut SpCache,
 ) -> Option<Path> {
     let g = engine.graph();
     if trace.len() < 2 {
@@ -261,31 +363,32 @@ fn match_on(
         -(c.dist * c.dist) / (2.0 * cfg.sigma_m * cfg.sigma_m)
             + cfg.heading_weight * (c.heading_cos - 1.0)
     };
-    let mut sp_cache: HashMap<(u32, u32), Option<f64>> = HashMap::new();
-    let mut route_dist =
-        |engine: &mut QueryEngine<'_>, a: &Candidate, b: &Candidate| -> Option<f64> {
-            let g = engine.graph();
-            let (ea, eb) = (g.edge(a.edge), g.edge(b.edge));
-            if a.edge == b.edge {
-                let delta = (b.t - a.t) * ea.attrs.length_m;
-                // Small backward jitter is GPS noise, not a loop around the
-                // block; treat it as (almost) standing still.
-                if delta >= -30.0 {
-                    return Some(delta.abs());
-                }
+    let route_dist = |sp_cache: &mut SpCache,
+                      engine: &mut QueryEngine<'_>,
+                      a: &Candidate,
+                      b: &Candidate|
+     -> Option<f64> {
+        let g = engine.graph();
+        let (ea, eb) = (g.edge(a.edge), g.edge(b.edge));
+        if a.edge == b.edge {
+            let delta = (b.t - a.t) * ea.attrs.length_m;
+            // Small backward jitter is GPS noise, not a loop around the
+            // block; treat it as (almost) standing still.
+            if delta >= -30.0 {
+                return Some(delta.abs());
             }
-            let tail = (1.0 - a.t) * ea.attrs.length_m;
-            let head = b.t * eb.attrs.length_m;
-            if ea.to == eb.from {
-                return Some(tail + head);
-            }
-            // The cost-only probe never materialises a path, so cache misses
-            // allocate nothing on the reused engine.
-            let between = *sp_cache
-                .entry((ea.to.0, eb.from.0))
-                .or_insert_with(|| engine.shortest_path_cost(ea.to, eb.from, CostModel::Length));
-            between.map(|d| tail + d + head)
-        };
+        }
+        let tail = (1.0 - a.t) * ea.attrs.length_m;
+        let head = b.t * eb.attrs.length_m;
+        if ea.to == eb.from {
+            return Some(tail + head);
+        }
+        // The cost-only probe never materialises a path, so cache misses
+        // allocate nothing on the reused engine; a `MapMatcher` carries
+        // the cache across traces, so fleet-repeated corridors hit it.
+        let between = sp_cache.probe(engine, ea.to, eb.from, CostModel::Length);
+        between.map(|d| tail + d + head)
+    };
 
     let mut score: Vec<f64> = layers[0].iter().map(emission).collect();
     let mut back: Vec<Vec<usize>> = Vec::with_capacity(layers.len());
@@ -311,7 +414,7 @@ fn match_on(
                 if score[i] == f64::NEG_INFINITY {
                     continue;
                 }
-                let Some(route) = route_dist(engine, prev, cand) else {
+                let Some(route) = route_dist(sp_cache, engine, prev, cand) else {
                     continue;
                 };
                 let gc = positions[li - 1][i].distance(&positions[li][j]);
@@ -542,6 +645,69 @@ mod tests {
                 (Some(a), Some(b)) => assert_eq!(a.edges(), b.edges()),
                 (None, None) => {}
                 (a, b) => panic!("ALT match divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_sp_cache_hits_across_traces_without_changing_matches() {
+        // The ROADMAP's fleet-level sp-cache: corridors repeat across a
+        // fleet's traces, so the shared cache must (a) actually hit and
+        // (b) never change a match (cached values are exactly what the
+        // engine would return).
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 17);
+        let cfg = MapMatchConfig::default();
+        let mut matcher = MapMatcher::new(&g, cfg.clone());
+        assert_eq!(matcher.stats(), MatchStats::default());
+        for trip in trips.iter().take(8) {
+            let fresh = map_match(&g, &trip.trace, &cfg);
+            let cached = matcher.match_trace(&trip.trace);
+            match (fresh, cached) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.vertices(), b.vertices());
+                    assert_eq!(a.edges(), b.edges());
+                }
+                (None, None) => {}
+                (a, b) => panic!("cache changed a match: {a:?} vs {b:?}"),
+            }
+        }
+        let stats = matcher.stats();
+        assert!(stats.sp_probes > 0, "HMM probes must go through the cache");
+        assert!(
+            stats.sp_cache_hits > 0,
+            "fleet traces share corridors; the cache must hit"
+        );
+        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() <= 1.0);
+        matcher.reset_cache();
+        assert_eq!(matcher.stats(), MatchStats::default());
+    }
+
+    #[test]
+    fn ch_matcher_recovers_routes_like_plain_matcher() {
+        use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+        use pathrank_spatial::algo::landmarks::LandmarkMetric;
+        use std::sync::Arc;
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 17);
+        let ch = Arc::new(ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig::default(),
+        ));
+        let cfg = MapMatchConfig::default();
+        let mut plain = MapMatcher::new(&g, cfg.clone());
+        let mut fast = MapMatcher::new(&g, cfg).with_ch(ch);
+        for trip in trips.iter().take(6) {
+            // CH probes return exact route costs, so the Viterbi
+            // decisions — and the matched routes — must agree (the
+            // region's float geometry makes optima unique).
+            let a = plain.match_trace(&trip.trace);
+            let b = fast.match_trace(&trip.trace);
+            match (a, b) {
+                (Some(a), Some(b)) => assert_eq!(a.edges(), b.edges()),
+                (None, None) => {}
+                (a, b) => panic!("CH match divergence: {a:?} vs {b:?}"),
             }
         }
     }
