@@ -19,6 +19,7 @@ use pathrank_spatial::algo::dijkstra::shortest_path;
 use pathrank_spatial::algo::diversified::{diversified_top_k, DiversifiedConfig};
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
+use pathrank_spatial::algo::m2m::M2mSearch;
 use pathrank_spatial::algo::yen::yen_k_shortest;
 use pathrank_spatial::generators::{region_network, RegionConfig};
 use pathrank_spatial::graph::{CostModel, VertexId};
@@ -67,6 +68,27 @@ fn routing(c: &mut Criterion) {
     group.bench_function("bidirectional_reused", |b| {
         let mut engine = QueryEngine::new(&g);
         b.iter(|| engine.bidirectional_shortest_path(black_box(s), black_box(t), CostModel::Length))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("many_to_many");
+    // The HMM transition-matrix shape: one 16×16 block, pairwise CH
+    // probes vs one bucket-based DistanceTable call.
+    let sources: Vec<VertexId> = (0..16u32).map(|i| VertexId((i * 131) % n)).collect();
+    let targets: Vec<VertexId> = (0..16u32).map(|i| VertexId((i * 197 + 61) % n)).collect();
+    group.bench_function("pairwise_ch_16x16", |b| {
+        let mut engine = QueryEngine::new(&g).with_ch(Arc::clone(&ch));
+        b.iter(|| {
+            for &s in &sources {
+                for &t in &targets {
+                    black_box(engine.shortest_path_cost(s, t, CostModel::Length));
+                }
+            }
+        })
+    });
+    group.bench_function("bucket_table_16x16", |b| {
+        let mut search = M2mSearch::new(g.vertex_count());
+        b.iter(|| black_box(ch.many_to_many(&mut search, &sources, &targets)))
     });
     group.finish();
 

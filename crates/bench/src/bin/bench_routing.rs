@@ -33,6 +33,8 @@ use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::generators::{region_network, RegionConfig};
 use pathrank_spatial::graph::{CostModel, Graph, VertexId};
+use pathrank_traj::mapmatch::{MapMatchConfig, MapMatcher};
+use pathrank_traj::simulator::{simulate_fleet, SimulationConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -301,6 +303,25 @@ fn main() {
     let yen_pairs = &p2p[..n_yen.min(p2p.len())];
     let tree_sources: Vec<VertexId> = p2p.iter().take(n_trees).map(|&(s, _)| s).collect();
 
+    // Deduplicated endpoint pools for the batched scenarios (≥32×32 at
+    // paper scale — the HMM transition-matrix shape).
+    let m2m_side = if quick { 8 } else { 32 };
+    let mut m2m_sources: Vec<VertexId> = Vec::new();
+    let mut m2m_targets: Vec<VertexId> = Vec::new();
+    for &(s, t) in &trip_pairs(&g, 6 * m2m_side, lo_m, hi_m) {
+        if m2m_sources.len() < m2m_side && !m2m_sources.contains(&s) {
+            m2m_sources.push(s);
+        }
+        if m2m_targets.len() < m2m_side && !m2m_targets.contains(&t) {
+            m2m_targets.push(t);
+        }
+    }
+    assert_eq!(
+        (m2m_sources.len(), m2m_targets.len()),
+        (m2m_side, m2m_side),
+        "not enough distinct endpoints in the trip band"
+    );
+
     // ALT preprocessing (timed): the landmark table every `reused_alt`
     // row routes with.
     let t0 = Instant::now();
@@ -339,6 +360,20 @@ fn main() {
         g.edge_count()
     );
 
+    // TravelTime-metric hierarchy (timed): fastest-path serving on a CH
+    // instead of the ALT fallback.
+    let t0 = Instant::now();
+    let ch_tt = Arc::new(ContractionHierarchy::build(
+        &g,
+        LandmarkMetric::TravelTime,
+        &ChConfig::default(),
+    ));
+    let ch_tt_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "TT CH: {} shortcuts in {ch_tt_build_ms:.1} ms",
+        ch_tt.shortcut_count()
+    );
+
     // The engines' answers must agree with the baseline's before any
     // timing is trusted (equal costs; tie-breaking may differ) — for the
     // plain reused engine, the ALT-guided one *and* the CH-backed one.
@@ -349,9 +384,12 @@ fn main() {
             .with_landmarks(Arc::clone(&table))
             .with_ch(Arc::clone(&ch));
         let mut tt = QueryEngine::new(&g).with_landmarks(Arc::clone(&tt_table));
+        let mut tt_ch_engine = QueryEngine::new(&g).with_ch(Arc::clone(&ch_tt));
         assert!(alt.uses_alt(CostModel::Length));
         assert!(chx.uses_ch(CostModel::Length));
         assert!(tt.uses_alt(CostModel::TravelTime));
+        assert!(tt_ch_engine.uses_ch(CostModel::TravelTime));
+        assert!(!tt_ch_engine.uses_ch(CostModel::Length));
         for &(s, t) in &p2p {
             let a =
                 seed_baseline::shortest_path(&g, s, t, CostModel::Length).map(|p| p.length_m(&g));
@@ -369,15 +407,17 @@ fn main() {
             }
             let a = seed_baseline::shortest_path(&g, s, t, CostModel::TravelTime)
                 .map(|p| p.travel_time_s(&g));
-            let b = tt
-                .astar_shortest_path(s, t, CostModel::TravelTime)
-                .map(|p| p.travel_time_s(&g));
-            match (a, b) {
-                (Some(a), Some(b)) => {
-                    assert!((a - b).abs() < 1e-6, "TT cost mismatch {s:?}->{t:?}")
+            for engine in [&mut tt, &mut tt_ch_engine] {
+                let b = engine
+                    .astar_shortest_path(s, t, CostModel::TravelTime)
+                    .map(|p| p.travel_time_s(&g));
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-6, "TT cost mismatch {s:?}->{t:?}")
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("TT reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
                 }
-                (None, None) => {}
-                (a, b) => panic!("TT reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
             }
         }
         for &(s, t) in yen_pairs {
@@ -388,6 +428,38 @@ fn main() {
                 for ((_, ca), (_, cb)) in a.iter().zip(b.iter()) {
                     assert!((ca - cb).abs() < 1e-6, "yen cost mismatch {s:?}->{t:?}");
                 }
+            }
+        }
+        // The batched table must agree with the pairwise CH probes it
+        // replaces, and the bucket one-to-many with the one-to-all tree.
+        let table = chx
+            .many_to_many(&m2m_sources, &m2m_targets, CostModel::Length)
+            .expect("length CH attached");
+        for (i, &s) in m2m_sources.iter().enumerate() {
+            for (j, &t) in m2m_targets.iter().enumerate() {
+                let pairwise = chx
+                    .shortest_path_cost(s, t, CostModel::Length)
+                    .unwrap_or(f64::INFINITY);
+                let batched = table.dist(i, j);
+                assert!(
+                    (pairwise - batched).abs() < 1e-6
+                        || (pairwise.is_infinite() && batched.is_infinite()),
+                    "m2m mismatch {s:?}->{t:?}: {pairwise} vs {batched}"
+                );
+            }
+        }
+        for &s in &tree_sources {
+            let batched = chx
+                .one_to_many(s, &m2m_targets, CostModel::Length)
+                .expect("length CH attached");
+            let view = engine.one_to_all(s, CostModel::Length);
+            for (j, &t) in m2m_targets.iter().enumerate() {
+                let full = view.dist(t);
+                assert!(
+                    (full - batched[j]).abs() < 1e-6
+                        || (full.is_infinite() && batched[j].is_infinite()),
+                    "one_to_many mismatch {s:?}->{t:?}"
+                );
             }
         }
     }
@@ -482,6 +554,22 @@ fn main() {
         reused_alt_tt,
     );
     let speedup_tt_alt = fresh_tt / reused_alt_tt;
+    // The TravelTime-metric hierarchy: fastest-path serving stops
+    // falling back to ALT.
+    let mut engine = QueryEngine::new(&g).with_ch(Arc::clone(&ch_tt));
+    let reused_ch_tt = measure(reps, p2p.len(), || {
+        for &(s, t) in &p2p {
+            std::hint::black_box(engine.shortest_path(s, t, CostModel::TravelTime));
+        }
+    });
+    record(
+        "fastest_one_to_one",
+        "reused_ch",
+        p2p.len(),
+        reps,
+        reused_ch_tt,
+    );
+    let speedup_tt_ch = fresh_tt / reused_ch_tt;
 
     // One-to-all trees: the edge-popularity / preprocessing shape. The
     // reused side also skips materialising the O(V) result arrays by
@@ -500,6 +588,130 @@ fn main() {
     });
     record("one_to_all", "reused", tree_sources.len(), reps, reused);
     let speedup_tree = fresh / reused;
+
+    // One-to-many: the batched bounded-target shape. The fresh and
+    // reused rows pay a full one-to-all sweep and read the targets out;
+    // the CH row runs the bucket algorithm (per-target backward sweeps +
+    // one forward sweep) and never touches the rest of the graph.
+    let fresh = measure(reps, tree_sources.len(), || {
+        for &s in &tree_sources {
+            let d = seed_baseline::one_to_all_dist(&g, s, CostModel::Length);
+            let mut acc = 0.0;
+            for &t in &m2m_targets {
+                acc += d[t.index()];
+            }
+            std::hint::black_box(acc);
+        }
+    });
+    record("one_to_many", "fresh", tree_sources.len(), reps, fresh);
+    let mut engine = QueryEngine::new(&g);
+    let reused = measure(reps, tree_sources.len(), || {
+        for &s in &tree_sources {
+            let view = engine.one_to_all(s, CostModel::Length);
+            let mut acc = 0.0;
+            for &t in &m2m_targets {
+                acc += view.dist(t);
+            }
+            std::hint::black_box(acc);
+        }
+    });
+    record("one_to_many", "reused", tree_sources.len(), reps, reused);
+    let mut engine = QueryEngine::new(&g).with_ch(Arc::clone(&ch));
+    let reused_ch_otm = measure(reps, tree_sources.len(), || {
+        for &s in &tree_sources {
+            std::hint::black_box(engine.one_to_many(s, &m2m_targets, CostModel::Length));
+        }
+    });
+    record(
+        "one_to_many",
+        "reused_ch",
+        tree_sources.len(),
+        reps,
+        reused_ch_otm,
+    );
+    let speedup_one_to_many = reused / reused_ch_otm;
+
+    // Many-to-many: the HMM transition-matrix shape. `pairwise_ch` is
+    // what PR 3's matcher effectively does — one independent CH probe
+    // per (source, target) pair — against one bucket-based
+    // DistanceTable for the whole S×T block.
+    let pair_count = m2m_sources.len() * m2m_targets.len();
+    let mut engine = QueryEngine::new(&g).with_ch(Arc::clone(&ch));
+    let pairwise_ch = measure(reps, pair_count, || {
+        for &s in &m2m_sources {
+            for &t in &m2m_targets {
+                std::hint::black_box(engine.shortest_path_cost(s, t, CostModel::Length));
+            }
+        }
+    });
+    record("many_to_many", "pairwise_ch", pair_count, reps, pairwise_ch);
+    let m2m_table_ns = measure(reps, pair_count, || {
+        std::hint::black_box(engine.many_to_many(&m2m_sources, &m2m_targets, CostModel::Length));
+    });
+    record("many_to_many", "reused_ch", pair_count, reps, m2m_table_ns);
+    let speedup_m2m = pairwise_ch / m2m_table_ns;
+
+    // Map-matching throughput: whole traces through the reusable
+    // matcher. `reused_ch` reproduces PR 3's configuration (CH-backed
+    // pairwise transition probes through the fleet sp-cache); `m2m`
+    // additionally bulk-fills each ping-to-ping block from one
+    // DistanceTable. Caches reset per pass so both sides pay cold-fleet
+    // costs; matches are asserted identical before timing.
+    let sim = if quick {
+        SimulationConfig {
+            n_vehicles: 4,
+            trips_per_vehicle: 1,
+            ..SimulationConfig::small_test()
+        }
+    } else {
+        SimulationConfig {
+            n_vehicles: 8,
+            trips_per_vehicle: 1,
+            min_trip_euclid_m: 800.0,
+            max_trip_euclid_m: 6_000.0,
+            ..SimulationConfig::paper_scale()
+        }
+    };
+    let trips = simulate_fleet(&g, &sim, SEED ^ 0x77);
+    let mm_cfg = MapMatchConfig::default();
+    {
+        let mut on = MapMatcher::new(&g, mm_cfg.clone()).with_ch(Arc::clone(&ch));
+        let mut off = MapMatcher::new(&g, mm_cfg.clone())
+            .with_ch(Arc::clone(&ch))
+            .with_m2m(false);
+        for trip in &trips {
+            let a = on.match_trace(&trip.trace).map(|p| p.edges().to_vec());
+            let b = off.match_trace(&trip.trace).map(|p| p.edges().to_vec());
+            assert_eq!(a, b, "m2m bulk fill changed a match");
+        }
+        assert!(on.stats().m2m_tables > 0, "m2m matcher must build tables");
+    }
+    let mm_reps = reps.min(5);
+    let mut matcher = MapMatcher::new(&g, mm_cfg.clone())
+        .with_ch(Arc::clone(&ch))
+        .with_m2m(false);
+    let mm_pairwise = measure(mm_reps, trips.len(), || {
+        matcher.reset_cache();
+        for trip in &trips {
+            std::hint::black_box(matcher.match_trace(&trip.trace));
+        }
+    });
+    record(
+        "mapmatch_throughput",
+        "reused_ch",
+        trips.len(),
+        mm_reps,
+        mm_pairwise,
+    );
+    let mut matcher = MapMatcher::new(&g, mm_cfg).with_ch(Arc::clone(&ch));
+    let mm_m2m = measure(mm_reps, trips.len(), || {
+        matcher.reset_cache();
+        for trip in &trips {
+            std::hint::black_box(matcher.match_trace(&trip.trace));
+        }
+    });
+    record("mapmatch_throughput", "m2m", trips.len(), mm_reps, mm_m2m);
+    let speedup_mapmatch = mm_pairwise / mm_m2m;
 
     // Yen top-k: the candidate-generation shape (hundreds of constrained
     // spur searches per query group).
@@ -581,10 +793,21 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"m2m\": \"bucket-based many-to-many over the CH: T backward + S forward upward sweeps fill an exact SxT DistanceTable (exact)\","
+    );
+    let _ = writeln!(
+        json,
         "  \"ch\": {{\"shortcuts\": {}, \"arcs\": {}, \"build_ms\": {:.1}}},",
         ch.shortcut_count(),
         ch.arcs().len(),
         ch_build_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"ch_tt\": {{\"shortcuts\": {}, \"arcs\": {}, \"build_ms\": {:.1}}},",
+        ch_tt.shortcut_count(),
+        ch_tt.arcs().len(),
+        ch_tt_build_ms
     );
     let _ = writeln!(
         json,
@@ -619,8 +842,18 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"speedup_ch_over_fresh\": {{\"one_to_one\": {speedup_p2p_ch:.3}, \"yen_top_k\": {speedup_yen_ch:.3}}},"
+        "  \"speedup_ch_over_fresh\": {{\"one_to_one\": {speedup_p2p_ch:.3}, \"yen_top_k\": {speedup_yen_ch:.3}, \"fastest_one_to_one\": {speedup_tt_ch:.3}}},"
     );
+    // The batched layer: one DistanceTable vs the pairwise CH probes it
+    // replaces (the HMM transition-matrix shape), bucket one-to-many vs
+    // a full reused one-to-all, and whole-trace map-matching throughput
+    // with the bulk fill on vs off.
+    let _ = writeln!(json, "  \"speedup_m2m_over_pairwise\": {speedup_m2m:.3},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_one_to_many_over_one_to_all\": {speedup_one_to_many:.3},"
+    );
+    let _ = writeln!(json, "  \"speedup_mapmatch_m2m\": {speedup_mapmatch:.3},");
     // Same-algorithm comparison (Dijkstra both sides): the share of the
     // one-to-one speedup attributable to state reuse alone, with the
     // cached-A*-bound effect factored out. one_to_all is same-algorithm
@@ -639,6 +872,9 @@ fn main() {
         "speedups (alt/fresh):    one_to_one {speedup_p2p_alt:.2}x, yen {speedup_yen_alt:.2}x, fastest {speedup_tt_alt:.2}x"
     );
     eprintln!(
-        "speedups (ch/fresh):     one_to_one {speedup_p2p_ch:.2}x, yen {speedup_yen_ch:.2}x -> {out_path}"
+        "speedups (ch/fresh):     one_to_one {speedup_p2p_ch:.2}x, yen {speedup_yen_ch:.2}x, fastest {speedup_tt_ch:.2}x"
+    );
+    eprintln!(
+        "speedups (m2m):          table/pairwise {speedup_m2m:.2}x ({m2m_side}x{m2m_side}), one_to_many {speedup_one_to_many:.2}x, mapmatch {speedup_mapmatch:.2}x -> {out_path}"
     );
 }

@@ -6,7 +6,9 @@
 //! actually has room to diversify on a given network.
 
 use pathrank_bench::Scale;
-use pathrank_core::candidates::{generate_groups, CandidateConfig, Strategy};
+use pathrank_core::candidates::{
+    generate_groups, trajectory_detour_factors, CandidateConfig, Strategy,
+};
 use pathrank_core::pipeline::Workbench;
 use pathrank_spatial::similarity::{weighted_jaccard, EdgeWeight};
 
@@ -26,6 +28,20 @@ fn main() {
         wb.graph.vertex_count(),
         wb.train_paths.len(),
         scale.k
+    );
+
+    // How far the simulated drivers deviate from the shortest path — the
+    // paper's core observation, probed for every group at once through a
+    // single CH many-to-many distance table.
+    let mut engine = wb.ch_query_engine();
+    let mut detours = trajectory_detour_factors(&mut engine, &wb.train_paths);
+    detours.sort_by(f64::total_cmp);
+    println!(
+        "trajectory detour factor (len / shortest): mean {:.3}, p50 {:.3}, p90 {:.3}, max {:.3}",
+        detours.iter().sum::<f64>() / detours.len().max(1) as f64,
+        percentile(&detours, 0.5),
+        percentile(&detours, 0.9),
+        detours.last().copied().unwrap_or(f64::NAN),
     );
 
     for strategy in [Strategy::TkDI, Strategy::DTkDI] {

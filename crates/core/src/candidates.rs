@@ -265,6 +265,51 @@ pub fn generate_groups_with_backends(
     results.into_concat()
 }
 
+/// Per-trajectory detour factors: `length(trajectory) / length(shortest
+/// source→target path)`, the paper's core observation quantified (local
+/// drivers deviate from the shortest path; the factor is how much).
+///
+/// The group probes are batched: every trajectory contributes its
+/// `source -> target` pair, and when the engine carries a
+/// [`ContractionHierarchy`] covering the length metric, **one**
+/// bucket-based [`pathrank_spatial::algo::m2m::DistanceTable`] over the
+/// deduplicated endpoint sets answers all of them
+/// ([`QueryEngine::many_to_many`]) — instead of one point-to-point
+/// search per group. Engines without a usable CH fall back to pairwise
+/// cost probes; both paths are exact, so the factors agree to float
+/// association.
+///
+/// Factors are `>= 1` up to float noise; a trajectory that *is* the
+/// shortest path scores exactly 1. Degenerate trajectories (zero-length
+/// or, defensively, unreachable endpoints) report 1.0.
+pub fn trajectory_detour_factors(engine: &mut QueryEngine<'_>, trajectories: &[Path]) -> Vec<f64> {
+    let g = engine.graph();
+    let mut sources: Vec<_> = trajectories.iter().map(|p| p.source()).collect();
+    let mut targets: Vec<_> = trajectories.iter().map(|p| p.target()).collect();
+    sources.sort_unstable_by_key(|v| v.0);
+    sources.dedup();
+    targets.sort_unstable_by_key(|v| v.0);
+    targets.dedup();
+    let table = engine.many_to_many(&sources, &targets, CostModel::Length);
+    trajectories
+        .iter()
+        .map(|p| {
+            let (s, t) = (p.source(), p.target());
+            let optimal = match &table {
+                Some(tbl) => {
+                    let d = tbl.dist_between(s, t).expect("endpoints gathered above");
+                    d.is_finite().then_some(d)
+                }
+                None => engine.shortest_path_cost(s, t, CostModel::Length),
+            };
+            match optimal {
+                Some(d) if d > 0.0 => p.length_m(g) / d,
+                _ => 1.0,
+            }
+        })
+        .collect()
+}
+
 /// Small helper: flattens the per-thread chunks back into one vector.
 trait IntoConcat<T> {
     fn into_concat(self) -> Vec<T>;
@@ -455,6 +500,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn m2m_batched_detour_factors_match_pairwise_probes() {
+        use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+        let (g, paths) = setup();
+        let ch = Arc::new(ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig::default(),
+        ));
+        let mut batched_engine = QueryEngine::new(&g).with_ch(ch);
+        let batched = trajectory_detour_factors(&mut batched_engine, &paths);
+        let mut plain_engine = QueryEngine::new(&g);
+        let pairwise = trajectory_detour_factors(&mut plain_engine, &paths);
+        assert_eq!(batched.len(), paths.len());
+        for (i, (a, b)) in batched.iter().zip(pairwise.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "trajectory {i}: batched {a} vs pairwise {b}"
+            );
+            assert!(*a >= 1.0 - 1e-9, "detour factor below 1: {a}");
+        }
+        // Simulated drivers route under hidden preferences, so at least
+        // some trajectories must actually detour.
+        assert!(
+            batched.iter().any(|f| *f > 1.0 + 1e-6),
+            "fleet should contain non-shortest trajectories"
+        );
     }
 
     #[test]

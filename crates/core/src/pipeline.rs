@@ -137,6 +137,10 @@ pub struct Workbench {
     /// Contraction hierarchy (length metric), built on first use and
     /// shared by every CH-backed engine.
     ch: OnceLock<Arc<ContractionHierarchy>>,
+    /// TravelTime-metric contraction hierarchy for fastest-path serving,
+    /// built on first use (the length CH cannot cover
+    /// `CostModel::TravelTime` queries).
+    tt_ch: OnceLock<Arc<ContractionHierarchy>>,
 }
 
 impl Workbench {
@@ -164,6 +168,7 @@ impl Workbench {
             landmarks: OnceLock::new(),
             tt_landmarks: OnceLock::new(),
             ch: OnceLock::new(),
+            tt_ch: OnceLock::new(),
         }
     }
 
@@ -220,12 +225,15 @@ impl Workbench {
         })
     }
 
-    /// An engine for fastest-path (TravelTime) serving: ALT-directed
-    /// under the TravelTime metric. Length queries on this engine fall
-    /// back to plain searches (the metric gate is per query).
+    /// An engine for fastest-path (TravelTime) serving: the TravelTime
+    /// contraction hierarchy for unconstrained point-to-point queries
+    /// and batched distance tables, TravelTime ALT landmarks for
+    /// everything constrained. Length queries on this engine fall back
+    /// to plain searches (the metric gate is per query).
     pub fn fastest_query_engine(&self) -> QueryEngine<'_> {
         self.query_engine()
             .with_landmarks(Arc::clone(self.travel_time_landmark_table()))
+            .with_ch(Arc::clone(self.travel_time_ch_index()))
     }
 
     /// The workbench's shared contraction hierarchy (length metric),
@@ -235,6 +243,25 @@ impl Workbench {
             Arc::new(ContractionHierarchy::build(
                 &self.graph,
                 LandmarkMetric::Length,
+                &ChConfig {
+                    threads: self.cfg.threads.max(1),
+                    ..ChConfig::default()
+                },
+            ))
+        })
+    }
+
+    /// The workbench's shared TravelTime-metric contraction hierarchy,
+    /// so fastest-path serving runs on a hierarchy instead of falling
+    /// back to ALT (same build API, different metric). Like the length
+    /// CH it round-trips through `spatial::io::write_ch`/`read_ch`, so
+    /// servers persist it next to the graph and skip the build on
+    /// restart.
+    pub fn travel_time_ch_index(&self) -> &Arc<ContractionHierarchy> {
+        self.tt_ch.get_or_init(|| {
+            Arc::new(ContractionHierarchy::build(
+                &self.graph,
+                LandmarkMetric::TravelTime,
                 &ChConfig {
                     threads: self.cfg.threads.max(1),
                     ..ChConfig::default()
@@ -461,21 +488,40 @@ mod tests {
     #[test]
     fn travel_time_workbench_engine_serves_fastest_paths() {
         use pathrank_spatial::algo::engine::SearchBackend;
+        use pathrank_spatial::algo::landmarks::LandmarkMetric;
         use pathrank_spatial::graph::{CostModel, VertexId};
         let wb = Workbench::new(ExperimentConfig::small_test());
         let t1 = Arc::as_ptr(wb.travel_time_landmark_table());
         let t2 = Arc::as_ptr(wb.travel_time_landmark_table());
         assert_eq!(t1, t2, "TravelTime table must be cached");
+        let c1 = Arc::as_ptr(wb.travel_time_ch_index());
+        let c2 = Arc::as_ptr(wb.travel_time_ch_index());
+        assert_eq!(c1, c2, "TravelTime CH must be cached");
+        assert_eq!(
+            wb.travel_time_ch_index().metric(),
+            LandmarkMetric::TravelTime
+        );
+        assert_ne!(
+            Arc::as_ptr(wb.ch_index()),
+            Arc::as_ptr(wb.travel_time_ch_index()),
+            "the two metrics get distinct hierarchies"
+        );
         let mut plain = wb.query_engine();
         let mut fastest = wb.fastest_query_engine();
         assert_eq!(
             fastest.backend_for(CostModel::TravelTime),
-            SearchBackend::Alt
+            SearchBackend::Ch,
+            "fastest-path serving now runs on the TravelTime CH"
+        );
+        assert_eq!(
+            fastest.constrained_backend_for(CostModel::TravelTime),
+            SearchBackend::Alt,
+            "constrained fastest-path searches stay on ALT"
         );
         assert_eq!(
             fastest.backend_for(CostModel::Length),
             SearchBackend::Plain,
-            "the TravelTime table must not cover length queries"
+            "neither TravelTime index may cover length queries"
         );
         let n = wb.graph.vertex_count() as u32;
         for (s, t) in [(0, n - 1), (n / 3, n / 2)] {
@@ -483,6 +529,19 @@ mod tests {
             let a = plain.shortest_path_cost(s, t, CostModel::TravelTime);
             let b = fastest.shortest_path_cost(s, t, CostModel::TravelTime);
             assert_eq!(a, b, "{s:?}->{t:?} fastest-path cost diverged");
+        }
+        // The TravelTime hierarchy persists through the same io layer as
+        // the length one: a reloaded index serves identical answers.
+        let reloaded = pathrank_spatial::io::ch_from_str(&pathrank_spatial::io::ch_to_string(
+            wb.travel_time_ch_index(),
+        ))
+        .expect("TravelTime CH must round-trip");
+        let mut reloaded_engine = wb.query_engine().with_ch(Arc::new(reloaded));
+        for (s, t) in [(0, n - 1), (n / 3, n / 2)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let a = fastest.shortest_path_cost(s, t, CostModel::TravelTime);
+            let b = reloaded_engine.shortest_path_cost(s, t, CostModel::TravelTime);
+            assert_eq!(a, b, "{s:?}->{t:?} reloaded TT CH diverged");
         }
     }
 

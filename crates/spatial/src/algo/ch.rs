@@ -104,7 +104,7 @@ pub struct ContractionHierarchy {
     /// fingerprint against wrong-graph indexes).
     m: usize,
     /// `rank[v]` = contraction position of `v` (0 contracted first).
-    rank: Vec<u32>,
+    pub(crate) rank: Vec<u32>,
     /// Arc pool: original edges first (`arc i` = `EdgeId(i)` for `i < m`),
     /// shortcuts appended in creation order.
     arcs: Vec<ChArc>,
@@ -113,25 +113,27 @@ pub struct ContractionHierarchy {
     // *downward in-arcs* (from higher-ranked tails). The forward search
     // expands the first part and stall-checks the second; the backward
     // search does the reverse — so every settle reads one contiguous
-    // memory region (the query is cache-line-bound).
-    seg_offsets: Vec<u32>,
-    seg_mid: Vec<u32>,
-    seg_arcs: Vec<SearchArc>,
+    // memory region (the query is cache-line-bound). `pub(crate)` so the
+    // bucket-based many-to-many module ([`crate::algo::m2m`]) runs its
+    // sweeps over the same CSR.
+    pub(crate) seg_offsets: Vec<u32>,
+    pub(crate) seg_mid: Vec<u32>,
+    pub(crate) seg_arcs: Vec<SearchArc>,
 }
 
 /// One adjacency entry of the query-time search graphs, with the data
 /// the hot loop needs inlined (endpoint + weight), so a query reads the
 /// CSR sequentially and touches the arc pool only during unpacking.
 #[derive(Debug, Clone, Copy)]
-struct SearchArc {
+pub(crate) struct SearchArc {
     /// The *rank* of the arc's other endpoint: head on upward entries,
     /// tail on downward ones (the query loop runs entirely in rank
     /// space, see [`ContractionHierarchy::assemble`]).
-    other: u32,
+    pub(crate) other: u32,
     /// Index into the arc pool (for parent chains / unpacking).
-    arc: u32,
+    pub(crate) arc: u32,
     /// Arc weight under the build metric.
-    weight: f64,
+    pub(crate) weight: f64,
 }
 
 /// Per-vertex slot of a [`ChSide`]: stamp, distance and parent packed
@@ -149,16 +151,18 @@ struct ChEntry {
     dist: f64,
 }
 
-/// Epoch-stamped scratch state for one direction of a CH query.
+/// Epoch-stamped scratch state for one direction of a CH query
+/// (`pub(crate)`: also the per-sweep state of the bucket-based
+/// many-to-many module, [`crate::algo::m2m`]).
 #[derive(Debug, Clone)]
-struct ChSide {
+pub(crate) struct ChSide {
     epoch: u32,
     entries: Vec<ChEntry>,
-    heap: BinaryHeap<MinCost<VertexId>>,
+    pub(crate) heap: BinaryHeap<MinCost<VertexId>>,
 }
 
 impl ChSide {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         ChSide {
             epoch: 0,
             entries: vec![
@@ -173,7 +177,7 @@ impl ChSide {
         }
     }
 
-    fn begin(&mut self) {
+    pub(crate) fn begin(&mut self) {
         // The 31-bit epoch wraps after ~2^31 queries; re-zeroing the
         // stamps then keeps the invalidation sound at amortised zero
         // cost.
@@ -188,12 +192,12 @@ impl ChSide {
     }
 
     #[inline]
-    fn reached(&self, v: VertexId) -> bool {
+    pub(crate) fn reached(&self, v: VertexId) -> bool {
         self.entries[v.index()].stamp >> 1 == self.epoch
     }
 
     #[inline]
-    fn dist(&self, v: VertexId) -> f64 {
+    pub(crate) fn dist(&self, v: VertexId) -> f64 {
         let e = &self.entries[v.index()];
         if e.stamp >> 1 == self.epoch {
             e.dist
@@ -203,22 +207,22 @@ impl ChSide {
     }
 
     #[inline]
-    fn parent_arc(&self, v: VertexId) -> u32 {
+    pub(crate) fn parent_arc(&self, v: VertexId) -> u32 {
         self.entries[v.index()].parent_arc
     }
 
     #[inline]
-    fn is_settled(&self, v: VertexId) -> bool {
+    pub(crate) fn is_settled(&self, v: VertexId) -> bool {
         self.entries[v.index()].stamp == (self.epoch << 1) | 1
     }
 
     #[inline]
-    fn settle(&mut self, v: VertexId) {
+    pub(crate) fn settle(&mut self, v: VertexId) {
         self.entries[v.index()].stamp |= 1;
     }
 
     #[inline]
-    fn relax(&mut self, v: VertexId, d: f64, parent_arc: u32) {
+    pub(crate) fn relax(&mut self, v: VertexId, d: f64, parent_arc: u32) {
         self.entries[v.index()] = ChEntry {
             stamp: self.epoch << 1,
             dist: d,

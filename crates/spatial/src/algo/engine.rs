@@ -42,6 +42,7 @@ use crate::algo::ch::{ChSearch, ContractionHierarchy};
 use crate::algo::dijkstra::ShortestPathTree;
 use crate::algo::diversified::{diversified_top_k_with, DiversifiedConfig};
 use crate::algo::landmarks::{LandmarkTable, NodeVectors};
+use crate::algo::m2m::{DistanceTable, M2mSearch};
 use crate::algo::yen::YenIter;
 use crate::geometry::Point;
 use crate::graph::{CostModel, EdgeId, Graph, VertexId};
@@ -162,6 +163,58 @@ impl SearchSpace {
             }
         }
         f64::INFINITY
+    }
+
+    /// Full unconstrained sweep: Dijkstra from `source` with no target
+    /// and no banned sets, the one-to-all shape. A dedicated tight loop
+    /// — no per-pop target comparison, no per-edge `Option` ban checks —
+    /// because full sweeps settle every reachable vertex, so the
+    /// per-relaxation constant is all that matters. Relaxation order is
+    /// identical to [`SearchSpace::run_dijkstra`] with `target: None`,
+    /// so distances and parents are bit-identical.
+    fn run_dijkstra_all(
+        &mut self,
+        g: &Graph,
+        source: VertexId,
+        cost: CostModel<'_>,
+        reverse: bool,
+    ) {
+        debug_assert_eq!(
+            self.capacity(),
+            g.vertex_count(),
+            "space sized for another graph"
+        );
+        self.begin();
+        self.relax(source, 0.0, NO_PARENT);
+        self.heap.push(MinCost {
+            cost: 0.0,
+            item: source,
+        });
+        while let Some(MinCost { cost: d, item: u }) = self.heap.pop() {
+            if self.is_settled(u) {
+                continue; // stale heap entry
+            }
+            self.settle(u);
+            macro_rules! relax_edges {
+                ($edges:ident) => {
+                    for (v, e) in g.$edges(u) {
+                        if self.is_settled(v) {
+                            continue;
+                        }
+                        let nd = d + cost.edge_cost(g, e);
+                        if nd < self.dist(v) {
+                            self.relax(v, nd, (u.0, e.0));
+                            self.heap.push(MinCost { cost: nd, item: v });
+                        }
+                    }
+                };
+            }
+            if reverse {
+                relax_edges!(in_edges);
+            } else {
+                relax_edges!(out_edges);
+            }
+        }
     }
 
     /// Dijkstra from `source`, stopping early once `target` is settled
@@ -535,6 +588,9 @@ pub struct QueryEngine<'g> {
     ch: Option<Arc<ContractionHierarchy>>,
     /// CH scratch state, allocated on the first CH-backed query.
     ch_search: Option<ChSearch>,
+    /// Bucket-based many-to-many scratch, allocated on the first batched
+    /// query (see [`QueryEngine::many_to_many`]).
+    m2m_search: Option<M2mSearch>,
     /// Landmark vectors cached for the current query *target* (forward
     /// searches aim at it; refilled only when the target changes, so
     /// Yen's same-target spur storm gathers them once).
@@ -581,6 +637,7 @@ impl<'g> QueryEngine<'g> {
             landmarks: None,
             ch: None,
             ch_search: None,
+            m2m_search: None,
             alt_target: NodeVectors::new(),
             alt_source: NodeVectors::new(),
         }
@@ -649,6 +706,7 @@ impl<'g> QueryEngine<'g> {
             "contraction hierarchy built for a different graph"
         );
         self.ch_search = None;
+        self.m2m_search = None;
         self.ch = Some(ch);
         self
     }
@@ -851,16 +909,62 @@ impl<'g> QueryEngine<'g> {
     }
 
     /// One-to-all Dijkstra, returned as a borrowed [`TreeView`] (no
-    /// per-query `O(V)` allocation). The view is valid until the next
-    /// query on this engine.
+    /// per-query `O(V)` allocation). Runs the dedicated full-sweep loop
+    /// on the reusable scratch ([`SearchSpace::run_dijkstra_all`] — no
+    /// target or ban checks in the hot loop). The view is valid until
+    /// the next query on this engine.
     pub fn one_to_all(&mut self, source: VertexId, cost: CostModel<'_>) -> TreeView<'_> {
-        self.fwd
-            .run_dijkstra(self.g, source, None, cost, None, None, false);
+        self.fwd.run_dijkstra_all(self.g, source, cost, false);
         TreeView {
             space: &self.fwd,
             source,
             reverse: false,
         }
+    }
+
+    /// Batched one-to-many: distances from `source` to every target, in
+    /// target order (`f64::INFINITY` for unreachable pairs). `Some` only
+    /// when the attached [`ContractionHierarchy`] covers `cost` — the
+    /// bucket algorithm then runs one backward upward sweep per target
+    /// plus a single forward sweep, far below a full one-to-all for
+    /// bounded target sets. `None` means no usable hierarchy: callers
+    /// fall back to [`QueryEngine::one_to_all`] or pairwise probes.
+    pub fn one_to_many(
+        &mut self,
+        source: VertexId,
+        targets: &[VertexId],
+        cost: CostModel<'_>,
+    ) -> Option<Vec<f64>> {
+        if !self.uses_ch(cost) {
+            return None;
+        }
+        let ch = self.ch.as_ref().expect("uses_ch implies an index");
+        let n = self.g.vertex_count();
+        let search = self.m2m_search.get_or_insert_with(|| M2mSearch::new(n));
+        Some(ch.one_to_many(search, source, targets))
+    }
+
+    /// Batched many-to-many: the exact `sources × targets`
+    /// [`DistanceTable`] via the bucket algorithm
+    /// ([`ContractionHierarchy::many_to_many`] on the engine's reusable
+    /// scratch) — `T` backward plus `S` forward upward sweeps instead of
+    /// `S × T` point-to-point queries. `Some` only when the attached
+    /// hierarchy covers `cost` (the same per-query metric gate as every
+    /// other backend decision); `None` means the caller keeps its
+    /// pairwise path — map matching falls back to its shared sp-cache.
+    pub fn many_to_many(
+        &mut self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+        cost: CostModel<'_>,
+    ) -> Option<DistanceTable> {
+        if !self.uses_ch(cost) {
+            return None;
+        }
+        let ch = self.ch.as_ref().expect("uses_ch implies an index");
+        let n = self.g.vertex_count();
+        let search = self.m2m_search.get_or_insert_with(|| M2mSearch::new(n));
+        Some(ch.many_to_many(search, sources, targets))
     }
 
     /// One-to-all *reverse* Dijkstra: `dist(v)` on the returned view is
@@ -873,7 +977,7 @@ impl<'g> QueryEngine<'g> {
     pub fn one_to_all_rev(&mut self, target: VertexId, cost: CostModel<'_>) -> TreeView<'_> {
         let n = self.g.vertex_count();
         let bwd = self.bwd.get_or_insert_with(|| SearchSpace::new(n));
-        bwd.run_dijkstra(self.g, target, None, cost, None, None, true);
+        bwd.run_dijkstra_all(self.g, target, cost, true);
         TreeView {
             space: bwd,
             source: target,
@@ -889,8 +993,7 @@ impl<'g> QueryEngine<'g> {
         source: VertexId,
         cost: CostModel<'_>,
     ) -> ShortestPathTree {
-        self.fwd
-            .run_dijkstra(self.g, source, None, cost, None, None, false);
+        self.fwd.run_dijkstra_all(self.g, source, cost, false);
         let n = self.g.vertex_count();
         let mut dist = Vec::with_capacity(n);
         let mut parent = Vec::with_capacity(n);

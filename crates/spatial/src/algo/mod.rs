@@ -17,6 +17,11 @@
 //!   searches (see [`engine::SearchBackend`] and
 //!   [`engine::QueryEngine::with_ch`]), with shortcut unpacking back to
 //!   original edge sequences;
+//! * [`m2m`] — bucket-based many-to-many distance tables over a
+//!   contraction hierarchy: `T` backward plus `S` forward upward sweeps
+//!   fill an exact `S × T` [`m2m::DistanceTable`] instead of `S × T`
+//!   full queries (the HMM transition-matrix and batched one-to-many
+//!   shape; see [`engine::QueryEngine::many_to_many`]);
 //! * [`bidijkstra`] — bidirectional Dijkstra;
 //! * [`yen`] — Yen's algorithm for the top-k loopless shortest paths,
 //!   exposed as a lazy iterator (the paper's TkDI training-data strategy);
@@ -36,6 +41,7 @@ pub mod dijkstra;
 pub mod diversified;
 pub mod engine;
 pub mod landmarks;
+pub mod m2m;
 pub mod yen;
 
 pub use astar::astar_shortest_path;
@@ -49,4 +55,5 @@ pub use engine::{
     safe_heuristic_bound, Heuristic, QueryEngine, SearchBackend, SearchSpace, TreeView,
 };
 pub use landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable, NodeVectors};
+pub use m2m::{DistanceTable, M2mSearch};
 pub use yen::{yen_k_shortest, YenIter};

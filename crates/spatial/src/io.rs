@@ -610,23 +610,30 @@ mod tests {
 
         #[test]
         fn ch_roundtrip_serves_identical_queries() {
+            // Both build metrics — the TravelTime hierarchy (fastest-path
+            // serving) persists through exactly the same format.
             let g = region();
-            let ch = ContractionHierarchy::build(&g, LandmarkMetric::Length, &ChConfig::default());
-            let text = ch_to_string(&ch);
-            let back = ch_from_str(&text).unwrap();
-            assert_eq!(back.metric(), ch.metric());
-            assert_eq!(back.vertex_count(), ch.vertex_count());
-            assert_eq!(back.edge_count(), ch.edge_count());
-            assert_eq!(back.shortcut_count(), ch.shortcut_count());
-            assert_eq!(back.ranks(), ch.ranks());
-            let mut sa = ChSearch::new(g.vertex_count());
-            let mut sb = ChSearch::new(g.vertex_count());
-            let n = g.vertex_count() as u32;
-            for (s, t) in [(0, n - 1), (n / 2, 1), (n - 1, n / 3), (3, n - 2)] {
-                let (s, t) = (VertexId(s), VertexId(t));
-                let ea = ch.query_edges(&mut sa, s, t).map(<[_]>::to_vec);
-                let eb = back.query_edges(&mut sb, s, t).map(<[_]>::to_vec);
-                assert_eq!(ea, eb, "reloaded CH changed an answer for {s:?}->{t:?}");
+            for metric in [LandmarkMetric::Length, LandmarkMetric::TravelTime] {
+                let ch = ContractionHierarchy::build(&g, metric, &ChConfig::default());
+                let text = ch_to_string(&ch);
+                let back = ch_from_str(&text).unwrap();
+                assert_eq!(back.metric(), ch.metric());
+                assert_eq!(back.vertex_count(), ch.vertex_count());
+                assert_eq!(back.edge_count(), ch.edge_count());
+                assert_eq!(back.shortcut_count(), ch.shortcut_count());
+                assert_eq!(back.ranks(), ch.ranks());
+                let mut sa = ChSearch::new(g.vertex_count());
+                let mut sb = ChSearch::new(g.vertex_count());
+                let n = g.vertex_count() as u32;
+                for (s, t) in [(0, n - 1), (n / 2, 1), (n - 1, n / 3), (3, n - 2)] {
+                    let (s, t) = (VertexId(s), VertexId(t));
+                    let ea = ch.query_edges(&mut sa, s, t).map(<[_]>::to_vec);
+                    let eb = back.query_edges(&mut sb, s, t).map(<[_]>::to_vec);
+                    assert_eq!(
+                        ea, eb,
+                        "reloaded {metric:?} CH changed an answer for {s:?}->{t:?}"
+                    );
+                }
             }
         }
 

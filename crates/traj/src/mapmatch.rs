@@ -9,7 +9,7 @@
 //! stitched into a connected [`Path`] with shortest-path gap filling.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use pathrank_spatial::algo::ch::ContractionHierarchy;
@@ -97,14 +97,21 @@ impl EdgeIndex {
     }
 }
 
-/// Statistics of a matcher's shortest-path probe cache
-/// ([`MapMatcher::stats`]).
+/// Statistics of a matcher's shortest-path probe cache and its
+/// many-to-many bulk fills ([`MapMatcher::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MatchStats {
     /// Route-distance probes issued by the HMM transition model.
     pub sp_probes: u64,
     /// Probes answered from the shared cache without a search.
     pub sp_cache_hits: u64,
+    /// Many-to-many transition tables built (one per ping-to-ping block
+    /// that still had uncached probe pairs; requires a CH-backed engine).
+    pub m2m_tables: u64,
+    /// Probe-cache entries bulk-filled by those tables — each is a
+    /// pairwise shortest-path search the transition model no longer
+    /// issues (the block's `S + T` upward sweeps replace them all).
+    pub m2m_pairs: u64,
 }
 
 impl MatchStats {
@@ -115,6 +122,14 @@ impl MatchStats {
         } else {
             self.sp_cache_hits as f64 / self.sp_probes as f64
         }
+    }
+
+    /// Pairwise probes avoided by the bucket-based many-to-many bulk
+    /// fill: transition pairs whose route distance came out of a
+    /// [`DistanceTable`](pathrank_spatial::algo::m2m::DistanceTable)
+    /// instead of an individual engine search.
+    pub fn probes_avoided_by_m2m(&self) -> u64 {
+        self.m2m_pairs
     }
 }
 
@@ -163,6 +178,102 @@ impl SpCache {
             Entry::Vacant(e) => *e.insert(engine.shortest_path_cost(s, t, cost)),
         }
     }
+
+    /// Bulk-fills the cache for one whole trace's transition blocks with
+    /// a single bucket-based many-to-many table instead of one
+    /// independent probe per candidate pair. Only pairs the transition
+    /// model would actually probe ([`Transition::Probe`]) and that are
+    /// not cached yet are gathered across every consecutive layer pair;
+    /// trace-level batching is what makes the bucket algorithm pay off —
+    /// a single ping-to-ping block has barely more pairs than distinct
+    /// endpoints, but a trace revisits the same candidate endpoints over
+    /// and over, so `S + T` upward sweeps replace several times that
+    /// many searches. A break-even gate keeps warm-cache traces (where
+    /// almost everything hits anyway) on the plain probe path, and only
+    /// the gathered (previously uncached) pairs are written back — a
+    /// cached answer is never overwritten. Filled values are the
+    /// table's raw shortcut-weight sums: exact, and equal to what an
+    /// engine probe would have cached up to float association
+    /// (bit-identical on integer-weight graphs; a Viterbi decision
+    /// could only differ on a score tie below that association error —
+    /// the same class of tie-break caveat every backend switch in this
+    /// workspace carries, locked in deterministically by
+    /// `tests/m2m_exactness.rs`). A `None` from the engine (no CH
+    /// covering the metric) leaves the cache untouched and the per-pair
+    /// probes remain the fallback.
+    fn bulk_fill(&mut self, engine: &mut QueryEngine<'_>, layers: &[Vec<Candidate>]) {
+        let cost = CostModel::Length;
+        let tag = Self::metric_tag(&cost).expect("length metric is cacheable");
+        let g = engine.graph();
+        let mut needed: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for w in layers.windows(2) {
+            for a in &w[0] {
+                for b in &w[1] {
+                    if let Transition::Probe(s, t, _) = transition_shape(g, a, b) {
+                        if !self.map.contains_key(&(s.0, t.0, tag)) && seen.insert((s.0, t.0)) {
+                            needed.push((s, t));
+                        }
+                    }
+                }
+            }
+        }
+        let mut sources: Vec<VertexId> = needed.iter().map(|&(s, _)| s).collect();
+        sources.sort_unstable_by_key(|v| v.0);
+        sources.dedup();
+        let mut targets: Vec<VertexId> = needed.iter().map(|&(_, t)| t).collect();
+        targets.sort_unstable_by_key(|v| v.0);
+        targets.dedup();
+        // Break-even gate: the fill costs ~one upward sweep per distinct
+        // endpoint (about what one warm point-to-point probe costs), so
+        // it must replace clearly more probes than it runs sweeps —
+        // otherwise (e.g. a fleet-warmed cache) plain probing wins.
+        if needed.is_empty() || 2 * needed.len() < 3 * (sources.len() + targets.len()) {
+            return;
+        }
+        let Some(table) = engine.many_to_many(&sources, &targets, cost) else {
+            return;
+        };
+        self.stats.m2m_tables += 1;
+        for (s, t) in needed {
+            let d = table.dist_between(s, t).expect("gathered endpoints");
+            self.map.insert((s.0, t.0, tag), d.is_finite().then_some(d));
+            self.stats.m2m_pairs += 1;
+        }
+    }
+}
+
+/// How one HMM transition is routed, shared by the per-pair probe path
+/// and the many-to-many bulk fill so the two can never disagree about
+/// which pairs need a network search.
+enum Transition {
+    /// Readable straight off the candidate geometry (same edge, or
+    /// consecutive edges sharing a vertex): the on-network distance.
+    Direct(f64),
+    /// Needs the shortest-path distance `.0 -> .1`, to which the fixed
+    /// partial-edge contribution `.2` (tail of the first edge + head of
+    /// the second) is added.
+    Probe(VertexId, VertexId, f64),
+}
+
+/// Classifies the transition from candidate `a` to candidate `b`.
+fn transition_shape(g: &Graph, a: &Candidate, b: &Candidate) -> Transition {
+    let (ea, eb) = (g.edge(a.edge), g.edge(b.edge));
+    if a.edge == b.edge {
+        let delta = (b.t - a.t) * ea.attrs.length_m;
+        // Small backward jitter is GPS noise, not a loop around the
+        // block; treat it as (almost) standing still.
+        if delta >= -30.0 {
+            return Transition::Direct(delta.abs());
+        }
+    }
+    let tail = (1.0 - a.t) * ea.attrs.length_m;
+    let head = b.t * eb.attrs.length_m;
+    if ea.to == eb.from {
+        Transition::Direct(tail + head)
+    } else {
+        Transition::Probe(ea.to, eb.from, tail + head)
+    }
 }
 
 /// A reusable matcher: one [`EdgeIndex`], one [`QueryEngine`] and one
@@ -184,6 +295,10 @@ pub struct MapMatcher<'g> {
     index: EdgeIndex,
     cfg: MapMatchConfig,
     cache: SpCache,
+    /// Whether CH-backed matchers bulk-fill transition blocks through
+    /// the bucket-based many-to-many tables (on by default; a no-op
+    /// without a CH covering the probe metric).
+    m2m: bool,
 }
 
 impl<'g> MapMatcher<'g> {
@@ -196,6 +311,7 @@ impl<'g> MapMatcher<'g> {
             index,
             cfg,
             cache: SpCache::default(),
+            m2m: true,
         }
     }
 
@@ -213,6 +329,15 @@ impl<'g> MapMatcher<'g> {
     /// unconstrained point-to-point shape the CH backend accelerates.
     pub fn with_ch(mut self, ch: Arc<ContractionHierarchy>) -> Self {
         self.engine = self.engine.with_ch(ch);
+        self
+    }
+
+    /// Enables or disables the many-to-many transition bulk fill
+    /// (enabled by default). Exists for A/B measurement — the fill only
+    /// changes how transition distances are computed, never the match
+    /// (locked in by `tests/m2m_exactness.rs`).
+    pub fn with_m2m(mut self, enabled: bool) -> Self {
+        self.m2m = enabled;
         self
     }
 
@@ -248,6 +373,7 @@ impl<'g> MapMatcher<'g> {
             trace,
             &self.cfg,
             &mut self.cache,
+            self.m2m,
         )
     }
 }
@@ -290,17 +416,20 @@ pub fn map_match_with(
         return None;
     }
     let index = EdgeIndex::build(engine.graph(), cfg.candidate_radius_m.max(25.0));
-    match_on(engine, &index, trace, cfg, &mut SpCache::default())
+    match_on(engine, &index, trace, cfg, &mut SpCache::default(), true)
 }
 
 /// The matcher core: candidate layers from a prebuilt index, Viterbi over
-/// engine-probed route distances (through `sp_cache`), stitching.
+/// engine-probed route distances (through `sp_cache`, bulk-filled
+/// block-by-block from many-to-many tables when `use_m2m` and the engine
+/// carries a CH covering the probe metric), stitching.
 fn match_on(
     engine: &mut QueryEngine<'_>,
     index: &EdgeIndex,
     trace: &GpsTrace,
     cfg: &MapMatchConfig,
     sp_cache: &mut SpCache,
+    use_m2m: bool,
 ) -> Option<Path> {
     let g = engine.graph();
     if trace.len() < 2 {
@@ -368,26 +497,17 @@ fn match_on(
                       a: &Candidate,
                       b: &Candidate|
      -> Option<f64> {
-        let g = engine.graph();
-        let (ea, eb) = (g.edge(a.edge), g.edge(b.edge));
-        if a.edge == b.edge {
-            let delta = (b.t - a.t) * ea.attrs.length_m;
-            // Small backward jitter is GPS noise, not a loop around the
-            // block; treat it as (almost) standing still.
-            if delta >= -30.0 {
-                return Some(delta.abs());
-            }
+        match transition_shape(engine.graph(), a, b) {
+            Transition::Direct(d) => Some(d),
+            // The cost-only probe never materialises a path, so cache
+            // misses allocate nothing on the reused engine; a
+            // `MapMatcher` carries the cache across traces, so
+            // fleet-repeated corridors hit it — and on a CH-backed
+            // engine the whole block was bulk-filled beforehand.
+            Transition::Probe(s, t, fixed) => sp_cache
+                .probe(engine, s, t, CostModel::Length)
+                .map(|d| fixed + d),
         }
-        let tail = (1.0 - a.t) * ea.attrs.length_m;
-        let head = b.t * eb.attrs.length_m;
-        if ea.to == eb.from {
-            return Some(tail + head);
-        }
-        // The cost-only probe never materialises a path, so cache misses
-        // allocate nothing on the reused engine; a `MapMatcher` carries
-        // the cache across traces, so fleet-repeated corridors hit it.
-        let between = sp_cache.probe(engine, ea.to, eb.from, CostModel::Length);
-        between.map(|d| tail + d + head)
     };
 
     let mut score: Vec<f64> = layers[0].iter().map(emission).collect();
@@ -405,6 +525,13 @@ fn match_on(
         );
     }
 
+    // One DistanceTable call per trace: every probe-shaped candidate
+    // pair of every ping-to-ping block lands in the cache before the
+    // Viterbi loop reads it (the loop itself is unchanged; see
+    // `SpCache::bulk_fill` for the exactness contract).
+    if use_m2m && engine.uses_ch(CostModel::Length) {
+        sp_cache.bulk_fill(engine, &layers);
+    }
     for li in 1..layers.len() {
         let mut next_score = vec![f64::NEG_INFINITY; layers[li].len()];
         let mut next_back = vec![0usize; layers[li].len()];
@@ -679,8 +806,41 @@ mod tests {
             "fleet traces share corridors; the cache must hit"
         );
         assert!(stats.hit_rate() > 0.0 && stats.hit_rate() <= 1.0);
+        // Without a CH there is nothing to bulk-fill from.
+        assert_eq!(stats.m2m_tables, 0);
+        assert_eq!(stats.probes_avoided_by_m2m(), 0);
         matcher.reset_cache();
         assert_eq!(matcher.stats(), MatchStats::default());
+
+        // The CH-backed matcher serves the same fleet through bulk
+        // many-to-many fills: the avoided-probe counter must move and
+        // every remaining probe must hit the pre-filled cache.
+        use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+        use pathrank_spatial::algo::landmarks::LandmarkMetric;
+        use std::sync::Arc;
+        let ch = Arc::new(ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig::default(),
+        ));
+        let mut fast = MapMatcher::new(&g, cfg).with_ch(ch);
+        for trip in trips.iter().take(8) {
+            fast.match_trace(&trip.trace);
+        }
+        let stats = fast.stats();
+        assert!(stats.m2m_tables > 0, "CH matcher must build m2m tables");
+        assert!(
+            stats.probes_avoided_by_m2m() > 0,
+            "bulk fills must avoid pairwise probes"
+        );
+        // Bulk-filled traces turn former misses into hits; only traces
+        // the break-even gate kept on the plain path may still miss.
+        assert!(
+            stats.hit_rate() > 0.9,
+            "bulk-filled fleet should probe almost entirely from cache \
+             (hit rate {:.3})",
+            stats.hit_rate()
+        );
     }
 
     #[test]
@@ -710,6 +870,69 @@ mod tests {
                 (a, b) => panic!("CH match divergence: {a:?} vs {b:?}"),
             }
         }
+    }
+
+    #[test]
+    fn m2m_toggle_does_not_change_matches() {
+        // The bulk fill replaces per-pair engine probes with table
+        // lookups; the matched edge sequences must be unchanged.
+        use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+        use pathrank_spatial::algo::landmarks::LandmarkMetric;
+        use std::sync::Arc;
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 17);
+        let ch = Arc::new(ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig::default(),
+        ));
+        let cfg = MapMatchConfig::default();
+        let mut on = MapMatcher::new(&g, cfg.clone()).with_ch(Arc::clone(&ch));
+        let mut off = MapMatcher::new(&g, cfg).with_ch(ch).with_m2m(false);
+        for trip in trips.iter().take(8) {
+            let a = on.match_trace(&trip.trace);
+            let b = off.match_trace(&trip.trace);
+            match (a, b) {
+                (Some(a), Some(b)) => assert_eq!(a.edges(), b.edges()),
+                (None, None) => {}
+                (a, b) => panic!("m2m toggle changed a match: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(on.stats().m2m_tables > 0, "m2m on must build tables");
+        assert_eq!(off.stats().m2m_tables, 0, "m2m off must not");
+    }
+
+    #[test]
+    fn m2m_metric_mismatch_falls_back_to_probe_cache() {
+        // A TravelTime-metric CH cannot serve the Length transition
+        // probes: the bulk fill must stay inert and the sp-cache path
+        // must carry the probes, matching the plain matcher exactly.
+        use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+        use pathrank_spatial::algo::landmarks::LandmarkMetric;
+        use std::sync::Arc;
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 17);
+        let tt_ch = Arc::new(ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::TravelTime,
+            &ChConfig::default(),
+        ));
+        let cfg = MapMatchConfig::default();
+        let mut plain = MapMatcher::new(&g, cfg.clone());
+        let mut mismatched = MapMatcher::new(&g, cfg).with_ch(tt_ch);
+        for trip in trips.iter().take(6) {
+            let a = plain.match_trace(&trip.trace);
+            let b = mismatched.match_trace(&trip.trace);
+            match (a, b) {
+                (Some(a), Some(b)) => assert_eq!(a.edges(), b.edges()),
+                (None, None) => {}
+                (a, b) => panic!("fallback match divergence: {a:?} vs {b:?}"),
+            }
+        }
+        let stats = mismatched.stats();
+        assert_eq!(stats.m2m_tables, 0, "metric gate must block the fill");
+        assert_eq!(stats.m2m_pairs, 0);
+        assert!(stats.sp_probes > 0, "probes must flow through the cache");
     }
 
     #[test]
