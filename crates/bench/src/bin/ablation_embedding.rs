@@ -13,11 +13,10 @@
 use pathrank_bench::{print_metric_header, print_metric_row, Scale};
 use pathrank_core::candidates::{CandidateConfig, Strategy};
 use pathrank_core::model::{EmbeddingMode, ModelConfig};
-use pathrank_core::pipeline::Workbench;
 
 fn main() {
     let scale = Scale::parse(std::env::args());
-    let mut wb = Workbench::new(scale.experiment_config());
+    let mut wb = scale.workbench();
     let dim = scale.embedding_dims()[0];
     let ccfg = CandidateConfig {
         k: scale.k,

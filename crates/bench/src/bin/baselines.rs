@@ -10,11 +10,10 @@ use pathrank_bench::{print_metric_header, print_metric_row, Scale};
 use pathrank_core::candidates::{CandidateConfig, Strategy};
 use pathrank_core::eval::{baselines, evaluate_with};
 use pathrank_core::model::ModelConfig;
-use pathrank_core::pipeline::Workbench;
 
 fn main() {
     let scale = Scale::parse(std::env::args());
-    let mut wb = Workbench::new(scale.experiment_config());
+    let mut wb = scale.workbench();
     let dim = scale.embedding_dims()[0];
     let test_groups = wb.test_groups(scale.k);
 

@@ -20,8 +20,16 @@
 //! exact — asserted against the baseline before timing. The JSON makes
 //! the perf trajectory of the routing layer trackable across PRs.
 //!
+//! The `imported_*` rows run the same workloads on a real (imported)
+//! road network: by default the checked-in OSM fixture extract
+//! (`fixtures/osm/pathrank_city.osm.xml`, parsed and imported on the
+//! fly — import time reported under `"imported_graph"`), or any network
+//! passed with `--graph` (raw OSM XML, a persisted import, or a plain
+//! graph file).
+//!
 //! ```text
-//! cargo run --release -p pathrank-bench --bin bench_routing [-- --quick] [--out FILE]
+//! cargo run --release -p pathrank-bench --bin bench_routing \
+//!     [-- --quick] [--out FILE] [--graph NETWORK]
 //! ```
 
 use std::fmt::Write as _;
@@ -278,6 +286,23 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_routing.json".to_string());
+    // The imported-network rows default to the checked-in fixture. The
+    // label (what the JSON reports) stays repo-relative for the default
+    // so the committed artifact is machine-independent.
+    let graph_arg = args
+        .iter()
+        .position(|a| a == "--graph")
+        .and_then(|i| args.get(i + 1).cloned());
+    let graph_label = graph_arg
+        .clone()
+        .unwrap_or_else(|| "fixtures/osm/pathrank_city.osm.xml".to_string());
+    let graph_path = graph_arg.unwrap_or_else(|| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../fixtures/osm/pathrank_city.osm.xml"
+        )
+        .to_string()
+    });
 
     let region = if quick {
         RegionConfig::small_test()
@@ -762,6 +787,172 @@ fn main() {
     let speedup_yen_alt = fresh / reused_alt;
     let speedup_yen_ch = fresh / reused_ch_yen;
 
+    // Imported-network rows: the same one-to-one workloads on a real
+    // (OSM-imported) road network, so the perf trajectory is tracked on
+    // real topology too, not just the generator's.
+    let t0 = Instant::now();
+    let loaded = pathrank_spatial::io::load_graph_auto(std::path::Path::new(&graph_path))
+        .expect("--graph network must load");
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let og = loaded.graph;
+    eprintln!(
+        "imported network ({}): {} vertices, {} edges from {graph_path} in {load_ms:.1} ms",
+        loaded.kind.label(),
+        og.vertex_count(),
+        og.edge_count()
+    );
+    // Trip band scaled to the network's extent.
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for p in og.coords() {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let diag = ((max_x - min_x).powi(2) + (max_y - min_y).powi(2)).sqrt();
+    let o_pairs = trip_pairs(&og, if quick { 16 } else { 32 }, 0.2 * diag, 0.85 * diag);
+    let t0 = Instant::now();
+    let o_table = Arc::new(LandmarkTable::build(
+        &og,
+        LandmarkMetric::Length,
+        &LandmarkConfig::default(),
+    ));
+    let o_alt_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let o_ch = Arc::new(ContractionHierarchy::build(
+        &og,
+        LandmarkMetric::Length,
+        &ChConfig::default(),
+    ));
+    let o_ch_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let o_ch_tt = Arc::new(ContractionHierarchy::build(
+        &og,
+        LandmarkMetric::TravelTime,
+        &ChConfig::default(),
+    ));
+    // Exactness on the imported network before any timing is trusted:
+    // every backend must agree with the fresh baseline on both metrics.
+    {
+        let mut alt = QueryEngine::new(&og).with_landmarks(Arc::clone(&o_table));
+        let mut chx = QueryEngine::new(&og).with_ch(Arc::clone(&o_ch));
+        let mut tt = QueryEngine::new(&og).with_ch(Arc::clone(&o_ch_tt));
+        assert!(alt.uses_alt(CostModel::Length));
+        assert!(chx.uses_ch(CostModel::Length));
+        assert!(tt.uses_ch(CostModel::TravelTime));
+        for &(s, t) in &o_pairs {
+            let a =
+                seed_baseline::shortest_path(&og, s, t, CostModel::Length).map(|p| p.length_m(&og));
+            for engine in [&mut alt, &mut chx] {
+                let b = engine
+                    .astar_shortest_path(s, t, CostModel::Length)
+                    .map(|p| p.length_m(&og));
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-6, "imported cost mismatch {s:?}->{t:?}")
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("imported reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
+                }
+            }
+            let a = seed_baseline::shortest_path(&og, s, t, CostModel::TravelTime)
+                .map(|p| p.travel_time_s(&og));
+            let b = tt
+                .astar_shortest_path(s, t, CostModel::TravelTime)
+                .map(|p| p.travel_time_s(&og));
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-6, "imported TT mismatch {s:?}->{t:?}")
+                }
+                (None, None) => {}
+                (a, b) => panic!("imported TT reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+    let o_fresh = measure(reps, o_pairs.len(), || {
+        for &(s, t) in &o_pairs {
+            std::hint::black_box(seed_baseline::shortest_path(&og, s, t, CostModel::Length));
+        }
+    });
+    record("imported_one_to_one", "fresh", o_pairs.len(), reps, o_fresh);
+    let mut engine = QueryEngine::new(&og);
+    let o_reused = measure(reps, o_pairs.len(), || {
+        for &(s, t) in &o_pairs {
+            std::hint::black_box(engine.astar_shortest_path(s, t, CostModel::Length));
+        }
+    });
+    record(
+        "imported_one_to_one",
+        "reused",
+        o_pairs.len(),
+        reps,
+        o_reused,
+    );
+    let mut engine = QueryEngine::new(&og).with_landmarks(Arc::clone(&o_table));
+    let o_reused_alt = measure(reps, o_pairs.len(), || {
+        for &(s, t) in &o_pairs {
+            std::hint::black_box(engine.astar_shortest_path(s, t, CostModel::Length));
+        }
+    });
+    record(
+        "imported_one_to_one",
+        "reused_alt",
+        o_pairs.len(),
+        reps,
+        o_reused_alt,
+    );
+    let mut engine = QueryEngine::new(&og).with_ch(Arc::clone(&o_ch));
+    let o_reused_ch = measure(reps, o_pairs.len(), || {
+        for &(s, t) in &o_pairs {
+            std::hint::black_box(engine.shortest_path(s, t, CostModel::Length));
+        }
+    });
+    record(
+        "imported_one_to_one",
+        "reused_ch",
+        o_pairs.len(),
+        reps,
+        o_reused_ch,
+    );
+    let o_fresh_tt = measure(reps, o_pairs.len(), || {
+        for &(s, t) in &o_pairs {
+            std::hint::black_box(seed_baseline::shortest_path(
+                &og,
+                s,
+                t,
+                CostModel::TravelTime,
+            ));
+        }
+    });
+    record(
+        "imported_fastest_one_to_one",
+        "fresh",
+        o_pairs.len(),
+        reps,
+        o_fresh_tt,
+    );
+    let mut engine = QueryEngine::new(&og).with_ch(Arc::clone(&o_ch_tt));
+    let o_reused_ch_tt = measure(reps, o_pairs.len(), || {
+        for &(s, t) in &o_pairs {
+            std::hint::black_box(engine.shortest_path(s, t, CostModel::TravelTime));
+        }
+    });
+    record(
+        "imported_fastest_one_to_one",
+        "reused_ch",
+        o_pairs.len(),
+        reps,
+        o_reused_ch_tt,
+    );
+    let speedup_imported_ch = o_fresh / o_reused_ch;
+    let speedup_imported_alt = o_fresh / o_reused_alt;
+    let speedup_imported_tt_ch = o_fresh_tt / o_reused_ch_tt;
+    let imported_stats = loaded.stats.clone();
+
     // Hand-rolled JSON (the workspace deliberately has no serde backend).
     let mut json = String::new();
     json.push_str("{\n");
@@ -848,6 +1039,39 @@ fn main() {
     // replaces (the HMM transition-matrix shape), bucket one-to-many vs
     // a full reused one-to-all, and whole-trace map-matching throughput
     // with the bulk fill on vs off.
+    // The imported-network section: where the rows came from, what the
+    // importer did, and the index speedups on real topology.
+    let _ = writeln!(
+        json,
+        "  \"imported_graph\": {{\"source\": {graph_label:?}, \"kind\": \"{}\", \"vertices\": {}, \"edges\": {}, \"load_ms\": {load_ms:.1}, \"total_km\": {:.1}, \"alt_build_ms\": {o_alt_build_ms:.1}, \"ch_build_ms\": {o_ch_build_ms:.1}}},",
+        loaded.kind.label(),
+        og.vertex_count(),
+        og.edge_count(),
+        og.total_length_m() / 1000.0
+    );
+    // Pipeline counters exist only for on-the-fly XML imports (a
+    // persisted import records just its final shape).
+    if let Some(s) = imported_stats.as_ref().filter(|s| s.raw_ways > 0) {
+        let _ = writeln!(
+            json,
+            "  \"imported_pipeline\": {{\"raw_nodes\": {}, \"raw_ways\": {}, \"kept_ways\": {}, \"oneway_ways\": {}, \"segment_vertices\": {}, \"scc_vertices\": {}, \"final_vertices\": {}}},",
+            s.raw_nodes,
+            s.raw_ways,
+            s.kept_ways,
+            s.oneway_ways,
+            s.segment_vertices,
+            s.scc_vertices,
+            s.final_vertices
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"speedup_imported_ch_over_fresh\": {{\"one_to_one\": {speedup_imported_ch:.3}, \"fastest_one_to_one\": {speedup_imported_tt_ch:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_imported_alt_over_fresh\": {{\"one_to_one\": {speedup_imported_alt:.3}}},"
+    );
     let _ = writeln!(json, "  \"speedup_m2m_over_pairwise\": {speedup_m2m:.3},");
     let _ = writeln!(
         json,
@@ -875,6 +1099,9 @@ fn main() {
         "speedups (ch/fresh):     one_to_one {speedup_p2p_ch:.2}x, yen {speedup_yen_ch:.2}x, fastest {speedup_tt_ch:.2}x"
     );
     eprintln!(
-        "speedups (m2m):          table/pairwise {speedup_m2m:.2}x ({m2m_side}x{m2m_side}), one_to_many {speedup_one_to_many:.2}x, mapmatch {speedup_mapmatch:.2}x -> {out_path}"
+        "speedups (m2m):          table/pairwise {speedup_m2m:.2}x ({m2m_side}x{m2m_side}), one_to_many {speedup_one_to_many:.2}x, mapmatch {speedup_mapmatch:.2}x"
+    );
+    eprintln!(
+        "speedups (imported):     one_to_one ch {speedup_imported_ch:.2}x / alt {speedup_imported_alt:.2}x, fastest ch {speedup_imported_tt_ch:.2}x -> {out_path}"
     );
 }

@@ -9,7 +9,6 @@ use pathrank_bench::Scale;
 use pathrank_core::candidates::{
     generate_groups, trajectory_detour_factors, CandidateConfig, Strategy,
 };
-use pathrank_core::pipeline::Workbench;
 use pathrank_spatial::similarity::{weighted_jaccard, EdgeWeight};
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -22,10 +21,13 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let scale = Scale::parse(std::env::args());
-    let wb = Workbench::new(scale.experiment_config());
+    // `--graph FILE` swaps the synthetic region for a real (imported)
+    // network; the diagnostics below are identical either way.
+    let wb = scale.workbench();
     println!(
-        "network: {} vertices; {} train trajectories; k = {}",
+        "network: {} vertices ({}); {} train trajectories; k = {}",
         wb.graph.vertex_count(),
+        scale.graph.as_deref().unwrap_or("synthetic region"),
         wb.train_paths.len(),
         scale.k
     );

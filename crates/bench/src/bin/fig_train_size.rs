@@ -8,12 +8,11 @@ use pathrank_bench::{print_metric_header, print_metric_row, Scale};
 use pathrank_core::candidates::{CandidateConfig, Strategy};
 use pathrank_core::eval::evaluate_model;
 use pathrank_core::model::{ModelConfig, PathRankModel};
-use pathrank_core::pipeline::Workbench;
 use pathrank_core::trainer::{prepare_samples, train};
 
 fn main() {
     let scale = Scale::parse(std::env::args());
-    let mut wb = Workbench::new(scale.experiment_config());
+    let mut wb = scale.workbench();
     let dim = scale.embedding_dims()[0];
     let fractions: &[f64] = if scale.quick {
         &[0.5, 1.0]

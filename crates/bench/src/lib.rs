@@ -12,6 +12,8 @@
 //! --k N              candidates per trajectory   (default 10)
 //! --seed N           master seed                 (default 2020)
 //! --threads N        worker threads              (default 2)
+//! --graph FILE       run on a real network (OSM XML, persisted import
+//!                    or plain graph file) instead of the generator
 //! ```
 
 use pathrank_core::pipeline::ExperimentConfig;
@@ -35,6 +37,9 @@ pub struct Scale {
     pub threads: usize,
     /// Tiny smoke-run mode.
     pub quick: bool,
+    /// Road-network file to run on instead of the synthetic generator
+    /// (raw OSM XML, a persisted import, or a plain graph file).
+    pub graph: Option<String>,
 }
 
 impl Default for Scale {
@@ -47,6 +52,7 @@ impl Default for Scale {
             seed: 2020,
             threads: 2,
             quick: false,
+            graph: None,
         }
     }
 }
@@ -71,6 +77,12 @@ impl Scale {
                 "--k" => scale.k = numeric("--k", &mut args) as usize,
                 "--seed" => scale.seed = numeric("--seed", &mut args),
                 "--threads" => scale.threads = numeric("--threads", &mut args) as usize,
+                "--graph" => {
+                    scale.graph = Some(
+                        args.next()
+                            .unwrap_or_else(|| die("flag --graph needs a file path")),
+                    )
+                }
                 "--help" | "-h" => die("see crate docs for flags"),
                 other => die(&format!("unknown flag {other:?}")),
             }
@@ -97,6 +109,18 @@ impl Scale {
         cfg
     }
 
+    /// The experiment workbench for this scale: built on the `--graph`
+    /// network when one was given (raw OSM XML, persisted import or
+    /// plain graph file), on the synthetic region otherwise.
+    pub fn workbench(&self) -> pathrank_core::pipeline::Workbench {
+        use pathrank_core::pipeline::Workbench;
+        match &self.graph {
+            Some(path) => Workbench::from_graph_file(path, self.experiment_config())
+                .unwrap_or_else(|e| die(&format!("--graph {path}: {e}"))),
+            None => Workbench::new(self.experiment_config()),
+        }
+    }
+
     /// The training configuration for this scale.
     pub fn train_config(&self) -> TrainConfig {
         TrainConfig {
@@ -121,7 +145,9 @@ impl Scale {
 
 fn die(msg: &str) -> ! {
     eprintln!("pathrank-bench: {msg}");
-    eprintln!("flags: --quick --vehicles N --trips N --epochs N --k N --seed N --threads N");
+    eprintln!(
+        "flags: --quick --vehicles N --trips N --epochs N --k N --seed N --threads N --graph FILE"
+    );
     std::process::exit(2);
 }
 
@@ -148,9 +174,8 @@ pub fn print_metric_header(first_col: &str) {
 pub fn run_strategy_table(mode: pathrank_core::model::EmbeddingMode, scale: &Scale) {
     use pathrank_core::candidates::{CandidateConfig, Strategy};
     use pathrank_core::model::ModelConfig;
-    use pathrank_core::pipeline::Workbench;
 
-    let mut wb = Workbench::new(scale.experiment_config());
+    let mut wb = scale.workbench();
     println!(
         "# Training Data Generation Strategies, {} (network: {} vertices / {} edges; \
          {} train + {} test trajectories; k = {})",
@@ -226,6 +251,16 @@ mod tests {
         assert!(cfg.sim.n_vehicles <= 5);
         assert_eq!(s.train_config().epochs, 2);
         assert_eq!(s.embedding_dims(), vec![16, 32]);
+    }
+
+    #[test]
+    fn graph_flag_is_parsed() {
+        let s = parse(&["--graph", "fixtures/osm/pathrank_city.osm.xml"]);
+        assert_eq!(
+            s.graph.as_deref(),
+            Some("fixtures/osm/pathrank_city.osm.xml")
+        );
+        assert!(parse(&[]).graph.is_none());
     }
 
     #[test]

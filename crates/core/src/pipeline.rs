@@ -145,9 +145,21 @@ pub struct Workbench {
 
 impl Workbench {
     /// Builds the shared environment: network → fleet → trajectory paths →
-    /// train/test split.
+    /// train/test split. The network comes from the synthetic region
+    /// generator; see [`Workbench::with_graph`] /
+    /// [`Workbench::from_graph_file`] for real (imported) networks.
     pub fn new(cfg: ExperimentConfig) -> Self {
         let graph = region_network(&cfg.region, cfg.seed);
+        Self::with_graph(graph, cfg)
+    }
+
+    /// Builds the shared environment on an arbitrary road network —
+    /// typically one imported from OSM — instead of the synthetic
+    /// generator (`cfg.region` is ignored). The fleet simulation,
+    /// map-matching, candidate and training pipelines run unchanged; the
+    /// graph should be strongly connected (the OSM importer's default)
+    /// so every simulated trip is routable.
+    pub fn with_graph(graph: Graph, cfg: ExperimentConfig) -> Self {
         let trips = simulate_fleet(&graph, &cfg.sim, cfg.seed.wrapping_add(1));
         let dataset = if cfg.use_map_matching {
             TrajectoryDataset::from_map_matching(&graph, &trips, &MapMatchConfig::default())
@@ -170,6 +182,21 @@ impl Workbench {
             ch: OnceLock::new(),
             tt_ch: OnceLock::new(),
         }
+    }
+
+    /// Builds the shared environment from a road-network file: a raw OSM
+    /// XML extract, a persisted `pathrank-osm-graph v1` import, or a
+    /// plain `pathrank-graph v1` file — whatever
+    /// [`pathrank_spatial::io::load_graph_auto`] recognises. This is the
+    /// entry point behind every experiment binary's `--graph` flag: the
+    /// whole pipeline (ALT/CH indexes, candidate generation, map
+    /// matching, training) runs on the real network unchanged.
+    pub fn from_graph_file(
+        path: impl AsRef<std::path::Path>,
+        cfg: ExperimentConfig,
+    ) -> Result<Self, pathrank_spatial::SpatialError> {
+        let loaded = pathrank_spatial::io::load_graph_auto(path.as_ref())?;
+        Ok(Self::with_graph(loaded.graph, cfg))
     }
 
     /// The experiment configuration.

@@ -9,6 +9,10 @@
 //!   realistic structure (grid towns, ring-radial cities, multi-town
 //!   regions connected by highways) — the substitute for the proprietary
 //!   North Jutland network used in the paper;
+//! * real road-network ingestion ([`osm`]): a dependency-free streaming
+//!   OSM XML parser and an importer (highway filtering, `maxspeed` /
+//!   `oneway` handling, [`geo`] haversine lengths, SCC pruning, degree-2
+//!   chain contraction) that emits index-ready graphs from real extracts;
 //! * routing algorithms: [`algo::dijkstra`], [`algo::astar`],
 //!   [`algo::bidijkstra`], Yen's top-k shortest paths ([`algo::yen`]) and
 //!   the diversified top-k used by the paper's D-TkDI training-data
@@ -37,9 +41,11 @@ pub mod algo;
 pub mod builder;
 pub mod error;
 pub mod generators;
+pub mod geo;
 pub mod geometry;
 pub mod graph;
 pub mod io;
+pub mod osm;
 pub mod path;
 pub mod similarity;
 pub mod util;

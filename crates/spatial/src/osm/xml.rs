@@ -1,0 +1,700 @@
+//! A dependency-free streaming XML pull-parser, specialised for OSM
+//! documents.
+//!
+//! The build environment has no crates.io access, so this is hand-rolled
+//! against exactly the XML subset OSM planet/extract files use: nested
+//! elements with attributes, self-closing tags, comments, processing
+//! instructions, `DOCTYPE` declarations, CDATA sections and the five
+//! predefined plus numeric character entities. It reads its input
+//! incrementally through any [`BufRead`] (constant memory in the raw
+//! text; only the element stack and the accumulated nodes/ways grow) and
+//! it *never panics on malformed input*: truncation, tag mismatches,
+//! broken entities, duplicate attributes and out-of-range coordinates
+//! all surface as [`SpatialError::Parse`] with a byte offset.
+
+use std::io::BufRead;
+
+use crate::error::SpatialError;
+use crate::geo::valid_lat_lon;
+
+use super::{OsmData, OsmNode, OsmWay};
+
+/// Upper bound on element / attribute name length — a malformed file
+/// cannot make the parser buffer unbounded names.
+const MAX_NAME: usize = 512;
+/// Upper bound on a single attribute value.
+const MAX_VALUE: usize = 1 << 16;
+/// Upper bound on node refs per way (the longest real OSM ways are
+/// ~2000 nodes; anything near this bound is corrupt input).
+const MAX_WAY_REFS: usize = 1 << 20;
+/// Upper bound on element nesting depth.
+const MAX_DEPTH: usize = 64;
+
+/// Byte source with one-byte lookahead over a [`BufRead`].
+struct ByteStream<R: BufRead> {
+    inner: R,
+    peeked: Option<u8>,
+    /// Bytes consumed so far (for error messages).
+    pos: u64,
+}
+
+impl<R: BufRead> ByteStream<R> {
+    fn new(inner: R) -> Self {
+        ByteStream {
+            inner,
+            peeked: None,
+            pos: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<u8>, SpatialError> {
+        if let Some(b) = self.peeked.take() {
+            self.pos += 1;
+            return Ok(Some(b));
+        }
+        let buf = self
+            .inner
+            .fill_buf()
+            .map_err(|e| SpatialError::Parse(format!("read error at byte {}: {e}", self.pos)))?;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let b = buf[0];
+        self.inner.consume(1);
+        self.pos += 1;
+        Ok(Some(b))
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>, SpatialError> {
+        if self.peeked.is_none() {
+            let buf = self.inner.fill_buf().map_err(|e| {
+                SpatialError::Parse(format!("read error at byte {}: {e}", self.pos))
+            })?;
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            self.peeked = Some(buf[0]);
+            self.inner.consume(1);
+        }
+        Ok(self.peeked)
+    }
+}
+
+/// One parsed start tag.
+struct Tag {
+    name: String,
+    attrs: Vec<(String, String)>,
+    self_closing: bool,
+}
+
+impl Tag {
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Pull events: opening tags, closing tags, end of document.
+enum Event {
+    Open(Tag),
+    Close(String),
+    Eof,
+}
+
+struct Puller<R: BufRead> {
+    s: ByteStream<R>,
+    /// Open-element stack, for well-formedness checking.
+    stack: Vec<String>,
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':'
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.')
+}
+
+impl<R: BufRead> Puller<R> {
+    fn new(input: R) -> Self {
+        Puller {
+            s: ByteStream::new(input),
+            stack: Vec::new(),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SpatialError {
+        SpatialError::Parse(format!("{} (at byte {})", msg.into(), self.s.pos))
+    }
+
+    fn skip_whitespace(&mut self) -> Result<(), SpatialError> {
+        while let Some(b) = self.s.peek()? {
+            if b.is_ascii_whitespace() {
+                self.s.next()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads an element or attribute name starting at the current byte.
+    fn read_name(&mut self) -> Result<String, SpatialError> {
+        let mut name = Vec::new();
+        match self.s.peek()? {
+            Some(b) if is_name_start(b) => {}
+            Some(b) => return Err(self.err(format!("invalid name start byte {:?}", b as char))),
+            None => return Err(self.err("unexpected end of input in name")),
+        }
+        while let Some(b) = self.s.peek()? {
+            if is_name_byte(b) {
+                name.push(b);
+                self.s.next()?;
+                if name.len() > MAX_NAME {
+                    return Err(self.err("name too long"));
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(String::from_utf8(name).expect("name bytes are ASCII"))
+    }
+
+    /// Decodes one entity reference; the leading `&` is already consumed.
+    fn read_entity(&mut self, out: &mut Vec<u8>) -> Result<(), SpatialError> {
+        let mut body = Vec::new();
+        loop {
+            match self.s.next()? {
+                Some(b';') => break,
+                Some(b) if body.len() < 12 => body.push(b),
+                Some(_) => return Err(self.err("entity reference too long")),
+                None => return Err(self.err("unexpected end of input in entity")),
+            }
+        }
+        let body = std::str::from_utf8(&body)
+            .map_err(|_| self.err("non-UTF-8 entity reference"))?
+            .to_string();
+        let ch = match body.as_str() {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            _ => {
+                let code = if let Some(hex) =
+                    body.strip_prefix("#x").or_else(|| body.strip_prefix("#X"))
+                {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = body.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
+                code.and_then(char::from_u32)
+                    .ok_or_else(|| self.err(format!("unknown entity &{body};")))?
+            }
+        };
+        let mut buf = [0u8; 4];
+        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+        Ok(())
+    }
+
+    /// Reads a quoted attribute value (entities decoded). The opening
+    /// quote is at the current byte.
+    fn read_attr_value(&mut self) -> Result<String, SpatialError> {
+        let quote = match self.s.next()? {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(b) => return Err(self.err(format!("expected quote, got {:?}", b as char))),
+            None => return Err(self.err("unexpected end of input before attribute value")),
+        };
+        let mut out = Vec::new();
+        loop {
+            match self.s.next()? {
+                Some(b) if b == quote => break,
+                Some(b'&') => self.read_entity(&mut out)?,
+                Some(b'<') => return Err(self.err("raw '<' in attribute value")),
+                Some(b) => {
+                    out.push(b);
+                    if out.len() > MAX_VALUE {
+                        return Err(self.err("attribute value too long"));
+                    }
+                }
+                None => return Err(self.err("unexpected end of input in attribute value")),
+            }
+        }
+        String::from_utf8(out).map_err(|_| self.err("attribute value is not valid UTF-8"))
+    }
+
+    /// Skips a `<!...>` construct (comment, DOCTYPE, CDATA). The `<!`
+    /// is already consumed.
+    fn skip_bang(&mut self) -> Result<(), SpatialError> {
+        // Comment?
+        if self.s.peek()? == Some(b'-') {
+            self.s.next()?;
+            if self.s.next()? != Some(b'-') {
+                return Err(self.err("malformed comment open"));
+            }
+            // Skip until `-->`.
+            let mut dashes = 0u8;
+            loop {
+                match self.s.next()? {
+                    Some(b'-') => dashes = (dashes + 1).min(2),
+                    Some(b'>') if dashes >= 2 => return Ok(()),
+                    Some(_) => dashes = 0,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            }
+        }
+        // CDATA?
+        let mut probe = Vec::new();
+        while probe.len() < 7 {
+            match self.s.peek()? {
+                Some(b) => {
+                    probe.push(b);
+                    if b"[CDATA[".starts_with(&probe) {
+                        self.s.next()?;
+                    } else {
+                        probe.pop();
+                        break;
+                    }
+                }
+                None => return Err(self.err("unexpected end of input after '<!'")),
+            }
+        }
+        if probe == b"[CDATA[" {
+            // Skip until `]]>`.
+            let mut brackets = 0u8;
+            loop {
+                match self.s.next()? {
+                    Some(b']') => brackets = (brackets + 1).min(2),
+                    Some(b'>') if brackets >= 2 => return Ok(()),
+                    Some(_) => brackets = 0,
+                    None => return Err(self.err("unterminated CDATA section")),
+                }
+            }
+        }
+        // DOCTYPE or similar declaration: skip to the matching '>',
+        // tolerating an internal subset's nested `<!ENTITY ...>` lines.
+        let mut depth = 1usize;
+        loop {
+            match self.s.next()? {
+                Some(b'<') => depth += 1,
+                Some(b'>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.err("unterminated '<!' declaration")),
+            }
+        }
+    }
+
+    /// Skips a `<?...?>` processing instruction; `<?` already consumed.
+    fn skip_pi(&mut self) -> Result<(), SpatialError> {
+        let mut question = false;
+        loop {
+            match self.s.next()? {
+                Some(b'?') => question = true,
+                Some(b'>') if question => return Ok(()),
+                Some(_) => question = false,
+                None => return Err(self.err("unterminated processing instruction")),
+            }
+        }
+    }
+
+    /// Pulls the next structural event, skipping text, comments, PIs and
+    /// declarations.
+    fn next_event(&mut self) -> Result<Event, SpatialError> {
+        loop {
+            // Skip character data between tags.
+            loop {
+                match self.s.peek()? {
+                    Some(b'<') => {
+                        self.s.next()?;
+                        break;
+                    }
+                    Some(_) => {
+                        self.s.next()?;
+                    }
+                    None => {
+                        if let Some(open) = self.stack.last() {
+                            return Err(
+                                self.err(format!("unexpected end of input inside <{open}>"))
+                            );
+                        }
+                        return Ok(Event::Eof);
+                    }
+                }
+            }
+            match self.s.peek()? {
+                Some(b'?') => {
+                    self.s.next()?;
+                    self.skip_pi()?;
+                }
+                Some(b'!') => {
+                    self.s.next()?;
+                    self.skip_bang()?;
+                }
+                Some(b'/') => {
+                    self.s.next()?;
+                    let name = self.read_name()?;
+                    self.skip_whitespace()?;
+                    if self.s.next()? != Some(b'>') {
+                        return Err(self.err(format!("malformed closing tag </{name}")));
+                    }
+                    match self.stack.pop() {
+                        Some(open) if open == name => return Ok(Event::Close(name)),
+                        Some(open) => {
+                            return Err(self
+                                .err(format!("mismatched closing tag </{name}> inside <{open}>")))
+                        }
+                        None => {
+                            return Err(self.err(format!("closing tag </{name}> with nothing open")))
+                        }
+                    }
+                }
+                Some(_) => {
+                    let tag = self.read_tag()?;
+                    if !tag.self_closing {
+                        if self.stack.len() >= MAX_DEPTH {
+                            return Err(self.err("elements nested too deeply"));
+                        }
+                        self.stack.push(tag.name.clone());
+                    }
+                    return Ok(Event::Open(tag));
+                }
+                None => return Err(self.err("unexpected end of input after '<'")),
+            }
+        }
+    }
+
+    /// Reads an opening tag starting at its name byte (`<` consumed).
+    fn read_tag(&mut self) -> Result<Tag, SpatialError> {
+        let name = self.read_name()?;
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_whitespace()?;
+            match self.s.peek()? {
+                Some(b'>') => {
+                    self.s.next()?;
+                    return Ok(Tag {
+                        name,
+                        attrs,
+                        self_closing: false,
+                    });
+                }
+                Some(b'/') => {
+                    self.s.next()?;
+                    if self.s.next()? != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    return Ok(Tag {
+                        name,
+                        attrs,
+                        self_closing: true,
+                    });
+                }
+                Some(b) if is_name_start(b) => {
+                    let key = self.read_name()?;
+                    self.skip_whitespace()?;
+                    if self.s.next()? != Some(b'=') {
+                        return Err(self.err(format!("attribute {key:?} missing '='")));
+                    }
+                    self.skip_whitespace()?;
+                    let value = self.read_attr_value()?;
+                    if attrs.iter().any(|(k, _)| *k == key) {
+                        return Err(self.err(format!("duplicate attribute {key:?} on <{name}>")));
+                    }
+                    attrs.push((key, value));
+                }
+                Some(b) => {
+                    return Err(self.err(format!("unexpected byte {:?} in <{name}>", b as char)))
+                }
+                None => return Err(self.err(format!("unexpected end of input in <{name}>"))),
+            }
+        }
+    }
+
+    /// Skips everything up to and including the close of the element
+    /// whose open tag was just returned (which must not be
+    /// self-closing).
+    fn skip_element(&mut self) -> Result<(), SpatialError> {
+        let depth = self.stack.len();
+        loop {
+            match self.next_event()? {
+                Event::Close(_) if self.stack.len() < depth => return Ok(()),
+                Event::Eof => {
+                    return Err(self.err("unexpected end of input while skipping element"))
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_attr_f64<R: BufRead>(p: &Puller<R>, tag: &Tag, name: &str) -> Result<f64, SpatialError> {
+    tag.attr(name)
+        .ok_or_else(|| p.err(format!("<{}> missing attribute {name:?}", tag.name)))?
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| p.err(format!("<{}> attribute {name:?}: {e}", tag.name)))
+}
+
+fn parse_attr_i64<R: BufRead>(p: &Puller<R>, tag: &Tag, name: &str) -> Result<i64, SpatialError> {
+    tag.attr(name)
+        .ok_or_else(|| p.err(format!("<{}> missing attribute {name:?}", tag.name)))?
+        .trim()
+        .parse::<i64>()
+        .map_err(|e| p.err(format!("<{}> attribute {name:?}: {e}", tag.name)))
+}
+
+/// Parses an OSM XML document from any buffered reader into an
+/// [`OsmData`]. Streaming: the raw text is never materialised in
+/// memory, only the accumulated nodes and ways. Relations, metadata and
+/// unknown elements are skipped; structural errors (truncation,
+/// mismatched or malformed tags, broken entities, invalid coordinates,
+/// duplicate ids) are [`SpatialError::Parse`], never panics.
+pub fn parse_osm_xml<R: BufRead>(input: R) -> Result<OsmData, SpatialError> {
+    let mut p = Puller::new(input);
+    // Find the root element (prologue text, comments and PIs are
+    // consumed inside `next_event`; a stray close is an error there).
+    let root = match p.next_event()? {
+        Event::Open(tag) => tag,
+        Event::Close(name) => return Err(p.err(format!("unexpected </{name}> before any root"))),
+        Event::Eof => return Err(p.err("empty document: no <osm> root")),
+    };
+    if root.name != "osm" {
+        return Err(p.err(format!("root element is <{}>, expected <osm>", root.name)));
+    }
+    if root.self_closing {
+        return Ok(OsmData::default());
+    }
+
+    let mut data = OsmData::default();
+    let mut seen_nodes = std::collections::HashSet::new();
+    let mut seen_ways = std::collections::HashSet::new();
+
+    loop {
+        match p.next_event()? {
+            Event::Open(tag) => match tag.name.as_str() {
+                "node" => {
+                    let id = parse_attr_i64(&p, &tag, "id")?;
+                    let lat = parse_attr_f64(&p, &tag, "lat")?;
+                    let lon = parse_attr_f64(&p, &tag, "lon")?;
+                    if !valid_lat_lon(lat, lon) {
+                        return Err(p.err(format!(
+                            "node {id} has out-of-range position ({lat}, {lon})"
+                        )));
+                    }
+                    if !seen_nodes.insert(id) {
+                        return Err(p.err(format!("duplicate node id {id}")));
+                    }
+                    if !tag.self_closing {
+                        p.skip_element()?; // node <tag>s are irrelevant for routing
+                    }
+                    data.nodes.push(OsmNode { id, lat, lon });
+                }
+                "way" => {
+                    let id = parse_attr_i64(&p, &tag, "id")?;
+                    if !seen_ways.insert(id) {
+                        return Err(p.err(format!("duplicate way id {id}")));
+                    }
+                    let mut way = OsmWay {
+                        id,
+                        refs: Vec::new(),
+                        tags: Vec::new(),
+                    };
+                    if !tag.self_closing {
+                        let depth = p.stack.len();
+                        loop {
+                            match p.next_event()? {
+                                Event::Open(child) => match child.name.as_str() {
+                                    "nd" => {
+                                        way.refs.push(parse_attr_i64(&p, &child, "ref")?);
+                                        if way.refs.len() > MAX_WAY_REFS {
+                                            return Err(
+                                                p.err(format!("way {id} has too many node refs"))
+                                            );
+                                        }
+                                        if !child.self_closing {
+                                            p.skip_element()?;
+                                        }
+                                    }
+                                    "tag" => {
+                                        let k = child
+                                            .attr("k")
+                                            .ok_or_else(|| {
+                                                p.err(format!("way {id}: <tag> missing 'k'"))
+                                            })?
+                                            .to_string();
+                                        let v = child
+                                            .attr("v")
+                                            .ok_or_else(|| {
+                                                p.err(format!("way {id}: <tag> missing 'v'"))
+                                            })?
+                                            .to_string();
+                                        way.tags.push((k, v));
+                                        if !child.self_closing {
+                                            p.skip_element()?;
+                                        }
+                                    }
+                                    _ => {
+                                        if !child.self_closing {
+                                            p.skip_element()?;
+                                        }
+                                    }
+                                },
+                                Event::Close(_) if p.stack.len() < depth => break,
+                                Event::Close(_) => {}
+                                Event::Eof => {
+                                    return Err(
+                                        p.err(format!("unexpected end of input inside way {id}"))
+                                    )
+                                }
+                            }
+                        }
+                    }
+                    data.ways.push(way);
+                }
+                // Relations, bounds, changesets, notes … — not needed.
+                _ => {
+                    if !tag.self_closing {
+                        p.skip_element()?;
+                    }
+                }
+            },
+            Event::Close(name) => {
+                debug_assert_eq!(name, "osm");
+                break;
+            }
+            Event::Eof => return Err(p.err("unexpected end of input inside <osm>")),
+        }
+    }
+
+    // Nothing but whitespace/comments may follow the root.
+    match p.next_event()? {
+        Event::Eof => Ok(data),
+        Event::Open(tag) => Err(p.err(format!("content after </osm>: <{}>", tag.name))),
+        Event::Close(name) => Err(p.err(format!("content after </osm>: </{name}>"))),
+    }
+}
+
+/// Parses an OSM XML document from a string. See [`parse_osm_xml`].
+pub fn parse_osm_str(s: &str) -> Result<OsmData, SpatialError> {
+    parse_osm_xml(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <bounds minlat="57.0" minlon="9.9" maxlat="57.1" maxlon="10.0"/>
+  <node id="1" lat="57.01" lon="9.91"/>
+  <node id="2" lat="57.02" lon="9.92">
+    <tag k="highway" v="traffic_signals"/>
+  </node>
+  <node id="3" lat="57.03" lon="9.93"/>
+  <way id="10">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <tag k="highway" v="residential"/>
+    <tag k="name" v="N&#248;rregade &amp; more"/>
+  </way>
+  <relation id="99">
+    <member type="way" ref="10" role="outer"/>
+    <tag k="type" v="multipolygon"/>
+  </relation>
+</osm>
+"#;
+
+    #[test]
+    fn parses_nodes_ways_and_skips_relations() {
+        let data = parse_osm_str(MINI).unwrap();
+        assert_eq!(data.nodes.len(), 3);
+        assert_eq!(data.ways.len(), 1);
+        let way = &data.ways[0];
+        assert_eq!(way.refs, vec![1, 2, 3]);
+        assert_eq!(way.tag("highway"), Some("residential"));
+        // Entities decode: `&#248;` is ø, `&amp;` is &.
+        assert_eq!(way.tag("name"), Some("Nørregade & more"));
+        assert_eq!(data.nodes[1].lat, 57.02);
+    }
+
+    #[test]
+    fn attribute_order_is_irrelevant() {
+        let reordered = r#"<osm><node lon="9.91" id="1" lat="57.01"/></osm>"#;
+        let data = parse_osm_str(reordered).unwrap();
+        assert_eq!(data.nodes[0].id, 1);
+        assert_eq!(data.nodes[0].lat, 57.01);
+        assert_eq!(data.nodes[0].lon, 9.91);
+    }
+
+    #[test]
+    fn tolerates_comments_cdata_and_doctype() {
+        let doc = "<!DOCTYPE osm [ <!ENTITY x \"y\"> ]>\n<!-- a comment -->\n\
+                   <osm><![CDATA[ raw <stuff> ]]><node id=\"1\" lat=\"1\" lon=\"2\"/></osm>";
+        let data = parse_osm_str(doc).unwrap();
+        assert_eq!(data.nodes.len(), 1);
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_panicked() {
+        for cut in 0..MINI.len() {
+            let prefix = &MINI[..cut];
+            if !prefix.is_ascii() {
+                continue; // don't split inside a multi-byte char literal
+            }
+            // Either a clean error or (for cuts past the closing tag's
+            // final byte) success — never a panic.
+            let _ = parse_osm_str(prefix);
+        }
+        // A cut strictly inside the document must error.
+        assert!(parse_osm_str(&MINI[..MINI.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn structural_garbage_is_rejected() {
+        for bad in [
+            "",
+            "   ",
+            "plain text",
+            "<notosm></notosm>",
+            "<osm><node id='1' lat='1' lon='2'></osm>", // mismatched close
+            "<osm><node id='1' lat='1' lon='2'/></osm><osm/>", // trailing content
+            "<osm><node id='1' lat='1'/></osm>",        // missing lon
+            "<osm><node id='1' lat='91' lon='0'/></osm>", // lat out of range
+            "<osm><node id='1' lat='1' lon='999'/></osm>", // lon out of range
+            "<osm><node id='x' lat='1' lon='2'/></osm>", // non-numeric id
+            "<osm><node id='1' id='2' lat='1' lon='2'/></osm>", // duplicate attr
+            "<osm><node id='1' lat='1' lon='2'/><node id='1' lat='1' lon='2'/></osm>", // dup id
+            "<osm><way id='1'><nd/></way></osm>",       // nd missing ref
+            "<osm><way id='1'><nd ref='1&bogus;2'/></way></osm>", // unknown entity
+            "<osm><node id='1' lat='1' lon='2' x=<bad>/></osm>", // raw '<' in attr
+            "<osm",
+            "<osm>",
+            "<osm><!-- unterminated ",
+            "<osm><way id='1'>",
+        ] {
+            assert!(parse_osm_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_elements_and_nested_extras_are_skipped() {
+        let doc = r#"<osm>
+            <weird><deeply><nested attr="1">text</nested></deeply></weird>
+            <node id="5" lat="0.5" lon="0.25"/>
+            <way id="7"><nd ref="5"/><center lat="0" lon="0"/><nd ref="5"/></way>
+        </osm>"#;
+        let data = parse_osm_str(doc).unwrap();
+        assert_eq!(data.nodes.len(), 1);
+        assert_eq!(data.ways[0].refs, vec![5, 5]);
+    }
+}
