@@ -1,0 +1,83 @@
+//! Customizable-CH latency on the paper-scale synthetic region: the
+//! metric-independent topology build, a single customization pass vs the
+//! full witness-searched CH rebuild it replaces (the live-traffic
+//! trade), and fastest-path query latency before and after a traffic
+//! perturbation (the post-perturbation row re-customizes the same
+//! shared topology). The machine-readable epoch-churn comparison lives
+//! in the `simulate_traffic` binary (`BENCH_customization.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pathrank_spatial::algo::cch::{CchConfig, CchTopology};
+use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+use pathrank_spatial::algo::engine::QueryEngine;
+use pathrank_spatial::algo::landmarks::LandmarkMetric;
+use pathrank_spatial::generators::{region_network, RegionConfig};
+use pathrank_spatial::graph::{CostModel, VertexId};
+use pathrank_traj::congestion::{CongestionConfig, TrafficModel};
+
+fn customization(c: &mut Criterion) {
+    let g = region_network(&RegionConfig::paper_scale(), 2020);
+    let n = g.vertex_count() as u32;
+    let (s, t) = (VertexId(17 % n), VertexId(n - 23));
+    let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+
+    // The perturbed twin: one traffic epoch applied to a copy, so the
+    // pre- and post-perturbation rows run side by side.
+    let model = TrafficModel::new(&g, CongestionConfig::default());
+    let mut perturbed = g.clone();
+    model.apply_epoch(&mut perturbed, 1);
+
+    let mut group = c.benchmark_group("customization");
+    group.sample_size(10);
+    group.bench_function("cch_topology_build", |b| {
+        b.iter(|| black_box(CchTopology::build(&g, &CchConfig::default())))
+    });
+    group.bench_function("cch_customize_travel_time", |b| {
+        b.iter(|| black_box(topo.customize(&g, &CostModel::TravelTime)))
+    });
+    group.bench_function("ch_rebuild_travel_time", |b| {
+        b.iter(|| {
+            black_box(ContractionHierarchy::build(
+                &g,
+                LandmarkMetric::TravelTime,
+                &ChConfig::default(),
+            ))
+        })
+    });
+    // Custom weight vectors hit the same customization path — the
+    // `CostModel::Custom` serving shape the engine used to run plain.
+    let weights: Vec<f64> = g
+        .edges()
+        .enumerate()
+        .map(|(i, e)| e.attrs.length_m * (1.0 + 0.1 * ((i % 7) as f64)))
+        .collect();
+    group.bench_function("cch_customize_custom_weights", |b| {
+        b.iter(|| black_box(topo.customize_weights(&g, &weights)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("live_query");
+    let cch = Arc::new(topo.customize(&g, &CostModel::TravelTime));
+    group.bench_function("fastest_pre_perturbation", |b| {
+        let mut engine = QueryEngine::new(&g).with_cch(Arc::clone(&cch));
+        b.iter(|| engine.shortest_path(black_box(s), black_box(t), CostModel::TravelTime))
+    });
+    // Same shared topology, re-customized on the perturbed weights —
+    // exactly what a live traffic update does.
+    let cch_p = Arc::new(topo.customize(&perturbed, &CostModel::TravelTime));
+    group.bench_function("fastest_post_perturbation", |b| {
+        let mut engine = QueryEngine::new(&perturbed).with_cch(Arc::clone(&cch_p));
+        b.iter(|| engine.shortest_path(black_box(s), black_box(t), CostModel::TravelTime))
+    });
+    group.bench_function("fastest_plain_post_perturbation", |b| {
+        let mut engine = QueryEngine::new(&perturbed);
+        b.iter(|| engine.shortest_path(black_box(s), black_box(t), CostModel::TravelTime))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, customization);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
+use pathrank_spatial::algo::cch::{CchConfig, CchTopology};
 use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
@@ -399,6 +400,26 @@ fn main() {
         ch_tt.shortcut_count()
     );
 
+    // Customizable CH: the metric-independent topology is built once
+    // (timed), then each metric is a customization pass — the cost a
+    // live weight change actually pays, to contrast with the full
+    // rebuilds above.
+    let t0 = Instant::now();
+    let cch_topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+    let cch_topo_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let cch = Arc::new(cch_topo.customize(&g, &CostModel::Length));
+    let cch_customize_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let cch_tt = Arc::new(cch_topo.customize(&g, &CostModel::TravelTime));
+    let cch_customize_tt_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "CCH: {} arcs ({} fill-ins, {} triangles) in {cch_topo_build_ms:.1} ms; customize {cch_customize_ms:.2} ms length / {cch_customize_tt_ms:.2} ms travel-time",
+        cch_topo.arc_count(),
+        cch_topo.fill_in_count(),
+        cch_topo.triangle_count()
+    );
+
     // The engines' answers must agree with the baseline's before any
     // timing is trusted (equal costs; tie-breaking may differ) — for the
     // plain reused engine, the ALT-guided one *and* the CH-backed one.
@@ -410,15 +431,20 @@ fn main() {
             .with_ch(Arc::clone(&ch));
         let mut tt = QueryEngine::new(&g).with_landmarks(Arc::clone(&tt_table));
         let mut tt_ch_engine = QueryEngine::new(&g).with_ch(Arc::clone(&ch_tt));
+        let mut cchx = QueryEngine::new(&g).with_cch(Arc::clone(&cch));
+        let mut tt_cch_engine = QueryEngine::new(&g).with_cch(Arc::clone(&cch_tt));
         assert!(alt.uses_alt(CostModel::Length));
         assert!(chx.uses_ch(CostModel::Length));
         assert!(tt.uses_alt(CostModel::TravelTime));
         assert!(tt_ch_engine.uses_ch(CostModel::TravelTime));
         assert!(!tt_ch_engine.uses_ch(CostModel::Length));
+        assert!(cchx.uses_cch(CostModel::Length));
+        assert!(tt_cch_engine.uses_cch(CostModel::TravelTime));
+        assert!(!tt_cch_engine.uses_cch(CostModel::Length));
         for &(s, t) in &p2p {
             let a =
                 seed_baseline::shortest_path(&g, s, t, CostModel::Length).map(|p| p.length_m(&g));
-            for engine in [&mut engine, &mut alt, &mut chx] {
+            for engine in [&mut engine, &mut alt, &mut chx, &mut cchx] {
                 let b = engine
                     .astar_shortest_path(s, t, CostModel::Length)
                     .map(|p| p.length_m(&g));
@@ -432,7 +458,7 @@ fn main() {
             }
             let a = seed_baseline::shortest_path(&g, s, t, CostModel::TravelTime)
                 .map(|p| p.travel_time_s(&g));
-            for engine in [&mut tt, &mut tt_ch_engine] {
+            for engine in [&mut tt, &mut tt_ch_engine, &mut tt_cch_engine] {
                 let b = engine
                     .astar_shortest_path(s, t, CostModel::TravelTime)
                     .map(|p| p.travel_time_s(&g));
@@ -547,7 +573,15 @@ fn main() {
         }
     });
     record("one_to_one", "reused_ch", p2p.len(), reps, reused_ch);
+    let mut engine = QueryEngine::new(&g).with_cch(Arc::clone(&cch));
+    let reused_cch = measure(reps, p2p.len(), || {
+        for &(s, t) in &p2p {
+            std::hint::black_box(engine.shortest_path(s, t, CostModel::Length));
+        }
+    });
+    record("one_to_one", "reused_cch", p2p.len(), reps, reused_cch);
     let speedup_p2p = fresh / reused;
+    let speedup_p2p_cch = fresh / reused_cch;
     let speedup_p2p_alt = fresh / reused_alt;
     let speedup_p2p_ch = fresh / reused_ch;
     let speedup_p2p_reuse_only = fresh / reused_dijkstra;
@@ -595,6 +629,22 @@ fn main() {
         reused_ch_tt,
     );
     let speedup_tt_ch = fresh_tt / reused_ch_tt;
+    // The customized hierarchy serving fastest paths — the index live
+    // traffic would re-customize instead of rebuilding.
+    let mut engine = QueryEngine::new(&g).with_cch(Arc::clone(&cch_tt));
+    let reused_cch_tt = measure(reps, p2p.len(), || {
+        for &(s, t) in &p2p {
+            std::hint::black_box(engine.shortest_path(s, t, CostModel::TravelTime));
+        }
+    });
+    record(
+        "fastest_one_to_one",
+        "reused_cch",
+        p2p.len(),
+        reps,
+        reused_cch_tt,
+    );
+    let speedup_tt_cch = fresh_tt / reused_cch_tt;
 
     // One-to-all trees: the edge-popularity / preprocessing shape. The
     // reused side also skips materialising the O(V) result arrays by
@@ -835,19 +885,30 @@ fn main() {
         LandmarkMetric::TravelTime,
         &ChConfig::default(),
     ));
+    let t0 = Instant::now();
+    let o_cch_topo = Arc::new(CchTopology::build(&og, &CchConfig::default()));
+    let o_cch_topo_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let o_cch = Arc::new(o_cch_topo.customize(&og, &CostModel::Length));
+    let o_cch_customize_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let o_cch_tt = Arc::new(o_cch_topo.customize(&og, &CostModel::TravelTime));
     // Exactness on the imported network before any timing is trusted:
     // every backend must agree with the fresh baseline on both metrics.
     {
         let mut alt = QueryEngine::new(&og).with_landmarks(Arc::clone(&o_table));
         let mut chx = QueryEngine::new(&og).with_ch(Arc::clone(&o_ch));
+        let mut cchx = QueryEngine::new(&og).with_cch(Arc::clone(&o_cch));
         let mut tt = QueryEngine::new(&og).with_ch(Arc::clone(&o_ch_tt));
+        let mut tt_cch = QueryEngine::new(&og).with_cch(Arc::clone(&o_cch_tt));
         assert!(alt.uses_alt(CostModel::Length));
         assert!(chx.uses_ch(CostModel::Length));
+        assert!(cchx.uses_cch(CostModel::Length));
         assert!(tt.uses_ch(CostModel::TravelTime));
+        assert!(tt_cch.uses_cch(CostModel::TravelTime));
         for &(s, t) in &o_pairs {
             let a =
                 seed_baseline::shortest_path(&og, s, t, CostModel::Length).map(|p| p.length_m(&og));
-            for engine in [&mut alt, &mut chx] {
+            for engine in [&mut alt, &mut chx, &mut cchx] {
                 let b = engine
                     .astar_shortest_path(s, t, CostModel::Length)
                     .map(|p| p.length_m(&og));
@@ -861,15 +922,19 @@ fn main() {
             }
             let a = seed_baseline::shortest_path(&og, s, t, CostModel::TravelTime)
                 .map(|p| p.travel_time_s(&og));
-            let b = tt
-                .astar_shortest_path(s, t, CostModel::TravelTime)
-                .map(|p| p.travel_time_s(&og));
-            match (a, b) {
-                (Some(a), Some(b)) => {
-                    assert!((a - b).abs() < 1e-6, "imported TT mismatch {s:?}->{t:?}")
+            for engine in [&mut tt, &mut tt_cch] {
+                let b = engine
+                    .astar_shortest_path(s, t, CostModel::TravelTime)
+                    .map(|p| p.travel_time_s(&og));
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-6, "imported TT mismatch {s:?}->{t:?}")
+                    }
+                    (None, None) => {}
+                    (a, b) => {
+                        panic!("imported TT reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}")
+                    }
                 }
-                (None, None) => {}
-                (a, b) => panic!("imported TT reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
             }
         }
     }
@@ -918,6 +983,19 @@ fn main() {
         reps,
         o_reused_ch,
     );
+    let mut engine = QueryEngine::new(&og).with_cch(Arc::clone(&o_cch));
+    let o_reused_cch = measure(reps, o_pairs.len(), || {
+        for &(s, t) in &o_pairs {
+            std::hint::black_box(engine.shortest_path(s, t, CostModel::Length));
+        }
+    });
+    record(
+        "imported_one_to_one",
+        "reused_cch",
+        o_pairs.len(),
+        reps,
+        o_reused_cch,
+    );
     let o_fresh_tt = measure(reps, o_pairs.len(), || {
         for &(s, t) in &o_pairs {
             std::hint::black_box(seed_baseline::shortest_path(
@@ -948,9 +1026,24 @@ fn main() {
         reps,
         o_reused_ch_tt,
     );
+    let mut engine = QueryEngine::new(&og).with_cch(Arc::clone(&o_cch_tt));
+    let o_reused_cch_tt = measure(reps, o_pairs.len(), || {
+        for &(s, t) in &o_pairs {
+            std::hint::black_box(engine.shortest_path(s, t, CostModel::TravelTime));
+        }
+    });
+    record(
+        "imported_fastest_one_to_one",
+        "reused_cch",
+        o_pairs.len(),
+        reps,
+        o_reused_cch_tt,
+    );
     let speedup_imported_ch = o_fresh / o_reused_ch;
     let speedup_imported_alt = o_fresh / o_reused_alt;
     let speedup_imported_tt_ch = o_fresh_tt / o_reused_ch_tt;
+    let speedup_imported_cch = o_fresh / o_reused_cch;
+    let speedup_imported_tt_cch = o_fresh_tt / o_reused_cch_tt;
     let imported_stats = loaded.stats.clone();
 
     // Hand-rolled JSON (the workspace deliberately has no serde backend).
@@ -1002,6 +1095,20 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"reused_cch\": \"QueryEngine + customizable CH: fixed metric-independent order, per-metric triangle-relaxation customization (exact)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"cch\": {{\"arcs\": {}, \"fill_ins\": {}, \"triangles\": {}, \"topo_build_ms\": {:.1}, \"customize_ms\": {:.2}, \"customize_tt_ms\": {:.2}}},",
+        cch_topo.arc_count(),
+        cch_topo.fill_in_count(),
+        cch_topo.triangle_count(),
+        cch_topo_build_ms,
+        cch_customize_ms,
+        cch_customize_tt_ms
+    );
+    let _ = writeln!(
+        json,
         "  \"graph\": {{\"vertices\": {}, \"edges\": {}, \"seed\": {}, \"scale\": \"{}\"}},",
         g.vertex_count(),
         g.edge_count(),
@@ -1035,6 +1142,10 @@ fn main() {
         json,
         "  \"speedup_ch_over_fresh\": {{\"one_to_one\": {speedup_p2p_ch:.3}, \"yen_top_k\": {speedup_yen_ch:.3}, \"fastest_one_to_one\": {speedup_tt_ch:.3}}},"
     );
+    let _ = writeln!(
+        json,
+        "  \"speedup_cch_over_fresh\": {{\"one_to_one\": {speedup_p2p_cch:.3}, \"fastest_one_to_one\": {speedup_tt_cch:.3}}},"
+    );
     // The batched layer: one DistanceTable vs the pairwise CH probes it
     // replaces (the HMM transition-matrix shape), bucket one-to-many vs
     // a full reused one-to-all, and whole-trace map-matching throughput
@@ -1043,7 +1154,7 @@ fn main() {
     // importer did, and the index speedups on real topology.
     let _ = writeln!(
         json,
-        "  \"imported_graph\": {{\"source\": {graph_label:?}, \"kind\": \"{}\", \"vertices\": {}, \"edges\": {}, \"load_ms\": {load_ms:.1}, \"total_km\": {:.1}, \"alt_build_ms\": {o_alt_build_ms:.1}, \"ch_build_ms\": {o_ch_build_ms:.1}}},",
+        "  \"imported_graph\": {{\"source\": {graph_label:?}, \"kind\": \"{}\", \"vertices\": {}, \"edges\": {}, \"load_ms\": {load_ms:.1}, \"total_km\": {:.1}, \"alt_build_ms\": {o_alt_build_ms:.1}, \"ch_build_ms\": {o_ch_build_ms:.1}, \"cch_topo_build_ms\": {o_cch_topo_build_ms:.1}, \"cch_customize_ms\": {o_cch_customize_ms:.2}}},",
         loaded.kind.label(),
         og.vertex_count(),
         og.edge_count(),
@@ -1072,6 +1183,10 @@ fn main() {
         json,
         "  \"speedup_imported_alt_over_fresh\": {{\"one_to_one\": {speedup_imported_alt:.3}}},"
     );
+    let _ = writeln!(
+        json,
+        "  \"speedup_imported_cch_over_fresh\": {{\"one_to_one\": {speedup_imported_cch:.3}, \"fastest_one_to_one\": {speedup_imported_tt_cch:.3}}},"
+    );
     let _ = writeln!(json, "  \"speedup_m2m_over_pairwise\": {speedup_m2m:.3},");
     let _ = writeln!(
         json,
@@ -1097,6 +1212,9 @@ fn main() {
     );
     eprintln!(
         "speedups (ch/fresh):     one_to_one {speedup_p2p_ch:.2}x, yen {speedup_yen_ch:.2}x, fastest {speedup_tt_ch:.2}x"
+    );
+    eprintln!(
+        "speedups (cch/fresh):    one_to_one {speedup_p2p_cch:.2}x, fastest {speedup_tt_cch:.2}x (customize {cch_customize_tt_ms:.2} ms vs {ch_tt_build_ms:.1} ms rebuild)"
     );
     eprintln!(
         "speedups (m2m):          table/pairwise {speedup_m2m:.2}x ({m2m_side}x{m2m_side}), one_to_many {speedup_one_to_many:.2}x, mapmatch {speedup_mapmatch:.2}x"

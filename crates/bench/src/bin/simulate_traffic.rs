@@ -1,0 +1,245 @@
+//! Live-traffic customization benchmark: per-epoch speed perturbations
+//! against a customizable contraction hierarchy, written to
+//! `BENCH_customization.json`.
+//!
+//! Each epoch, a deterministic [`TrafficModel`] congests a random subset
+//! of edges (one `set_edge_speeds` call, so the graph's weights epoch
+//! advances by one). The benchmark then measures, on the perturbed
+//! graph:
+//!
+//! * **customize_ms** — re-deriving all CCH shortcut weights on the
+//!   fixed metric-independent order (the live-traffic path);
+//! * **rebuild_ms** — building a fresh TravelTime contraction hierarchy
+//!   from scratch (what serving would pay without a CCH);
+//! * **queries_per_s** — fastest-path throughput through the freshly
+//!   customized index during the churn.
+//!
+//! Before anything is timed in an epoch, the customized index's answers
+//! are asserted **bit-identical** to a fresh Dijkstra on the perturbed
+//! weights — the engine recomputes unpacked-path costs in Dijkstra's
+//! fold order, so even the floating-point representation must agree.
+//!
+//! ```text
+//! cargo run --release -p pathrank-bench --bin simulate_traffic \
+//!     [-- --quick] [--out FILE] [--graph NETWORK]
+//! ```
+//!
+//! With `--graph` the churn runs on an imported road network (raw OSM
+//! XML, a persisted import, or a plain graph file) instead of the
+//! synthetic paper-scale region.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pathrank_spatial::algo::cch::{CchConfig, CchTopology};
+use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+use pathrank_spatial::algo::engine::{QueryEngine, SearchBackend};
+use pathrank_spatial::algo::landmarks::LandmarkMetric;
+use pathrank_spatial::generators::{region_network, RegionConfig};
+use pathrank_spatial::graph::{CostModel, Graph, VertexId};
+use pathrank_traj::congestion::{CongestionConfig, TrafficModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 2020;
+
+struct EpochRow {
+    epoch: u64,
+    congested_edges: usize,
+    customize_ms: f64,
+    rebuild_ms: f64,
+    queries_per_s: f64,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Random distinct origin/destination pairs (any distance — churn serves
+/// the whole network, not just the trip band).
+fn query_pairs(g: &Graph, count: usize) -> Vec<(VertexId, VertexId)> {
+    let n = g.vertex_count() as u32;
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x7aff1c);
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let s = VertexId(rng.gen_range(0..n));
+        let t = VertexId(rng.gen_range(0..n));
+        if s != t {
+            pairs.push((s, t));
+        }
+    }
+    pairs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_customization.json".to_string());
+    let graph_arg = args
+        .iter()
+        .position(|a| a == "--graph")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let (mut g, graph_label) = match &graph_arg {
+        Some(path) => {
+            let loaded = pathrank_spatial::io::load_graph_auto(std::path::Path::new(path))
+                .expect("--graph network must load");
+            (loaded.graph, path.clone())
+        }
+        None => {
+            let region = if quick {
+                RegionConfig::small_test()
+            } else {
+                RegionConfig::paper_scale()
+            };
+            (
+                region_network(&region, SEED),
+                if quick { "small_test" } else { "paper_scale" }.to_string(),
+            )
+        }
+    };
+    eprintln!(
+        "traffic bench: {} vertices, {} edges ({graph_label})",
+        g.vertex_count(),
+        g.edge_count()
+    );
+
+    let (epochs, n_queries) = if quick {
+        (3u64, 16usize)
+    } else {
+        (8u64, 64usize)
+    };
+    let pairs = query_pairs(&g, n_queries);
+    let model = TrafficModel::new(&g, CongestionConfig::default());
+
+    // Metric-independent preprocessing: paid once, survives every
+    // traffic epoch below.
+    let t0 = Instant::now();
+    let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+    let topo_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "CCH topology: {} arcs ({} fill-ins, {} triangles) in {topo_build_ms:.1} ms",
+        topo.arc_count(),
+        topo.fill_in_count(),
+        topo.triangle_count()
+    );
+
+    let mut rows: Vec<EpochRow> = Vec::with_capacity(epochs as usize);
+    for epoch in 1..=epochs {
+        let congested_edges = model.apply_epoch(&mut g, epoch);
+
+        // The live-traffic path: triangle-relaxation customization on
+        // the fixed order.
+        let t0 = Instant::now();
+        let cch = Arc::new(topo.customize(&g, &CostModel::TravelTime));
+        let customize_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // What serving would pay instead: a witness-searched CH rebuild
+        // from scratch on the perturbed graph.
+        let t0 = Instant::now();
+        let rebuilt =
+            ContractionHierarchy::build(&g, LandmarkMetric::TravelTime, &ChConfig::default());
+        let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&rebuilt);
+
+        // Exactness before timing: the customized index must agree with
+        // a fresh Dijkstra on the perturbed weights, bit for bit.
+        let mut live = QueryEngine::new(&g).with_cch(Arc::clone(&cch));
+        let mut plain = QueryEngine::new(&g);
+        assert_eq!(
+            live.backend_for(CostModel::TravelTime),
+            SearchBackend::Cch,
+            "epoch {epoch}: customized index must pass the weights-epoch gate"
+        );
+        for &(s, t) in &pairs {
+            let a = plain.shortest_path_cost(s, t, CostModel::TravelTime);
+            let b = live.shortest_path_cost(s, t, CostModel::TravelTime);
+            assert_eq!(
+                a.map(f64::to_bits),
+                b.map(f64::to_bits),
+                "epoch {epoch}: CCH diverged from Dijkstra for {s:?}->{t:?} ({a:?} vs {b:?})"
+            );
+        }
+
+        // Fastest-path throughput through the fresh customization.
+        let reps = 3;
+        let mut sweep_s = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for &(s, t) in &pairs {
+                std::hint::black_box(live.shortest_path_cost(s, t, CostModel::TravelTime));
+            }
+            sweep_s.push(t0.elapsed().as_secs_f64());
+        }
+        let queries_per_s = pairs.len() as f64 / median(&sweep_s);
+
+        eprintln!(
+            "  epoch {epoch}: {congested_edges} congested edges, customize {customize_ms:.2} ms vs rebuild {rebuild_ms:.1} ms, {queries_per_s:.0} queries/s"
+        );
+        rows.push(EpochRow {
+            epoch,
+            congested_edges,
+            customize_ms,
+            rebuild_ms,
+            queries_per_s,
+        });
+    }
+
+    let customize_ms = median(&rows.iter().map(|r| r.customize_ms).collect::<Vec<_>>());
+    let rebuild_ms = median(&rows.iter().map(|r| r.rebuild_ms).collect::<Vec<_>>());
+    let queries_per_s = median(&rows.iter().map(|r| r.queries_per_s).collect::<Vec<_>>());
+    let speedup = rebuild_ms / customize_ms;
+
+    // Hand-rolled JSON (the workspace deliberately has no serde backend).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"customization\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"per-epoch traffic perturbation: CCH triangle-relaxation customization vs full CH rebuild, exactness asserted bit-identical vs fresh Dijkstra each epoch before timing\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{\"source\": {graph_label:?}, \"vertices\": {}, \"edges\": {}, \"seed\": {SEED}}},",
+        g.vertex_count(),
+        g.edge_count()
+    );
+    let _ = writeln!(
+        json,
+        "  \"cch\": {{\"arcs\": {}, \"fill_ins\": {}, \"triangles\": {}, \"topo_build_ms\": {topo_build_ms:.1}}},",
+        topo.arc_count(),
+        topo.fill_in_count(),
+        topo.triangle_count()
+    );
+    let _ = writeln!(json, "  \"epochs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"epoch\": {}, \"congested_edges\": {}, \"customize_ms\": {:.3}, \"rebuild_ms\": {:.2}, \"queries_per_s\": {:.0}}}{}",
+            r.epoch,
+            r.congested_edges,
+            r.customize_ms,
+            r.rebuild_ms,
+            r.queries_per_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"customize_ms\": {customize_ms:.3},");
+    let _ = writeln!(json, "  \"rebuild_ms\": {rebuild_ms:.2},");
+    let _ = writeln!(json, "  \"queries_per_s\": {queries_per_s:.0},");
+    let _ = writeln!(json, "  \"speedup_customize_over_rebuild\": {speedup:.2}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!(
+        "customize {customize_ms:.2} ms vs rebuild {rebuild_ms:.1} ms ({speedup:.1}x), {queries_per_s:.0} queries/s during churn -> {out_path}"
+    );
+}

@@ -14,11 +14,12 @@
 //! for baseline comparisons ([`Workbench::test_groups`]).
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use pathrank_embed::node2vec::{train_node2vec, Node2VecConfig};
 use pathrank_nn::matrix::Matrix;
+use pathrank_spatial::algo::cch::{Cch, CchConfig, CchTopology};
 use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
@@ -141,6 +142,14 @@ pub struct Workbench {
     /// built on first use (the length CH cannot cover
     /// `CostModel::TravelTime` queries).
     tt_ch: OnceLock<Arc<ContractionHierarchy>>,
+    /// Metric-independent CCH topology (order + shortcut structure),
+    /// built on first use. Survives weight mutations: only the cheap
+    /// customization below re-runs when speeds change.
+    cch_topo: OnceLock<Arc<CchTopology>>,
+    /// Customized CCH per metric, keyed by the graph's weights epoch at
+    /// customization time. A cached entry whose epoch no longer matches
+    /// the graph is re-customized, never served stale.
+    cch_cache: Mutex<HashMap<LandmarkMetric, Arc<Cch>>>,
 }
 
 impl Workbench {
@@ -181,6 +190,8 @@ impl Workbench {
             tt_landmarks: OnceLock::new(),
             ch: OnceLock::new(),
             tt_ch: OnceLock::new(),
+            cch_topo: OnceLock::new(),
+            cch_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -303,6 +314,54 @@ impl Workbench {
     /// plain searches — all exact.
     pub fn ch_query_engine(&self) -> QueryEngine<'_> {
         self.alt_query_engine().with_ch(Arc::clone(self.ch_index()))
+    }
+
+    /// The workbench's shared metric-independent CCH topology
+    /// (contraction order plus shortcut structure), built once and kept
+    /// across live-weight changes: mutating edge speeds only invalidates
+    /// the customized weights ([`Workbench::cch_index`]), never this.
+    pub fn cch_topology(&self) -> &Arc<CchTopology> {
+        self.cch_topo.get_or_init(|| {
+            Arc::new(CchTopology::build(
+                &self.graph,
+                &CchConfig {
+                    threads: self.cfg.threads.max(1),
+                },
+            ))
+        })
+    }
+
+    /// A CCH customized for `metric` at the graph's *current* weights
+    /// epoch. Customization (milliseconds) runs on first use per metric
+    /// and again after every weight mutation; a cached index whose epoch
+    /// trails the graph is replaced, so this can never serve pre-mutation
+    /// weights. Callers that perturb speeds (traffic feeds, what-if
+    /// simulation) just call this again after
+    /// [`Graph::set_edge_speeds`](pathrank_spatial::graph::Graph::set_edge_speeds).
+    pub fn cch_index(&self, metric: LandmarkMetric) -> Arc<Cch> {
+        let mut cache = self.cch_cache.lock().expect("cch cache poisoned");
+        if let Some(cch) = cache.get(&metric) {
+            if cch.weights_epoch() == self.graph.weights_epoch() {
+                return Arc::clone(cch);
+            }
+        }
+        let cch = Arc::new(
+            self.cch_topology()
+                .customize(&self.graph, &metric.cost_model()),
+        );
+        cache.insert(metric, Arc::clone(&cch));
+        cch
+    }
+
+    /// An engine for live-traffic serving: fastest-path queries run on a
+    /// TravelTime CCH customized at the current weights epoch, so the
+    /// answers always reflect the latest speed mutations. Re-request the
+    /// engine after a weight change — re-customizing costs milliseconds,
+    /// not the full-hierarchy rebuild [`Workbench::fastest_query_engine`]
+    /// would need.
+    pub fn live_query_engine(&self) -> QueryEngine<'_> {
+        self.query_engine()
+            .with_cch(self.cch_index(LandmarkMetric::TravelTime))
     }
 
     /// The node2vec embedding for dimensionality `dim` (cached).
@@ -509,6 +568,55 @@ mod tests {
             let a = plain.shortest_path_cost(s, t, CostModel::Length);
             let b = fast.shortest_path_cost(s, t, CostModel::Length);
             assert_eq!(a, b, "{s:?}->{t:?} CH cost diverged");
+        }
+    }
+
+    #[test]
+    fn live_workbench_engine_recustomizes_after_traffic() {
+        use pathrank_spatial::algo::engine::SearchBackend;
+        use pathrank_spatial::algo::landmarks::LandmarkMetric;
+        use pathrank_spatial::graph::{CostModel, EdgeId, VertexId};
+        let mut wb = Workbench::new(ExperimentConfig::small_test());
+        // The customized CCH is cached while the weights stand still...
+        let c1 = Arc::as_ptr(&wb.cch_index(LandmarkMetric::TravelTime));
+        let c2 = Arc::as_ptr(&wb.cch_index(LandmarkMetric::TravelTime));
+        assert_eq!(c1, c2, "customized CCH must be cached within an epoch");
+        // ...and the topology survives weight mutations entirely.
+        let topo = Arc::as_ptr(wb.cch_topology());
+        // Pre-mutation indexes built against epoch 0.
+        wb.travel_time_ch_index();
+        wb.travel_time_landmark_table();
+        // Traffic arrives: every third edge slows to a crawl.
+        let updates: Vec<(EdgeId, f64)> = (0..wb.graph.edge_count())
+            .step_by(3)
+            .map(|e| (EdgeId(e as u32), 7.2))
+            .collect();
+        wb.graph.set_edge_speeds(&updates);
+        // The stale TravelTime CH/ALT indexes are epoch-gated out: the
+        // fastest engine silently falls back to exact plain searches
+        // rather than serving pre-mutation weights.
+        let stale = wb.fastest_query_engine();
+        assert_eq!(
+            stale.backend_for(CostModel::TravelTime),
+            SearchBackend::Plain,
+            "indexes built before a weight mutation must not serve"
+        );
+        // cch_index re-customizes on the shared topology instead.
+        let fresh = wb.cch_index(LandmarkMetric::TravelTime);
+        assert_ne!(c1, Arc::as_ptr(&fresh), "stale customization reused");
+        assert_eq!(fresh.weights_epoch(), wb.graph.weights_epoch());
+        assert_eq!(topo, Arc::as_ptr(wb.cch_topology()), "topology rebuilt");
+        // And the live engine answers match plain Dijkstra on the
+        // perturbed graph exactly.
+        let mut live = wb.live_query_engine();
+        assert_eq!(live.backend_for(CostModel::TravelTime), SearchBackend::Cch);
+        let mut plain = wb.query_engine();
+        let n = wb.graph.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 2, 1), (n - 1, n / 3)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let a = plain.shortest_path_cost(s, t, CostModel::TravelTime);
+            let b = live.shortest_path_cost(s, t, CostModel::TravelTime);
+            assert_eq!(a, b, "{s:?}->{t:?} live CCH cost diverged");
         }
     }
 

@@ -103,6 +103,10 @@ pub struct ContractionHierarchy {
     /// Edge count of the graph the hierarchy was built for (attach-time
     /// fingerprint against wrong-graph indexes).
     m: usize,
+    /// Weights epoch of the graph at build time (see
+    /// [`Graph::weights_epoch`]); 0 for hierarchies loaded from disk. The
+    /// engine skips the index when the graph has been mutated since.
+    weights_epoch: u64,
     /// `rank[v]` = contraction position of `v` (0 contracted first).
     pub(crate) rank: Vec<u32>,
     /// Arc pool: original edges first (`arc i` = `EdgeId(i)` for `i < m`),
@@ -595,7 +599,9 @@ impl ContractionHierarchy {
         }
         debug_assert_eq!(next_rank as usize, n);
 
-        Self::assemble(metric, g.edge_count(), b.rank, b.arcs)
+        let mut ch = Self::assemble(metric, g.edge_count(), b.rank, b.arcs);
+        ch.weights_epoch = g.weights_epoch();
+        ch
     }
 
     /// Builds the CSR search graphs from the rank array and arc pool
@@ -683,6 +689,7 @@ impl ContractionHierarchy {
             metric,
             n,
             m,
+            weights_epoch: 0,
             rank,
             arcs,
             seg_offsets,
@@ -706,6 +713,12 @@ impl ContractionHierarchy {
         self.m
     }
 
+    /// Weights epoch of the graph this hierarchy was built against
+    /// (0 for hierarchies loaded from disk).
+    pub fn weights_epoch(&self) -> u64 {
+        self.weights_epoch
+    }
+
     /// Number of shortcut arcs the contraction inserted.
     pub fn shortcut_count(&self) -> usize {
         self.arcs.len() - self.m
@@ -714,6 +727,19 @@ impl ContractionHierarchy {
     /// The full arc pool (original edges first, then shortcuts).
     pub fn arcs(&self) -> &[ChArc] {
         &self.arcs
+    }
+
+    /// Mutable arc pool, for the customizable-CH layer
+    /// ([`crate::algo::cch`]): customization rewrites arc weights and
+    /// expansion rules in place over a fixed topology. Keep
+    /// [`ContractionHierarchy::seg_arcs`] weights in sync.
+    pub(crate) fn arcs_mut(&mut self) -> &mut [ChArc] {
+        &mut self.arcs
+    }
+
+    /// Stamps the weights epoch (customization layer).
+    pub(crate) fn set_weights_epoch(&mut self, epoch: u64) {
+        self.weights_epoch = epoch;
     }
 
     /// Contraction rank of `v` (higher = contracted later = nearer the

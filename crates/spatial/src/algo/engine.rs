@@ -38,6 +38,7 @@
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use crate::algo::cch::Cch;
 use crate::algo::ch::{ChSearch, ContractionHierarchy};
 use crate::algo::dijkstra::ShortestPathTree;
 use crate::algo::diversified::{diversified_top_k_with, DiversifiedConfig};
@@ -475,6 +476,12 @@ impl Heuristic<'_> {
 ///   so a banned vertex or edge could hide inside one
 ///   ([`QueryEngine::constrained_backend_for`] therefore never returns
 ///   `Ch`).
+/// * [`SearchBackend::Cch`] — a customized [`Cch`] is attached and covers
+///   the cost model: the metric it was customized for, or — uniquely
+///   among the index backends — a [`CostModel::Custom`] vector bitwise
+///   equal to the customized one. Same unconstrained-only rule as `Ch`
+///   (its arcs are shortcuts too); ranked below `Ch` because the
+///   witness-free chordal search graph is denser.
 /// * [`SearchBackend::Alt`] — a [`LandmarkTable`] is attached and covers
 ///   the cost model. Landmark lower bounds survive banned sets (bans
 ///   only shrink the graph), so this is also the strongest constrained
@@ -482,6 +489,11 @@ impl Heuristic<'_> {
 /// * [`SearchBackend::Plain`] — no usable index: plain Dijkstra, or A*
 ///   under the cached Euclidean [`safe_heuristic_bound`] where the entry
 ///   point is explicitly goal-directed.
+///
+/// Every index backend additionally requires its build-time weights
+/// epoch to match the live graph's ([`Graph::weights_epoch`]): an index
+/// prewarmed before a weight mutation is silently skipped rather than
+/// allowed to serve stale costs.
 ///
 /// Every regime is exact: backends change how much work a query does,
 /// never which cost it returns (tie-breaking among equal-cost optima may
@@ -493,6 +505,9 @@ pub enum SearchBackend {
     Plain,
     /// ALT landmark triangle-inequality bounds.
     Alt,
+    /// Customizable-CH bidirectional upward search on re-customized
+    /// weights (see [`crate::algo::cch`]).
+    Cch,
     /// Contraction-hierarchy bidirectional upward search.
     Ch,
 }
@@ -586,7 +601,13 @@ pub struct QueryEngine<'g> {
     /// the strongest backend for unconstrained point-to-point queries,
     /// gated per query exactly like the landmark table.
     ch: Option<Arc<ContractionHierarchy>>,
-    /// CH scratch state, allocated on the first CH-backed query.
+    /// Optional shared customized CCH (see [`QueryEngine::with_cch`]):
+    /// covers whatever metric or custom weight vector it was customized
+    /// for; ranked between `Ch` and `Alt`.
+    cch: Option<Arc<Cch>>,
+    /// CH/CCH scratch state, allocated on the first hierarchy-backed
+    /// query (both hierarchies share one scratch — it is keyed only on
+    /// the vertex count).
     ch_search: Option<ChSearch>,
     /// Bucket-based many-to-many scratch, allocated on the first batched
     /// query (see [`QueryEngine::many_to_many`]).
@@ -636,6 +657,7 @@ impl<'g> QueryEngine<'g> {
             travel_time_bound: None,
             landmarks: None,
             ch: None,
+            cch: None,
             ch_search: None,
             m2m_search: None,
             alt_target: NodeVectors::new(),
@@ -680,7 +702,9 @@ impl<'g> QueryEngine<'g> {
     /// table is attached and its metric matches). Exposed so tests and
     /// benchmarks can assert which heuristic regime a query runs in.
     pub fn uses_alt(&self, cost: CostModel<'_>) -> bool {
-        self.landmarks.as_ref().is_some_and(|t| t.usable_for(&cost))
+        self.landmarks
+            .as_ref()
+            .is_some_and(|t| t.usable_for(&cost) && t.weights_epoch() == self.g.weights_epoch())
     }
 
     /// Attaches a prebuilt contraction hierarchy: every *unconstrained*
@@ -718,7 +742,50 @@ impl<'g> QueryEngine<'g> {
 
     /// Whether an unconstrained query under `cost` would run on the CH.
     pub fn uses_ch(&self, cost: CostModel<'_>) -> bool {
-        self.ch.as_ref().is_some_and(|c| c.usable_for(&cost))
+        self.ch
+            .as_ref()
+            .is_some_and(|c| c.usable_for(&cost) && c.weights_epoch() == self.g.weights_epoch())
+    }
+
+    /// Attaches a customized contraction hierarchy
+    /// ([`crate::algo::cch::CchTopology::customize`]): every
+    /// *unconstrained* point-to-point query whose cost model the
+    /// customization covers — including a bitwise-matching
+    /// [`CostModel::Custom`] vector, which no other index backend can
+    /// serve — dispatches to the CH bidirectional upward search on the
+    /// re-customized weights. Gated per query on the weights epoch like
+    /// every index, so a `Cch` customized before the latest
+    /// [`Graph::set_edge_speeds`] call is skipped, never stale.
+    ///
+    /// Composes with [`QueryEngine::with_ch`] and
+    /// [`QueryEngine::with_landmarks`]; a metric-built `Ch` outranks the
+    /// denser witness-free CCH when both cover a query.
+    ///
+    /// # Panics
+    /// If the customization's graph fingerprint (vertex and edge counts)
+    /// does not match this engine's graph.
+    pub fn with_cch(mut self, cch: Arc<Cch>) -> Self {
+        assert_eq!(
+            (cch.vertex_count(), cch.edge_count()),
+            (self.g.vertex_count(), self.g.edge_count()),
+            "CCH customized for a different graph"
+        );
+        self.ch_search = None;
+        self.m2m_search = None;
+        self.cch = Some(cch);
+        self
+    }
+
+    /// The attached customized CCH, if any.
+    pub fn cch_index(&self) -> Option<&Arc<Cch>> {
+        self.cch.as_ref()
+    }
+
+    /// Whether an unconstrained query under `cost` would run on the CCH.
+    pub fn uses_cch(&self, cost: CostModel<'_>) -> bool {
+        self.cch
+            .as_ref()
+            .is_some_and(|c| c.usable_for(&cost) && c.weights_epoch() == self.g.weights_epoch())
     }
 
     /// Resolves the [`SearchBackend`] an unconstrained point-to-point
@@ -727,6 +794,8 @@ impl<'g> QueryEngine<'g> {
     pub fn backend_for(&self, cost: CostModel<'_>) -> SearchBackend {
         if self.uses_ch(cost) {
             SearchBackend::Ch
+        } else if self.uses_cch(cost) {
+            SearchBackend::Cch
         } else if self.uses_alt(cost) {
             SearchBackend::Alt
         } else {
@@ -792,6 +861,48 @@ impl<'g> QueryEngine<'g> {
         Some(edges.iter().fold(0.0, |acc, &e| acc + cost.edge_cost(g, e)))
     }
 
+    /// CCH-backed variants of the three `ch_*` helpers: identical shapes,
+    /// running on the customized hierarchy (and sharing the same scratch —
+    /// it is keyed only on the vertex count).
+    fn cch_edges(&mut self, source: VertexId, target: VertexId) -> Option<&[EdgeId]> {
+        let cch = self
+            .cch
+            .as_ref()
+            .expect("CCH backend resolved without an index");
+        let n = self.g.vertex_count();
+        let search = self.ch_search.get_or_insert_with(|| ChSearch::new(n));
+        cch.query_edges(search, source, target)
+    }
+
+    fn cch_shortest_path(&mut self, source: VertexId, target: VertexId) -> Option<Path> {
+        let cch = self
+            .cch
+            .as_ref()
+            .expect("CCH backend resolved without an index");
+        let n = self.g.vertex_count();
+        let search = self.ch_search.get_or_insert_with(|| ChSearch::new(n));
+        let (edges, vertices) = cch.query_path(search, source, target)?;
+        Some(Path::from_parts_unchecked(
+            vertices.to_vec(),
+            edges.to_vec(),
+        ))
+    }
+
+    /// CCH-backed cost probe; recomputed left-to-right over the unpacked
+    /// edges like [`QueryEngine::ch_shortest_path_cost`], so it is
+    /// bit-identical to plain Dijkstra on the current (possibly freshly
+    /// customized) weights.
+    fn cch_shortest_path_cost(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        cost: CostModel<'_>,
+    ) -> Option<f64> {
+        let g = self.g;
+        let edges = self.cch_edges(source, target)?;
+        Some(edges.iter().fold(0.0, |acc, &e| acc + cost.edge_cost(g, e)))
+    }
+
     /// The graph this engine routes on.
     pub fn graph(&self) -> &'g Graph {
         self.g
@@ -848,6 +959,7 @@ impl<'g> QueryEngine<'g> {
         }
         match self.backend_for(cost) {
             SearchBackend::Ch => self.ch_shortest_path(source, target),
+            SearchBackend::Cch => self.cch_shortest_path(source, target),
             SearchBackend::Alt => {
                 self.run_alt_one_to_one(source, target, cost);
                 self.fwd.extract_path(source, target)
@@ -877,6 +989,7 @@ impl<'g> QueryEngine<'g> {
         }
         match self.backend_for(cost) {
             SearchBackend::Ch => self.ch_shortest_path_cost(source, target, cost),
+            SearchBackend::Cch => self.cch_shortest_path_cost(source, target, cost),
             SearchBackend::Alt => {
                 self.run_alt_one_to_one(source, target, cost);
                 let d = self.fwd.dist(target);
@@ -935,13 +1048,19 @@ impl<'g> QueryEngine<'g> {
         targets: &[VertexId],
         cost: CostModel<'_>,
     ) -> Option<Vec<f64>> {
-        if !self.uses_ch(cost) {
+        let hierarchy = if self.uses_ch(cost) {
+            self.ch.as_deref().expect("uses_ch implies an index")
+        } else if self.uses_cch(cost) {
+            self.cch
+                .as_deref()
+                .expect("uses_cch implies an index")
+                .hierarchy()
+        } else {
             return None;
-        }
-        let ch = self.ch.as_ref().expect("uses_ch implies an index");
+        };
         let n = self.g.vertex_count();
         let search = self.m2m_search.get_or_insert_with(|| M2mSearch::new(n));
-        Some(ch.one_to_many(search, source, targets))
+        Some(hierarchy.one_to_many(search, source, targets))
     }
 
     /// Batched many-to-many: the exact `sources × targets`
@@ -958,13 +1077,19 @@ impl<'g> QueryEngine<'g> {
         targets: &[VertexId],
         cost: CostModel<'_>,
     ) -> Option<DistanceTable> {
-        if !self.uses_ch(cost) {
+        let hierarchy = if self.uses_ch(cost) {
+            self.ch.as_deref().expect("uses_ch implies an index")
+        } else if self.uses_cch(cost) {
+            self.cch
+                .as_deref()
+                .expect("uses_cch implies an index")
+                .hierarchy()
+        } else {
             return None;
-        }
-        let ch = self.ch.as_ref().expect("uses_ch implies an index");
+        };
         let n = self.g.vertex_count();
         let search = self.m2m_search.get_or_insert_with(|| M2mSearch::new(n));
-        Some(ch.many_to_many(search, sources, targets))
+        Some(hierarchy.many_to_many(search, sources, targets))
     }
 
     /// One-to-all *reverse* Dijkstra: `dist(v)` on the returned view is
@@ -1139,8 +1264,10 @@ impl<'g> QueryEngine<'g> {
         if source == target {
             return None;
         }
-        if self.backend_for(cost) == SearchBackend::Ch {
-            return self.ch_shortest_path(source, target);
+        match self.backend_for(cost) {
+            SearchBackend::Ch => return self.ch_shortest_path(source, target),
+            SearchBackend::Cch => return self.cch_shortest_path(source, target),
+            _ => {}
         }
         let per_meter = self.heuristic_bound(cost);
         let h = Self::forward_heuristic(
@@ -1184,9 +1311,11 @@ impl<'g> QueryEngine<'g> {
             return None;
         }
         // The CH query *is* a bidirectional search — over the upward
-        // search graphs — so the Ch backend replaces this entirely.
-        if self.backend_for(cost) == SearchBackend::Ch {
-            return self.ch_shortest_path(source, target);
+        // search graphs — so the hierarchy backends replace this entirely.
+        match self.backend_for(cost) {
+            SearchBackend::Ch => return self.ch_shortest_path(source, target),
+            SearchBackend::Cch => return self.cch_shortest_path(source, target),
+            _ => {}
         }
         let g = self.g;
         let use_alt = self.uses_alt(cost);

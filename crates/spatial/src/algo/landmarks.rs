@@ -55,7 +55,7 @@ pub const ACTIVE_LANDMARKS: usize = 4;
 /// Only graph-derived metrics can be tabulated: a
 /// [`CostModel::Custom`] slice may change between queries, which would
 /// silently break the triangle inequality against stale vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LandmarkMetric {
     /// Distances in metres ([`CostModel::Length`]).
     Length,
@@ -118,6 +118,10 @@ pub struct LandmarkTable {
     /// attach-time fingerprint against wrong-graph tables, whose stale
     /// "distances" would silently break admissibility).
     m: usize,
+    /// Weights epoch of the graph at build time (see
+    /// [`Graph::weights_epoch`]); 0 for deserialised tables. The engine
+    /// skips the table when the graph has been mutated since.
+    weights_epoch: u64,
     landmarks: Vec<VertexId>,
     /// `d(L_l, v)` at `[l * n + v]` (one-to-all from each landmark).
     from_landmark: Vec<f64>,
@@ -206,6 +210,7 @@ impl LandmarkTable {
             metric,
             n,
             m: g.edge_count(),
+            weights_epoch: g.weights_epoch(),
             landmarks,
             from_landmark,
             to_landmark,
@@ -225,6 +230,12 @@ impl LandmarkTable {
     /// Edge count of the graph the table was built for.
     pub fn edge_count(&self) -> usize {
         self.m
+    }
+
+    /// Weights epoch of the graph this table was built against
+    /// (0 for tables loaded from disk).
+    pub fn weights_epoch(&self) -> u64 {
+        self.weights_epoch
     }
 
     /// The selected landmark vertices, in selection order.
@@ -277,6 +288,7 @@ impl LandmarkTable {
             metric,
             n,
             m,
+            weights_epoch: 0,
             landmarks,
             from_landmark,
             to_landmark,

@@ -12,6 +12,11 @@
 //!   [`engine::QueryEngine`] (see [`engine::Heuristic`] and
 //!   [`engine::QueryEngine::with_landmarks`]) while provably preserving
 //!   exactness;
+//! * [`cch`] — customizable contraction hierarchies: a metric-independent
+//!   contraction order plus millisecond triangle-relaxation customization,
+//!   so live weight changes (traffic, custom cost vectors) re-weight the
+//!   index instead of rebuilding it (see
+//!   [`engine::QueryEngine::with_cch`]);
 //! * [`ch`] — contraction hierarchies: shortcut-based preprocessing that
 //!   turns unconstrained point-to-point queries into two tiny upward
 //!   searches (see [`engine::SearchBackend`] and
@@ -36,6 +41,7 @@
 
 pub mod astar;
 pub mod bidijkstra;
+pub mod cch;
 pub mod ch;
 pub mod dijkstra;
 pub mod diversified;
@@ -46,6 +52,7 @@ pub mod yen;
 
 pub use astar::astar_shortest_path;
 pub use bidijkstra::bidirectional_shortest_path;
+pub use cch::{Cch, CchConfig, CchTopology};
 pub use ch::{ChConfig, ChSearch, ContractionHierarchy};
 pub use dijkstra::{
     constrained_shortest_path, shortest_path, shortest_path_tree, ShortestPathTree,

@@ -161,6 +161,7 @@ impl GraphBuilder {
             in_sources,
             in_edge_ids,
             edge_records: self.edges,
+            weights_epoch: 0,
         }
     }
 

@@ -201,6 +201,12 @@ pub struct Graph {
     pub(crate) in_edge_ids: Vec<EdgeId>,
     // Edge records, indexed by EdgeId.
     pub(crate) edge_records: Vec<EdgeRecord>,
+    /// Bumped on every in-place weight mutation (see
+    /// [`Graph::set_edge_speed`]). Derived indexes record the epoch they
+    /// were built against so the query layer can refuse to pair a mutated
+    /// graph with a stale index. Freshly built and deserialised graphs
+    /// start at epoch 0.
+    pub(crate) weights_epoch: u64,
 }
 
 impl Graph {
@@ -306,6 +312,55 @@ impl Graph {
     #[inline]
     pub fn euclidean(&self, a: VertexId, b: VertexId) -> f64 {
         self.coords[a.index()].distance(&self.coords[b.index()])
+    }
+
+    /// The current weights epoch: 0 for a freshly built or loaded graph,
+    /// bumped once per mutation call ([`Graph::set_edge_speed`] /
+    /// [`Graph::set_edge_speeds`]).
+    ///
+    /// Derived indexes ([`crate::algo::LandmarkTable`],
+    /// [`crate::algo::ContractionHierarchy`], [`crate::algo::cch::Cch`])
+    /// record the epoch of the graph they were built against;
+    /// [`crate::algo::engine::QueryEngine`] skips any index whose epoch no
+    /// longer matches, falling back to slower exact searches instead of
+    /// silently serving stale weights.
+    #[inline]
+    pub fn weights_epoch(&self) -> u64 {
+        self.weights_epoch
+    }
+
+    /// Sets the free-flow speed of edge `e` (km/h) and bumps the weights
+    /// epoch. The speed must be positive and finite.
+    ///
+    /// This is the live-traffic entry point: topology, lengths and road
+    /// categories stay fixed, only the travel-time metric moves. Rebuild
+    /// or re-customize metric-dependent indexes afterwards (a
+    /// [`crate::algo::cch::CchTopology`] re-customizes in milliseconds).
+    pub fn set_edge_speed(&mut self, e: EdgeId, speed_kmh: f64) {
+        assert!(
+            speed_kmh.is_finite() && speed_kmh > 0.0,
+            "edge speed must be positive and finite, got {speed_kmh}"
+        );
+        self.edge_records[e.index()].attrs.speed_kmh = speed_kmh;
+        self.weights_epoch += 1;
+    }
+
+    /// Batch form of [`Graph::set_edge_speed`]: applies every
+    /// `(edge, speed_kmh)` pair, bumping the weights epoch once for the
+    /// whole batch. Every speed must be positive and finite.
+    pub fn set_edge_speeds(&mut self, updates: &[(EdgeId, f64)]) {
+        if updates.is_empty() {
+            return;
+        }
+        for &(e, speed_kmh) in updates {
+            assert!(
+                speed_kmh.is_finite() && speed_kmh > 0.0,
+                "edge speed must be positive and finite, got {speed_kmh} for edge {}",
+                e.0
+            );
+            self.edge_records[e.index()].attrs.speed_kmh = speed_kmh;
+        }
+        self.weights_epoch += 1;
     }
 
     /// Returns the vertex ids belonging to the largest strongly connected

@@ -28,7 +28,14 @@
 //! * [`write_ch`] / [`read_ch`] — [`ContractionHierarchy`] indexes: the
 //!   metric, the fingerprint, the rank permutation and the arc pool
 //!   (original edges and shortcuts); the query-time CSR is rebuilt on
-//!   read.
+//!   read;
+//! * [`write_cch`] / [`read_cch`] — the *metric-independent* half of a
+//!   customizable hierarchy ([`CchTopology`]): the fingerprint, the
+//!   contraction order and the chordal arc topology with its
+//!   supporting triangles. No weights are stored — they are re-derived
+//!   in milliseconds by `customize` after loading, so one persisted
+//!   topology serves every metric, custom cost vector and live-traffic
+//!   epoch.
 //!
 //! Floats are written with Rust's shortest-round-trip `Display`, so
 //! distances survive the text round-trip **bit-identically** — a
@@ -40,6 +47,7 @@
 
 use std::io::{BufRead, Write};
 
+use crate::algo::cch::{CchConfig, CchTopology, RawArc};
 use crate::algo::ch::{ChArc, ChArcKind, ContractionHierarchy};
 use crate::algo::landmarks::{LandmarkMetric, LandmarkTable};
 use crate::builder::GraphBuilder;
@@ -52,6 +60,7 @@ use crate::osm::{ImportConfig, ImportStats, ImportedGraph};
 const MAGIC: &str = "pathrank-graph v1";
 const LANDMARKS_MAGIC: &str = "pathrank-landmarks v1";
 const CH_MAGIC: &str = "pathrank-ch v1";
+const CCH_MAGIC: &str = "pathrank-cch v1";
 const IMPORTED_MAGIC: &str = "pathrank-osm-graph v1";
 
 /// Writes `g` to `out` in the v1 text format.
@@ -471,6 +480,200 @@ pub fn ch_from_str(s: &str) -> Result<ContractionHierarchy, SpatialError> {
     read_ch(s.as_bytes())
 }
 
+/// Writes the metric-independent half of a customizable contraction
+/// hierarchy ([`CchTopology`]) in the v1 text format: the graph
+/// fingerprint, the rank permutation, and one line per chordal arc
+/// (`c <from> <to> o <k> <edges…> t <j> <b c …>`) listing its merged
+/// original edges and supporting lower triangles. Weights are not
+/// stored; customization re-derives them after loading.
+pub fn write_cch<W: Write>(topo: &CchTopology, out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "{CCH_MAGIC}")?;
+    writeln!(out, "graph {} {}", topo.vertex_count(), topo.edge_count())?;
+    write!(out, "ranks")?;
+    for r in topo.ranks() {
+        write!(out, " {r}")?;
+    }
+    writeln!(out)?;
+    writeln!(out, "arcs {}", topo.arc_count())?;
+    for (i, (from, to)) in topo.arc_endpoints().enumerate() {
+        let originals = topo.originals_of(i);
+        let triangles = topo.triangles_of(i);
+        write!(out, "c {} {} o {}", from.0, to.0, originals.len())?;
+        for e in originals {
+            write!(out, " {}", e.0)?;
+        }
+        write!(out, " t {}", triangles.len())?;
+        for &(b, c) in triangles {
+            write!(out, " {b} {c}")?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Serialises a CCH topology to a `String`.
+pub fn cch_to_string(topo: &CchTopology) -> String {
+    let mut buf = Vec::new();
+    write_cch(topo, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Reads a CCH topology in the v1 text format, recomputing elimination
+/// levels and rebuilding the search-graph skeleton. Validates the rank
+/// permutation, arc endpoints, per-pair arc uniqueness, edge references
+/// and triangle structure (each triangle's legs must connect through an
+/// intermediate vertex ranked below both endpoints, which is what makes
+/// customization well-ordered and unpacking terminate); corrupt input
+/// yields [`SpatialError::Parse`] instead of a topology that would
+/// mis-route after customization.
+pub fn read_cch<R: BufRead>(input: R) -> Result<CchTopology, SpatialError> {
+    let mut lines = input.lines();
+    let header = next_content_line(&mut lines)?;
+    if header != CCH_MAGIC {
+        return Err(SpatialError::Parse(format!("bad header {header:?}")));
+    }
+    let (n, m) = parse_fingerprint(&next_content_line(&mut lines)?)?;
+    let rank_line = next_content_line(&mut lines)?;
+    let mut it = rank_line.split_ascii_whitespace();
+    if it.next() != Some("ranks") {
+        return Err(SpatialError::Parse(format!(
+            "expected ranks line, got {rank_line:?}"
+        )));
+    }
+    let rank: Vec<u32> = it
+        .map(|t| t.parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| SpatialError::Parse(format!("bad rank: {e}")))?;
+    if rank.len() != n {
+        return Err(SpatialError::Parse(format!(
+            "rank line has {} entries, expected {n}",
+            rank.len()
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &r in &rank {
+        if (r as usize) >= n || seen[r as usize] {
+            return Err(SpatialError::Parse(format!(
+                "ranks are not a permutation of 0..{n} (offending rank {r})"
+            )));
+        }
+        seen[r as usize] = true;
+    }
+    let arc_count = parse_count(&next_content_line(&mut lines)?, "arcs")?;
+    let mut raw: Vec<RawArc> = Vec::with_capacity(arc_count.min(MAX_PREALLOC));
+    let mut seen_pair = std::collections::HashSet::with_capacity(arc_count.min(MAX_PREALLOC));
+    let mut seen_edge = vec![false; m];
+    for i in 0..arc_count {
+        let line = next_content_line(&mut lines)?;
+        let mut it = line.split_ascii_whitespace();
+        if it.next() != Some("c") {
+            return Err(SpatialError::Parse(format!(
+                "expected cch arc line {i}, got {line:?}"
+            )));
+        }
+        let from = parse_u32(it.next(), "arc from")?;
+        let to = parse_u32(it.next(), "arc to")?;
+        if from as usize >= n || to as usize >= n || from == to {
+            return Err(SpatialError::Parse(format!(
+                "arc {i} has invalid endpoints ({from} -> {to}, {n} vertices)"
+            )));
+        }
+        if !seen_pair.insert((from, to)) {
+            return Err(SpatialError::Parse(format!(
+                "duplicate arc for vertex pair {from} -> {to}"
+            )));
+        }
+        if it.next() != Some("o") {
+            return Err(SpatialError::Parse(format!(
+                "arc {i} is missing its originals section"
+            )));
+        }
+        let k = parse_u32(it.next(), "original count")? as usize;
+        let mut originals = Vec::with_capacity(k.min(MAX_PREALLOC));
+        for _ in 0..k {
+            let e = parse_u32(it.next(), "original edge id")?;
+            if e as usize >= m {
+                return Err(SpatialError::Parse(format!(
+                    "arc {i} names edge {e} outside the graph's {m} edges"
+                )));
+            }
+            if seen_edge[e as usize] {
+                return Err(SpatialError::Parse(format!(
+                    "edge {e} is claimed by more than one arc"
+                )));
+            }
+            seen_edge[e as usize] = true;
+            if let Some(&last) = originals.last() {
+                if EdgeId(e) <= last {
+                    return Err(SpatialError::Parse(format!(
+                        "arc {i} original edges are not strictly ascending"
+                    )));
+                }
+            }
+            originals.push(EdgeId(e));
+        }
+        if it.next() != Some("t") {
+            return Err(SpatialError::Parse(format!(
+                "arc {i} is missing its triangles section"
+            )));
+        }
+        let j = parse_u32(it.next(), "triangle count")? as usize;
+        if k == 0 && j == 0 {
+            return Err(SpatialError::Parse(format!(
+                "fill-in arc {i} has no supporting triangle"
+            )));
+        }
+        let mut triangles = Vec::with_capacity(j.min(MAX_PREALLOC));
+        for _ in 0..j {
+            let b = parse_u32(it.next(), "triangle arc")?;
+            let c = parse_u32(it.next(), "triangle arc")?;
+            // Supporting arcs live at strictly lower elimination levels,
+            // and levels are stored contiguously in ascending order, so
+            // in a well-formed file both legs precede this arc.
+            if b as usize >= i || c as usize >= i {
+                return Err(SpatialError::Parse(format!(
+                    "arc {i} triangle references a non-preceding arc ({b}, {c})"
+                )));
+            }
+            let leg_b = &raw[b as usize];
+            let leg_c = &raw[c as usize];
+            let via = leg_b.to;
+            if leg_b.from.0 != from || leg_c.to.0 != to || leg_c.from != via {
+                return Err(SpatialError::Parse(format!(
+                    "arc {i} triangle ({b}, {c}) legs do not connect {from} -> {to}"
+                )));
+            }
+            if rank[via.index()] >= rank[from as usize].min(rank[to as usize]) {
+                return Err(SpatialError::Parse(format!(
+                    "arc {i} triangle intermediate {} is not ranked below both endpoints",
+                    via.0
+                )));
+            }
+            triangles.push((b, c));
+        }
+        if it.next().is_some() {
+            return Err(SpatialError::Parse(format!("arc {i} has trailing tokens")));
+        }
+        raw.push(RawArc {
+            from: VertexId(from),
+            to: VertexId(to),
+            originals,
+            triangles,
+        });
+    }
+    Ok(CchTopology::from_raw(
+        m,
+        rank,
+        raw,
+        CchConfig::default().threads,
+    ))
+}
+
+/// Parses a CCH topology from its v1 text representation.
+pub fn cch_from_str(s: &str) -> Result<CchTopology, SpatialError> {
+    read_cch(s.as_bytes())
+}
+
 /// Writes an imported road network ([`ImportedGraph`]) in the v1 text
 /// format: the projection origin, a complete embedded plain-graph
 /// section, then one geometry row per edge (`g <k> x1 y1 … xk yk` —
@@ -878,6 +1081,7 @@ mod tests {
 
     mod indexes {
         use super::*;
+        use crate::algo::cch::{CchConfig, CchTopology};
         use crate::algo::ch::{ChConfig, ChSearch, ContractionHierarchy};
         use crate::algo::engine::QueryEngine;
         use crate::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
@@ -1070,6 +1274,161 @@ mod tests {
                 .collect();
             toks[3] = "-5".into();
             assert!(ch_from_str(&text.replace(&arc_line, &toks.join(" "))).is_err());
+        }
+
+        #[test]
+        fn cch_roundtrip_is_byte_stable_and_customizes_identically() {
+            let g = region();
+            let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+            let text = cch_to_string(&topo);
+            let back = Arc::new(cch_from_str(&text).unwrap());
+            // Arcs are stored level-sorted, and reloading preserves that
+            // order, so re-serialising must reproduce the exact bytes.
+            assert_eq!(cch_to_string(&back), text, "round-trip is not byte-stable");
+            assert_eq!(back.ranks(), topo.ranks());
+            assert_eq!(back.arc_count(), topo.arc_count());
+            assert_eq!(back.fill_in_count(), topo.fill_in_count());
+            assert_eq!(back.triangle_count(), topo.triangle_count());
+            // Weights are not persisted: customization on the reloaded
+            // topology must reproduce the original answers bit for bit.
+            let n = g.vertex_count() as u32;
+            for metric in [LandmarkMetric::Length, LandmarkMetric::TravelTime] {
+                let a = topo.customize(&g, &metric.cost_model());
+                let b = back.customize(&g, &metric.cost_model());
+                let mut sa = ChSearch::new(g.vertex_count());
+                let mut sb = ChSearch::new(g.vertex_count());
+                for (s, t) in [(0, n - 1), (n / 2, 1), (n - 1, n / 3), (3, n - 2)] {
+                    let (s, t) = (VertexId(s), VertexId(t));
+                    assert_eq!(
+                        a.query_cost(&mut sa, s, t).map(f64::to_bits),
+                        b.query_cost(&mut sb, s, t).map(f64::to_bits),
+                        "reloaded CCH changed a {metric:?} cost for {s:?}->{t:?}"
+                    );
+                    assert_eq!(
+                        a.query_edges(&mut sa, s, t).map(<[_]>::to_vec),
+                        b.query_edges(&mut sb, s, t).map(<[_]>::to_vec),
+                        "reloaded CCH changed a {metric:?} path for {s:?}->{t:?}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn cch_corrupt_input_is_rejected() {
+            let g = region();
+            let topo = CchTopology::build(&g, &CchConfig::default());
+            let text = cch_to_string(&topo);
+            // Wrong version / foreign format fail on the header.
+            assert!(cch_from_str("pathrank-cch v0\n").is_err());
+            assert!(cch_from_str(&ch_to_string(&ContractionHierarchy::build(
+                &g,
+                LandmarkMetric::Length,
+                &ChConfig::default()
+            )))
+            .is_err());
+            // Truncation (anywhere) must error, never mis-build.
+            assert!(cch_from_str(&text[..text.len() / 2]).is_err());
+            assert!(cch_from_str(&text[..text.len() * 9 / 10]).is_err());
+            // An absurd arc count errors on truncation instead of
+            // aborting on a huge preallocation.
+            let arcs_line = format!("arcs {}", topo.arc_count());
+            assert!(cch_from_str(&text.replace(&arcs_line, "arcs 18446744073709551615")).is_err());
+            // A rank out of range / duplicated breaks the permutation.
+            let ranks_line = text
+                .lines()
+                .find(|l| l.starts_with("ranks"))
+                .unwrap()
+                .to_string();
+            let mut toks: Vec<&str> = ranks_line.split_ascii_whitespace().collect();
+            toks[1] = "999999";
+            assert!(cch_from_str(&text.replace(&ranks_line, &toks.join(" "))).is_err());
+            let dup = {
+                let mut t: Vec<&str> = ranks_line.split_ascii_whitespace().collect();
+                t[1] = t[2];
+                text.replace(&ranks_line, &t.join(" "))
+            };
+            assert!(cch_from_str(&dup).is_err());
+            // An arc claiming an edge outside the graph.
+            let first_orig = text
+                .lines()
+                .find(|l| l.starts_with("c ") && !l.contains(" o 0 "))
+                .expect("region CCH has arcs with originals")
+                .to_string();
+            let mut toks: Vec<String> = first_orig
+                .split_ascii_whitespace()
+                .map(str::to_string)
+                .collect();
+            let o_pos = toks.iter().position(|t| t == "o").unwrap();
+            toks[o_pos + 2] = format!("{}", g.edge_count() + 3);
+            assert!(cch_from_str(&text.replace(&first_orig, &toks.join(" "))).is_err());
+            // Two arcs claiming the same original edge.
+            let mut toks: Vec<String> = first_orig
+                .split_ascii_whitespace()
+                .map(str::to_string)
+                .collect();
+            let second_orig = text
+                .lines()
+                .filter(|l| l.starts_with("c ") && !l.contains(" o 0 "))
+                .nth(1)
+                .expect("region CCH has at least two arcs with originals")
+                .to_string();
+            let stolen = second_orig
+                .split_ascii_whitespace()
+                .nth(
+                    second_orig
+                        .split_ascii_whitespace()
+                        .position(|t| t == "o")
+                        .unwrap()
+                        + 2,
+                )
+                .unwrap();
+            toks[o_pos + 2] = stolen.to_string();
+            assert!(cch_from_str(&text.replace(&first_orig, &toks.join(" "))).is_err());
+            // A duplicate (from, to) vertex pair.
+            let dup_pair = {
+                let second = text
+                    .lines()
+                    .filter(|l| l.starts_with("c "))
+                    .nth(1)
+                    .unwrap()
+                    .to_string();
+                let first_toks: Vec<&str> = first_orig.split_ascii_whitespace().collect();
+                let mut t: Vec<String> = second
+                    .split_ascii_whitespace()
+                    .map(str::to_string)
+                    .collect();
+                t[1] = first_toks[1].to_string();
+                t[2] = first_toks[2].to_string();
+                text.replace(&second, &t.join(" "))
+            };
+            assert!(cch_from_str(&dup_pair).is_err());
+            // A triangle referencing a non-preceding arc (customization
+            // would read an unsettled weight).
+            let tri_line = text
+                .lines()
+                .find(|l| l.starts_with("c ") && !l.trim_end().ends_with(" t 0"))
+                .expect("region CCH has triangles")
+                .to_string();
+            let mut toks: Vec<String> = tri_line
+                .split_ascii_whitespace()
+                .map(str::to_string)
+                .collect();
+            let t_pos = toks.iter().position(|t| t == "t").unwrap();
+            toks[t_pos + 2] = format!("{}", topo.arc_count() + 9);
+            assert!(cch_from_str(&text.replace(&tri_line, &toks.join(" "))).is_err());
+            // A fill-in arc stripped of its triangles has no way to ever
+            // receive a finite weight; the reader must refuse it.
+            let fill_in = text
+                .lines()
+                .find(|l| l.starts_with("c ") && l.contains(" o 0 "))
+                .expect("region CCH has fill-in arcs")
+                .to_string();
+            let t_pos = fill_in.find(" t ").unwrap();
+            let gutted = format!("{} t 0", &fill_in[..t_pos]);
+            assert!(cch_from_str(&text.replace(&fill_in, &gutted)).is_err());
+            // Trailing tokens on an arc line are rejected.
+            let padded = format!("{} 4", first_orig);
+            assert!(cch_from_str(&text.replace(&first_orig, &padded)).is_err());
         }
     }
 }

@@ -1,0 +1,208 @@
+//! Synthetic live-traffic congestion over a road network.
+//!
+//! The paper's advanced-routing module serves fastest paths on a network
+//! whose travel times drift with traffic. This module supplies the drift:
+//! a [`TrafficModel`] captures the free-flow speed of every edge once and
+//! then, for any epoch number, deterministically slows a random subset of
+//! edges by a random factor. Applying an epoch issues exactly one
+//! [`Graph::set_edge_speeds`] call, so the graph's weights epoch advances
+//! by one per traffic update and every epoch-gated index (ALT, CH, CCH)
+//! notices the change.
+//!
+//! Epochs are pure functions of `(seed, epoch)`: replaying epoch `k`
+//! always produces the same speeds, which is what lets benchmarks assert
+//! exactness against a fresh Dijkstra on the perturbed weights before
+//! timing anything.
+
+use pathrank_spatial::graph::{EdgeId, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic congestion process.
+#[derive(Debug, Clone)]
+pub struct CongestionConfig {
+    /// Fraction of edges congested in any one epoch.
+    pub congested_frac: f64,
+    /// Strongest slow-down: a congested edge's speed is its free-flow
+    /// speed times a factor drawn from `[min_factor, max_factor]`.
+    pub min_factor: f64,
+    /// Mildest slow-down (an upper bound on the drawn factor).
+    pub max_factor: f64,
+    /// Master seed; combined with the epoch number per update.
+    pub seed: u64,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig {
+            congested_frac: 0.15,
+            min_factor: 0.25,
+            max_factor: 0.9,
+            seed: 2020,
+        }
+    }
+}
+
+/// A deterministic traffic generator bound to one road network.
+///
+/// Holds the free-flow (construction-time) speed of every edge, so
+/// epochs never compound: each [`TrafficModel::apply_epoch`] rewrites
+/// every edge to either its free-flow speed or a freshly drawn congested
+/// speed for that epoch.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    base_speeds: Vec<f64>,
+    cfg: CongestionConfig,
+}
+
+impl TrafficModel {
+    /// Captures `g`'s current speeds as free-flow. Call before the first
+    /// perturbation.
+    pub fn new(g: &Graph, cfg: CongestionConfig) -> Self {
+        assert!(
+            cfg.min_factor.is_finite() && cfg.min_factor > 0.0,
+            "min_factor must be positive and finite, got {}",
+            cfg.min_factor
+        );
+        assert!(
+            cfg.max_factor.is_finite() && cfg.max_factor >= cfg.min_factor,
+            "max_factor must be finite and >= min_factor, got {}",
+            cfg.max_factor
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.congested_frac),
+            "congested_frac must lie in [0, 1], got {}",
+            cfg.congested_frac
+        );
+        TrafficModel {
+            base_speeds: g.edges().map(|e| e.attrs.speed_kmh).collect(),
+            cfg,
+        }
+    }
+
+    /// Number of edges the model was captured from.
+    pub fn edge_count(&self) -> usize {
+        self.base_speeds.len()
+    }
+
+    /// The captured free-flow speed of an edge, in km/h.
+    pub fn base_speed(&self, e: EdgeId) -> f64 {
+        self.base_speeds[e.index()]
+    }
+
+    /// The complete per-edge speed assignment for `epoch`, deterministic
+    /// in `(seed, epoch)`. Uncongested edges carry their free-flow speed.
+    pub fn epoch_speeds(&self, epoch: u64) -> Vec<(EdgeId, f64)> {
+        let mut rng = StdRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_add(epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        self.base_speeds
+            .iter()
+            .enumerate()
+            .map(|(i, &base)| {
+                // Draw both values unconditionally so each edge consumes
+                // a fixed amount of randomness regardless of outcome.
+                let congested = rng.gen_range(0.0..1.0) < self.cfg.congested_frac;
+                let factor = rng.gen_range(self.cfg.min_factor..=self.cfg.max_factor);
+                let speed = if congested { base * factor } else { base };
+                (EdgeId(i as u32), speed)
+            })
+            .collect()
+    }
+
+    /// Applies `epoch`'s speeds to `g` with a single
+    /// [`Graph::set_edge_speeds`] call (one weights-epoch bump) and
+    /// returns how many edges ended up congested.
+    pub fn apply_epoch(&self, g: &mut Graph, epoch: u64) -> usize {
+        let speeds = self.epoch_speeds(epoch);
+        assert_eq!(
+            speeds.len(),
+            g.edge_count(),
+            "traffic model was captured from a different graph"
+        );
+        let congested = speeds
+            .iter()
+            .filter(|&&(e, s)| s != self.base_speeds[e.index()])
+            .count();
+        g.set_edge_speeds(&speeds);
+        congested
+    }
+
+    /// Restores every edge to its free-flow speed (one epoch bump).
+    pub fn restore(&self, g: &mut Graph) {
+        let updates: Vec<(EdgeId, f64)> = self
+            .base_speeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (EdgeId(i as u32), s))
+            .collect();
+        g.set_edge_speeds(&updates);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathrank_spatial::generators::{region_network, RegionConfig};
+
+    fn region() -> Graph {
+        region_network(&RegionConfig::small_test(), 17)
+    }
+
+    #[test]
+    fn epochs_are_deterministic_and_distinct() {
+        let g = region();
+        let model = TrafficModel::new(&g, CongestionConfig::default());
+        let a = model.epoch_speeds(4);
+        let b = model.epoch_speeds(4);
+        assert_eq!(a, b, "same epoch must replay identically");
+        let c = model.epoch_speeds(5);
+        assert_ne!(a, c, "distinct epochs should differ");
+        for &(e, s) in &a {
+            assert!(s.is_finite() && s > 0.0);
+            assert!(s <= model.base_speed(e) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_epoch_bumps_weights_epoch_once() {
+        let mut g = region();
+        let model = TrafficModel::new(&g, CongestionConfig::default());
+        assert_eq!(g.weights_epoch(), 0);
+        let congested = model.apply_epoch(&mut g, 1);
+        assert_eq!(g.weights_epoch(), 1);
+        assert!(congested > 0, "default config congests some edges");
+        // A later epoch replaces — not compounds — the perturbation.
+        model.apply_epoch(&mut g, 2);
+        assert_eq!(g.weights_epoch(), 2);
+        model.restore(&mut g);
+        assert_eq!(g.weights_epoch(), 3);
+        for (i, e) in g.edges().enumerate() {
+            assert_eq!(
+                e.attrs.speed_kmh.to_bits(),
+                model.base_speed(EdgeId(i as u32)).to_bits(),
+                "restore must reproduce free-flow speeds exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_fraction_changes_nothing_but_still_bumps() {
+        let mut g = region();
+        let model = TrafficModel::new(
+            &g,
+            CongestionConfig {
+                congested_frac: 0.0,
+                ..CongestionConfig::default()
+            },
+        );
+        let before: Vec<f64> = g.edges().map(|e| e.attrs.speed_kmh).collect();
+        let congested = model.apply_epoch(&mut g, 9);
+        assert_eq!(congested, 0);
+        assert_eq!(g.weights_epoch(), 1, "the mutation call still counts");
+        let after: Vec<f64> = g.edges().map(|e| e.attrs.speed_kmh).collect();
+        assert_eq!(before, after);
+    }
+}

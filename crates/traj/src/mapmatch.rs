@@ -12,6 +12,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use pathrank_spatial::algo::cch::Cch;
 use pathrank_spatial::algo::ch::ContractionHierarchy;
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::LandmarkTable;
@@ -329,6 +330,17 @@ impl<'g> MapMatcher<'g> {
     /// unconstrained point-to-point shape the CH backend accelerates.
     pub fn with_ch(mut self, ch: Arc<ContractionHierarchy>) -> Self {
         self.engine = self.engine.with_ch(ch);
+        self
+    }
+
+    /// Attaches a customized CCH (see [`QueryEngine::with_cch`]): same
+    /// acceleration shape as [`MapMatcher::with_ch`], but the index is
+    /// re-customizable in milliseconds, so congestion-aware matching can
+    /// follow live weight changes. The engine's weights-epoch gate drops
+    /// the index automatically if the graph's weights mutate after it was
+    /// customized.
+    pub fn with_cch(mut self, cch: Arc<Cch>) -> Self {
+        self.engine = self.engine.with_cch(cch);
         self
     }
 

@@ -26,6 +26,7 @@
 
 use std::sync::Arc;
 
+use pathrank::spatial::algo::cch::{CchConfig, CchTopology};
 use pathrank::spatial::algo::ch::{ChConfig, ContractionHierarchy};
 use pathrank::spatial::algo::dijkstra::{constrained_shortest_path, shortest_path};
 use pathrank::spatial::algo::engine::{QueryEngine, SearchBackend};
@@ -33,7 +34,7 @@ use pathrank::spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, Landmar
 use pathrank::spatial::algo::yen::yen_k_shortest;
 use pathrank::spatial::builder::GraphBuilder;
 use pathrank::spatial::geometry::Point;
-use pathrank::spatial::graph::{CostModel, EdgeAttrs, Graph, RoadCategory, VertexId};
+use pathrank::spatial::graph::{CostModel, EdgeAttrs, EdgeId, Graph, RoadCategory, VertexId};
 use pathrank::spatial::util::BitSet;
 use proptest::prelude::*;
 
@@ -374,6 +375,195 @@ fn ch_survives_io_roundtrip_on_random_style_graph() {
             pa.map(|p| p.edges().to_vec()),
             pb.map(|p| p.edges().to_vec()),
             "reloaded CH diverged on {s:?}->{t:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A customizable CH must stay exact through arbitrary rounds of
+    /// live weight perturbation: after every re-customization on the
+    /// fixed topology, one-to-one costs are bit-identical to a fresh
+    /// Dijkstra on the perturbed weights. Speeds are drawn from
+    /// {0.9, 1.8, 3.6} km/h so travel times are exactly {4, 2, 1} times
+    /// the integer lengths — integer-valued, immune to tie-break noise.
+    #[test]
+    fn cch_costs_bit_identical_across_perturbation_rounds(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..60), 1..30),
+        salts in proptest::collection::vec(0u64..1000, 2..4),
+    ) {
+        let mut g = build_graph(n, &coords, &edges);
+        if g.edge_count() == 0 {
+            return Ok(());
+        }
+        // Metric-independent: built once, reused across every round.
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig { threads: 2 }));
+        for (round, &salt) in salts.iter().enumerate() {
+            let speeds: Vec<(EdgeId, f64)> = (0..g.edge_count())
+                .map(|i| {
+                    let pick = (i as u64).wrapping_mul(31).wrapping_add(salt) % 3;
+                    (EdgeId(i as u32), [0.9, 1.8, 3.6][pick as usize])
+                })
+                .collect();
+            g.set_edge_speeds(&speeds);
+            prop_assert_eq!(g.weights_epoch(), (round + 1) as u64);
+            let cch = Arc::new(topo.customize(&g, &CostModel::TravelTime));
+            prop_assert_eq!(cch.weights_epoch(), g.weights_epoch());
+            let mut engine = QueryEngine::new(&g).with_cch(Arc::clone(&cch));
+            prop_assert_eq!(
+                engine.backend_for(CostModel::TravelTime),
+                SearchBackend::Cch
+            );
+            // The customization covers TravelTime only; Length must not
+            // be served off it.
+            prop_assert_eq!(engine.backend_for(CostModel::Length), SearchBackend::Plain);
+            for s in 0..n {
+                for t in 0..n {
+                    let (s, t) = (VertexId(s as u32), VertexId(t as u32));
+                    if s == t {
+                        continue;
+                    }
+                    let plain = shortest_path(&g, s, t, CostModel::TravelTime);
+                    let fast = engine.shortest_path(s, t, CostModel::TravelTime);
+                    if let Some(p) = &fast {
+                        p.validate(&g).expect("CCH paths must be graph-valid");
+                    }
+                    prop_assert_eq!(
+                        cost_of(&g, &plain, CostModel::TravelTime).to_bits(),
+                        cost_of(&g, &fast, CostModel::TravelTime).to_bits(),
+                        "round {} CCH diverged on {:?}->{:?}", round, s, t
+                    );
+                    let probe = engine.shortest_path_cost(s, t, CostModel::TravelTime);
+                    prop_assert_eq!(
+                        plain.as_ref().map(|p| p.cost(&g, CostModel::TravelTime).to_bits()),
+                        probe.map(f64::to_bits),
+                        "round {} CCH cost probe diverged on {:?}->{:?}", round, s, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// `CostModel::Custom` slices are the CCH's home turf: a
+    /// customization built from exactly that weight vector serves it
+    /// (gated bitwise), any other slice falls back to plain searches.
+    #[test]
+    fn cch_custom_weight_vectors_bit_identical(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..60), 1..30),
+        salt in 1u32..40,
+    ) {
+        let g = build_graph(n, &coords, &edges);
+        if g.edge_count() == 0 {
+            return Ok(());
+        }
+        let custom: Vec<f64> = (0..g.edge_count())
+            .map(|i| 1.0 + ((i as u32 * salt) % 17) as f64)
+            .collect();
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig { threads: 2 }));
+        let cch = Arc::new(topo.customize_weights(&g, &custom));
+        let mut engine = QueryEngine::new(&g).with_cch(Arc::clone(&cch));
+        let cost = CostModel::Custom(&custom);
+        prop_assert_eq!(engine.backend_for(cost), SearchBackend::Cch);
+        // A different slice (even by one entry) must not be served.
+        let mut other = custom.clone();
+        other[0] += 1.0;
+        prop_assert_eq!(
+            engine.backend_for(CostModel::Custom(&other)),
+            SearchBackend::Plain
+        );
+        prop_assert_eq!(engine.backend_for(CostModel::Length), SearchBackend::Plain);
+        for s in 0..n {
+            for t in 0..n {
+                let (s, t) = (VertexId(s as u32), VertexId(t as u32));
+                if s == t {
+                    continue;
+                }
+                let plain = shortest_path(&g, s, t, cost);
+                let fast = engine.shortest_path(s, t, cost);
+                prop_assert_eq!(
+                    cost_of(&g, &plain, cost).to_bits(),
+                    cost_of(&g, &fast, cost).to_bits(),
+                    "custom-weight CCH diverged on {:?}->{:?}", s, t
+                );
+            }
+        }
+    }
+}
+
+/// Regression (weights-epoch gating): indexes customized or built before
+/// a weight mutation must be skipped by the engine — never served — and
+/// a re-customization at the new epoch restores the fast path.
+#[test]
+fn cch_stale_weights_epoch_is_never_served() {
+    use pathrank::spatial::generators::{region_network, RegionConfig};
+    let mut g = region_network(&RegionConfig::small_test(), 9);
+    let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+    let cch = Arc::new(topo.customize(&g, &CostModel::TravelTime));
+    let ch = Arc::new(ContractionHierarchy::build(
+        &g,
+        LandmarkMetric::TravelTime,
+        &ChConfig::default(),
+    ));
+    let table = Arc::new(LandmarkTable::build(
+        &g,
+        LandmarkMetric::TravelTime,
+        &LandmarkConfig::default(),
+    ));
+    {
+        let e = QueryEngine::new(&g)
+            .with_cch(Arc::clone(&cch))
+            .with_ch(Arc::clone(&ch))
+            .with_landmarks(Arc::clone(&table));
+        assert!(e.uses_ch(CostModel::TravelTime));
+        assert!(e.uses_cch(CostModel::TravelTime));
+        assert!(e.uses_alt(CostModel::TravelTime));
+    }
+    // Live traffic: one edge slows down. Every index above is now built
+    // against stale weights.
+    g.set_edge_speed(EdgeId(0), 5.0);
+    let mut stale = QueryEngine::new(&g)
+        .with_cch(Arc::clone(&cch))
+        .with_ch(Arc::clone(&ch))
+        .with_landmarks(Arc::clone(&table));
+    assert!(!stale.uses_ch(CostModel::TravelTime));
+    assert!(!stale.uses_cch(CostModel::TravelTime));
+    assert!(!stale.uses_alt(CostModel::TravelTime));
+    assert_eq!(
+        stale.backend_for(CostModel::TravelTime),
+        SearchBackend::Plain,
+        "a stale index must never serve a mutated graph"
+    );
+    // The fallback still answers exactly (it reads the live weights).
+    let n = g.vertex_count() as u32;
+    for (s, t) in [(0, n - 1), (n / 2, 1)] {
+        let (s, t) = (VertexId(s), VertexId(t));
+        let plain = shortest_path(&g, s, t, CostModel::TravelTime);
+        let fast = stale.shortest_path(s, t, CostModel::TravelTime);
+        assert_eq!(
+            cost_of(&g, &plain, CostModel::TravelTime).to_bits(),
+            cost_of(&g, &fast, CostModel::TravelTime).to_bits(),
+            "fallback diverged on {s:?}->{t:?}"
+        );
+    }
+    // Re-customizing the same topology at the new epoch restores the
+    // CCH fast path — no rebuild required.
+    let fresh = Arc::new(topo.customize(&g, &CostModel::TravelTime));
+    assert_eq!(fresh.weights_epoch(), g.weights_epoch());
+    let mut live = QueryEngine::new(&g).with_cch(Arc::clone(&fresh));
+    assert_eq!(live.backend_for(CostModel::TravelTime), SearchBackend::Cch);
+    for (s, t) in [(0, n - 1), (n / 2, 1)] {
+        let (s, t) = (VertexId(s), VertexId(t));
+        let plain = shortest_path(&g, s, t, CostModel::TravelTime);
+        let fast = live.shortest_path(s, t, CostModel::TravelTime);
+        assert_eq!(
+            cost_of(&g, &plain, CostModel::TravelTime).to_bits(),
+            cost_of(&g, &fast, CostModel::TravelTime).to_bits(),
+            "re-customized CCH diverged on {s:?}->{t:?}"
         );
     }
 }

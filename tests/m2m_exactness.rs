@@ -27,6 +27,7 @@
 
 use std::sync::Arc;
 
+use pathrank::spatial::algo::cch::{CchConfig, CchTopology};
 use pathrank::spatial::algo::ch::{ChConfig, ContractionHierarchy};
 use pathrank::spatial::algo::dijkstra::shortest_path;
 use pathrank::spatial::algo::landmarks::LandmarkMetric;
@@ -34,7 +35,7 @@ use pathrank::spatial::algo::m2m::M2mSearch;
 use pathrank::spatial::algo::QueryEngine;
 use pathrank::spatial::builder::GraphBuilder;
 use pathrank::spatial::geometry::Point;
-use pathrank::spatial::graph::{CostModel, EdgeAttrs, Graph, RoadCategory, VertexId};
+use pathrank::spatial::graph::{CostModel, EdgeAttrs, EdgeId, Graph, RoadCategory, VertexId};
 use proptest::prelude::*;
 
 /// Builds a random directed graph from proptest-drawn raw material:
@@ -231,6 +232,109 @@ proptest! {
         prop_assert!(engine
             .one_to_many(all[0], &all, CostModel::Custom(&custom))
             .is_none());
+    }
+
+    /// Batched tables off a customizable CH stay bit-identical to
+    /// pairwise Dijkstra through rounds of live weight perturbation.
+    /// Speeds from {0.9, 1.8, 3.6} km/h keep travel times integer
+    /// ({4, 2, 1} × length), so even the raw shortcut-weight sums the
+    /// bucket algorithm returns are exact.
+    #[test]
+    fn cch_m2m_tables_bit_identical_across_perturbation_rounds(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..60), 1..30),
+        salts in proptest::collection::vec(0u64..1000, 2..4),
+    ) {
+        let mut g = build_graph(n, &coords, &edges);
+        if g.edge_count() == 0 {
+            return Ok(());
+        }
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig { threads: 2 }));
+        let all: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+        for (round, &salt) in salts.iter().enumerate() {
+            let speeds: Vec<(EdgeId, f64)> = (0..g.edge_count())
+                .map(|i| {
+                    let pick = (i as u64).wrapping_mul(31).wrapping_add(salt) % 3;
+                    (EdgeId(i as u32), [0.9, 1.8, 3.6][pick as usize])
+                })
+                .collect();
+            g.set_edge_speeds(&speeds);
+            let cch = Arc::new(topo.customize(&g, &CostModel::TravelTime));
+            let mut engine = QueryEngine::new(&g).with_cch(cch);
+            // The customization is TravelTime-only: Length batched calls
+            // must hit the caller's fallback, not a wrong-metric table.
+            prop_assert!(engine.many_to_many(&all, &all, CostModel::Length).is_none());
+            let table = engine
+                .many_to_many(&all, &all, CostModel::TravelTime)
+                .expect("TravelTime CCH attached");
+            for (i, &s) in all.iter().enumerate() {
+                for (j, &t) in all.iter().enumerate() {
+                    let expect = reference(&g, s, t, CostModel::TravelTime);
+                    prop_assert_eq!(
+                        expect.to_bits(),
+                        table.dist(i, j).to_bits(),
+                        "round {} CCH table diverged on {:?}->{:?}: {} vs {}",
+                        round, s, t, expect, table.dist(i, j)
+                    );
+                }
+            }
+            for &s in &all {
+                let batched = engine
+                    .one_to_many(s, &all, CostModel::TravelTime)
+                    .expect("TravelTime CCH attached");
+                for (j, &t) in all.iter().enumerate() {
+                    prop_assert_eq!(
+                        reference(&g, s, t, CostModel::TravelTime).to_bits(),
+                        batched[j].to_bits(),
+                        "round {} CCH one_to_many diverged on {:?}->{:?}", round, s, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// One engine serving Length off a classic CH and TravelTime off a
+    /// CCH, alternating tables on its single shared m2m scratch — no
+    /// bucket or label state may leak between the two hierarchies.
+    #[test]
+    fn cch_interleaved_metrics_share_engine_scratch(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..30), 1..30),
+        rounds in 1usize..4,
+    ) {
+        let g = build_graph(n, &coords, &edges);
+        if g.edge_count() == 0 {
+            return Ok(());
+        }
+        let ch_len = Arc::new(ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig { threads: 2, witness_settle_cap: 8 },
+        ));
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig { threads: 2 }));
+        let cch_tt = Arc::new(topo.customize(&g, &CostModel::TravelTime));
+        let mut engine = QueryEngine::new(&g).with_ch(ch_len).with_cch(cch_tt);
+        let all: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+        for _ in 0..rounds {
+            for cost in [CostModel::Length, CostModel::TravelTime] {
+                let table = engine
+                    .many_to_many(&all, &all, cost)
+                    .expect("each metric has a serving hierarchy");
+                for (i, &s) in all.iter().enumerate() {
+                    for (j, &t) in all.iter().enumerate() {
+                        let expect = reference(&g, s, t, cost);
+                        prop_assert_eq!(
+                            expect.to_bits(),
+                            table.dist(i, j).to_bits(),
+                            "interleaved {:?} diverged on {:?}->{:?}",
+                            cost, s, t
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 
