@@ -1,0 +1,241 @@
+//! `loadgen` — the serving benchmark behind `BENCH_serving.json`.
+//!
+//! Drives an in-process [`RouteServer`] (no transport noise) with N
+//! closed-loop clients over a hub-skewed workload, A/B-ing live m2m
+//! batching against individual dispatch at several client counts.
+//! Before *any* configuration is timed, the same concurrent run is
+//! executed once as an exactness pass: every reply must be
+//! **bit-identical** to the sequential [`QueryEngine`] answer for that
+//! pair (the fixture graph carries integer weights, where bucket m2m
+//! sums are exact in any association — see [`pathrank_serve::fixture`]).
+//!
+//! ```text
+//! loadgen [--quick] [--out PATH]
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pathrank_serve::fixture::{hub_pairs, integer_city};
+use pathrank_serve::{Metric, RouteRequest, RouteServer, ServeConfig, ServerIndexes};
+use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+use pathrank_spatial::algo::engine::QueryEngine;
+use pathrank_spatial::graph::{CostModel, VertexId};
+
+struct ConfigRow {
+    clients: usize,
+    batching: bool,
+    requests: usize,
+    elapsed_s: f64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    batched_share: f64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    assert!(!sorted_ns.is_empty());
+    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Runs `clients` closed-loop client threads over `pairs`, returning
+/// per-request latencies (ns) in completion order. When `expected` is
+/// given this is an exactness pass: every reply's cost is compared
+/// bitwise against the sequential answer.
+fn run_clients(
+    server: &RouteServer,
+    pairs: &[(VertexId, VertexId)],
+    clients: usize,
+    expected: Option<&HashMap<(u32, u32), Option<f64>>>,
+) -> Vec<u64> {
+    let per = pairs.len() / clients;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let slice = &pairs[c * per..(c + 1) * per];
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(slice.len());
+                    for &(s, t) in slice {
+                        let started = Instant::now();
+                        let reply = server
+                            .route(RouteRequest {
+                                source: s,
+                                target: t,
+                                metric: Metric::Length,
+                                deadline: None,
+                            })
+                            .expect("no deadlines and a deep queue: nothing sheds");
+                        lat.push(started.elapsed().as_nanos() as u64);
+                        if let Some(exp) = expected {
+                            let want = exp[&(s.0, t.0)];
+                            assert_eq!(
+                                reply.cost.map(f64::to_bits),
+                                want.map(f64::to_bits),
+                                "server answer for {}->{} diverged from sequential engine",
+                                s.0,
+                                t.0
+                            );
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(pairs.len());
+        for h in handles {
+            all.extend(h.join().expect("client thread"));
+        }
+        all
+    })
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_serving.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().unwrap_or(out),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: loadgen [--quick] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let side = if quick { 12 } else { 24 };
+    let client_counts: &[usize] = &[4, 16, 64];
+    let total_requests = if quick { 1_536 } else { 6_144 };
+    let hubs = 8;
+
+    eprintln!("loadgen: building {side}x{side} integer city + Length CH...");
+    let graph = Arc::new(integer_city(side));
+    let ch = Arc::new(ContractionHierarchy::build(
+        &graph,
+        pathrank_spatial::algo::landmarks::LandmarkMetric::Length,
+        &ChConfig::default(),
+    ));
+    let pairs = hub_pairs(&graph, total_requests, hubs, 0x10ad);
+
+    // Sequential ground truth, computed once: the bar every timed
+    // configuration must clear bit-for-bit before its clock starts.
+    let mut engine = QueryEngine::new(&graph);
+    engine.set_ch(Some(Arc::clone(&ch)));
+    let mut expected: HashMap<(u32, u32), Option<f64>> = HashMap::new();
+    for &(s, t) in &pairs {
+        expected
+            .entry((s.0, t.0))
+            .or_insert_with(|| engine.shortest_path_cost(s, t, CostModel::Length));
+    }
+    eprintln!(
+        "  {} requests over {} distinct pairs, {} hub targets",
+        pairs.len(),
+        expected.len(),
+        hubs
+    );
+
+    let mut rows: Vec<ConfigRow> = Vec::new();
+    for &clients in client_counts {
+        for batching in [false, true] {
+            let cfg = ServeConfig {
+                batching,
+                ..ServeConfig::default()
+            };
+            let server = RouteServer::start(
+                Arc::clone(&graph),
+                ServerIndexes {
+                    ch: Some(Arc::clone(&ch)),
+                    ..ServerIndexes::default()
+                },
+                cfg,
+            );
+            // Exactness pass first — untimed, same concurrency.
+            run_clients(&server, &pairs, clients, Some(&expected));
+            let after_warmup = server.stats();
+
+            let started = Instant::now();
+            let mut lat = run_clients(&server, &pairs, clients, None);
+            let elapsed = started.elapsed();
+
+            let stats = server.stats();
+            let timed_served = stats.served - after_warmup.served;
+            let timed_batched = stats.batched - after_warmup.batched;
+            server.shutdown();
+
+            lat.sort_unstable();
+            let requests = lat.len();
+            let elapsed_s = elapsed.as_secs_f64();
+            let row = ConfigRow {
+                clients,
+                batching,
+                requests,
+                elapsed_s,
+                qps: requests as f64 / elapsed_s,
+                p50_us: percentile_us(&lat, 50.0),
+                p99_us: percentile_us(&lat, 99.0),
+                p999_us: percentile_us(&lat, 99.9),
+                batched_share: timed_batched as f64 / timed_served.max(1) as f64,
+            };
+            eprintln!(
+                "  clients={:3} batching={:5} qps={:9.0} p50={:7.1}us p99={:7.1}us p999={:7.1}us batched_share={:.2}",
+                row.clients, row.batching, row.qps, row.p50_us, row.p99_us, row.p999_us, row.batched_share
+            );
+            rows.push(row);
+        }
+    }
+
+    // Throughput win of batching over individual dispatch at the
+    // heaviest client count.
+    let max_clients = *client_counts.iter().max().expect("non-empty");
+    let qps_of = |batching: bool| {
+        rows.iter()
+            .find(|r| r.clients == max_clients && r.batching == batching)
+            .map_or(0.0, |r| r.qps)
+    };
+    let win_ratio = qps_of(true) / qps_of(false).max(1e-9);
+    eprintln!("  batched/unbatched qps at {max_clients} clients: {win_ratio:.2}x");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serving\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{ \"side\": {side}, \"vertices\": {}, \"edges\": {} }},",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    let _ = writeln!(json, "  \"workload\": {{ \"requests\": {total_requests}, \"hub_targets\": {hubs}, \"metric\": \"length\" }},");
+    let _ = writeln!(
+        json,
+        "  \"exactness\": \"bitwise vs sequential QueryEngine, asserted before timing\","
+    );
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"clients\": {}, \"batching\": {}, \"requests\": {}, \"elapsed_s\": {:.4}, \"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"batched_share\": {:.3} }}{}",
+            r.clients, r.batching, r.requests, r.elapsed_s, r.qps, r.p50_us, r.p99_us, r.p999_us, r.batched_share, comma
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"batched_qps_win\": {{ \"clients\": {max_clients}, \"ratio\": {win_ratio:.3} }}"
+    );
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}

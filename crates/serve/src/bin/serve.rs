@@ -1,0 +1,101 @@
+//! `serve` — stand up a [`RouteServer`] over a fixture city and speak
+//! the TCP line protocol.
+//!
+//! ```text
+//! serve [--port P] [--side N] [--shards S] [--no-batching]
+//! ```
+//!
+//! Builds the integer grid city, a Length CH, Length landmarks and the
+//! CCH topology, installs an initial live weight generation, then
+//! listens. Try it with netcat:
+//!
+//! ```text
+//! $ echo "ROUTE 0 575 length" | nc 127.0.0.1 7111
+//! OK 9042 Ch 0 0
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pathrank_serve::fixture::{integer_city, integer_live_weights};
+use pathrank_serve::tcp::run_listener;
+use pathrank_serve::{RouteServer, ServeConfig, ServerIndexes};
+use pathrank_spatial::algo::cch::{CchConfig, CchTopology};
+use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
+
+fn main() -> ExitCode {
+    let mut port: u16 = 7111;
+    let mut side: usize = 24;
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => port = args.next().and_then(|v| v.parse().ok()).unwrap_or(port),
+            "--side" => side = args.next().and_then(|v| v.parse().ok()).unwrap_or(side),
+            "--shards" => {
+                cfg.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.shards);
+            }
+            "--no-batching" => cfg.batching = false,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: serve [--port P] [--side N] [--shards S] [--no-batching]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("building {side}x{side} fixture city...");
+    let graph = Arc::new(integer_city(side));
+    eprintln!(
+        "  {} vertices, {} directed edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    eprintln!("building Length CH, landmarks and CCH topology...");
+    let ch = Arc::new(ContractionHierarchy::build(
+        &graph,
+        LandmarkMetric::Length,
+        &ChConfig::default(),
+    ));
+    let landmarks = Arc::new(LandmarkTable::build(
+        &graph,
+        LandmarkMetric::Length,
+        &LandmarkConfig::default(),
+    ));
+    let topo = Arc::new(CchTopology::build(&graph, &CchConfig::default()));
+    let indexes = ServerIndexes {
+        ch: Some(ch),
+        landmarks: Some(landmarks),
+        cch_topology: Some(topo),
+    };
+
+    let server = Arc::new(RouteServer::start(Arc::clone(&graph), indexes, cfg));
+    let generation = server
+        .update_live_weights(integer_live_weights(&graph, 0xbeef))
+        .expect("fixture weights are valid");
+    eprintln!("installed live weight generation {generation}");
+
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serving on 127.0.0.1:{port} with {} shard(s); protocol: ROUTE <src> <dst> <length|time|live> [deadline_ms]",
+        server.shards()
+    );
+    match run_listener(listener, server) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("listener failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

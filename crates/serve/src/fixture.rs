@@ -1,0 +1,133 @@
+//! Deterministic serving fixtures.
+//!
+//! The exactness harnesses compare batched server replies against
+//! sequential [`QueryEngine`](pathrank_spatial::algo::engine::QueryEngine)
+//! answers **bitwise**. Bucket many-to-many fills sum hub distances in
+//! a different association order than a sequential cost fold, so on
+//! arbitrary float weights the two can differ in the last ulp. On
+//! *integer* weights they cannot: every partial sum along a realistic
+//! path stays far below 2^53, where f64 addition is exact in any
+//! association. All graphs and live weight vectors here therefore carry
+//! integer-metre costs, making "bit-identical" a theorem rather than a
+//! hope. (A separate tolerance harness covers float weights.)
+
+use pathrank_spatial::builder::GraphBuilder;
+use pathrank_spatial::geometry::Point;
+use pathrank_spatial::graph::{EdgeAttrs, Graph, RoadCategory, VertexId};
+
+/// Splitmix-style step used for every deterministic choice below.
+#[inline]
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A `side × side` grid city with deterministic *integer* edge lengths
+/// (metres in `[80, 400)`), every street bidirectional. Vertex
+/// `(i, j)` sits at `(i·200, j·200)` and has id `i·side + j`.
+pub fn integer_city(side: usize) -> Graph {
+    assert!(side >= 2, "a city needs at least a 2x2 grid");
+    let mut b = GraphBuilder::with_capacity(side * side, 4 * side * (side - 1));
+    for i in 0..side {
+        for j in 0..side {
+            b.add_vertex(Point::new(i as f64 * 200.0, j as f64 * 200.0));
+        }
+    }
+    let id = |i: usize, j: usize| VertexId((i * side + j) as u32);
+    let mut state = 0x5eed_c17du64;
+    let street = |b: &mut GraphBuilder, u: VertexId, v: VertexId, state: &mut u64| {
+        let length_m = (80 + next(state) % 320) as f64;
+        let category = match next(state) % 4 {
+            0 => RoadCategory::Arterial,
+            1 => RoadCategory::Rural,
+            _ => RoadCategory::Residential,
+        };
+        b.add_bidirectional(u, v, EdgeAttrs::with_default_speed(length_m, category))
+            .expect("grid edges are valid");
+    };
+    for i in 0..side {
+        for j in 0..side {
+            if i + 1 < side {
+                street(&mut b, id(i, j), id(i + 1, j), &mut state);
+            }
+            if j + 1 < side {
+                street(&mut b, id(i, j), id(i, j + 1), &mut state);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A deterministic integer live-weight vector for `g` — "congested"
+/// weights in `[60, 1000)` per directed edge, distinct from the static
+/// lengths so a test can tell the generations apart. Different `seed`s
+/// give different vectors (distinct generations for swap tests).
+pub fn integer_live_weights(g: &Graph, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..g.edge_count())
+        .map(|_| (60 + next(&mut state) % 940) as f64)
+        .collect()
+}
+
+/// Deterministic request endpoints with hub-skewed targets: sources are
+/// uniform, targets are drawn from a pool of `hubs` vertices. This is
+/// the workload where coalescing wins — many concurrent requests share
+/// backward target sweeps, so a batch of `B` pays `S + T ≪ 2·B`
+/// half-sweeps. Self-pairs are skipped.
+pub fn hub_pairs(g: &Graph, count: usize, hubs: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let n = g.vertex_count() as u64;
+    let hubs = hubs.max(1) as u64;
+    let mut state = seed | 1;
+    let hub_pool: Vec<u64> = (0..hubs).map(|_| next(&mut state) % n).collect();
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let s = next(&mut state) % n;
+        let t = hub_pool[(next(&mut state) % hubs) as usize];
+        if s != t {
+            pairs.push((VertexId(s as u32), VertexId(t as u32)));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_is_deterministic_and_integer_weighted() {
+        let a = integer_city(6);
+        let b = integer_city(6);
+        assert_eq!(a.vertex_count(), 36);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for e in 0..a.edge_count() {
+            let attrs = a.edge(pathrank_spatial::graph::EdgeId(e as u32)).attrs;
+            assert_eq!(attrs.length_m.fract(), 0.0, "lengths must be integers");
+            assert!((80.0..400.0).contains(&attrs.length_m));
+        }
+    }
+
+    #[test]
+    fn live_weights_are_integer_and_seed_dependent() {
+        let g = integer_city(5);
+        let w1 = integer_live_weights(&g, 1);
+        let w2 = integer_live_weights(&g, 2);
+        assert_eq!(w1.len(), g.edge_count());
+        assert!(w1.iter().all(|w| w.fract() == 0.0 && *w >= 60.0));
+        assert_ne!(w1, w2);
+    }
+
+    #[test]
+    fn hub_pairs_reuse_targets() {
+        let g = integer_city(8);
+        let pairs = hub_pairs(&g, 200, 4, 99);
+        assert_eq!(pairs.len(), 200);
+        let mut targets: Vec<u32> = pairs.iter().map(|(_, t)| t.0).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert!(targets.len() <= 4, "targets come from the hub pool");
+        assert!(pairs.iter().all(|(s, t)| s != t));
+    }
+}

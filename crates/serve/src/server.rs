@@ -1,0 +1,611 @@
+//! The thread-per-core route server.
+//!
+//! One worker thread per shard, each owning a private [`QueryEngine`]
+//! over the `Arc`-shared graph and indexes. Requests are hashed by
+//! source vertex onto a shard (same-source bursts coalesce in one
+//! worker, where the batcher can reuse their forward sweeps), admitted
+//! through a *bounded* queue, and answered over a per-request one-shot
+//! channel.
+//!
+//! # Live m2m batching
+//!
+//! A worker picking up a request first drains everything already queued
+//! (a free batch — those requests have already paid their queueing
+//! latency), then optionally waits out a short window for stragglers.
+//! If the coalesced batch is large enough and a hierarchy covers its
+//! metric, the worker answers it with one bucket many-to-many fill:
+//! one backward upward sweep per distinct target, one forward upward
+//! sweep per distinct source — `S + T` half-sweeps where individual
+//! dispatch would pay two per request. Each reply is de-multiplexed out
+//! of the row its source swept. Batched costs are the bucket sums —
+//! exact, and *bit-identical* to sequential engine answers on
+//! integer-weight graphs (see [`crate::fixture`]); on arbitrary float
+//! weights they agree up to float re-association, the same caveat the
+//! map matcher's bulk fill documents.
+//!
+//! # Deadlines and degradation
+//!
+//! Admission rejects immediately when the queue is full
+//! ([`ServeError::QueueFull`]) or the deadline has already passed;
+//! workers re-check deadlines when a batch starts and shed expired
+//! requests unanswered-work-first ([`ServeError::DeadlineExpired`]).
+//! The batching window never waits past the earliest deadline in the
+//! batch. Per metric, queries take the strongest backend that covers
+//! them — CH, CCH, ALT, then plain Dijkstra — and a server configured
+//! with [`ServeConfig::allow_plain`]` = false` rejects queries that
+//! would hit the plain rung ([`ServeError::NoBackend`]) instead of
+//! letting them monopolise a shard.
+//!
+//! # Atomic live-weight swaps
+//!
+//! [`RouteServer::update_live_weights`] customizes the shared
+//! [`CchTopology`] for the new weight vector *off* the serving path,
+//! then swaps the `(weights, Cch)` pair in under a mutex. Workers
+//! snapshot the pair once per batch, so every request in a batch — and
+//! every individual query, which folds costs over that snapshot's
+//! unpacked edges — observes exactly one generation, never a mix. The
+//! engine's own `usable_for` bitwise-equality and weights-epoch gates
+//! stay on underneath as defence in depth.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pathrank_spatial::algo::cch::{Cch, CchTopology};
+use pathrank_spatial::algo::ch::ContractionHierarchy;
+use pathrank_spatial::algo::engine::{QueryEngine, SearchBackend};
+use pathrank_spatial::algo::landmarks::LandmarkTable;
+use pathrank_spatial::graph::{CostModel, Graph, VertexId};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards; `0` means one per available core
+    /// (thread-per-core).
+    pub shards: usize,
+    /// Bounded admission queue depth per shard; a full queue sheds with
+    /// [`ServeError::QueueFull`] instead of queueing unboundedly.
+    pub queue_capacity: usize,
+    /// How long a worker may wait for stragglers to grow a batch that
+    /// is still below [`ServeConfig::min_batch_for_m2m`]. Zero disables
+    /// waiting; already-queued requests still coalesce for free.
+    pub batch_window: Duration,
+    /// Hard cap on coalesced batch size.
+    pub max_batch: usize,
+    /// Master switch for m2m batching; off, every request dispatches
+    /// individually (the A/B baseline the loadgen benchmark measures).
+    pub batching: bool,
+    /// Smallest batch worth a bucket m2m fill. Below it, individual
+    /// CH queries pay fewer sweeps than `S + T`.
+    pub min_batch_for_m2m: usize,
+    /// Whether queries no index covers may fall back to plain Dijkstra.
+    /// `false` turns the ladder's last rung into
+    /// [`ServeError::NoBackend`] — an overload guard for big graphs
+    /// where one plain sweep can starve a shard.
+    pub allow_plain: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 0,
+            queue_capacity: 1024,
+            batch_window: Duration::from_micros(200),
+            max_batch: 64,
+            batching: true,
+            min_batch_for_m2m: 4,
+            allow_plain: true,
+        }
+    }
+}
+
+/// Which cost model a request routes under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Static edge lengths ([`CostModel::Length`]).
+    Length,
+    /// Static free-flow travel time ([`CostModel::TravelTime`]).
+    TravelTime,
+    /// The latest live weight vector
+    /// ([`RouteServer::update_live_weights`]), served through the
+    /// re-customized CCH as [`CostModel::Custom`].
+    Live,
+}
+
+/// One point-to-point routing request.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteRequest {
+    /// Route origin.
+    pub source: VertexId,
+    /// Route destination.
+    pub target: VertexId,
+    /// Cost model to route under.
+    pub metric: Metric,
+    /// Drop-dead time: the server sheds the request (at admission or
+    /// when its batch starts) once this instant passes. `None` never
+    /// expires.
+    pub deadline: Option<Instant>,
+}
+
+/// A served answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteReply {
+    /// Cheapest route cost, `None` when the target is unreachable.
+    pub cost: Option<f64>,
+    /// Which backend rung answered.
+    pub backend: SearchBackend,
+    /// Whether the answer came out of a coalesced m2m fill.
+    pub batched: bool,
+    /// Live-weights generation that answered (`0` for static metrics).
+    pub weights_generation: u64,
+}
+
+/// Why a request was not answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The shard's bounded queue was full — shed at admission.
+    QueueFull,
+    /// The deadline passed before the request was served.
+    DeadlineExpired,
+    /// No backend covers the metric (no live weights installed, or the
+    /// plain rung is disabled and no index matches).
+    NoBackend,
+    /// A weight vector of the wrong length or with non-finite/negative
+    /// entries was rejected before it could poison a customization.
+    InvalidWeights,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServeError::QueueFull => "shard queue full",
+            ServeError::DeadlineExpired => "deadline expired",
+            ServeError::NoBackend => "no backend covers the metric",
+            ServeError::InvalidWeights => "invalid live weight vector",
+            ServeError::Shutdown => "server shut down",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One immutable live-weight generation: the vector and the CCH
+/// customized for it, always swapped as a pair.
+#[derive(Debug)]
+pub struct LiveWeights {
+    /// Monotone generation counter (first install is 1).
+    pub generation: u64,
+    /// Per-edge weights, indexed by `EdgeId` — what queries fold with
+    /// [`CostModel::Custom`].
+    pub weights: Vec<f64>,
+    /// The CCH customized for exactly `weights` (bitwise).
+    pub cch: Arc<Cch>,
+}
+
+/// The shared indexes workers attach to their engines. All optional —
+/// the ladder simply skips missing rungs.
+#[derive(Clone, Default)]
+pub struct ServerIndexes {
+    /// Metric-built contraction hierarchy (strongest rung for its
+    /// metric).
+    pub ch: Option<Arc<ContractionHierarchy>>,
+    /// ALT landmark table (the CH's fallback rung).
+    pub landmarks: Option<Arc<LandmarkTable>>,
+    /// Metric-independent CCH topology; required for
+    /// [`Metric::Live`] / [`RouteServer::update_live_weights`].
+    pub cch_topology: Option<Arc<CchTopology>>,
+}
+
+/// Cumulative server counters ([`RouteServer::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered with a [`RouteReply`].
+    pub served: u64,
+    /// Of those, answered out of a coalesced m2m fill.
+    pub batched: u64,
+    /// Requests shed because their deadline passed in the queue.
+    pub shed_deadline: u64,
+    /// Requests rejected at admission because the shard queue was full.
+    pub shed_queue_full: u64,
+    /// Requests rejected because no backend covered their metric.
+    pub no_backend: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    served: AtomicU64,
+    batched: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_queue_full: AtomicU64,
+    no_backend: AtomicU64,
+}
+
+struct LiveState {
+    current: Mutex<Option<Arc<LiveWeights>>>,
+    generation: AtomicU64,
+}
+
+struct Job {
+    req: RouteRequest,
+    reply: SyncSender<Result<RouteReply, ServeError>>,
+}
+
+/// A submitted request's reply slot ([`RouteServer::submit`]).
+pub struct PendingRoute {
+    rx: Receiver<Result<RouteReply, ServeError>>,
+}
+
+impl PendingRoute {
+    /// Blocks until the shard answers (or sheds) the request.
+    pub fn wait(self) -> Result<RouteReply, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+/// The running server: shard workers plus the shared live-weight state.
+pub struct RouteServer {
+    graph: Arc<Graph>,
+    indexes: ServerIndexes,
+    live: Arc<LiveState>,
+    stats: Arc<StatsInner>,
+    senders: Vec<SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl RouteServer {
+    /// Starts the shard workers. `cfg.shards == 0` spawns one per
+    /// available core.
+    pub fn start(graph: Arc<Graph>, indexes: ServerIndexes, cfg: ServeConfig) -> Self {
+        let shards = if cfg.shards == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            cfg.shards
+        };
+        let live = Arc::new(LiveState {
+            current: Mutex::new(None),
+            generation: AtomicU64::new(0),
+        });
+        let stats = Arc::new(StatsInner::default());
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity.max(1));
+            senders.push(tx);
+            let g = Arc::clone(&graph);
+            let idx = indexes.clone();
+            let lv = Arc::clone(&live);
+            let st = Arc::clone(&stats);
+            let wc = cfg.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("route-shard-{shard}"))
+                    .spawn(move || worker_loop(&g, &idx, &lv, &st, &wc, rx))
+                    .expect("spawn shard worker"),
+            );
+        }
+        RouteServer {
+            graph,
+            indexes,
+            live,
+            stats,
+            senders,
+            handles,
+        }
+    }
+
+    /// The graph the server routes on.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Cumulative counters across all shards.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.stats.served.load(Ordering::Relaxed),
+            batched: self.stats.batched.load(Ordering::Relaxed),
+            shed_deadline: self.stats.shed_deadline.load(Ordering::Relaxed),
+            shed_queue_full: self.stats.shed_queue_full.load(Ordering::Relaxed),
+            no_backend: self.stats.no_backend.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Generation of the currently installed live weights (`0` before
+    /// the first [`RouteServer::update_live_weights`]).
+    pub fn live_generation(&self) -> u64 {
+        self.live.generation.load(Ordering::SeqCst)
+    }
+
+    /// Installs a new live weight vector: validates it, customizes the
+    /// shared CCH topology for it *on the calling thread* (workers keep
+    /// serving the previous generation meanwhile), then atomically
+    /// swaps the `(weights, index)` pair in. Returns the new
+    /// generation.
+    ///
+    /// Errors with [`ServeError::NoBackend`] when the server has no
+    /// [`ServerIndexes::cch_topology`], and
+    /// [`ServeError::InvalidWeights`] on a wrong-length vector or any
+    /// non-finite / negative entry — the serving-layer mirror of the
+    /// graph-mutation speed clamp, so a poisoned vector can never reach
+    /// a customization.
+    pub fn update_live_weights(&self, weights: Vec<f64>) -> Result<u64, ServeError> {
+        let topo = self
+            .indexes
+            .cch_topology
+            .as_ref()
+            .ok_or(ServeError::NoBackend)?;
+        if weights.len() != self.graph.edge_count()
+            || weights.iter().any(|w| !w.is_finite() || *w < 0.0)
+        {
+            return Err(ServeError::InvalidWeights);
+        }
+        let cch = Arc::new(topo.customize_weights(&self.graph, &weights));
+        // generation is only ever bumped here, under no lock: the swap
+        // below publishes (weights, cch, generation) as one Arc.
+        let generation = self.live.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let lw = Arc::new(LiveWeights {
+            generation,
+            weights,
+            cch,
+        });
+        *self.live.current.lock().expect("live lock") = Some(lw);
+        Ok(generation)
+    }
+
+    /// Admits a request without blocking: hashes it onto its shard and
+    /// enqueues it, returning the reply slot. Sheds immediately when
+    /// the deadline has already passed or the shard queue is full.
+    pub fn submit(&self, req: RouteRequest) -> Result<PendingRoute, ServeError> {
+        if req.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::DeadlineExpired);
+        }
+        // Fibonacci hash of the source vertex: same-source bursts land
+        // on one shard, where their forward sweep is shared.
+        let h = (req.source.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let shard = (h >> 33) as usize % self.senders.len();
+        let (tx, rx) = mpsc::sync_channel(1);
+        match self.senders[shard].try_send(Job { req, reply: tx }) {
+            Ok(()) => Ok(PendingRoute { rx }),
+            Err(TrySendError::Full(_)) => {
+                self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// [`RouteServer::submit`] + [`PendingRoute::wait`].
+    pub fn route(&self, req: RouteRequest) -> Result<RouteReply, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Stops accepting work, drains the shards and joins the workers.
+    pub fn shutdown(mut self) {
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RouteServer {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One shard's serving loop: block for work, coalesce, process.
+fn worker_loop(
+    g: &Arc<Graph>,
+    idx: &ServerIndexes,
+    live: &Arc<LiveState>,
+    stats: &Arc<StatsInner>,
+    cfg: &ServeConfig,
+    rx: Receiver<Job>,
+) {
+    let mut engine = QueryEngine::new(g);
+    engine.set_landmarks(idx.landmarks.clone());
+    engine.set_ch(idx.ch.clone());
+    // The live generation this engine's CCH slot currently matches;
+    // swapped lazily when a batch snapshots a newer one.
+    let mut mounted_live: Option<Arc<LiveWeights>> = None;
+    let mut batch: Vec<Job> = Vec::new();
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: shutdown
+        };
+        batch.push(first);
+        // Greedy drain: whatever queued while we were busy batches for
+        // free — no request waits a window it doesn't have to.
+        while batch.len() < cfg.max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        // Straggler window, only while the batch is still below the
+        // m2m threshold and never past the earliest deadline on board.
+        if cfg.batching && cfg.batch_window > Duration::ZERO && batch.len() < cfg.min_batch_for_m2m
+        {
+            let window_end = Instant::now() + cfg.batch_window;
+            let wait_until = batch
+                .iter()
+                .filter_map(|j| j.req.deadline)
+                .min()
+                .map_or(window_end, |d| d.min(window_end));
+            while batch.len() < cfg.max_batch {
+                let now = Instant::now();
+                let Some(remaining) = wait_until.checked_duration_since(now) else {
+                    break;
+                };
+                if remaining.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(remaining) {
+                    Ok(job) => batch.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        process_batch(&mut engine, live, stats, cfg, &mut mounted_live, &mut batch);
+    }
+}
+
+/// Sheds expired jobs, groups the rest by metric and serves each group.
+fn process_batch(
+    engine: &mut QueryEngine<'_>,
+    live: &Arc<LiveState>,
+    stats: &StatsInner,
+    cfg: &ServeConfig,
+    mounted_live: &mut Option<Arc<LiveWeights>>,
+    batch: &mut Vec<Job>,
+) {
+    let now = Instant::now();
+    let mut groups: HashMap<Metric, Vec<Job>> = HashMap::new();
+    for job in batch.drain(..) {
+        if job.req.deadline.is_some_and(|d| now >= d) {
+            stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServeError::DeadlineExpired));
+            continue;
+        }
+        groups.entry(job.req.metric).or_default().push(job);
+    }
+    for (metric, jobs) in groups {
+        match metric {
+            Metric::Length => serve_group(engine, stats, cfg, jobs, CostModel::Length, 0),
+            Metric::TravelTime => serve_group(engine, stats, cfg, jobs, CostModel::TravelTime, 0),
+            Metric::Live => {
+                // One snapshot per batch: every request in it sees this
+                // exact (weights, cch) pair — old or new around a swap,
+                // never a mix.
+                let snapshot = live.current.lock().expect("live lock").clone();
+                let Some(lw) = snapshot else {
+                    for job in jobs {
+                        stats.no_backend.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.reply.send(Err(ServeError::NoBackend));
+                    }
+                    continue;
+                };
+                if mounted_live.as_ref().is_none_or(|m| !Arc::ptr_eq(m, &lw)) {
+                    engine.set_cch(Some(Arc::clone(&lw.cch)));
+                    *mounted_live = Some(Arc::clone(&lw));
+                }
+                serve_group(
+                    engine,
+                    stats,
+                    cfg,
+                    jobs,
+                    CostModel::Custom(&lw.weights),
+                    lw.generation,
+                );
+            }
+        }
+    }
+}
+
+/// Serves one same-metric group: batched m2m on the hierarchy rungs
+/// when worthwhile, individual backend-dispatched queries otherwise.
+fn serve_group(
+    engine: &mut QueryEngine<'_>,
+    stats: &StatsInner,
+    cfg: &ServeConfig,
+    jobs: Vec<Job>,
+    cost: CostModel<'_>,
+    generation: u64,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let backend = engine.backend_for(cost);
+    let hierarchy_backed = matches!(backend, SearchBackend::Ch | SearchBackend::Cch);
+    if hierarchy_backed && cfg.batching && jobs.len() >= cfg.min_batch_for_m2m {
+        serve_batched(engine, stats, jobs, cost, backend, generation);
+        return;
+    }
+    if backend == SearchBackend::Plain && !cfg.allow_plain {
+        for job in jobs {
+            stats.no_backend.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServeError::NoBackend));
+        }
+        return;
+    }
+    for job in jobs {
+        let cost_val = engine.shortest_path_cost(job.req.source, job.req.target, cost);
+        stats.served.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Ok(RouteReply {
+            cost: cost_val,
+            backend,
+            batched: false,
+            weights_generation: generation,
+        }));
+    }
+}
+
+/// The coalesced path: one bucket preparation over the batch's distinct
+/// targets, one forward sweep per distinct source, demuxed back.
+fn serve_batched(
+    engine: &mut QueryEngine<'_>,
+    stats: &StatsInner,
+    jobs: Vec<Job>,
+    cost: CostModel<'_>,
+    backend: SearchBackend,
+    generation: u64,
+) {
+    let mut targets: Vec<VertexId> = jobs.iter().map(|j| j.req.target).collect();
+    targets.sort_unstable_by_key(|v| v.0);
+    targets.dedup();
+    let target_col: HashMap<u32, usize> =
+        targets.iter().enumerate().map(|(i, v)| (v.0, i)).collect();
+    if !engine.prepare_m2m_targets(&targets, cost) {
+        // The index was swapped between backend resolution and here;
+        // individual dispatch re-resolves per query and stays exact.
+        for job in jobs {
+            let cost_val = engine.shortest_path_cost(job.req.source, job.req.target, cost);
+            stats.served.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Ok(RouteReply {
+                cost: cost_val,
+                backend: engine.backend_for(cost),
+                batched: false,
+                weights_generation: generation,
+            }));
+        }
+        return;
+    }
+    let mut by_source: HashMap<u32, Vec<Job>> = HashMap::new();
+    for job in jobs {
+        by_source.entry(job.req.source.0).or_default().push(job);
+    }
+    for (source, jobs) in by_source {
+        let row = engine
+            .m2m_distances_from(VertexId(source), cost)
+            .expect("buckets prepared above on this backend");
+        for job in jobs {
+            let d = row[target_col[&job.req.target.0]];
+            stats.served.fetch_add(1, Ordering::Relaxed);
+            stats.batched.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Ok(RouteReply {
+                cost: d.is_finite().then_some(d),
+                backend,
+                batched: true,
+                weights_generation: generation,
+            }));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! A minimal TCP line protocol over [`RouteServer`].
+//!
+//! One line per request, one line per reply:
+//!
+//! ```text
+//! -> ROUTE <source> <target> <metric> [deadline_ms]
+//! <- OK <cost|inf> <backend> <batched:0|1> <generation>
+//! <- ERR <QueueFull|DeadlineExpired|NoBackend|InvalidWeights|Shutdown|BadRequest>
+//! ```
+//!
+//! `<metric>` is `length`, `time` or `live`; `deadline_ms` is a relative
+//! budget from the moment the server parses the line. The protocol is a
+//! demo transport for the `serve` binary — the benchmarks drive the
+//! server in-process so transport noise never pollutes the latency
+//! numbers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pathrank_spatial::graph::VertexId;
+
+use crate::server::{Metric, RouteRequest, RouteServer, ServeError};
+
+/// Parses one `ROUTE` line into a request against `server`'s graph.
+/// Returns `None` on any malformed input (answered as `ERR BadRequest`).
+fn parse_line(server: &RouteServer, line: &str) -> Option<RouteRequest> {
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next()? != "ROUTE" {
+        return None;
+    }
+    let n = server.graph().vertex_count() as u64;
+    let source: u64 = parts.next()?.parse().ok()?;
+    let target: u64 = parts.next()?.parse().ok()?;
+    if source >= n || target >= n {
+        return None;
+    }
+    let metric = match parts.next()? {
+        "length" => Metric::Length,
+        "time" => Metric::TravelTime,
+        "live" => Metric::Live,
+        _ => return None,
+    };
+    let deadline = match parts.next() {
+        Some(ms) => {
+            let ms: u64 = ms.parse().ok()?;
+            Some(Instant::now() + Duration::from_millis(ms))
+        }
+        None => None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(RouteRequest {
+        source: VertexId(source as u32),
+        target: VertexId(target as u32),
+        metric,
+        deadline,
+    })
+}
+
+fn error_tag(e: ServeError) -> &'static str {
+    match e {
+        ServeError::QueueFull => "QueueFull",
+        ServeError::DeadlineExpired => "DeadlineExpired",
+        ServeError::NoBackend => "NoBackend",
+        ServeError::InvalidWeights => "InvalidWeights",
+        ServeError::Shutdown => "Shutdown",
+    }
+}
+
+/// Serves one connection until EOF or a write error.
+pub fn serve_connection(stream: TcpStream, server: &RouteServer) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let answer = match parse_line(server, &line) {
+            None => "ERR BadRequest\n".to_string(),
+            Some(req) => match server.route(req) {
+                Err(e) => format!("ERR {}\n", error_tag(e)),
+                Ok(reply) => format!(
+                    "OK {} {:?} {} {}\n",
+                    reply.cost.map_or("inf".to_string(), |c| format!("{c}")),
+                    reply.backend,
+                    u8::from(reply.batched),
+                    reply.weights_generation
+                ),
+            },
+        };
+        writer.write_all(answer.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Accept loop: one thread per connection, each sharing `server`.
+/// Runs until the listener errors (i.e. effectively forever).
+pub fn run_listener(listener: TcpListener, server: Arc<RouteServer>) -> std::io::Result<()> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &server);
+        });
+    }
+}

@@ -1,0 +1,538 @@
+//! Integration tests for the route server: batched exactness, the
+//! degradation ladder, deadline/overload shedding, atomic live-weight
+//! swaps and the TCP protocol.
+//!
+//! All bit-identity assertions run on the integer-weight fixture city,
+//! where bucket m2m sums are exact in any association (see
+//! `pathrank_serve::fixture`); the float-weight test uses a relative
+//! tolerance instead.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use pathrank_serve::fixture::{hub_pairs, integer_city, integer_live_weights};
+use pathrank_serve::{
+    Metric, RouteReply, RouteRequest, RouteServer, ServeConfig, ServeError, ServerIndexes,
+};
+use pathrank_spatial::algo::cch::{CchConfig, CchTopology};
+use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
+use pathrank_spatial::algo::engine::{QueryEngine, SearchBackend};
+use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
+use pathrank_spatial::builder::GraphBuilder;
+use pathrank_spatial::geometry::Point;
+use pathrank_spatial::graph::{CostModel, EdgeAttrs, RoadCategory, VertexId};
+
+fn length_request(s: VertexId, t: VertexId) -> RouteRequest {
+    RouteRequest {
+        source: s,
+        target: t,
+        metric: Metric::Length,
+        deadline: None,
+    }
+}
+
+/// Submits every request before waiting on any reply: with one shard
+/// and a generous straggler window this coalesces the burst into m2m
+/// batches.
+fn burst_route(server: &RouteServer, reqs: &[RouteRequest]) -> Vec<Result<RouteReply, ServeError>> {
+    let pending: Vec<_> = reqs.iter().map(|r| server.submit(*r)).collect();
+    pending
+        .into_iter()
+        .map(|p| match p {
+            Ok(p) => p.wait(),
+            Err(e) => Err(e),
+        })
+        .collect()
+}
+
+#[test]
+fn serve_batched_replies_are_bit_identical_to_sequential() {
+    let graph = Arc::new(integer_city(10));
+    let ch = Arc::new(ContractionHierarchy::build(
+        &graph,
+        LandmarkMetric::Length,
+        &ChConfig::default(),
+    ));
+    let pairs = hub_pairs(&graph, 160, 6, 0xfeed);
+
+    let mut engine = QueryEngine::new(&graph);
+    engine.set_ch(Some(Arc::clone(&ch)));
+    let expected: Vec<Option<f64>> = pairs
+        .iter()
+        .map(|&(s, t)| engine.shortest_path_cost(s, t, CostModel::Length))
+        .collect();
+
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            ch: Some(ch),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            batch_window: Duration::from_millis(100),
+            max_batch: pairs.len(),
+            ..ServeConfig::default()
+        },
+    );
+    let reqs: Vec<_> = pairs.iter().map(|&(s, t)| length_request(s, t)).collect();
+    let replies = burst_route(&server, &reqs);
+
+    for ((reply, want), &(s, t)) in replies.iter().zip(&expected).zip(&pairs) {
+        let reply = reply.expect("no deadlines, deep queue: everything serves");
+        assert_eq!(reply.backend, SearchBackend::Ch);
+        assert_eq!(
+            reply.cost.map(f64::to_bits),
+            want.map(f64::to_bits),
+            "batched answer for {}->{} diverged from the sequential engine",
+            s.0,
+            t.0
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.served, pairs.len() as u64);
+    assert!(
+        stats.batched >= (pairs.len() / 2) as u64,
+        "the burst must actually exercise the m2m path, got {} batched of {}",
+        stats.batched,
+        stats.served
+    );
+    server.shutdown();
+}
+
+#[test]
+fn serve_float_graph_batched_matches_within_tolerance() {
+    // Fractional lengths: bucket sums may differ from the sequential
+    // fold in the last ulp, so this asserts closeness, not bits.
+    let mut b = GraphBuilder::new();
+    let side = 8usize;
+    for i in 0..side {
+        for j in 0..side {
+            b.add_vertex(Point::new(i as f64 * 97.0, j as f64 * 97.0));
+        }
+    }
+    let id = |i: usize, j: usize| VertexId((i * side + j) as u32);
+    for i in 0..side {
+        for j in 0..side {
+            let len = 90.0 + ((i * 31 + j * 17) % 50) as f64 * 1.37;
+            if i + 1 < side {
+                b.add_bidirectional(
+                    id(i, j),
+                    id(i + 1, j),
+                    EdgeAttrs::with_default_speed(len, RoadCategory::Residential),
+                )
+                .unwrap();
+            }
+            if j + 1 < side {
+                b.add_bidirectional(
+                    id(i, j),
+                    id(i, j + 1),
+                    EdgeAttrs::with_default_speed(len + 0.73, RoadCategory::Arterial),
+                )
+                .unwrap();
+            }
+        }
+    }
+    let graph = Arc::new(b.build());
+    let ch = Arc::new(ContractionHierarchy::build(
+        &graph,
+        LandmarkMetric::Length,
+        &ChConfig::default(),
+    ));
+    let pairs = hub_pairs(&graph, 96, 5, 0x0f10a7);
+
+    let mut engine = QueryEngine::new(&graph);
+    engine.set_ch(Some(Arc::clone(&ch)));
+    let expected: Vec<Option<f64>> = pairs
+        .iter()
+        .map(|&(s, t)| engine.shortest_path_cost(s, t, CostModel::Length))
+        .collect();
+
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            ch: Some(ch),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            batch_window: Duration::from_millis(100),
+            max_batch: pairs.len(),
+            ..ServeConfig::default()
+        },
+    );
+    let reqs: Vec<_> = pairs.iter().map(|&(s, t)| length_request(s, t)).collect();
+    for (reply, want) in burst_route(&server, &reqs).iter().zip(&expected) {
+        let got = reply.expect("serves").cost;
+        match (got, want) {
+            (None, None) => {}
+            (Some(g), Some(w)) => {
+                assert!(
+                    (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                    "batched {g} vs sequential {w}"
+                );
+            }
+            other => panic!("reachability disagrees: {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn serve_live_weight_swaps_are_atomic_and_bit_exact() {
+    let graph = Arc::new(integer_city(8));
+    let topo = Arc::new(CchTopology::build(&graph, &CchConfig::default()));
+    const GENS: u64 = 5;
+
+    // Sequential ground truth per generation, computed up front.
+    let pairs = hub_pairs(&graph, 24, 4, 0x5a5a);
+    let weights_for = |gen: u64| integer_live_weights(&graph, 0xcafe + gen);
+    let mut expected: HashMap<u64, Vec<Option<f64>>> = HashMap::new();
+    for gen in 1..=GENS {
+        let w = weights_for(gen);
+        let cch = Arc::new(topo.customize_weights(&graph, &w));
+        let mut engine = QueryEngine::new(&graph);
+        engine.set_cch(Some(cch));
+        let costs = pairs
+            .iter()
+            .map(|&(s, t)| engine.shortest_path_cost(s, t, CostModel::Custom(&w)))
+            .collect();
+        expected.insert(gen, costs);
+    }
+
+    let server = Arc::new(RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            cch_topology: Some(Arc::clone(&topo)),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    ));
+    assert_eq!(server.update_live_weights(weights_for(1)), Ok(1));
+
+    // Clients hammer Live queries while the main thread keeps swapping
+    // generations underneath them.
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(3));
+    let mut observed: HashSet<u64> = HashSet::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..2 {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            let start = Arc::clone(&start);
+            let pairs = &pairs;
+            let expected = &expected;
+            handles.push(scope.spawn(move || {
+                start.wait();
+                let mut seen = HashSet::new();
+                let mut i = client;
+                while !stop.load(Ordering::Relaxed) {
+                    let (s, t) = pairs[i % pairs.len()];
+                    let reply = server
+                        .route(RouteRequest {
+                            source: s,
+                            target: t,
+                            metric: Metric::Live,
+                            deadline: None,
+                        })
+                        .expect("live weights installed");
+                    let gen = reply.weights_generation;
+                    assert!(
+                        (1..=GENS).contains(&gen),
+                        "reply from unknown generation {gen}"
+                    );
+                    // The atomicity claim: whatever generation answered,
+                    // the cost is bit-identical to that generation's
+                    // sequential answer — never a torn mix.
+                    assert_eq!(
+                        reply.cost.map(f64::to_bits),
+                        expected[&gen][i % pairs.len()].map(f64::to_bits),
+                        "cost does not match generation {gen} for pair {}->{}",
+                        s.0,
+                        t.0
+                    );
+                    seen.insert(gen);
+                    i += 1;
+                }
+                seen
+            }));
+        }
+        start.wait();
+        for gen in 2..=GENS {
+            std::thread::sleep(Duration::from_millis(15));
+            assert_eq!(server.update_live_weights(weights_for(gen)), Ok(gen));
+        }
+        std::thread::sleep(Duration::from_millis(15));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            observed.extend(h.join().expect("client"));
+        }
+    });
+    assert!(
+        observed.len() >= 2,
+        "clients should observe multiple generations, saw {observed:?}"
+    );
+    assert_eq!(server.live_generation(), GENS);
+}
+
+#[test]
+fn serve_deadlines_shed_instead_of_serving_late() {
+    let graph = Arc::new(integer_city(6));
+    let ch = Arc::new(ContractionHierarchy::build(
+        &graph,
+        LandmarkMetric::Length,
+        &ChConfig::default(),
+    ));
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            ch: Some(ch),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            // A long window the worker will sit out (min_batch is
+            // unreachable), guaranteeing the tight deadline below
+            // expires while its batch forms.
+            batch_window: Duration::from_millis(400),
+            min_batch_for_m2m: usize::MAX,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Already-expired deadlines shed at admission, before queueing.
+    let pre_expired = server.submit(RouteRequest {
+        deadline: Some(Instant::now() - Duration::from_millis(1)),
+        ..length_request(VertexId(0), VertexId(35))
+    });
+    assert!(matches!(pre_expired, Err(ServeError::DeadlineExpired)));
+
+    // A patient request opens the 400ms window (the sleep hands the
+    // core to the worker so it does); a 20ms-deadline request joining
+    // that window must be shed when processing starts at window end.
+    let patient = server
+        .submit(length_request(VertexId(0), VertexId(35)))
+        .expect("queue empty");
+    std::thread::sleep(Duration::from_millis(50));
+    let hurried = server
+        .submit(RouteRequest {
+            deadline: Some(Instant::now() + Duration::from_millis(20)),
+            ..length_request(VertexId(1), VertexId(30))
+        })
+        .expect("queue has room");
+
+    assert!(patient
+        .wait()
+        .expect("no deadline: must serve")
+        .cost
+        .is_some());
+    assert_eq!(hurried.wait(), Err(ServeError::DeadlineExpired));
+    let stats = server.stats();
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.shed_deadline, 2);
+    server.shutdown();
+}
+
+#[test]
+fn serve_full_queues_shed_at_admission() {
+    // No indexes: every query is a full plain Dijkstra over 1600
+    // vertices (hundreds of microseconds), while a submission costs a
+    // try_send (microseconds). The worker absorbs at most 8 jobs per
+    // batch and cannot drain while processing one, so a 200-deep burst
+    // against a depth-8 queue must overflow on any scheduler.
+    let graph = Arc::new(integer_city(40));
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes::default(),
+        ServeConfig {
+            shards: 1,
+            queue_capacity: 8,
+            min_batch_for_m2m: usize::MAX,
+            max_batch: 8,
+            ..ServeConfig::default()
+        },
+    );
+    let reqs: Vec<_> = (0..200)
+        .map(|i| length_request(VertexId(i % 1600), VertexId((i + 800) % 1600)))
+        .filter(|r| r.source != r.target)
+        .collect();
+    let results = burst_route(&server, &reqs);
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let full = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::QueueFull)))
+        .count();
+    assert!(ok >= 1, "the absorbed prefix must still be served");
+    assert!(full >= 1, "a 200-burst against depth 8 must overflow");
+    assert_eq!(ok + full, results.len(), "no other failure mode expected");
+    assert_eq!(server.stats().shed_queue_full, full as u64);
+    server.shutdown();
+}
+
+#[test]
+fn serve_degradation_ladder_falls_back_and_bottoms_out() {
+    let graph = Arc::new(integer_city(6));
+    let s = VertexId(3);
+    let t = VertexId(32);
+    let mut engine = QueryEngine::new(&graph);
+    let plain = engine.shortest_path_cost(s, t, CostModel::Length);
+
+    // No CH: the ladder lands on ALT, same cost.
+    let landmarks = Arc::new(LandmarkTable::build(
+        &graph,
+        LandmarkMetric::Length,
+        &LandmarkConfig::default(),
+    ));
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            landmarks: Some(landmarks),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let reply = server.route(length_request(s, t)).expect("alt serves");
+    assert_eq!(reply.backend, SearchBackend::Alt);
+    assert_eq!(reply.cost.map(f64::to_bits), plain.map(f64::to_bits));
+    // Live has no backend at all without a CCH topology.
+    assert_eq!(
+        server.route(RouteRequest {
+            metric: Metric::Live,
+            ..length_request(s, t)
+        }),
+        Err(ServeError::NoBackend)
+    );
+    server.shutdown();
+
+    // No indexes at all: plain Dijkstra when allowed...
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes::default(),
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let reply = server.route(length_request(s, t)).expect("plain serves");
+    assert_eq!(reply.backend, SearchBackend::Plain);
+    assert_eq!(reply.cost.map(f64::to_bits), plain.map(f64::to_bits));
+    server.shutdown();
+
+    // ...and a hard NoBackend when the plain rung is disabled.
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes::default(),
+        ServeConfig {
+            shards: 1,
+            allow_plain: false,
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(
+        server.route(length_request(s, t)),
+        Err(ServeError::NoBackend)
+    );
+    assert_eq!(server.stats().no_backend, 1);
+    server.shutdown();
+}
+
+#[test]
+fn serve_rejects_invalid_live_weights() {
+    let graph = Arc::new(integer_city(5));
+    let topo = Arc::new(CchTopology::build(&graph, &CchConfig::default()));
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            cch_topology: Some(topo),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let m = graph.edge_count();
+    assert_eq!(
+        server.update_live_weights(vec![1.0; m - 1]),
+        Err(ServeError::InvalidWeights)
+    );
+    let mut poisoned = vec![1.0; m];
+    poisoned[m / 2] = f64::NAN;
+    assert_eq!(
+        server.update_live_weights(poisoned),
+        Err(ServeError::InvalidWeights)
+    );
+    let mut negative = vec![1.0; m];
+    negative[0] = -2.0;
+    assert_eq!(
+        server.update_live_weights(negative),
+        Err(ServeError::InvalidWeights)
+    );
+    assert_eq!(server.live_generation(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn serve_tcp_round_trip() {
+    let graph = Arc::new(integer_city(6));
+    let ch = Arc::new(ContractionHierarchy::build(
+        &graph,
+        LandmarkMetric::Length,
+        &ChConfig::default(),
+    ));
+    let mut engine = QueryEngine::new(&graph);
+    engine.set_ch(Some(Arc::clone(&ch)));
+    let want = engine
+        .shortest_path_cost(VertexId(0), VertexId(35), CostModel::Length)
+        .expect("grid is connected");
+
+    let server = Arc::new(RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            ch: Some(ch),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("addr");
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = pathrank_serve::tcp::run_listener(listener, server);
+        });
+    }
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    writer.write_all(b"ROUTE 0 35 length\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim(), format!("OK {want} Ch 0 0"));
+
+    line.clear();
+    writer.write_all(b"ROUTE 0 garbage length\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim(), "ERR BadRequest");
+
+    line.clear();
+    writer.write_all(b"ROUTE 0 35 live\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim(), "ERR NoBackend");
+}

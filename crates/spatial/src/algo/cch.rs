@@ -935,6 +935,45 @@ mod tests {
     }
 
     #[test]
+    fn cch_zero_ish_speed_update_cannot_poison_customization() {
+        // Regression: a zero/denormal speed used to reach the edge
+        // records unclamped, turning TravelTime weights into `inf`,
+        // which customization then propagated into every shortcut above
+        // the poisoned edge. The mutation-boundary clamp must keep every
+        // customized weight finite and every query answer exact.
+        let mut g = region();
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+        // Denormal speeds: positive and finite, but `length / (speed/3.6)`
+        // overflows to infinity without the clamp.
+        let updates: Vec<(EdgeId, f64)> = (0..g.edge_count())
+            .step_by(5)
+            .map(|i| (EdgeId(i as u32), 1e-308))
+            .collect();
+        g.set_edge_speeds(&updates);
+        for e in 0..g.edge_count() {
+            let tt = g.edge(EdgeId(e as u32)).attrs.travel_time_s();
+            assert!(tt.is_finite(), "edge {e} travel time must stay finite");
+        }
+        let cch = topo.customize(&g, &CostModel::TravelTime);
+        let mut search = ChSearch::new(g.vertex_count());
+        let n = g.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 3, 2 * n / 3), (n / 2, 1)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let expect = shortest_path(&g, s, t, CostModel::TravelTime)
+                .map(|p| p.cost(&g, CostModel::TravelTime));
+            let got = cch.query_cost(&mut search, s, t);
+            match (expect, got) {
+                (None, None) => {}
+                (Some(e), Some(c)) => {
+                    assert!(e.is_finite() && c.is_finite(), "poisoned weights: {e} {c}");
+                    assert!(close(e, c), "{e} vs {c}");
+                }
+                other => panic!("reachability mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn cch_custom_weights_gating_is_bitwise() {
         let g = region();
         let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));

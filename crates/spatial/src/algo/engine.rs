@@ -612,6 +612,11 @@ pub struct QueryEngine<'g> {
     /// Bucket-based many-to-many scratch, allocated on the first batched
     /// query (see [`QueryEngine::many_to_many`]).
     m2m_search: Option<M2mSearch>,
+    /// Which index filled the m2m target buckets for the *streaming*
+    /// many-to-many API (see [`QueryEngine::prepare_m2m_targets`]), so
+    /// [`QueryEngine::m2m_distances_from`] can refuse to scan buckets
+    /// that a later index swap or cost-model change invalidated.
+    m2m_prepared: Option<PreparedM2m>,
     /// Landmark vectors cached for the current query *target* (forward
     /// searches aim at it; refilled only when the target changes, so
     /// Yen's same-target spur storm gathers them once).
@@ -619,6 +624,20 @@ pub struct QueryEngine<'g> {
     /// Landmark vectors cached for the current query *source* (consulted
     /// by the backward half of bidirectional searches).
     alt_source: NodeVectors,
+}
+
+/// Bookkeeping for the streaming many-to-many API: records *which*
+/// hierarchy deposited the current target buckets so the forward sweeps
+/// refuse to run against buckets from a swapped-out index or a cost
+/// model the same index no longer covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PreparedM2m {
+    /// `true` when the buckets were filled via the customized CCH,
+    /// `false` when via the metric-built CH.
+    via_cch: bool,
+    /// Number of prepared targets — the length of every row
+    /// [`QueryEngine::m2m_distances_from`] returns.
+    targets: usize,
 }
 
 /// The largest `B` such that `cost(e) >= B · euclid(e.from, e.to)` holds
@@ -660,6 +679,7 @@ impl<'g> QueryEngine<'g> {
             cch: None,
             ch_search: None,
             m2m_search: None,
+            m2m_prepared: None,
             alt_target: NodeVectors::new(),
             alt_source: NodeVectors::new(),
         }
@@ -682,15 +702,26 @@ impl<'g> QueryEngine<'g> {
     /// match this engine's graph — a wrong-graph table would pass every
     /// per-query check yet silently return suboptimal paths.
     pub fn with_landmarks(mut self, table: Arc<LandmarkTable>) -> Self {
-        assert_eq!(
-            (table.vertex_count(), table.edge_count()),
-            (self.g.vertex_count(), self.g.edge_count()),
-            "landmark table built for a different graph"
-        );
+        self.set_landmarks(Some(table));
+        self
+    }
+
+    /// Non-consuming form of [`QueryEngine::with_landmarks`] for engines
+    /// that live inside worker pools and cannot be rebuilt by value:
+    /// attaches (or with `None`, detaches) the shared ALT table in place,
+    /// invalidating the per-query landmark caches. Same fingerprint
+    /// panic as the builder form.
+    pub fn set_landmarks(&mut self, table: Option<Arc<LandmarkTable>>) {
+        if let Some(table) = &table {
+            assert_eq!(
+                (table.vertex_count(), table.edge_count()),
+                (self.g.vertex_count(), self.g.edge_count()),
+                "landmark table built for a different graph"
+            );
+        }
         self.alt_target.invalidate();
         self.alt_source.invalidate();
-        self.landmarks = Some(table);
-        self
+        self.landmarks = table;
     }
 
     /// The attached landmark table, if any.
@@ -724,15 +755,26 @@ impl<'g> QueryEngine<'g> {
     /// If the hierarchy's graph fingerprint (vertex and edge counts)
     /// does not match this engine's graph.
     pub fn with_ch(mut self, ch: Arc<ContractionHierarchy>) -> Self {
-        assert_eq!(
-            (ch.vertex_count(), ch.edge_count()),
-            (self.g.vertex_count(), self.g.edge_count()),
-            "contraction hierarchy built for a different graph"
-        );
+        self.set_ch(Some(ch));
+        self
+    }
+
+    /// Non-consuming form of [`QueryEngine::with_ch`]: swaps the shared
+    /// hierarchy in place (or detaches it with `None`), dropping the
+    /// CH/m2m scratch and any streaming-m2m buckets the old index
+    /// deposited. Same fingerprint panic as the builder form.
+    pub fn set_ch(&mut self, ch: Option<Arc<ContractionHierarchy>>) {
+        if let Some(ch) = &ch {
+            assert_eq!(
+                (ch.vertex_count(), ch.edge_count()),
+                (self.g.vertex_count(), self.g.edge_count()),
+                "contraction hierarchy built for a different graph"
+            );
+        }
         self.ch_search = None;
         self.m2m_search = None;
-        self.ch = Some(ch);
-        self
+        self.m2m_prepared = None;
+        self.ch = ch;
     }
 
     /// The attached contraction hierarchy, if any.
@@ -765,15 +807,29 @@ impl<'g> QueryEngine<'g> {
     /// If the customization's graph fingerprint (vertex and edge counts)
     /// does not match this engine's graph.
     pub fn with_cch(mut self, cch: Arc<Cch>) -> Self {
-        assert_eq!(
-            (cch.vertex_count(), cch.edge_count()),
-            (self.g.vertex_count(), self.g.edge_count()),
-            "CCH customized for a different graph"
-        );
+        self.set_cch(Some(cch));
+        self
+    }
+
+    /// Non-consuming form of [`QueryEngine::with_cch`]: swaps the
+    /// customized hierarchy in place (or detaches it with `None`). This
+    /// is the entry point the serving layer uses to roll a freshly
+    /// re-customized CCH into long-lived worker engines — the swap drops
+    /// the CH/m2m scratch and streaming buckets, so no later query can
+    /// mix old-weight buckets with new-weight sweeps. Same fingerprint
+    /// panic as the builder form.
+    pub fn set_cch(&mut self, cch: Option<Arc<Cch>>) {
+        if let Some(cch) = &cch {
+            assert_eq!(
+                (cch.vertex_count(), cch.edge_count()),
+                (self.g.vertex_count(), self.g.edge_count()),
+                "CCH customized for a different graph"
+            );
+        }
         self.ch_search = None;
         self.m2m_search = None;
-        self.cch = Some(cch);
-        self
+        self.m2m_prepared = None;
+        self.cch = cch;
     }
 
     /// The attached customized CCH, if any.
@@ -1059,6 +1115,9 @@ impl<'g> QueryEngine<'g> {
             return None;
         };
         let n = self.g.vertex_count();
+        // Re-deposits buckets for *these* targets, invalidating any
+        // streaming preparation (see `prepare_m2m_targets`).
+        self.m2m_prepared = None;
         let search = self.m2m_search.get_or_insert_with(|| M2mSearch::new(n));
         Some(hierarchy.one_to_many(search, source, targets))
     }
@@ -1088,8 +1147,80 @@ impl<'g> QueryEngine<'g> {
             return None;
         };
         let n = self.g.vertex_count();
+        // Re-deposits buckets for *these* targets, invalidating any
+        // streaming preparation (see `prepare_m2m_targets`).
+        self.m2m_prepared = None;
         let search = self.m2m_search.get_or_insert_with(|| M2mSearch::new(n));
         Some(hierarchy.many_to_many(search, sources, targets))
+    }
+
+    /// Streaming half of the bucket many-to-many: runs the `T` backward
+    /// upward sweeps once and leaves the target buckets in the engine's
+    /// scratch, so callers can stream sources one at a time through
+    /// [`QueryEngine::m2m_distances_from`] without deciding the full
+    /// source set up front (the shape a batching route server needs —
+    /// requests demux as each forward sweep finishes, instead of waiting
+    /// for a whole [`DistanceTable`]). Returns `false` when no attached
+    /// hierarchy covers `cost`, i.e. exactly when
+    /// [`QueryEngine::many_to_many`] would return `None`.
+    pub fn prepare_m2m_targets(&mut self, targets: &[VertexId], cost: CostModel<'_>) -> bool {
+        self.m2m_prepared = None;
+        let (hierarchy, via_cch) = if self.uses_ch(cost) {
+            (self.ch.as_deref().expect("uses_ch implies an index"), false)
+        } else if self.uses_cch(cost) {
+            let cch = self.cch.as_deref().expect("uses_cch implies an index");
+            (cch.hierarchy(), true)
+        } else {
+            return false;
+        };
+        let n = self.g.vertex_count();
+        let search = self.m2m_search.get_or_insert_with(|| M2mSearch::new(n));
+        hierarchy.prepare_targets(search, targets);
+        self.m2m_prepared = Some(PreparedM2m {
+            via_cch,
+            targets: targets.len(),
+        });
+        true
+    }
+
+    /// Number of targets the streaming buckets currently cover (the row
+    /// length of [`QueryEngine::m2m_distances_from`]), or `None` when no
+    /// prepared buckets are live.
+    pub fn prepared_m2m_targets(&self) -> Option<usize> {
+        self.m2m_prepared.map(|p| p.targets)
+    }
+
+    /// One forward upward sweep over the buckets deposited by the last
+    /// [`QueryEngine::prepare_m2m_targets`]: distances from `source` to
+    /// every prepared target, in preparation order (`f64::INFINITY` for
+    /// unreachable pairs), borrowed from the scratch until the next
+    /// engine call. Values are bit-identical to the corresponding
+    /// [`QueryEngine::many_to_many`] row — both run the same sweep over
+    /// the same buckets.
+    ///
+    /// Returns `None` when the buckets are not safe to scan under
+    /// `cost`: nothing prepared yet, an index swap
+    /// ([`QueryEngine::set_ch`]/[`QueryEngine::set_cch`]) dropped them,
+    /// or the index that filled them no longer covers `cost` (e.g. a
+    /// CCH customized for a different weight vector). Callers fall back
+    /// to re-preparing or to point-to-point probes.
+    pub fn m2m_distances_from(&mut self, source: VertexId, cost: CostModel<'_>) -> Option<&[f64]> {
+        let prep = self.m2m_prepared?;
+        let hierarchy = if !prep.via_cch && self.uses_ch(cost) {
+            self.ch.as_deref().expect("uses_ch implies an index")
+        } else if prep.via_cch && self.uses_cch(cost) {
+            self.cch
+                .as_deref()
+                .expect("uses_cch implies an index")
+                .hierarchy()
+        } else {
+            return None;
+        };
+        let search = self
+            .m2m_search
+            .as_mut()
+            .expect("prepared buckets imply scratch");
+        Some(hierarchy.distances_from(search, source))
     }
 
     /// One-to-all *reverse* Dijkstra: `dist(v)` on the returned view is
@@ -1851,5 +1982,54 @@ mod tests {
             cap_after_sweep,
             "steady-state queries must not regrow the heap"
         );
+    }
+
+    #[test]
+    fn streaming_m2m_matches_table_rows_bitwise() {
+        use crate::algo::ch::{ChConfig, ContractionHierarchy};
+        use crate::algo::landmarks::LandmarkMetric;
+        use std::sync::Arc;
+
+        let g = grid_network(&GridConfig::small_test(), 11);
+        let n = g.vertex_count() as u32;
+        let ch = Arc::new(ContractionHierarchy::build(
+            &g,
+            LandmarkMetric::Length,
+            &ChConfig::default(),
+        ));
+        let mut engine = QueryEngine::new(&g).with_ch(ch);
+
+        let sources: Vec<VertexId> = [0, 3, n / 2, n - 1].map(VertexId).to_vec();
+        let targets: Vec<VertexId> = [1, n / 3, 2 * n / 3, n - 2, 7].map(VertexId).to_vec();
+        let table = engine
+            .many_to_many(&sources, &targets, CostModel::Length)
+            .expect("CH covers Length");
+
+        assert!(engine.prepare_m2m_targets(&targets, CostModel::Length));
+        assert_eq!(engine.prepared_m2m_targets(), Some(targets.len()));
+        for (i, &s) in sources.iter().enumerate() {
+            let row = engine
+                .m2m_distances_from(s, CostModel::Length)
+                .expect("prepared buckets cover Length");
+            assert_eq!(row, table.row(i), "row {i} must match bit-for-bit");
+        }
+
+        // A cost model the CH does not cover refuses to scan the buckets.
+        assert!(engine
+            .m2m_distances_from(sources[0], CostModel::TravelTime)
+            .is_none());
+        // The monolithic entry points overwrite the buckets, so the
+        // streaming tag must drop with them.
+        engine.many_to_many(&sources[..1], &targets[..2], CostModel::Length);
+        assert_eq!(engine.prepared_m2m_targets(), None);
+        assert!(engine
+            .m2m_distances_from(sources[0], CostModel::Length)
+            .is_none());
+        // And an index swap clears everything.
+        assert!(engine.prepare_m2m_targets(&targets, CostModel::Length));
+        engine.set_ch(None);
+        assert!(engine
+            .m2m_distances_from(sources[0], CostModel::Length)
+            .is_none());
     }
 }

@@ -95,6 +95,14 @@ impl GraphBuilder {
                 attrs.speed_kmh
             )));
         }
+        // Denormal (but positive) speeds would survive the check above
+        // yet overflow `travel_time_s` to infinity; clamp them into the
+        // same band the live mutation entry points enforce.
+        let mut attrs = attrs;
+        attrs.speed_kmh = attrs.speed_kmh.clamp(
+            crate::graph::MIN_EDGE_SPEED_KMH,
+            crate::graph::MAX_EDGE_SPEED_KMH,
+        );
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(EdgeRecord { from, to, attrs });
         Ok(id)
@@ -225,6 +233,30 @@ mod tests {
             category: RoadCategory::Rural,
         };
         assert!(b.add_edge(v0, v1, bad_speed).is_err());
+    }
+
+    #[test]
+    fn clamps_denormal_speed_at_build() {
+        use crate::graph::{MAX_EDGE_SPEED_KMH, MIN_EDGE_SPEED_KMH};
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1.0, 0.0));
+        let denormal = EdgeAttrs {
+            length_m: 5.0,
+            speed_kmh: 1e-310,
+            category: RoadCategory::Rural,
+        };
+        let e = b.add_edge(v0, v1, denormal).unwrap();
+        let fast = EdgeAttrs {
+            length_m: 5.0,
+            speed_kmh: 1e12,
+            category: RoadCategory::Rural,
+        };
+        let e2 = b.add_edge(v1, v0, fast).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge(e).attrs.speed_kmh, MIN_EDGE_SPEED_KMH);
+        assert!(g.edge(e).attrs.travel_time_s().is_finite());
+        assert_eq!(g.edge(e2).attrs.speed_kmh, MAX_EDGE_SPEED_KMH);
     }
 
     #[test]

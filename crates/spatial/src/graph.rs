@@ -35,6 +35,35 @@ impl EdgeId {
     }
 }
 
+/// Lower clamp for edge speeds, km/h. Speeds entering the graph — at
+/// build time or through the live mutation entry points — are clamped
+/// into `[MIN_EDGE_SPEED_KMH, MAX_EDGE_SPEED_KMH]`: a zero or denormal
+/// speed would turn [`EdgeAttrs::travel_time_s`] into `inf` (the
+/// division `length / (speed / 3.6)` overflows for speeds below
+/// ~1e-305), and a single infinite travel time poisons every
+/// TravelTime-metric index that is subsequently built or customized
+/// from the graph. 0.1 km/h still models a near-standstill (36 s per
+/// metre) while keeping every derived weight finite.
+pub const MIN_EDGE_SPEED_KMH: f64 = 0.1;
+
+/// Upper clamp for edge speeds, km/h (comfortably above any legal road
+/// speed; keeps fat-fingered telemetry from minting teleport edges).
+pub const MAX_EDGE_SPEED_KMH: f64 = 300.0;
+
+/// Clamps a proposed edge speed into the representable band.
+///
+/// # Panics
+/// If the speed is non-finite or not strictly positive — those are
+/// caller bugs, not clampable noise.
+#[inline]
+pub(crate) fn clamp_edge_speed(speed_kmh: f64) -> f64 {
+    assert!(
+        speed_kmh.is_finite() && speed_kmh > 0.0,
+        "edge speed must be positive and finite, got {speed_kmh}"
+    );
+    speed_kmh.clamp(MIN_EDGE_SPEED_KMH, MAX_EDGE_SPEED_KMH)
+}
+
 /// Functional road classes, mirroring the hierarchy of a national road
 /// network. The class determines the default speed used to derive travel
 /// times in the synthetic generators.
@@ -330,35 +359,31 @@ impl Graph {
     }
 
     /// Sets the free-flow speed of edge `e` (km/h) and bumps the weights
-    /// epoch. The speed must be positive and finite.
+    /// epoch. The speed must be positive and finite; it is clamped into
+    /// `[`[`MIN_EDGE_SPEED_KMH`]`, `[`MAX_EDGE_SPEED_KMH`]`]` so a zero-ish
+    /// (denormal) telemetry reading can never mint an infinite travel
+    /// time that a later index build or CCH customization would then
+    /// propagate through every shortcut above it.
     ///
     /// This is the live-traffic entry point: topology, lengths and road
     /// categories stay fixed, only the travel-time metric moves. Rebuild
     /// or re-customize metric-dependent indexes afterwards (a
     /// [`crate::algo::cch::CchTopology`] re-customizes in milliseconds).
     pub fn set_edge_speed(&mut self, e: EdgeId, speed_kmh: f64) {
-        assert!(
-            speed_kmh.is_finite() && speed_kmh > 0.0,
-            "edge speed must be positive and finite, got {speed_kmh}"
-        );
-        self.edge_records[e.index()].attrs.speed_kmh = speed_kmh;
+        self.edge_records[e.index()].attrs.speed_kmh = clamp_edge_speed(speed_kmh);
         self.weights_epoch += 1;
     }
 
     /// Batch form of [`Graph::set_edge_speed`]: applies every
     /// `(edge, speed_kmh)` pair, bumping the weights epoch once for the
-    /// whole batch. Every speed must be positive and finite.
+    /// whole batch. Every speed must be positive and finite; each is
+    /// clamped like [`Graph::set_edge_speed`] clamps.
     pub fn set_edge_speeds(&mut self, updates: &[(EdgeId, f64)]) {
         if updates.is_empty() {
             return;
         }
         for &(e, speed_kmh) in updates {
-            assert!(
-                speed_kmh.is_finite() && speed_kmh > 0.0,
-                "edge speed must be positive and finite, got {speed_kmh} for edge {}",
-                e.0
-            );
-            self.edge_records[e.index()].attrs.speed_kmh = speed_kmh;
+            self.edge_records[e.index()].attrs.speed_kmh = clamp_edge_speed(speed_kmh);
         }
         self.weights_epoch += 1;
     }
@@ -626,6 +651,32 @@ mod tests {
         let g = b.build();
         let scc = g.largest_scc();
         assert_eq!(scc, vec![v0, v1, v2]);
+    }
+
+    #[test]
+    fn speed_updates_are_clamped_into_the_finite_band() {
+        let mut g = tiny();
+        let e = g.find_edge(VertexId(0), VertexId(1)).unwrap();
+        // A denormal speed passes the positivity check but would push
+        // `length / (speed / 3.6)` to infinity; the clamp must keep every
+        // derived travel time finite.
+        g.set_edge_speed(e, 1e-308);
+        assert_eq!(g.edge(e).attrs.speed_kmh, MIN_EDGE_SPEED_KMH);
+        assert!(g.edge(e).attrs.travel_time_s().is_finite());
+        g.set_edge_speeds(&[(e, 1e9)]);
+        assert_eq!(g.edge(e).attrs.speed_kmh, MAX_EDGE_SPEED_KMH);
+        assert!(g.edge(e).attrs.travel_time_s().is_finite());
+        // In-band speeds pass through untouched.
+        g.set_edge_speed(e, 42.5);
+        assert_eq!(g.edge(e).attrs.speed_kmh, 42.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_speed_update_panics() {
+        let mut g = tiny();
+        let e = g.find_edge(VertexId(0), VertexId(1)).unwrap();
+        g.set_edge_speed(e, 0.0);
     }
 
     #[test]

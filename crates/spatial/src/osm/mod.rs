@@ -173,8 +173,16 @@ pub fn highway_class(value: &str) -> Option<&'static HighwayClass> {
 /// (km/h by convention), explicit `km/h` / `kph` / `mph` units, and the
 /// `walk` / `none` keywords; anything else (signal-controlled,
 /// multi-valued, garbage) yields `None` and the importer falls back to
-/// the highway class default. Results are clamped into [1, 150] km/h so
-/// a tagging error cannot produce absurd travel times.
+/// the highway class default. Zero and negative values are rejected
+/// outright (`None`, not clamped): `maxspeed=0` is always a tagging
+/// error, and letting it through — even clamped — would misrepresent a
+/// live road as impassable. Positive results are clamped into
+/// [1, 150] km/h so a denormal or absurd value can neither overflow a
+/// travel time to infinity nor mint a teleport edge (the band sits
+/// inside the graph-wide
+/// [`MIN_EDGE_SPEED_KMH`](crate::graph::MIN_EDGE_SPEED_KMH)..=
+/// [`MAX_EDGE_SPEED_KMH`](crate::graph::MAX_EDGE_SPEED_KMH) clamp every
+/// edge speed passes through at build time).
 pub fn parse_maxspeed_kmh(value: &str) -> Option<f64> {
     let v = value.trim();
     match v {
@@ -267,6 +275,14 @@ mod tests {
         // Clamped into a sane band.
         assert_eq!(parse_maxspeed_kmh("900"), Some(150.0));
         assert_eq!(parse_maxspeed_kmh("0.2"), Some(1.0));
+        // Zero is rejected (tagging error), and a denormal — which would
+        // overflow `travel_time_s` to infinity unclamped — is lifted to
+        // the band floor, never passed through raw.
+        assert_eq!(parse_maxspeed_kmh("0"), None);
+        assert_eq!(parse_maxspeed_kmh("0.0"), None);
+        assert_eq!(parse_maxspeed_kmh("-0"), None);
+        assert_eq!(parse_maxspeed_kmh("5e-324"), Some(1.0));
+        assert_eq!(parse_maxspeed_kmh("1e-308"), Some(1.0));
     }
 
     #[test]

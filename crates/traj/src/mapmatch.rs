@@ -16,8 +16,9 @@ use pathrank_spatial::algo::cch::Cch;
 use pathrank_spatial::algo::ch::ContractionHierarchy;
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::LandmarkTable;
-use pathrank_spatial::geometry::{project_onto_segment, Point, Projection};
+use pathrank_spatial::geometry::{project_onto_polyline, project_onto_segment, Point};
 use pathrank_spatial::graph::{CostModel, EdgeId, Graph, VertexId};
+use pathrank_spatial::osm::ImportedGraph;
 use pathrank_spatial::path::Path;
 
 use crate::gps::GpsTrace;
@@ -35,6 +36,16 @@ pub struct MapMatchConfig {
     pub max_candidates: usize,
     /// Weight of the heading-agreement emission term (0 disables it).
     pub heading_weight: f64,
+    /// Lower bound on the [`EdgeIndex`] grid cell size, metres. The
+    /// index is built with `candidate_radius_m.max(min_cell_m)` cells
+    /// ([`MapMatchConfig::index_cell_m`]): cell size is a pure
+    /// performance knob — [`EdgeIndex::edges_near`] returns a superset
+    /// of the in-radius edges for *any* cell size — but tiny radii
+    /// would otherwise build needlessly fine grids. This used to be a
+    /// hidden `max(25.0)` deep in the index construction; it is a
+    /// config field so the build and query sides can never silently
+    /// disagree about which grid a radius is scanned against.
+    pub min_cell_m: f64,
 }
 
 impl Default for MapMatchConfig {
@@ -45,11 +56,26 @@ impl Default for MapMatchConfig {
             beta_m: 12.0,
             max_candidates: 8,
             heading_weight: 3.0,
+            min_cell_m: 25.0,
         }
     }
 }
 
+impl MapMatchConfig {
+    /// The [`EdgeIndex`] cell size this configuration builds:
+    /// `candidate_radius_m.max(min_cell_m)`.
+    pub fn index_cell_m(&self) -> f64 {
+        self.candidate_radius_m.max(self.min_cell_m)
+    }
+}
+
 /// A uniform-grid spatial index over edges, for candidate lookup.
+///
+/// Contract: for **any** cell size, [`EdgeIndex::edges_near`] returns a
+/// superset of every edge whose registered polyline passes within the
+/// query radius of the query point — cell size trades memory against
+/// over-scan, never correctness. Callers filter the superset by true
+/// projection distance.
 #[derive(Debug)]
 pub struct EdgeIndex {
     cell_m: f64,
@@ -57,27 +83,90 @@ pub struct EdgeIndex {
 }
 
 impl EdgeIndex {
-    /// Builds the index; each edge is registered in every cell its bounding
-    /// box touches.
+    /// Builds the index over straight endpoint chords; each edge is
+    /// registered in every cell its endpoint bounding box touches.
+    ///
+    /// On graphs whose edges carry interior geometry (PR 5's degree-2
+    /// chain contraction), the chord can lie arbitrarily far from the
+    /// actual road — use [`EdgeIndex::build_with_geometry`] there, or a
+    /// folded hairpin edge will never be returned near its apex.
     pub fn build(g: &Graph, cell_m: f64) -> Self {
         let mut cells: HashMap<(i32, i32), Vec<EdgeId>> = HashMap::new();
+        let mut seen: HashSet<(i32, i32)> = HashSet::new();
         for (i, e) in g.edges().enumerate() {
+            seen.clear();
             let a = g.coord(e.from);
             let b = g.coord(e.to);
-            let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
-            let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
-            let (cx0, cx1) = ((x0 / cell_m).floor() as i32, (x1 / cell_m).floor() as i32);
-            let (cy0, cy1) = ((y0 / cell_m).floor() as i32, (y1 / cell_m).floor() as i32);
-            for cx in cx0..=cx1 {
-                for cy in cy0..=cy1 {
-                    cells.entry((cx, cy)).or_default().push(EdgeId(i as u32));
-                }
+            Self::register_segment(&mut cells, &mut seen, cell_m, &a, &b, EdgeId(i as u32));
+        }
+        EdgeIndex { cell_m, cells }
+    }
+
+    /// Builds the index over full edge polylines: every *segment* of
+    /// `endpoint -> interior geometry -> endpoint` registers its
+    /// bounding-box cells, so the grid covers the road where it actually
+    /// runs. `geometry` is interior points per edge, aligned with edge
+    /// ids (the [`ImportedGraph::edge_geometry`] layout); edges with
+    /// empty geometry register exactly like [`EdgeIndex::build`].
+    ///
+    /// # Panics
+    /// If `geometry.len() != g.edge_count()`.
+    pub fn build_with_geometry(g: &Graph, geometry: &[Vec<Point>], cell_m: f64) -> Self {
+        assert_eq!(
+            geometry.len(),
+            g.edge_count(),
+            "interior geometry must be aligned with edge ids"
+        );
+        let mut cells: HashMap<(i32, i32), Vec<EdgeId>> = HashMap::new();
+        let mut seen: HashSet<(i32, i32)> = HashSet::new();
+        for (i, e) in g.edges().enumerate() {
+            seen.clear();
+            let id = EdgeId(i as u32);
+            let end = g.coord(e.to);
+            let mut prev = g.coord(e.from);
+            for &p in geometry[i].iter().chain(std::iter::once(&end)) {
+                Self::register_segment(&mut cells, &mut seen, cell_m, &prev, &p, id);
+                prev = p;
             }
         }
         EdgeIndex { cell_m, cells }
     }
 
-    /// Edges whose registered cells intersect the disc around `p`.
+    /// Registers `id` in every cell the bounding box of `a -> b`
+    /// touches; `seen` dedups cells across an edge's segments.
+    fn register_segment(
+        cells: &mut HashMap<(i32, i32), Vec<EdgeId>>,
+        seen: &mut HashSet<(i32, i32)>,
+        cell_m: f64,
+        a: &Point,
+        b: &Point,
+        id: EdgeId,
+    ) {
+        let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+        let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+        let (cx0, cx1) = ((x0 / cell_m).floor() as i32, (x1 / cell_m).floor() as i32);
+        let (cy0, cy1) = ((y0 / cell_m).floor() as i32, (y1 / cell_m).floor() as i32);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if seen.insert((cx, cy)) {
+                    cells.entry((cx, cy)).or_default().push(id);
+                }
+            }
+        }
+    }
+
+    /// The grid cell size this index was built with, metres.
+    pub fn cell_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// Edges whose registered cells intersect the disc around `p` — a
+    /// superset of all edges registered within `radius_m` of `p`,
+    /// whatever cell size the index was built with (the scan covers
+    /// `ceil(radius / cell)` cell rings, which always reaches every
+    /// cell a within-radius point can fall in). Callers filter by true
+    /// projection distance; a mismatched radius/cell pair only changes
+    /// how many out-of-radius edges survive until that filter.
     pub fn edges_near(&self, p: &Point, radius_m: f64) -> Vec<EdgeId> {
         let r_cells = (radius_m / self.cell_m).ceil() as i32;
         let (cx, cy) = (
@@ -296,6 +385,11 @@ pub struct MapMatcher<'g> {
     index: EdgeIndex,
     cfg: MapMatchConfig,
     cache: SpCache,
+    /// Interior edge geometry for imported graphs (aligned with edge
+    /// ids); `None` on plain graphs, where every edge is its chord.
+    /// Drives both the spatial index build and candidate projection,
+    /// so the two always agree about where an edge runs.
+    geometry: Option<&'g [Vec<Point>]>,
     /// Whether CH-backed matchers bulk-fill transition blocks through
     /// the bucket-based many-to-many tables (on by default; a no-op
     /// without a CH covering the probe metric).
@@ -304,16 +398,51 @@ pub struct MapMatcher<'g> {
 
 impl<'g> MapMatcher<'g> {
     /// Builds the matcher: indexes the graph once for `cfg`'s candidate
-    /// radius and allocates the reusable engine.
+    /// radius ([`MapMatchConfig::index_cell_m`]) and allocates the
+    /// reusable engine.
     pub fn new(g: &'g Graph, cfg: MapMatchConfig) -> Self {
-        let index = EdgeIndex::build(g, cfg.candidate_radius_m.max(25.0));
+        let index = EdgeIndex::build(g, cfg.index_cell_m());
         MapMatcher {
             engine: QueryEngine::new(g),
             index,
             cfg,
             cache: SpCache::default(),
+            geometry: None,
             m2m: true,
         }
+    }
+
+    /// [`MapMatcher::new`] for graphs whose edges carry interior
+    /// geometry: the spatial index registers full polylines
+    /// ([`EdgeIndex::build_with_geometry`]) and candidates project onto
+    /// them, so contracted chains — whose chord can be hundreds of
+    /// metres from the actual road — still produce candidates near any
+    /// point of the road. `geometry` is interior points per edge,
+    /// aligned with edge ids.
+    ///
+    /// # Panics
+    /// If `geometry.len() != g.edge_count()`.
+    pub fn new_with_geometry(
+        g: &'g Graph,
+        geometry: &'g [Vec<Point>],
+        cfg: MapMatchConfig,
+    ) -> Self {
+        let index = EdgeIndex::build_with_geometry(g, geometry, cfg.index_cell_m());
+        MapMatcher {
+            engine: QueryEngine::new(g),
+            index,
+            cfg,
+            cache: SpCache::default(),
+            geometry: Some(geometry),
+            m2m: true,
+        }
+    }
+
+    /// Convenience [`MapMatcher::new_with_geometry`] over an OSM
+    /// [`ImportedGraph`] (graph plus its retained contraction
+    /// geometry).
+    pub fn for_imported(imported: &'g ImportedGraph, cfg: MapMatchConfig) -> Self {
+        Self::new_with_geometry(&imported.graph, &imported.edge_geometry, cfg)
     }
 
     /// Attaches ALT landmarks to the matcher's engine (see
@@ -382,6 +511,7 @@ impl<'g> MapMatcher<'g> {
         match_on(
             &mut self.engine,
             &self.index,
+            self.geometry,
             trace,
             &self.cfg,
             &mut self.cache,
@@ -393,12 +523,20 @@ impl<'g> MapMatcher<'g> {
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
     edge: EdgeId,
-    /// Fractional position of the projection along the edge, `[0, 1]`.
+    /// Fractional position of the projection along the edge, `[0, 1]` —
+    /// segment fraction for straight edges, *arclength* fraction of the
+    /// full polyline for edges with interior geometry.
     t: f64,
     /// Distance from the fix to the projection, metres.
     dist: f64,
-    /// Cosine between the vehicle heading and the edge direction.
+    /// Cosine between the vehicle heading and the local road direction
+    /// at the projection.
     heading_cos: f64,
+    /// The projected road position itself. Computed from the same
+    /// formula as `coord(from).lerp(coord(to), t)` on straight edges;
+    /// on geometry edges it is the true polyline point, which the
+    /// endpoint lerp cannot reconstruct.
+    pos: Point,
 }
 
 /// Matches a GPS trace onto the network.
@@ -427,17 +565,28 @@ pub fn map_match_with(
     if trace.len() < 2 {
         return None;
     }
-    let index = EdgeIndex::build(engine.graph(), cfg.candidate_radius_m.max(25.0));
-    match_on(engine, &index, trace, cfg, &mut SpCache::default(), true)
+    let index = EdgeIndex::build(engine.graph(), cfg.index_cell_m());
+    match_on(
+        engine,
+        &index,
+        None,
+        trace,
+        cfg,
+        &mut SpCache::default(),
+        true,
+    )
 }
 
-/// The matcher core: candidate layers from a prebuilt index, Viterbi over
+/// The matcher core: candidate layers from a prebuilt index (projecting
+/// onto full polylines when `geometry` is given), Viterbi over
 /// engine-probed route distances (through `sp_cache`, bulk-filled
 /// block-by-block from many-to-many tables when `use_m2m` and the engine
 /// carries a CH covering the probe metric), stitching.
+#[allow(clippy::too_many_arguments)]
 fn match_on(
     engine: &mut QueryEngine<'_>,
     index: &EdgeIndex,
+    geometry: Option<&[Vec<Point>]>,
     trace: &GpsTrace,
     cfg: &MapMatchConfig,
     sp_cache: &mut SpCache,
@@ -461,6 +610,9 @@ fn match_on(
         .collect();
 
     // Candidate layers; fixes with no nearby road are skipped entirely.
+    // `poly` is a scratch buffer assembling `from -> interior -> to`
+    // polylines for geometry edges (reused across candidates).
+    let mut poly: Vec<Point> = Vec::new();
     let mut layers: Vec<Vec<Candidate>> = Vec::with_capacity(trace.len());
     for (fi, fix) in trace.points.iter().enumerate() {
         let mut cands: Vec<Candidate> = index
@@ -469,22 +621,45 @@ fn match_on(
             .filter_map(|e| {
                 let rec = g.edge(e);
                 let (a, b) = (g.coord(rec.from), g.coord(rec.to));
-                let proj: Projection = project_onto_segment(&fix.pos, &a, &b);
-                if proj.distance > cfg.candidate_radius_m {
+                let interior = geometry.map_or(&[][..], |gm| gm[e.index()].as_slice());
+                // (t, distance, projected point, local road direction):
+                // straight edges keep the segment projection bit-for-bit;
+                // geometry edges project onto the true polyline, whose
+                // local direction — not the chord's — feeds the heading
+                // term (a hairpin's chord points nowhere useful).
+                let (t, dist, pos, dir) = if interior.is_empty() {
+                    let proj = project_onto_segment(&fix.pos, &a, &b);
+                    (proj.t, proj.distance, proj.point, (b.x - a.x, b.y - a.y))
+                } else {
+                    poly.clear();
+                    poly.push(a);
+                    poly.extend_from_slice(interior);
+                    poly.push(b);
+                    let proj = project_onto_polyline(&fix.pos, &poly);
+                    let (sa, sb) = (poly[proj.segment], poly[proj.segment + 1]);
+                    (
+                        proj.t,
+                        proj.distance,
+                        proj.point,
+                        (sb.x - sa.x, sb.y - sa.y),
+                    )
+                };
+                if dist > cfg.candidate_radius_m {
                     return None;
                 }
                 // Heading agreement in [-1, 1]; 1 when driving along the
-                // edge direction, -1 against it.
+                // road direction, -1 against it.
                 let heading_cos = headings[fi].map_or(0.0, |(hx, hy)| {
-                    let (ex, ey) = (b.x - a.x, b.y - a.y);
+                    let (ex, ey) = dir;
                     let en = (ex * ex + ey * ey).sqrt().max(1e-9);
                     hx * ex / en + hy * ey / en
                 });
                 Some(Candidate {
                     edge: e,
-                    t: proj.t,
-                    dist: proj.distance,
+                    t,
+                    dist,
                     heading_cos,
+                    pos,
                 })
             })
             .collect();
@@ -524,18 +699,14 @@ fn match_on(
 
     let mut score: Vec<f64> = layers[0].iter().map(emission).collect();
     let mut back: Vec<Vec<usize>> = Vec::with_capacity(layers.len());
-    let mut positions: Vec<Vec<Point>> = Vec::with_capacity(layers.len());
-    for layer in &layers {
-        positions.push(
-            layer
-                .iter()
-                .map(|c| {
-                    let rec = g.edge(c.edge);
-                    g.coord(rec.from).lerp(&g.coord(rec.to), c.t)
-                })
-                .collect(),
-        );
-    }
+    // Road positions come straight off the candidates: for straight
+    // edges `c.pos` is the same `coord(from) + t · (coord(to) -
+    // coord(from))` expression the old endpoint lerp computed
+    // (bit-identical); for geometry edges it is the true polyline point.
+    let positions: Vec<Vec<Point>> = layers
+        .iter()
+        .map(|layer| layer.iter().map(|c| c.pos).collect())
+        .collect();
 
     // One DistanceTable call per trace: every probe-shaped candidate
     // pair of every ping-to-ping block lands in the cache before the
@@ -678,6 +849,174 @@ mod tests {
         for (_, e) in g.out_edges(v) {
             assert!(near.contains(&e), "index must return incident edge {e:?}");
         }
+    }
+
+    /// A contracted hairpin: endpoints 40 m apart on the baseline, but
+    /// the road itself loops 300 m north through retained interior
+    /// geometry, then continues east to `c`. Edge 0/1 are the two
+    /// directions of the hairpin, edge 2/3 the straight continuation.
+    fn hairpin_graph() -> (pathrank_spatial::graph::Graph, Vec<Vec<Point>>) {
+        use pathrank_spatial::builder::GraphBuilder;
+        use pathrank_spatial::graph::{EdgeAttrs, RoadCategory};
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(40.0, 0.0));
+        let c = b.add_vertex(Point::new(240.0, 0.0));
+        // Polyline a -> (0,300) -> (40,300) -> v: 300 + 40 + 300 m.
+        b.add_bidirectional(
+            a,
+            v,
+            EdgeAttrs::with_default_speed(640.0, RoadCategory::Residential),
+        )
+        .unwrap();
+        b.add_bidirectional(
+            v,
+            c,
+            EdgeAttrs::with_default_speed(200.0, RoadCategory::Residential),
+        )
+        .unwrap();
+        let g = b.build();
+        let up = vec![Point::new(0.0, 300.0), Point::new(40.0, 300.0)];
+        let down = vec![Point::new(40.0, 300.0), Point::new(0.0, 300.0)];
+        let geometry = vec![up, down, vec![], vec![]];
+        (g, geometry)
+    }
+
+    #[test]
+    fn hairpin_edge_is_invisible_to_the_endpoint_index() {
+        // The regression this PR fixes: the endpoint-bbox index only
+        // registers the 40 m chord at y = 0, so a fix at the hairpin's
+        // apex — 300 m up, directly ON the road — returns nothing.
+        let (g, geometry) = hairpin_graph();
+        let apex = Point::new(20.0, 300.0);
+        let old = EdgeIndex::build(&g, 60.0);
+        assert!(
+            old.edges_near(&apex, 60.0).is_empty(),
+            "old endpoint index must provably miss the hairpin (the bug)"
+        );
+        let fixed = EdgeIndex::build_with_geometry(&g, &geometry, 60.0);
+        let near = fixed.edges_near(&apex, 60.0);
+        assert!(
+            near.contains(&EdgeId(0)) && near.contains(&EdgeId(1)),
+            "polyline index must return both hairpin directions, got {near:?}"
+        );
+        // Straight edges register identically in both indexes.
+        let on_straight = Point::new(140.0, 10.0);
+        assert_eq!(
+            old.edges_near(&on_straight, 60.0),
+            fixed.edges_near(&on_straight, 60.0)
+        );
+    }
+
+    #[test]
+    fn hairpin_trace_matches_through_the_geometry_matcher() {
+        let (g, geometry) = hairpin_graph();
+        let trace = GpsTrace {
+            vehicle: 0,
+            points: [
+                Point::new(2.0, 80.0),
+                Point::new(-3.0, 220.0),
+                Point::new(18.0, 303.0),
+                Point::new(43.0, 210.0),
+                Point::new(38.0, 60.0),
+                Point::new(110.0, 4.0),
+                Point::new(210.0, -3.0),
+            ]
+            .iter()
+            .enumerate()
+            .map(|(i, &pos)| crate::gps::GpsPoint {
+                pos,
+                t_s: i as f64 * 5.0,
+            })
+            .collect(),
+        };
+        let cfg = MapMatchConfig::default();
+
+        // The old matcher cannot see the hairpin: every fix on the loop
+        // has no candidate, so the matched route misses edge 0.
+        let mut old = MapMatcher::new(&g, cfg.clone());
+        let old_match = old.match_trace(&trace);
+        assert!(
+            !old_match.is_some_and(|p| p.edges().contains(&EdgeId(0))),
+            "endpoint index must lose the hairpin edge (the bug)"
+        );
+
+        // The geometry matcher recovers the true route: around the
+        // hairpin (edge 0), then the straight continuation (edge 2).
+        let mut fixed = MapMatcher::new_with_geometry(&g, &geometry, cfg);
+        let p = fixed
+            .match_trace(&trace)
+            .expect("geometry matcher must match the hairpin trace");
+        assert!(
+            p.edges().contains(&EdgeId(0)),
+            "matched route must include the hairpin, got {:?}",
+            p.edges()
+        );
+        assert!(
+            p.edges().contains(&EdgeId(2)),
+            "matched route must continue east, got {:?}",
+            p.edges()
+        );
+    }
+
+    #[test]
+    fn edges_near_filtered_sets_are_stable_across_cell_sizes() {
+        use pathrank_spatial::geometry::point_segment_distance;
+        // The documented contract: whatever cell size the grid was
+        // built with — including every historical radius/cell mismatch
+        // — the superset survives the true-distance filter as exactly
+        // the brute-force in-radius edge set.
+        let g = region_network(&RegionConfig::small_test(), 2);
+        let n = g.vertex_count() as u32;
+        let probes: Vec<Point> = [0, n / 3, n / 2, n - 1]
+            .iter()
+            .map(|&v| {
+                let p = g.coord(pathrank_spatial::graph::VertexId(v));
+                Point::new(p.x + 3.0, p.y - 4.0)
+            })
+            .collect();
+        let true_within = |p: &Point, r: f64| -> Vec<EdgeId> {
+            g.edges()
+                .enumerate()
+                .filter(|(_, e)| point_segment_distance(p, &g.coord(e.from), &g.coord(e.to)) <= r)
+                .map(|(i, _)| EdgeId(i as u32))
+                .collect()
+        };
+        for &radius in &[5.0, 25.0, 60.0, 140.0] {
+            for &cell in &[10.0, 25.0, 60.0, 200.0] {
+                let index = EdgeIndex::build(&g, cell);
+                assert_eq!(index.cell_m(), cell);
+                for p in &probes {
+                    let got: Vec<EdgeId> = index
+                        .edges_near(p, radius)
+                        .into_iter()
+                        .filter(|&e| {
+                            let rec = g.edge(e);
+                            point_segment_distance(p, &g.coord(rec.from), &g.coord(rec.to))
+                                <= radius
+                        })
+                        .collect();
+                    let want = true_within(p, radius);
+                    assert_eq!(got, want, "cell {cell} radius {radius} at {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_cell_size_is_explicit() {
+        // Small radii are floored by `min_cell_m`; large radii use the
+        // radius itself. The matcher's index must agree with the config.
+        let small = MapMatchConfig {
+            candidate_radius_m: 10.0,
+            ..Default::default()
+        };
+        assert_eq!(small.index_cell_m(), 25.0);
+        let large = MapMatchConfig::default();
+        assert_eq!(large.index_cell_m(), 60.0);
+        let g = region_network(&RegionConfig::small_test(), 2);
+        let matcher = MapMatcher::new(&g, small.clone());
+        assert_eq!(matcher.index().cell_m(), small.index_cell_m());
     }
 
     #[test]
