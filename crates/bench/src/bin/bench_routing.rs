@@ -16,9 +16,15 @@
 //! (build time under `"ch"`): unconstrained point-to-point queries run
 //! the bidirectional upward search, Yen spur searches keep ALT. The
 //! `fastest_one_to_one` rows exercise the TravelTime metric through a
-//! TravelTime-built landmark table (fastest-path serving). Answers stay
-//! exact — asserted against the baseline before timing. The JSON makes
-//! the perf trajectory of the routing layer trackable across PRs.
+//! TravelTime-built landmark table (fastest-path serving). The
+//! **frozen** rows run the same reused searches over the
+//! [`FrozenGraph`] merged CSR (weights inlined next to each arc),
+//! asserted *bit-identical* to the builder-graph answers before timing,
+//! and the `snap_throughput` rows race the retired uniform grid against
+//! the packed R-tree on the fleet's real GPS fixes (candidate sets
+//! asserted identical first). Answers stay exact — asserted against the
+//! baseline before timing. The JSON makes the perf trajectory of the
+//! routing layer trackable across PRs.
 //!
 //! The `imported_*` rows run the same workloads on a real (imported)
 //! road network: by default the checked-in OSM fixture extract
@@ -40,9 +46,12 @@ use pathrank_spatial::algo::cch::{CchConfig, CchTopology};
 use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
 use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
+use pathrank_spatial::frozen::FrozenGraph;
 use pathrank_spatial::generators::{region_network, RegionConfig};
-use pathrank_spatial::graph::{CostModel, Graph, VertexId};
-use pathrank_traj::mapmatch::{MapMatchConfig, MapMatcher};
+use pathrank_spatial::geometry::{point_segment_distance, Point};
+use pathrank_spatial::graph::{CostModel, EdgeId, Graph, VertexId};
+use pathrank_spatial::rtree::RTree;
+use pathrank_traj::mapmatch::{EdgeIndex, MapMatchConfig, MapMatcher};
 use pathrank_traj::simulator::{simulate_fleet, SimulationConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -420,11 +429,25 @@ fn main() {
         cch_topo.triangle_count()
     );
 
+    // Frozen serving graph (timed): one merged forward/backward CSR
+    // with the per-metric weights inlined next to each arc — the layout
+    // every `frozen` row relaxes instead of the builder Graph.
+    let t0 = Instant::now();
+    let frozen = Arc::new(FrozenGraph::freeze(&g));
+    let frozen_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "frozen: {} arcs ({} vertices) in {frozen_build_ms:.1} ms",
+        2 * frozen.edge_count(),
+        frozen.vertex_count()
+    );
+
     // The engines' answers must agree with the baseline's before any
     // timing is trusted (equal costs; tie-breaking may differ) — for the
     // plain reused engine, the ALT-guided one *and* the CH-backed one.
     {
         let mut engine = QueryEngine::new(&g);
+        let mut frz = QueryEngine::new(&g).with_frozen(Arc::clone(&frozen));
+        assert!(frz.uses_frozen(), "frozen graph must be epoch-fresh");
         let mut alt = QueryEngine::new(&g).with_landmarks(Arc::clone(&table));
         let mut chx = QueryEngine::new(&g)
             .with_landmarks(Arc::clone(&table))
@@ -455,6 +478,23 @@ fn main() {
                     (None, None) => {}
                     (a, b) => panic!("reachability mismatch {s:?}->{t:?}: {a:?} vs {b:?}"),
                 }
+            }
+            // The frozen layout is held to a stricter bar than the
+            // tolerance check above: bit-identical costs to the plain
+            // reused engine on both metrics, edge-for-edge same path.
+            for cost in [CostModel::Length, CostModel::TravelTime] {
+                let a = engine.astar_shortest_path(s, t, cost);
+                let b = frz.astar_shortest_path(s, t, cost);
+                assert_eq!(
+                    a.as_ref().map(|p| p.edges().to_vec()),
+                    b.as_ref().map(|p| p.edges().to_vec()),
+                    "frozen path diverged {s:?}->{t:?}"
+                );
+                assert_eq!(
+                    a.map(|p| p.cost(&g, cost).to_bits()),
+                    b.map(|p| p.cost(&g, cost).to_bits()),
+                    "frozen cost not bit-identical {s:?}->{t:?}"
+                );
             }
             let a = seed_baseline::shortest_path(&g, s, t, CostModel::TravelTime)
                 .map(|p| p.travel_time_s(&g));
@@ -512,6 +552,23 @@ fn main() {
                     "one_to_many mismatch {s:?}->{t:?}"
                 );
             }
+        }
+        // Frozen one-to-all: every settled distance in the tree must be
+        // bit-identical to the builder-graph sweep, all V vertices.
+        for &s in &tree_sources {
+            let a: Vec<u64> = {
+                let view = engine.one_to_all(s, CostModel::Length);
+                (0..g.vertex_count() as u32)
+                    .map(|v| view.dist(VertexId(v)).to_bits())
+                    .collect()
+            };
+            let b: Vec<u64> = {
+                let view = frz.one_to_all(s, CostModel::Length);
+                (0..g.vertex_count() as u32)
+                    .map(|v| view.dist(VertexId(v)).to_bits())
+                    .collect()
+            };
+            assert_eq!(a, b, "frozen one_to_all diverged from {s:?}");
         }
     }
 
@@ -580,7 +637,19 @@ fn main() {
         }
     });
     record("one_to_one", "reused_cch", p2p.len(), reps, reused_cch);
+    // Same search as `reused` (cached-bound A*), but relaxing the
+    // frozen merged CSR with inlined weights instead of the builder
+    // Graph — the row isolates the memory-layout effect alone.
+    let mut engine = QueryEngine::new(&g).with_frozen(Arc::clone(&frozen));
+    let reused_frozen = measure(reps, p2p.len(), || {
+        for &(s, t) in &p2p {
+            std::hint::black_box(engine.astar_shortest_path(s, t, CostModel::Length));
+        }
+    });
+    record("one_to_one", "frozen", p2p.len(), reps, reused_frozen);
     let speedup_p2p = fresh / reused;
+    let speedup_p2p_frozen = fresh / reused_frozen;
+    let frozen_over_reused_p2p = reused / reused_frozen;
     let speedup_p2p_cch = fresh / reused_cch;
     let speedup_p2p_alt = fresh / reused_alt;
     let speedup_p2p_ch = fresh / reused_ch;
@@ -662,7 +731,22 @@ fn main() {
         }
     });
     record("one_to_all", "reused", tree_sources.len(), reps, reused);
+    let mut engine = QueryEngine::new(&g).with_frozen(Arc::clone(&frozen));
+    let frozen_tree = measure(reps, tree_sources.len(), || {
+        for &s in &tree_sources {
+            std::hint::black_box(engine.one_to_all(s, CostModel::Length).dist(VertexId(0)));
+        }
+    });
+    record(
+        "one_to_all",
+        "frozen",
+        tree_sources.len(),
+        reps,
+        frozen_tree,
+    );
     let speedup_tree = fresh / reused;
+    let speedup_tree_frozen = fresh / frozen_tree;
+    let frozen_over_reused_tree = reused / frozen_tree;
 
     // One-to-many: the batched bounded-target shape. The fresh and
     // reused rows pay a full one-to-all sweep and read the targets out;
@@ -778,7 +862,7 @@ fn main() {
         mm_reps,
         mm_pairwise,
     );
-    let mut matcher = MapMatcher::new(&g, mm_cfg).with_ch(Arc::clone(&ch));
+    let mut matcher = MapMatcher::new(&g, mm_cfg.clone()).with_ch(Arc::clone(&ch));
     let mm_m2m = measure(mm_reps, trips.len(), || {
         matcher.reset_cache();
         for trip in &trips {
@@ -787,6 +871,56 @@ fn main() {
     });
     record("mapmatch_throughput", "m2m", trips.len(), mm_reps, mm_m2m);
     let speedup_mapmatch = mm_pairwise / mm_m2m;
+
+    // Candidate snapping: the retired uniform grid against the packed
+    // R-tree, probed with the fleet's real GPS fixes. The grid returns a
+    // cell-superset that the caller must distance-filter (exactly what
+    // the matcher's candidate loop used to pay per fix); the R-tree
+    // returns the exact in-radius set directly. Both index builds are
+    // timed, and candidate sets are asserted identical on every probe
+    // before any timing is trusted.
+    let probes: Vec<Point> = trips
+        .iter()
+        .flat_map(|t| t.trace.points.iter().map(|p| p.pos))
+        .collect();
+    let snap_radius = mm_cfg.candidate_radius_m;
+    let t0 = Instant::now();
+    let grid_index = EdgeIndex::build(&g, mm_cfg.index_cell_m());
+    let grid_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let rtree_index = RTree::build(&g);
+    let rtree_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let in_radius = |p: &Point, e: EdgeId| {
+        let rec = g.edge(e);
+        point_segment_distance(p, &g.coord(rec.from), &g.coord(rec.to)) <= snap_radius
+    };
+    {
+        let mut a: Vec<EdgeId> = Vec::new();
+        let mut b: Vec<EdgeId> = Vec::new();
+        for p in &probes {
+            grid_index.edges_near_into(p, snap_radius, &mut a);
+            a.retain(|&e| in_radius(p, e));
+            rtree_index.edges_within_into(p, snap_radius, &mut b);
+            assert_eq!(a, b, "snap candidate sets diverged at {p:?}");
+        }
+    }
+    let mut snap_buf: Vec<EdgeId> = Vec::new();
+    let snap_grid = measure(reps, probes.len(), || {
+        for p in &probes {
+            grid_index.edges_near_into(p, snap_radius, &mut snap_buf);
+            snap_buf.retain(|&e| in_radius(p, e));
+            std::hint::black_box(snap_buf.len());
+        }
+    });
+    record("snap_throughput", "grid", probes.len(), reps, snap_grid);
+    let snap_rtree = measure(reps, probes.len(), || {
+        for p in &probes {
+            rtree_index.edges_within_into(p, snap_radius, &mut snap_buf);
+            std::hint::black_box(snap_buf.len());
+        }
+    });
+    record("snap_throughput", "rtree", probes.len(), reps, snap_rtree);
+    let speedup_snap = snap_grid / snap_rtree;
 
     // Yen top-k: the candidate-generation shape (hundreds of constrained
     // spur searches per query group).
@@ -1109,6 +1243,18 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"frozen\": {{\"arcs\": {}, \"vertices\": {}, \"build_ms\": {frozen_build_ms:.1}}},",
+        2 * frozen.edge_count(),
+        frozen.vertex_count()
+    );
+    let _ = writeln!(
+        json,
+        "  \"snap_index\": {{\"segments\": {}, \"rtree_build_ms\": {rtree_build_ms:.1}, \"grid_build_ms\": {grid_build_ms:.1}, \"radius_m\": {snap_radius:.1}, \"probes\": {}}},",
+        rtree_index.len(),
+        probes.len()
+    );
+    let _ = writeln!(
+        json,
         "  \"graph\": {{\"vertices\": {}, \"edges\": {}, \"seed\": {}, \"scale\": \"{}\"}},",
         g.vertex_count(),
         g.edge_count(),
@@ -1145,6 +1291,18 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"speedup_cch_over_fresh\": {{\"one_to_one\": {speedup_p2p_cch:.3}, \"fastest_one_to_one\": {speedup_tt_cch:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_frozen_over_fresh\": {{\"one_to_one\": {speedup_p2p_frozen:.3}, \"one_to_all\": {speedup_tree_frozen:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_frozen_over_reused\": {{\"one_to_one\": {frozen_over_reused_p2p:.3}, \"one_to_all\": {frozen_over_reused_tree:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_snap_rtree_over_grid\": {speedup_snap:.3},"
     );
     // The batched layer: one DistanceTable vs the pairwise CH probes it
     // replaces (the HMM transition-matrix shape), bucket one-to-many vs
@@ -1218,6 +1376,13 @@ fn main() {
     );
     eprintln!(
         "speedups (m2m):          table/pairwise {speedup_m2m:.2}x ({m2m_side}x{m2m_side}), one_to_many {speedup_one_to_many:.2}x, mapmatch {speedup_mapmatch:.2}x"
+    );
+    eprintln!(
+        "speedups (frozen/fresh): one_to_one {speedup_p2p_frozen:.2}x, one_to_all {speedup_tree_frozen:.2}x (vs reused: {frozen_over_reused_p2p:.2}x / {frozen_over_reused_tree:.2}x)"
+    );
+    eprintln!(
+        "speedups (snap):         rtree/grid {speedup_snap:.2}x over {} probes",
+        probes.len()
     );
     eprintln!(
         "speedups (imported):     one_to_one ch {speedup_imported_ch:.2}x / alt {speedup_imported_alt:.2}x, fastest ch {speedup_imported_tt_ch:.2}x -> {out_path}"

@@ -11,9 +11,18 @@
 //!
 //! A worker picking up a request first drains everything already queued
 //! (a free batch — those requests have already paid their queueing
-//! latency), then optionally waits out a short window for stragglers.
-//! If the coalesced batch is large enough and a hierarchy covers its
-//! metric, the worker answers it with one bucket many-to-many fill:
+//! latency), then optionally waits out a short window for stragglers —
+//! but only when that drain actually found queued traffic
+//! ([`ServeConfig::straggler_min_queued`]): at low concurrency an empty
+//! drain means no batch will ever form, and the window would tax every
+//! request with its full duration for nothing. The window also closes
+//! the moment the batch reaches the m2m threshold — growth past it
+//! comes for free on the next drain, so waiting longer is pure latency.
+//! If the coalesced batch is large enough, *shaped* so the fill saves
+//! sweeps (see [`coalescing_wins`] — a drained handful of unrelated
+//! point queries is all bucket overhead and no saving), and a hierarchy
+//! covers its metric, the worker answers it with one bucket
+//! many-to-many fill:
 //! one backward upward sweep per distinct target, one forward upward
 //! sweep per distinct source — `S + T` half-sweeps where individual
 //! dispatch would pay two per request. Each reply is de-multiplexed out
@@ -74,13 +83,28 @@ pub struct ServeConfig {
     /// is still below [`ServeConfig::min_batch_for_m2m`]. Zero disables
     /// waiting; already-queued requests still coalesce for free.
     pub batch_window: Duration,
+    /// How many *extra* requests the greedy drain must have found
+    /// (beyond the one that woke the worker) before the straggler
+    /// window opens at all. An empty drain means the shard is running
+    /// below its batching break-even — a handful of synchronous clients
+    /// — and waiting the window out only adds latency per request
+    /// without ever forming a batch (the regression BENCH_serving.json
+    /// showed at 4 clients: 39.6k qps batched vs 102.0k unbatched).
+    /// The default `1` keeps the window shut until queue depth proves
+    /// there is traffic to coalesce; `0` restores the old
+    /// always-wait behaviour.
+    pub straggler_min_queued: usize,
     /// Hard cap on coalesced batch size.
     pub max_batch: usize,
     /// Master switch for m2m batching; off, every request dispatches
     /// individually (the A/B baseline the loadgen benchmark measures).
     pub batching: bool,
-    /// Smallest batch worth a bucket m2m fill. Below it, individual
-    /// CH queries pay fewer sweeps than `S + T`.
+    /// Smallest batch worth *considering* a bucket m2m fill. Even past
+    /// this floor, the group only coalesces when the fill actually
+    /// saves sweeps for its shape — see [`coalescing_wins`]: a drained
+    /// queue of B unrelated point queries (the low-concurrency regime)
+    /// costs `S + T = 2B` half-sweeps through m2m, all bucket overhead
+    /// and no saving, so it dispatches pointwise instead.
     pub min_batch_for_m2m: usize,
     /// Whether queries no index covers may fall back to plain Dijkstra.
     /// `false` turns the ladder's last rung into
@@ -95,6 +119,7 @@ impl Default for ServeConfig {
             shards: 0,
             queue_capacity: 1024,
             batch_window: Duration::from_micros(200),
+            straggler_min_queued: 1,
             max_batch: 64,
             batching: true,
             min_batch_for_m2m: 4,
@@ -441,7 +466,14 @@ fn worker_loop(
         }
         // Straggler window, only while the batch is still below the
         // m2m threshold and never past the earliest deadline on board.
-        if cfg.batching && cfg.batch_window > Duration::ZERO && batch.len() < cfg.min_batch_for_m2m
+        // The drain above is also the load signal: unless it found at
+        // least `straggler_min_queued` extras, the shard is below its
+        // batching break-even and the window would be pure added
+        // latency, so it stays shut and the request dispatches now.
+        if cfg.batching
+            && cfg.batch_window > Duration::ZERO
+            && batch.len() < cfg.min_batch_for_m2m
+            && batch.len() > cfg.straggler_min_queued
         {
             let window_end = Instant::now() + cfg.batch_window;
             let wait_until = batch
@@ -449,7 +481,14 @@ fn worker_loop(
                 .filter_map(|j| j.req.deadline)
                 .min()
                 .map_or(window_end, |d| d.min(window_end));
-            while batch.len() < cfg.max_batch {
+            // Stop as soon as the batch is m2m-worthy: the window only
+            // exists to reach that threshold, and anything queued past
+            // it coalesces for free on the next greedy drain. Sitting
+            // the window out at a low client count would otherwise tax
+            // every request the full window even though the handful of
+            // closed-loop clients can never push the batch further.
+            let window_target = cfg.min_batch_for_m2m.min(cfg.max_batch);
+            while batch.len() < window_target {
                 let now = Instant::now();
                 let Some(remaining) = wait_until.checked_duration_since(now) else {
                     break;
@@ -535,7 +574,11 @@ fn serve_group(
     }
     let backend = engine.backend_for(cost);
     let hierarchy_backed = matches!(backend, SearchBackend::Ch | SearchBackend::Cch);
-    if hierarchy_backed && cfg.batching && jobs.len() >= cfg.min_batch_for_m2m {
+    if hierarchy_backed
+        && cfg.batching
+        && jobs.len() >= cfg.min_batch_for_m2m
+        && coalescing_wins(&jobs)
+    {
         serve_batched(engine, stats, jobs, cost, backend, generation);
         return;
     }
@@ -556,6 +599,25 @@ fn serve_group(
             weights_generation: generation,
         }));
     }
+}
+
+/// Whether the bucket m2m fill actually saves work for this group's
+/// shape. The fill costs one backward half-sweep per distinct target
+/// plus one forward half-sweep per distinct source; the pairwise
+/// bidirectional path costs two half-sweeps per request. Coalescing
+/// must save at least two half-sweeps to also cover the fill's bucket
+/// deposit/scan and demux overhead. Hub-shaped traffic (many sources,
+/// few shared targets) passes easily; a drained queue of a few
+/// unrelated point queries — the low-concurrency regime where batching
+/// used to *lose* 2.6x — fails and dispatches pointwise.
+fn coalescing_wins(jobs: &[Job]) -> bool {
+    let mut sources: Vec<u32> = jobs.iter().map(|j| j.req.source.0).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    let mut targets: Vec<u32> = jobs.iter().map(|j| j.req.target.0).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    sources.len() + targets.len() + 2 <= 2 * jobs.len()
 }
 
 /// The coalesced path: one bucket preparation over the batch's distinct

@@ -57,7 +57,10 @@ fn serve_batched_replies_are_bit_identical_to_sequential() {
         LandmarkMetric::Length,
         &ChConfig::default(),
     ));
-    let pairs = hub_pairs(&graph, 160, 6, 0xfeed);
+    // Two hub targets: every batch of `min_batch_for_m2m` or more then
+    // passes the coalescing-win test (`S + T + 2 <= 2B` holds for any
+    // B >= 4 when T <= 2), however the burst fragments.
+    let pairs = hub_pairs(&graph, 160, 2, 0xfeed);
 
     let mut engine = QueryEngine::new(&graph);
     engine.set_ch(Some(Arc::clone(&ch)));
@@ -76,6 +79,12 @@ fn serve_batched_replies_are_bit_identical_to_sequential() {
             shards: 1,
             batch_window: Duration::from_millis(100),
             max_batch: pairs.len(),
+            // Always-wait straggler window (`0`): if the worker keeps
+            // pace with the submitting thread, every drain comes up
+            // empty and the load-signal gate would rightly dispatch the
+            // trickle solo — this test *wants* the burst to accumulate
+            // into one m2m batch, whatever the scheduling.
+            straggler_min_queued: 0,
             ..ServeConfig::default()
         },
     );
@@ -301,9 +310,12 @@ fn serve_deadlines_shed_instead_of_serving_late() {
             shards: 1,
             // A long window the worker will sit out (min_batch is
             // unreachable), guaranteeing the tight deadline below
-            // expires while its batch forms.
+            // expires while its batch forms. `straggler_min_queued: 0`
+            // opts back into the unconditional window so a solo request
+            // opens it.
             batch_window: Duration::from_millis(400),
             min_batch_for_m2m: usize::MAX,
+            straggler_min_queued: 0,
             ..ServeConfig::default()
         },
     );
@@ -338,6 +350,48 @@ fn serve_deadlines_shed_instead_of_serving_late() {
     let stats = server.stats();
     assert_eq!(stats.served, 1);
     assert_eq!(stats.shed_deadline, 2);
+    server.shutdown();
+}
+
+#[test]
+fn serve_solo_requests_skip_the_straggler_window() {
+    // The low-concurrency regression fix: a synchronous client on an
+    // otherwise idle shard must not pay the straggler window per
+    // request. With a deliberately huge window (400ms) and the default
+    // straggler gate, ten sequential round trips must complete in a
+    // fraction of a single window — the drain finds nothing queued, so
+    // the window never opens.
+    let graph = Arc::new(integer_city(6));
+    let ch = Arc::new(ContractionHierarchy::build(
+        &graph,
+        LandmarkMetric::Length,
+        &ChConfig::default(),
+    ));
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            ch: Some(ch),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            batch_window: Duration::from_millis(400),
+            ..ServeConfig::default()
+        },
+    );
+    let start = Instant::now();
+    for i in 0..10u32 {
+        let reply = server
+            .route(length_request(VertexId(i % 36), VertexId((i + 18) % 36)))
+            .expect("idle shard must serve");
+        assert!(!reply.batched, "a solo request has nothing to batch with");
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(400),
+        "10 solo round trips took {elapsed:?}: the straggler window \
+         must stay shut on an idle shard"
+    );
     server.shutdown();
 }
 

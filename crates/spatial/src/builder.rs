@@ -160,6 +160,12 @@ impl GraphBuilder {
             *ic += 1;
         }
 
+        let max_speed_kmh = self
+            .edges
+            .iter()
+            .map(|e| e.attrs.speed_kmh)
+            .fold(f64::MIN, f64::max);
+
         Graph {
             coords: self.coords,
             out_offsets,
@@ -170,6 +176,7 @@ impl GraphBuilder {
             in_edge_ids,
             edge_records: self.edges,
             weights_epoch: 0,
+            max_speed_kmh,
         }
     }
 

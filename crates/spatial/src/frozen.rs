@@ -1,0 +1,293 @@
+//! Cache-compact immutable serving representation of a [`Graph`].
+//!
+//! The builder [`Graph`] keeps three parallel structures per direction
+//! (`out_targets`, `out_edge_ids`, `edge_records`), so relaxing one arc
+//! costs three dependent loads plus a division
+//! (`length_m / (speed_kmh / 3.6)`) to derive the travel time. A
+//! [`FrozenGraph`] collapses all of that into one merged forward/backward
+//! CSR whose arc entries inline everything the inner Dijkstra/A* loop
+//! needs — `(target, edge_id, length_m, travel_time_s)` — so relaxation
+//! touches exactly one contiguous array and pays zero divisions.
+//!
+//! Weights are precomputed with *exactly* the expressions
+//! [`crate::graph::CostModel::edge_cost`] uses (`travel_time_s` is
+//! `length_m / (speed_kmh / 3.6)`, evaluated once at freeze time), and
+//! arcs are laid out in the same order the builder CSR enumerates them,
+//! so a search over the frozen form settles vertices in the same order,
+//! breaks ties the same way, and returns bit-identical distances and
+//! paths. [`crate::algo::engine::QueryEngine`] exploits this: when a
+//! frozen graph is mounted and its weights epoch matches, `Plain` and
+//! `Alt` searches run on the frozen arcs transparently.
+//!
+//! The frozen form also carries `f32` vertex coordinates — enough
+//! precision for snapping geometry and half the footprint — and is the
+//! unit of persistence for the fixed-width binary section in
+//! [`crate::io`] (designed so a future loader can map the arc array
+//! straight off disk).
+
+use crate::geometry::Point;
+use crate::graph::{Graph, VertexId};
+
+/// One directed arc of a [`FrozenGraph`]: everything the relaxation loop
+/// needs, inline, in 24 bytes.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrozenArc {
+    /// Head vertex of the arc (tail vertex for backward arcs).
+    pub target: u32,
+    /// Id of the underlying [`Graph`] edge — indexes `Custom` cost
+    /// slices and recovers the [`crate::graph::EdgeRecord`].
+    pub edge_id: u32,
+    /// Edge length in metres (the `Length` metric weight).
+    pub length_m: f64,
+    /// Free-flow travel time in seconds (the `TravelTime` metric
+    /// weight), precomputed as `length_m / (speed_kmh / 3.6)` — bit
+    /// identical to [`crate::graph::EdgeAttrs::travel_time_s`].
+    pub travel_time_s: f64,
+}
+
+/// Immutable merged-CSR serving graph; see the [module docs](self).
+///
+/// Built with [`FrozenGraph::freeze`]; persisted by
+/// [`crate::io::write_frozen`] / [`crate::io::read_frozen`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenGraph {
+    pub(crate) vertex_count: u32,
+    pub(crate) edge_count: u32,
+    /// `n + 1` offsets into the forward block of `arcs`.
+    pub(crate) fwd_offsets: Vec<u32>,
+    /// `n + 1` *absolute* offsets into `arcs`; the backward block
+    /// occupies `arcs[m..2m]`, so `bwd_offsets[0] == m`.
+    pub(crate) bwd_offsets: Vec<u32>,
+    /// Forward arcs for all vertices, then backward arcs — `2m` total,
+    /// each block in the same order the builder CSR enumerates.
+    pub(crate) arcs: Vec<FrozenArc>,
+    /// Vertex coordinates narrowed to `f32` — snapping geometry only;
+    /// exact routing heuristics keep using the builder graph's `f64`
+    /// coordinates.
+    pub(crate) coords_f32: Vec<(f32, f32)>,
+    /// Weights epoch of the [`Graph`] this was frozen from; the query
+    /// layer refuses to pair a mutated graph with a stale frozen form.
+    pub(crate) weights_epoch: u64,
+}
+
+impl FrozenGraph {
+    /// Derives the frozen serving form of `g`.
+    ///
+    /// Arc order within each vertex's slice is copied verbatim from the
+    /// builder CSR, and weights are computed with the exact expressions
+    /// [`crate::graph::CostModel::edge_cost`] uses, so searches over the
+    /// result are bit-identical to searches over `g`.
+    pub fn freeze(g: &Graph) -> FrozenGraph {
+        let n = g.vertex_count();
+        let m = g.edge_count();
+        let mut fwd_offsets = Vec::with_capacity(n + 1);
+        let mut bwd_offsets = Vec::with_capacity(n + 1);
+        let mut arcs = Vec::with_capacity(2 * m);
+        for v in g.vertices() {
+            fwd_offsets.push(arcs.len() as u32);
+            for (head, e) in g.out_edges(v) {
+                let attrs = g.edge(e).attrs;
+                arcs.push(FrozenArc {
+                    target: head.0,
+                    edge_id: e.0,
+                    length_m: attrs.length_m,
+                    travel_time_s: attrs.travel_time_s(),
+                });
+            }
+        }
+        fwd_offsets.push(arcs.len() as u32);
+        debug_assert_eq!(arcs.len(), m);
+        for v in g.vertices() {
+            bwd_offsets.push(arcs.len() as u32);
+            for (tail, e) in g.in_edges(v) {
+                let attrs = g.edge(e).attrs;
+                arcs.push(FrozenArc {
+                    target: tail.0,
+                    edge_id: e.0,
+                    length_m: attrs.length_m,
+                    travel_time_s: attrs.travel_time_s(),
+                });
+            }
+        }
+        bwd_offsets.push(arcs.len() as u32);
+        debug_assert_eq!(arcs.len(), 2 * m);
+        let coords_f32 = g
+            .coords()
+            .iter()
+            .map(|p| (p.x as f32, p.y as f32))
+            .collect();
+        FrozenGraph {
+            vertex_count: n as u32,
+            edge_count: m as u32,
+            fwd_offsets,
+            bwd_offsets,
+            arcs,
+            coords_f32,
+            weights_epoch: g.weights_epoch(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count as usize
+    }
+
+    /// Number of directed edges of the source graph (the arc array holds
+    /// twice this: forward block then backward block).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count as usize
+    }
+
+    /// Weights epoch of the source [`Graph`] at freeze time.
+    #[inline]
+    pub fn weights_epoch(&self) -> u64 {
+        self.weights_epoch
+    }
+
+    /// Whether this frozen form was derived from a graph shaped like `g`
+    /// (same vertex and edge counts) and is still weight-current.
+    #[inline]
+    pub fn current_for(&self, g: &Graph) -> bool {
+        self.vertex_count() == g.vertex_count()
+            && self.edge_count() == g.edge_count()
+            && self.weights_epoch == g.weights_epoch()
+    }
+
+    /// Outgoing arcs of `v`, in builder-CSR order.
+    #[inline]
+    pub fn out_arcs(&self, v: VertexId) -> &[FrozenArc] {
+        let lo = self.fwd_offsets[v.index()] as usize;
+        let hi = self.fwd_offsets[v.index() + 1] as usize;
+        &self.arcs[lo..hi]
+    }
+
+    /// Incoming arcs of `v` (each arc's `target` is the *tail* vertex),
+    /// in builder-CSR order.
+    #[inline]
+    pub fn in_arcs(&self, v: VertexId) -> &[FrozenArc] {
+        let lo = self.bwd_offsets[v.index()] as usize;
+        let hi = self.bwd_offsets[v.index() + 1] as usize;
+        &self.arcs[lo..hi]
+    }
+
+    /// Vertex coordinate narrowed to `f32`.
+    #[inline]
+    pub fn coord_f32(&self, v: VertexId) -> (f32, f32) {
+        self.coords_f32[v.index()]
+    }
+
+    /// All `f32` vertex coordinates, indexed by vertex id.
+    #[inline]
+    pub fn coords_f32(&self) -> &[(f32, f32)] {
+        &self.coords_f32
+    }
+
+    /// Vertex coordinate widened back to a [`Point`] (snapping-precision
+    /// only — roughly 7 significant digits survive the `f32` round trip).
+    #[inline]
+    pub fn coord(&self, v: VertexId) -> Point {
+        let (x, y) = self.coords_f32[v.index()];
+        Point::new(x as f64, y as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::{CostModel, EdgeAttrs, RoadCategory};
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(100.0, 50.0));
+        let v2 = b.add_vertex(Point::new(100.0, -50.0));
+        let v3 = b.add_vertex(Point::new(200.0, 0.0));
+        for (a, z, len, cat) in [
+            (v0, v1, 120.0, RoadCategory::Residential),
+            (v0, v2, 115.0, RoadCategory::Arterial),
+            (v1, v3, 130.0, RoadCategory::Residential),
+            (v2, v3, 118.0, RoadCategory::Highway),
+            (v3, v0, 210.0, RoadCategory::Rural),
+        ] {
+            b.add_edge(a, z, EdgeAttrs::with_default_speed(len, cat))
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn frozen_mirrors_builder_csr_order_and_weights() {
+        let g = diamond();
+        let fz = FrozenGraph::freeze(&g);
+        assert_eq!(fz.vertex_count(), g.vertex_count());
+        assert_eq!(fz.edge_count(), g.edge_count());
+        assert_eq!(fz.weights_epoch(), g.weights_epoch());
+        assert_eq!(fz.arcs.len(), 2 * g.edge_count());
+        for v in g.vertices() {
+            let fwd: Vec<_> = g.out_edges(v).collect();
+            let arcs = fz.out_arcs(v);
+            assert_eq!(arcs.len(), fwd.len());
+            for ((head, e), arc) in fwd.iter().zip(arcs) {
+                assert_eq!(arc.target, head.0);
+                assert_eq!(arc.edge_id, e.0);
+                let attrs = g.edge(*e).attrs;
+                assert_eq!(arc.length_m.to_bits(), attrs.length_m.to_bits());
+                assert_eq!(arc.travel_time_s.to_bits(), attrs.travel_time_s().to_bits());
+                assert_eq!(
+                    arc.length_m.to_bits(),
+                    CostModel::Length.edge_cost(&g, *e).to_bits()
+                );
+                assert_eq!(
+                    arc.travel_time_s.to_bits(),
+                    CostModel::TravelTime.edge_cost(&g, *e).to_bits()
+                );
+            }
+            let bwd: Vec<_> = g.in_edges(v).collect();
+            let arcs = fz.in_arcs(v);
+            assert_eq!(arcs.len(), bwd.len());
+            for ((tail, e), arc) in bwd.iter().zip(arcs) {
+                assert_eq!(arc.target, tail.0);
+                assert_eq!(arc.edge_id, e.0);
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_coords_narrow_to_f32() {
+        let g = diamond();
+        let fz = FrozenGraph::freeze(&g);
+        for v in g.vertices() {
+            let p = g.coord(v);
+            assert_eq!(fz.coord_f32(v), (p.x as f32, p.y as f32));
+            assert!((fz.coord(v).x - p.x).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn frozen_staleness_follows_the_weights_epoch() {
+        let mut g = diamond();
+        let fz = FrozenGraph::freeze(&g);
+        assert!(fz.current_for(&g));
+        let e = g.find_edge(VertexId(0), VertexId(1)).unwrap();
+        g.set_edge_speed(e, 55.0);
+        assert!(!fz.current_for(&g));
+        let refrozen = FrozenGraph::freeze(&g);
+        assert!(refrozen.current_for(&g));
+        assert_eq!(refrozen.weights_epoch(), 1);
+    }
+
+    #[test]
+    fn frozen_empty_graph() {
+        let g = GraphBuilder::new().build();
+        let fz = FrozenGraph::freeze(&g);
+        assert_eq!(fz.vertex_count(), 0);
+        assert_eq!(fz.edge_count(), 0);
+        assert_eq!(fz.fwd_offsets, vec![0]);
+        assert_eq!(fz.bwd_offsets, vec![0]);
+        assert!(fz.arcs.is_empty());
+    }
+}

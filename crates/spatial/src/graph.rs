@@ -201,11 +201,10 @@ impl CostModel<'_> {
         match self {
             CostModel::Length => 1.0,
             CostModel::TravelTime => {
-                let vmax = g
-                    .edges()
-                    .map(|e| e.attrs.speed_kmh)
-                    .fold(f64::MIN, f64::max)
-                    .max(1e-9);
+                // The O(E) fold over edge speeds is cached on the graph
+                // (`Graph::max_speed_kmh`, maintained by the builder and
+                // the speed mutation entry points), so this is O(1).
+                let vmax = g.max_speed_kmh.max(1e-9);
                 1.0 / (vmax / 3.6)
             }
             CostModel::Custom(_) => 0.0,
@@ -236,6 +235,13 @@ pub struct Graph {
     /// graph with a stale index. Freshly built and deserialised graphs
     /// start at epoch 0.
     pub(crate) weights_epoch: u64,
+    /// Cached `max` over all edge speeds (km/h), `f64::MIN` for an
+    /// edge-free graph — kept exact by the builder and by
+    /// [`Graph::set_edge_speed`] / [`Graph::set_edge_speeds`] so
+    /// [`CostModel::min_cost_per_meter`] needn't fold over every edge
+    /// per call. `f64::max` folds are order-independent over finite
+    /// floats, so the cache is always bit-identical to a fresh fold.
+    pub(crate) max_speed_kmh: f64,
 }
 
 impl Graph {
@@ -370,7 +376,15 @@ impl Graph {
     /// or re-customize metric-dependent indexes afterwards (a
     /// [`crate::algo::cch::CchTopology`] re-customizes in milliseconds).
     pub fn set_edge_speed(&mut self, e: EdgeId, speed_kmh: f64) {
-        self.edge_records[e.index()].attrs.speed_kmh = clamp_edge_speed(speed_kmh);
+        let new = clamp_edge_speed(speed_kmh);
+        let old = self.edge_records[e.index()].attrs.speed_kmh;
+        self.edge_records[e.index()].attrs.speed_kmh = new;
+        if new >= self.max_speed_kmh {
+            self.max_speed_kmh = new;
+        } else if old == self.max_speed_kmh {
+            // The (possibly unique) maximum just dropped; refold.
+            self.max_speed_kmh = self.recompute_max_speed();
+        }
         self.weights_epoch += 1;
     }
 
@@ -382,10 +396,40 @@ impl Graph {
         if updates.is_empty() {
             return;
         }
+        let mut max_may_have_dropped = false;
         for &(e, speed_kmh) in updates {
-            self.edge_records[e.index()].attrs.speed_kmh = clamp_edge_speed(speed_kmh);
+            let new = clamp_edge_speed(speed_kmh);
+            let old = self.edge_records[e.index()].attrs.speed_kmh;
+            self.edge_records[e.index()].attrs.speed_kmh = new;
+            if new >= self.max_speed_kmh {
+                self.max_speed_kmh = new;
+            } else if old == self.max_speed_kmh {
+                max_may_have_dropped = true;
+            }
+        }
+        if max_may_have_dropped {
+            self.max_speed_kmh = self.recompute_max_speed();
         }
         self.weights_epoch += 1;
+    }
+
+    /// Exact `max` fold over every edge speed — the slow path behind the
+    /// [`Graph::max_speed_kmh`] cache, taken only when the current
+    /// maximum holder's speed is lowered.
+    fn recompute_max_speed(&self) -> f64 {
+        self.edge_records
+            .iter()
+            .map(|e| e.attrs.speed_kmh)
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// Cached maximum free-flow speed over all edges, km/h (`f64::MIN`
+    /// when the graph has no edges). Maintained by the builder and the
+    /// speed mutation entry points; always equal to a fresh fold over
+    /// [`Graph::edges`].
+    #[inline]
+    pub fn max_speed_kmh(&self) -> f64 {
+        self.max_speed_kmh
     }
 
     /// Returns the vertex ids belonging to the largest strongly connected
@@ -669,6 +713,52 @@ mod tests {
         // In-band speeds pass through untouched.
         g.set_edge_speed(e, 42.5);
         assert_eq!(g.edge(e).attrs.speed_kmh, 42.5);
+    }
+
+    #[test]
+    fn max_speed_cache_tracks_mutation() {
+        let fresh_fold = |g: &Graph| {
+            g.edges()
+                .map(|e| e.attrs.speed_kmh)
+                .fold(f64::MIN, f64::max)
+        };
+        let mut g = tiny();
+        // Builder seeds the cache: fastest edge is the arterial at 70.
+        assert_eq!(g.max_speed_kmh(), 70.0);
+        let slow = g.find_edge(VertexId(0), VertexId(1)).unwrap();
+        let fast = g.find_edge(VertexId(2), VertexId(0)).unwrap();
+        // Raising any edge above the max moves the cache up.
+        g.set_edge_speed(slow, 120.0);
+        assert_eq!(g.max_speed_kmh(), 120.0);
+        assert_eq!(
+            CostModel::TravelTime.min_cost_per_meter(&g),
+            1.0 / (120.0 / 3.6)
+        );
+        // Lowering the unique max holder refolds down to the runner-up.
+        g.set_edge_speed(slow, 30.0);
+        assert_eq!(g.max_speed_kmh(), 70.0);
+        // Batch updates maintain the cache too, including a dropped max.
+        g.set_edge_speeds(&[(fast, 20.0), (slow, 55.0)]);
+        assert_eq!(g.max_speed_kmh(), fresh_fold(&g));
+        assert_eq!(g.max_speed_kmh(), 55.0);
+        g.set_edge_speeds(&[(slow, 200.0)]);
+        assert_eq!(g.max_speed_kmh(), 200.0);
+        // Out-of-band inputs are clamped before entering the cache.
+        g.set_edge_speed(slow, 1e9);
+        assert_eq!(g.max_speed_kmh(), MAX_EDGE_SPEED_KMH);
+        assert_eq!(g.max_speed_kmh(), fresh_fold(&g));
+    }
+
+    #[test]
+    fn empty_graph_max_speed_matches_old_fold() {
+        let g = GraphBuilder::new().build();
+        // The uncached code folded to `f64::MIN` and clamped at 1e-9;
+        // the cache must preserve that exact value.
+        assert_eq!(g.max_speed_kmh(), f64::MIN);
+        assert_eq!(
+            CostModel::TravelTime.min_cost_per_meter(&g),
+            1.0 / (1e-9 / 3.6)
+        );
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //!   strategy ([`algo::diversified`]) — all running on the reusable,
 //!   generation-stamped query layer in [`algo::engine`];
 //! * path [`similarity`] measures, most importantly the weighted Jaccard
-//!   similarity that defines PathRank's ground-truth ranking scores.
+//!   similarity that defines PathRank's ground-truth ranking scores;
+//! * a cache-compact serving form ([`frozen::FrozenGraph`]): one merged
+//!   forward/backward CSR with inlined per-metric weights, bit-identical
+//!   to builder-graph searches, persisted as a fixed-width binary
+//!   section by [`io`]; and a packed STR-bulk-loaded [`rtree::RTree`]
+//!   over edge polyline segments for GPS candidate snapping.
 //!
 //! # Quick example
 //!
@@ -40,6 +45,7 @@
 pub mod algo;
 pub mod builder;
 pub mod error;
+pub mod frozen;
 pub mod generators;
 pub mod geo;
 pub mod geometry;
@@ -47,11 +53,14 @@ pub mod graph;
 pub mod io;
 pub mod osm;
 pub mod path;
+pub mod rtree;
 pub mod similarity;
 pub mod util;
 
 pub use algo::engine::QueryEngine;
 pub use builder::GraphBuilder;
 pub use error::SpatialError;
+pub use frozen::{FrozenArc, FrozenGraph};
 pub use graph::{CostModel, EdgeId, Graph, RoadCategory, VertexId};
 pub use path::Path;
+pub use rtree::RTree;

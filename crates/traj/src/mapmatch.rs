@@ -20,6 +20,7 @@ use pathrank_spatial::geometry::{project_onto_polyline, project_onto_segment, Po
 use pathrank_spatial::graph::{CostModel, EdgeId, Graph, VertexId};
 use pathrank_spatial::osm::ImportedGraph;
 use pathrank_spatial::path::Path;
+use pathrank_spatial::rtree::RTree;
 
 use crate::gps::GpsTrace;
 
@@ -168,12 +169,22 @@ impl EdgeIndex {
     /// projection distance; a mismatched radius/cell pair only changes
     /// how many out-of-radius edges survive until that filter.
     pub fn edges_near(&self, p: &Point, radius_m: f64) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        self.edges_near_into(p, radius_m, &mut out);
+        out
+    }
+
+    /// [`EdgeIndex::edges_near`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, so a loop issuing many queries (one per GPS
+    /// fix) reuses one allocation instead of building a fresh `Vec` per
+    /// call. Results are identical to the allocating wrapper.
+    pub fn edges_near_into(&self, p: &Point, radius_m: f64, out: &mut Vec<EdgeId>) {
+        out.clear();
         let r_cells = (radius_m / self.cell_m).ceil() as i32;
         let (cx, cy) = (
             (p.x / self.cell_m).floor() as i32,
             (p.y / self.cell_m).floor() as i32,
         );
-        let mut out = Vec::new();
         for dx in -r_cells..=r_cells {
             for dy in -r_cells..=r_cells {
                 if let Some(es) = self.cells.get(&(cx + dx, cy + dy)) {
@@ -183,7 +194,39 @@ impl EdgeIndex {
         }
         out.sort_unstable();
         out.dedup();
-        out
+    }
+}
+
+/// The matcher's candidate-snapping index: either the legacy uniform
+/// [`EdgeIndex`] grid or the packed [`RTree`] over edge polyline
+/// segments.
+///
+/// Both honour the same contract through [`SnapIndex::edges_near_into`]:
+/// every edge whose registered geometry passes within the query radius is
+/// returned, in ascending edge-id order, and the caller's true
+/// projection-distance filter reduces either answer to the identical
+/// candidate set (the grid over-approximates and relies on the filter;
+/// the R-tree is already exact). `tests/rtree_exactness.rs` pins the two
+/// to byte-identical match output.
+#[derive(Debug)]
+pub enum SnapIndex {
+    /// Uniform grid over registered bounding-box cells; returns a
+    /// superset of the in-radius edges.
+    Grid(EdgeIndex),
+    /// Packed STR-bulk-loaded R-tree; returns exactly the in-radius
+    /// edges.
+    RTree(RTree),
+}
+
+impl SnapIndex {
+    /// Edges near `p`, written into a caller-owned buffer (cleared
+    /// first): the grid's cell-ring superset or the R-tree's exact
+    /// in-radius set, both sorted ascending and deduplicated.
+    pub fn edges_near_into(&self, p: &Point, radius_m: f64, out: &mut Vec<EdgeId>) {
+        match self {
+            SnapIndex::Grid(ix) => ix.edges_near_into(p, radius_m, out),
+            SnapIndex::RTree(rt) => rt.edges_within_into(p, radius_m, out),
+        }
     }
 }
 
@@ -366,14 +409,17 @@ fn transition_shape(g: &Graph, a: &Candidate, b: &Candidate) -> Transition {
     }
 }
 
-/// A reusable matcher: one [`EdgeIndex`], one [`QueryEngine`] and one
+/// A reusable matcher: one [`SnapIndex`], one [`QueryEngine`] and one
 /// shared shortest-path cache serving any number of traces.
 ///
 /// [`map_match_with`] already reuses a caller's engine, but it still
-/// rebuilds the `O(E)` spatial grid per trace; batch callers (dataset
+/// rebuilds the `O(E)` spatial index per trace; batch callers (dataset
 /// assembly, servers) hold a `MapMatcher` instead, which hoists the index
 /// build out of the per-trace loop entirely and shares the probe cache
 /// across a whole fleet ([`MapMatcher::stats`] reports its hit rate).
+/// Snapping runs on the packed [`RTree`] by default; the
+/// [`MapMatcher::new_with_grid`] constructors keep the uniform grid
+/// available for comparison (matches are identical either way).
 /// The engine can additionally carry ALT landmarks
 /// ([`MapMatcher::with_landmarks`]) or a contraction hierarchy
 /// ([`MapMatcher::with_ch`]) so every HMM transition probe and
@@ -382,7 +428,7 @@ fn transition_shape(g: &Graph, a: &Candidate, b: &Candidate) -> Transition {
 /// tie-breaking.
 pub struct MapMatcher<'g> {
     engine: QueryEngine<'g>,
-    index: EdgeIndex,
+    index: SnapIndex,
     cfg: MapMatchConfig,
     cache: SpCache,
     /// Interior edge geometry for imported graphs (aligned with edge
@@ -397,11 +443,10 @@ pub struct MapMatcher<'g> {
 }
 
 impl<'g> MapMatcher<'g> {
-    /// Builds the matcher: indexes the graph once for `cfg`'s candidate
-    /// radius ([`MapMatchConfig::index_cell_m`]) and allocates the
-    /// reusable engine.
+    /// Builds the matcher: bulk-loads the packed [`RTree`] over the
+    /// graph's edge chords once and allocates the reusable engine.
     pub fn new(g: &'g Graph, cfg: MapMatchConfig) -> Self {
-        let index = EdgeIndex::build(g, cfg.index_cell_m());
+        let index = SnapIndex::RTree(RTree::build(g));
         MapMatcher {
             engine: QueryEngine::new(g),
             index,
@@ -413,8 +458,8 @@ impl<'g> MapMatcher<'g> {
     }
 
     /// [`MapMatcher::new`] for graphs whose edges carry interior
-    /// geometry: the spatial index registers full polylines
-    /// ([`EdgeIndex::build_with_geometry`]) and candidates project onto
+    /// geometry: the R-tree indexes full polylines
+    /// ([`RTree::build_with_geometry`]) and candidates project onto
     /// them, so contracted chains — whose chord can be hundreds of
     /// metres from the actual road — still produce candidates near any
     /// point of the road. `geometry` is interior points per edge,
@@ -427,7 +472,50 @@ impl<'g> MapMatcher<'g> {
         geometry: &'g [Vec<Point>],
         cfg: MapMatchConfig,
     ) -> Self {
-        let index = EdgeIndex::build_with_geometry(g, geometry, cfg.index_cell_m());
+        let index = SnapIndex::RTree(RTree::build_with_geometry(g, geometry));
+        MapMatcher {
+            engine: QueryEngine::new(g),
+            index,
+            cfg,
+            cache: SpCache::default(),
+            geometry: Some(geometry),
+            m2m: true,
+        }
+    }
+
+    /// [`MapMatcher::new`] snapping against the uniform
+    /// [`EdgeIndex`] grid (cell size [`MapMatchConfig::index_cell_m`])
+    /// instead of the R-tree. Matches are identical — the grid's
+    /// superset answer collapses to the same candidate set under the
+    /// true-distance filter — so this exists for A/B measurement and as
+    /// the reference the R-tree is pinned against.
+    pub fn new_with_grid(g: &'g Graph, cfg: MapMatchConfig) -> Self {
+        let index = SnapIndex::Grid(EdgeIndex::build(g, cfg.index_cell_m()));
+        MapMatcher {
+            engine: QueryEngine::new(g),
+            index,
+            cfg,
+            cache: SpCache::default(),
+            geometry: None,
+            m2m: true,
+        }
+    }
+
+    /// [`MapMatcher::new_with_geometry`] on the uniform grid
+    /// ([`EdgeIndex::build_with_geometry`]) instead of the R-tree.
+    ///
+    /// # Panics
+    /// If `geometry.len() != g.edge_count()`.
+    pub fn new_with_grid_geometry(
+        g: &'g Graph,
+        geometry: &'g [Vec<Point>],
+        cfg: MapMatchConfig,
+    ) -> Self {
+        let index = SnapIndex::Grid(EdgeIndex::build_with_geometry(
+            g,
+            geometry,
+            cfg.index_cell_m(),
+        ));
         MapMatcher {
             engine: QueryEngine::new(g),
             index,
@@ -501,7 +589,7 @@ impl<'g> MapMatcher<'g> {
 
     /// The spatial index (built once in [`MapMatcher::new`]; exposed so
     /// tests can assert it is reused across traces).
-    pub fn index(&self) -> &EdgeIndex {
+    pub fn index(&self) -> &SnapIndex {
         &self.index
     }
 
@@ -565,7 +653,7 @@ pub fn map_match_with(
     if trace.len() < 2 {
         return None;
     }
-    let index = EdgeIndex::build(engine.graph(), cfg.index_cell_m());
+    let index = SnapIndex::RTree(RTree::build(engine.graph()));
     match_on(
         engine,
         &index,
@@ -585,7 +673,7 @@ pub fn map_match_with(
 #[allow(clippy::too_many_arguments)]
 fn match_on(
     engine: &mut QueryEngine<'_>,
-    index: &EdgeIndex,
+    index: &SnapIndex,
     geometry: Option<&[Vec<Point>]>,
     trace: &GpsTrace,
     cfg: &MapMatchConfig,
@@ -611,14 +699,16 @@ fn match_on(
 
     // Candidate layers; fixes with no nearby road are skipped entirely.
     // `poly` is a scratch buffer assembling `from -> interior -> to`
-    // polylines for geometry edges (reused across candidates).
+    // polylines for geometry edges (reused across candidates); `near`
+    // is the snapping buffer one index query per fix refills in place.
     let mut poly: Vec<Point> = Vec::new();
+    let mut near: Vec<EdgeId> = Vec::new();
     let mut layers: Vec<Vec<Candidate>> = Vec::with_capacity(trace.len());
     for (fi, fix) in trace.points.iter().enumerate() {
-        let mut cands: Vec<Candidate> = index
-            .edges_near(&fix.pos, cfg.candidate_radius_m)
-            .into_iter()
-            .filter_map(|e| {
+        index.edges_near_into(&fix.pos, cfg.candidate_radius_m, &mut near);
+        let mut cands: Vec<Candidate> = near
+            .iter()
+            .filter_map(|&e| {
                 let rec = g.edge(e);
                 let (a, b) = (g.coord(rec.from), g.coord(rec.to));
                 let interior = geometry.map_or(&[][..], |gm| gm[e.index()].as_slice());
@@ -932,8 +1022,9 @@ mod tests {
         };
         let cfg = MapMatchConfig::default();
 
-        // The old matcher cannot see the hairpin: every fix on the loop
-        // has no candidate, so the matched route misses edge 0.
+        // A chord-built matcher (grid or R-tree alike) cannot see the
+        // hairpin: every fix on the loop has no candidate, so the
+        // matched route misses edge 0.
         let mut old = MapMatcher::new(&g, cfg.clone());
         let old_match = old.match_trace(&trace);
         assert!(
@@ -1004,6 +1095,40 @@ mod tests {
     }
 
     #[test]
+    fn edges_near_into_matches_wrapper_and_reuses_buffer() {
+        let g = region_network(&RegionConfig::small_test(), 2);
+        let index = EdgeIndex::build(&g, 60.0);
+        let mut buf = vec![EdgeId(99)]; // stale content must be cleared
+        for v in [0u32, 5, 11] {
+            let p = g.coord(pathrank_spatial::graph::VertexId(v));
+            index.edges_near_into(&p, 80.0, &mut buf);
+            assert_eq!(buf, index.edges_near(&p, 80.0));
+        }
+    }
+
+    #[test]
+    fn grid_and_rtree_matchers_agree() {
+        // The snapping index is a pure lookup structure: the R-tree
+        // default and the grid reference must match every trace to the
+        // same edge sequence (the full property harness lives in
+        // `tests/rtree_exactness.rs`).
+        let g = region_network(&RegionConfig::small_test(), 4);
+        let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 17);
+        let cfg = MapMatchConfig::default();
+        let mut rtree = MapMatcher::new(&g, cfg.clone());
+        let mut grid = MapMatcher::new_with_grid(&g, cfg);
+        for trip in trips.iter().take(6) {
+            let a = rtree.match_trace(&trip.trace);
+            let b = grid.match_trace(&trip.trace);
+            match (a, b) {
+                (Some(a), Some(b)) => assert_eq!(a.edges(), b.edges()),
+                (None, None) => {}
+                (a, b) => panic!("snap index changed a match: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn index_cell_size_is_explicit() {
         // Small radii are floored by `min_cell_m`; large radii use the
         // radius itself. The matcher's index must agree with the config.
@@ -1015,8 +1140,14 @@ mod tests {
         let large = MapMatchConfig::default();
         assert_eq!(large.index_cell_m(), 60.0);
         let g = region_network(&RegionConfig::small_test(), 2);
-        let matcher = MapMatcher::new(&g, small.clone());
-        assert_eq!(matcher.index().cell_m(), small.index_cell_m());
+        let matcher = MapMatcher::new_with_grid(&g, small.clone());
+        match matcher.index() {
+            SnapIndex::Grid(ix) => assert_eq!(ix.cell_m(), small.index_cell_m()),
+            SnapIndex::RTree(_) => panic!("grid constructor must build a grid"),
+        }
+        // The default constructor snaps on the R-tree.
+        let default = MapMatcher::new(&g, large);
+        assert!(matches!(default.index(), SnapIndex::RTree(_)));
     }
 
     #[test]
@@ -1081,7 +1212,7 @@ mod tests {
         let trips = simulate_fleet(&g, &SimulationConfig::small_test(), 17);
         let cfg = MapMatchConfig::default();
         let mut matcher = MapMatcher::new(&g, cfg.clone());
-        let index_ptr: *const EdgeIndex = matcher.index();
+        let index_ptr: *const SnapIndex = matcher.index();
         for trip in trips.iter().take(6) {
             let fresh = map_match(&g, &trip.trace, &cfg);
             let hoisted = matcher.match_trace(&trip.trace);

@@ -1,0 +1,264 @@
+//! Property-test harness locking in frozen-serving-graph exactness.
+//!
+//! The [`FrozenGraph`] is a memory-layout optimisation, never an
+//! approximation: it changes *how* a search walks the graph (one merged
+//! CSR with per-metric weights inlined next to each arc), never which
+//! answer comes back. These properties drive frozen-mounted engines
+//! against plain builder-graph engines on random generator graphs and
+//! require **bit-identical costs** — the frozen arc order is copied
+//! verbatim from the builder CSR, so heap evolution, settle order and
+//! parent choices must match exactly, not just up to ties.
+//!
+//! Covered regimes, per the issue:
+//! * one-to-one `shortest_path` / `astar_shortest_path` and the cost
+//!   probe across Length, TravelTime and `Custom` slices;
+//! * full one-to-all trees, every settled distance bitwise;
+//! * the weights-epoch gate: a live weight mutation must un-mount the
+//!   frozen view (stale inlined weights are never served) and the
+//!   fallback must answer exactly off the mutated builder graph;
+//! * the persisted binary section: a round-tripped frozen graph serves
+//!   bit-identical answers, the writer is byte-stable, and corrupt
+//!   input is rejected rather than mis-served.
+
+use std::sync::Arc;
+
+use pathrank::spatial::algo::dijkstra::shortest_path;
+use pathrank::spatial::algo::engine::QueryEngine;
+use pathrank::spatial::builder::GraphBuilder;
+use pathrank::spatial::frozen::FrozenGraph;
+use pathrank::spatial::geometry::Point;
+use pathrank::spatial::graph::{CostModel, EdgeAttrs, EdgeId, Graph, RoadCategory, VertexId};
+use proptest::prelude::*;
+
+/// Builds a random directed graph from proptest-drawn raw material:
+/// `n` vertices with the given coordinates and deduplicated directed
+/// edges with integer-metre lengths.
+fn build_graph(n: usize, coords: &[(f64, f64)], edges: &[(usize, usize, u32)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let vs: Vec<VertexId> = (0..n)
+        .map(|i| b.add_vertex(Point::new(coords[i].0, coords[i].1)))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    for &(f, t, w) in edges {
+        let (f, t) = (f % n, t % n);
+        if f != t && seen.insert((f, t)) {
+            b.add_edge(
+                vs[f],
+                vs[t],
+                EdgeAttrs::with_default_speed(w as f64, RoadCategory::Rural),
+            )
+            .unwrap();
+        }
+    }
+    b.build()
+}
+
+/// Exact cost of an optional path under a cost model (`None` ⇒ NaN-free
+/// sentinel), so reachability and cost compare in one assert.
+fn cost_of(g: &Graph, p: &Option<pathrank::spatial::path::Path>, cost: CostModel<'_>) -> f64 {
+    p.as_ref().map_or(-1.0, |p| p.cost(g, cost))
+}
+
+const MAX_N: usize = 10;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn frozen_one_to_one_bit_identical_across_metrics(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..60), 1..30),
+        salt in 1u32..40,
+    ) {
+        let g = build_graph(n, &coords, &edges);
+        let frozen = Arc::new(FrozenGraph::freeze(&g));
+        let mut plain_engine = QueryEngine::new(&g);
+        let mut frz = QueryEngine::new(&g).with_frozen(Arc::clone(&frozen));
+        prop_assert!(frz.uses_frozen());
+        prop_assert!(!plain_engine.uses_frozen());
+        let custom: Vec<f64> = (0..g.edge_count())
+            .map(|i| 1.0 + ((i as u32 * salt) % 17) as f64)
+            .collect();
+        for s in 0..n {
+            for t in 0..n {
+                let (s, t) = (VertexId(s as u32), VertexId(t as u32));
+                if s == t {
+                    continue;
+                }
+                for cost in [CostModel::Length, CostModel::TravelTime, CostModel::Custom(&custom)] {
+                    let a = plain_engine.shortest_path(s, t, cost);
+                    let b = frz.shortest_path(s, t, cost);
+                    // Identical paths edge-for-edge, not merely equal
+                    // costs: the frozen relaxation order is the builder
+                    // CSR's, so even tie-breaking must agree.
+                    prop_assert_eq!(
+                        a.as_ref().map(|p| p.edges().to_vec()),
+                        b.as_ref().map(|p| p.edges().to_vec()),
+                        "frozen path diverged on {:?}->{:?}", s, t
+                    );
+                    prop_assert_eq!(
+                        cost_of(&g, &a, cost).to_bits(),
+                        cost_of(&g, &b, cost).to_bits(),
+                        "frozen cost not bit-identical on {:?}->{:?}", s, t
+                    );
+                    let c = frz.astar_shortest_path(s, t, cost);
+                    prop_assert_eq!(
+                        cost_of(&g, &a, cost).to_bits(),
+                        cost_of(&g, &c, cost).to_bits(),
+                        "frozen A* not bit-identical on {:?}->{:?}", s, t
+                    );
+                    // The cost probe (map matching's transition model).
+                    prop_assert_eq!(
+                        a.as_ref().map(|p| p.cost(&g, cost).to_bits()),
+                        frz.shortest_path_cost(s, t, cost).map(f64::to_bits),
+                        "frozen cost probe diverged on {:?}->{:?}", s, t
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_one_to_all_trees_bit_identical(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..60), 1..30),
+    ) {
+        let g = build_graph(n, &coords, &edges);
+        let frozen = Arc::new(FrozenGraph::freeze(&g));
+        let mut plain_engine = QueryEngine::new(&g);
+        let mut frz = QueryEngine::new(&g).with_frozen(frozen);
+        for s in 0..n {
+            let s = VertexId(s as u32);
+            for cost in [CostModel::Length, CostModel::TravelTime] {
+                let a: Vec<u64> = {
+                    let view = plain_engine.one_to_all(s, cost);
+                    (0..n as u32).map(|v| view.dist(VertexId(v)).to_bits()).collect()
+                };
+                let b: Vec<u64> = {
+                    let view = frz.one_to_all(s, cost);
+                    (0..n as u32).map(|v| view.dist(VertexId(v)).to_bits()).collect()
+                };
+                prop_assert_eq!(a, b, "frozen tree diverged from {:?}", s);
+            }
+        }
+    }
+
+    /// Live weight mutation: the frozen view's inlined weights go stale,
+    /// so the engine must stop serving it (epoch gate) and the fallback
+    /// must answer exactly off the mutated builder graph. Re-freezing at
+    /// the new epoch restores the frozen path, again bit-identical.
+    #[test]
+    fn frozen_epoch_gate_unmounts_on_weight_mutation(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..60), 1..30),
+        slow_pick in 0usize..64,
+    ) {
+        let mut g = build_graph(n, &coords, &edges);
+        if g.edge_count() == 0 {
+            return Ok(());
+        }
+        let stale = Arc::new(FrozenGraph::freeze(&g));
+        g.set_edge_speed(EdgeId((slow_pick % g.edge_count()) as u32), 5.0);
+        prop_assert!(!stale.current_for(&g));
+        let mut engine = QueryEngine::new(&g).with_frozen(Arc::clone(&stale));
+        prop_assert!(!engine.uses_frozen(), "stale frozen view must never be served");
+        for s in 0..n {
+            for t in 0..n {
+                let (s, t) = (VertexId(s as u32), VertexId(t as u32));
+                if s == t {
+                    continue;
+                }
+                let a = shortest_path(&g, s, t, CostModel::TravelTime);
+                let b = engine.shortest_path(s, t, CostModel::TravelTime);
+                prop_assert_eq!(
+                    cost_of(&g, &a, CostModel::TravelTime).to_bits(),
+                    cost_of(&g, &b, CostModel::TravelTime).to_bits(),
+                    "fallback diverged on {:?}->{:?}", s, t
+                );
+            }
+        }
+        // Re-freeze at the mutated epoch: the fast path comes back.
+        engine.set_frozen(Some(Arc::new(FrozenGraph::freeze(&g))));
+        prop_assert!(engine.uses_frozen());
+        for s in 0..n.min(4) {
+            for t in 0..n {
+                let (s, t) = (VertexId(s as u32), VertexId(t as u32));
+                if s == t {
+                    continue;
+                }
+                let a = shortest_path(&g, s, t, CostModel::TravelTime);
+                let b = engine.shortest_path(s, t, CostModel::TravelTime);
+                prop_assert_eq!(
+                    cost_of(&g, &a, CostModel::TravelTime).to_bits(),
+                    cost_of(&g, &b, CostModel::TravelTime).to_bits(),
+                    "re-frozen engine diverged on {:?}->{:?}", s, t
+                );
+            }
+        }
+    }
+
+    /// The persisted binary section: a frozen graph that has been
+    /// through `frozen_to_bytes` / `frozen_from_bytes` serves answers
+    /// bit-identical to the original, and the writer is byte-stable.
+    #[test]
+    fn frozen_io_roundtrip_serves_bit_identical(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..60), 1..30),
+    ) {
+        use pathrank::spatial::io::{frozen_from_bytes, frozen_to_bytes};
+        let g = build_graph(n, &coords, &edges);
+        let frozen = FrozenGraph::freeze(&g);
+        let bytes = frozen_to_bytes(&frozen);
+        let back = frozen_from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(&back, &frozen, "decoded frozen graph differs");
+        prop_assert_eq!(frozen_to_bytes(&back), bytes, "writer not byte-stable");
+        let mut a = QueryEngine::new(&g).with_frozen(Arc::new(frozen));
+        let mut b = QueryEngine::new(&g).with_frozen(Arc::new(back));
+        prop_assert!(b.uses_frozen(), "reloaded frozen view must mount");
+        for s in 0..n {
+            for t in 0..n {
+                let (s, t) = (VertexId(s as u32), VertexId(t as u32));
+                if s == t {
+                    continue;
+                }
+                let pa = a.shortest_path(s, t, CostModel::Length);
+                let pb = b.shortest_path(s, t, CostModel::Length);
+                prop_assert_eq!(
+                    cost_of(&g, &pa, CostModel::Length).to_bits(),
+                    cost_of(&g, &pb, CostModel::Length).to_bits(),
+                    "reloaded frozen graph diverged on {:?}->{:?}", s, t
+                );
+            }
+        }
+    }
+
+    /// Corrupt input must be rejected with a parse error — truncations
+    /// and bit flips anywhere in the stream — never decoded into a
+    /// structurally wrong graph that would then serve wrong answers.
+    #[test]
+    fn frozen_io_rejects_corruption(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..60), 1..30),
+        cut in 0usize..2048,
+        at in 0usize..2048,
+    ) {
+        use pathrank::spatial::io::{frozen_from_bytes, frozen_to_bytes};
+        let g = build_graph(n, &coords, &edges);
+        let bytes = frozen_to_bytes(&FrozenGraph::freeze(&g));
+        // Any strict prefix must fail (checksum trailer missing at the
+        // very least).
+        let cut = cut % bytes.len();
+        prop_assert!(frozen_from_bytes(&bytes[..cut]).is_err(), "truncation at {} accepted", cut);
+        // Any single bit flip must fail the magic, a bounds check or the
+        // FNV-1a trailer.
+        let mut flipped = bytes.clone();
+        let at = at % flipped.len();
+        flipped[at] ^= 0x40;
+        prop_assert!(frozen_from_bytes(&flipped).is_err(), "bit flip at {} accepted", at);
+    }
+}
