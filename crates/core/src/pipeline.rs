@@ -25,7 +25,7 @@ use pathrank_spatial::algo::engine::QueryEngine;
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::frozen::FrozenGraph;
 use pathrank_spatial::generators::{region_network, RegionConfig};
-use pathrank_spatial::graph::Graph;
+use pathrank_spatial::graph::{EdgeId, Graph};
 use pathrank_spatial::path::Path;
 use pathrank_traj::dataset::TrajectoryDataset;
 use pathrank_traj::mapmatch::MapMatchConfig;
@@ -157,6 +157,23 @@ pub struct Workbench {
     /// the engine's weights-epoch gate falls back automatically after a
     /// live weight mutation.
     frozen: OnceLock<Arc<FrozenGraph>>,
+    /// Sparse changed-edge log across [`Workbench::set_edge_speeds`]
+    /// calls: the contiguous weights-epoch span it covers plus the
+    /// changed `(edge, speed)` entries in application order. Lets
+    /// [`Workbench::cch_index`] catch a trailing customization up with
+    /// a partial `Cch::apply_delta` pass instead of re-relaxing every
+    /// triangle. Direct `graph.set_edge_speeds` mutations bypass the
+    /// log; the next refresh then simply runs full.
+    speed_deltas: Mutex<SpeedDeltaLog>,
+}
+
+/// See [`Workbench::set_edge_speeds`]: the changed-edge entries covering
+/// weights epochs `(from_epoch, to_epoch]`, later entries winning.
+#[derive(Debug, Default)]
+struct SpeedDeltaLog {
+    from_epoch: u64,
+    to_epoch: u64,
+    changes: Vec<(EdgeId, f64)>,
 }
 
 impl Workbench {
@@ -200,6 +217,7 @@ impl Workbench {
             cch_topo: OnceLock::new(),
             cch_cache: Mutex::new(HashMap::new()),
             frozen: OnceLock::new(),
+            speed_deltas: Mutex::new(SpeedDeltaLog::default()),
         }
     }
 
@@ -351,18 +369,70 @@ impl Workbench {
         })
     }
 
+    /// Applies a batch of live speed updates through the workbench and
+    /// records the changed-edge delta, so the next
+    /// [`Workbench::cch_index`] / [`Workbench::live_query_engine`] call
+    /// can catch the cached customization up with a sparse partial pass
+    /// (`Cch::apply_delta`) instead of re-relaxing every triangle.
+    /// Returns the delta
+    /// ([`Graph::set_edge_speeds`](pathrank_spatial::graph::Graph::set_edge_speeds)'s
+    /// contract): empty means every update was a redundant echo, the
+    /// weights epoch stayed put, and no index was invalidated.
+    pub fn set_edge_speeds(&mut self, updates: &[(EdgeId, f64)]) -> Vec<(EdgeId, f64)> {
+        let before = self.graph.weights_epoch();
+        let delta = self.graph.set_edge_speeds(updates);
+        if !delta.is_empty() {
+            let log = self
+                .speed_deltas
+                .get_mut()
+                .expect("speed delta log poisoned");
+            if log.to_epoch != before {
+                // A direct graph mutation bypassed the log; restart
+                // coverage at the span we can vouch for.
+                log.from_epoch = before;
+                log.changes.clear();
+            }
+            log.changes.extend_from_slice(&delta);
+            log.to_epoch = self.graph.weights_epoch();
+            if log.changes.len() > self.graph.edge_count() {
+                // Past a full graph's worth of entries the partial pass
+                // stops being cheaper; drop coverage and let the next
+                // refresh run full (which also resets this growth).
+                log.from_epoch = log.to_epoch;
+                log.changes.clear();
+            }
+        }
+        delta
+    }
+
     /// A CCH customized for `metric` at the graph's *current* weights
     /// epoch. Customization (milliseconds) runs on first use per metric
     /// and again after every weight mutation; a cached index whose epoch
     /// trails the graph is replaced, so this can never serve pre-mutation
     /// weights. Callers that perturb speeds (traffic feeds, what-if
     /// simulation) just call this again after
-    /// [`Graph::set_edge_speeds`](pathrank_spatial::graph::Graph::set_edge_speeds).
+    /// [`Workbench::set_edge_speeds`] — when the sparse delta log covers
+    /// the gap, the refresh re-relaxes only the triangles the delta
+    /// touched (`Cch::apply_delta`, bit-identical to the full pass) and
+    /// costs microseconds instead of milliseconds.
     pub fn cch_index(&self, metric: LandmarkMetric) -> Arc<Cch> {
+        let current = self.graph.weights_epoch();
         let mut cache = self.cch_cache.lock().expect("cch cache poisoned");
         if let Some(cch) = cache.get(&metric) {
-            if cch.weights_epoch() == self.graph.weights_epoch() {
+            if cch.weights_epoch() == current {
                 return Arc::clone(cch);
+            }
+            let log = self.speed_deltas.lock().expect("speed delta log poisoned");
+            if log.from_epoch <= cch.weights_epoch() && log.to_epoch == current {
+                // The log may start before the cached epoch; the extra
+                // entries recompute to their current values and stop
+                // immediately, so a superset is always safe.
+                let mut fresh = (**cch).clone();
+                fresh.apply_delta(&self.graph, &log.changes);
+                drop(log);
+                let fresh = Arc::new(fresh);
+                cache.insert(metric, Arc::clone(&fresh));
+                return fresh;
             }
         }
         let cch = Arc::new(
@@ -639,6 +709,70 @@ mod tests {
             let b = live.shortest_path_cost(s, t, CostModel::TravelTime);
             assert_eq!(a, b, "{s:?}->{t:?} live CCH cost diverged");
         }
+    }
+
+    #[test]
+    fn sparse_speed_deltas_refresh_the_cch_partially_and_exactly() {
+        use pathrank_spatial::algo::landmarks::LandmarkMetric;
+        use pathrank_spatial::graph::{CostModel, EdgeId, VertexId};
+        let mut wb = Workbench::new(ExperimentConfig::small_test());
+        let primed = wb.cch_index(LandmarkMetric::TravelTime);
+        assert_eq!(primed.weights_epoch(), 0);
+
+        // A redundant echo must not disturb anything: empty delta, same
+        // epoch, same cached Arc.
+        let echo = wb.graph.edge(EdgeId(0)).attrs.speed_kmh;
+        assert!(wb.set_edge_speeds(&[(EdgeId(0), echo)]).is_empty());
+        assert_eq!(wb.graph.weights_epoch(), 0);
+        assert_eq!(
+            Arc::as_ptr(&primed),
+            Arc::as_ptr(&wb.cch_index(LandmarkMetric::TravelTime))
+        );
+
+        // Two chained sparse batches through the workbench entry point;
+        // the delta log spans both, so one partial pass catches up.
+        let sparse: Vec<(EdgeId, f64)> = (0..wb.graph.edge_count())
+            .step_by(17)
+            .map(|e| (EdgeId(e as u32), 6.5))
+            .collect();
+        assert_eq!(wb.set_edge_speeds(&sparse).len(), sparse.len());
+        let more = [(EdgeId(1), 88.0), (EdgeId(3), 12.0)];
+        assert!(!wb.set_edge_speeds(&more).is_empty());
+        assert_eq!(wb.graph.weights_epoch(), 2);
+
+        let fresh = wb.cch_index(LandmarkMetric::TravelTime);
+        assert_ne!(Arc::as_ptr(&primed), Arc::as_ptr(&fresh));
+        assert_eq!(fresh.weights_epoch(), wb.graph.weights_epoch());
+        // The partially refreshed CCH answers bit-identically to plain
+        // Dijkstra on the mutated graph.
+        let mut live = wb.live_query_engine();
+        let mut plain = wb.query_engine();
+        let n = wb.graph.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 2, 1), (n - 1, n / 3), (1, n / 2)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let a = plain.shortest_path_cost(s, t, CostModel::TravelTime);
+            let b = live.shortest_path_cost(s, t, CostModel::TravelTime);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{s:?}->{t:?} diverged")
+                }
+                (a, b) => assert_eq!(a, b, "{s:?}->{t:?} reachability diverged"),
+            }
+        }
+
+        // A direct graph mutation bypasses the log: the next refresh
+        // must fall back to a full customization, not trust stale
+        // coverage — and still land on the right epoch.
+        wb.graph.set_edge_speeds(&[(EdgeId(2), 31.0)]);
+        let full = wb.cch_index(LandmarkMetric::TravelTime);
+        assert_eq!(full.weights_epoch(), wb.graph.weights_epoch());
+        let mut live = wb.live_query_engine();
+        let mut plain = wb.query_engine();
+        let (s, t) = (VertexId(0), VertexId(n - 1));
+        assert_eq!(
+            plain.shortest_path_cost(s, t, CostModel::TravelTime),
+            live.shortest_path_cost(s, t, CostModel::TravelTime)
+        );
     }
 
     #[test]

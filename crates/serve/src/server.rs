@@ -47,14 +47,25 @@
 //!
 //! # Atomic live-weight swaps
 //!
-//! [`RouteServer::update_live_weights`] customizes the shared
-//! [`CchTopology`] for the new weight vector *off* the serving path,
-//! then swaps the `(weights, Cch)` pair in under a mutex. Workers
-//! snapshot the pair once per batch, so every request in a batch — and
-//! every individual query, which folds costs over that snapshot's
-//! unpacked edges — observes exactly one generation, never a mix. The
-//! engine's own `usable_for` bitwise-equality and weights-epoch gates
-//! stay on underneath as defence in depth.
+//! Live weights are double-buffered. A mutable *staging* `(weights,
+//! Cch)` master lives behind its own mutex and is the only copy ever
+//! mutated: [`RouteServer::update_live_weights`] re-customizes it in
+//! place (recycled buffers, no fresh skeleton), and
+//! [`RouteServer::update_live_weights_sparse`] patches just the entries
+//! a telemetry delta names and re-relaxes only the triangles those
+//! edges touch (`Cch::apply_weight_delta` — bit-identical to the full
+//! pass, microseconds instead of milliseconds for percent-level
+//! deltas). Both happen *off* the serving path; publishing then clones
+//! an immutable snapshot, stamps the next generation and swaps the
+//! `(weights, Cch)` pair into the served slot under a mutex — the
+//! served copy itself is never written. Workers snapshot the pair once
+//! per batch, so every request in a batch — and every individual
+//! query, which folds costs over that snapshot's unpacked edges —
+//! observes exactly one generation, never a mix. Holding the staging
+//! lock across stamp-and-publish keeps generations observed through
+//! the served slot monotone even when sparse and full updates race.
+//! The engine's own `usable_for` bitwise-equality and weights-epoch
+//! gates stay on underneath as defence in depth.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -68,7 +79,7 @@ use pathrank_spatial::algo::cch::{Cch, CchTopology};
 use pathrank_spatial::algo::ch::ContractionHierarchy;
 use pathrank_spatial::algo::engine::{QueryEngine, SearchBackend};
 use pathrank_spatial::algo::landmarks::LandmarkTable;
-use pathrank_spatial::graph::{CostModel, Graph, VertexId};
+use pathrank_spatial::graph::{CostModel, EdgeId, Graph, VertexId};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -177,10 +188,14 @@ pub enum ServeError {
     /// The deadline passed before the request was served.
     DeadlineExpired,
     /// No backend covers the metric (no live weights installed, or the
-    /// plain rung is disabled and no index matches).
+    /// plain rung is disabled and no index matches). Also returned by
+    /// [`RouteServer::update_live_weights_sparse`] before any full
+    /// vector has been installed — a sparse delta patches an existing
+    /// generation and has nothing to patch yet.
     NoBackend,
-    /// A weight vector of the wrong length or with non-finite/negative
-    /// entries was rejected before it could poison a customization.
+    /// A weight vector of the wrong length, a sparse update naming a
+    /// nonexistent edge, or any non-finite/negative entry — rejected
+    /// before it could poison a customization.
     InvalidWeights,
     /// The server is shutting down.
     Shutdown,
@@ -252,7 +267,23 @@ struct StatsInner {
     no_backend: AtomicU64,
 }
 
+/// The mutable master half of the live-weight double buffer. Updates —
+/// full and sparse alike — mutate this pair in place under its mutex,
+/// then publish an immutable cloned snapshot into [`LiveState::current`].
+/// The served snapshot is never written, so queries can keep reading it
+/// lock-free for the whole batch while the next generation customizes.
+#[derive(Default)]
+struct LiveStaging {
+    /// The current live weight vector (empty before the first install).
+    weights: Vec<f64>,
+    /// The CCH customized for exactly `weights`, recycled across
+    /// updates ([`Cch::recustomize_weights`] / [`Cch::apply_weight_delta`])
+    /// so steady-state customization allocates nothing.
+    cch: Option<Cch>,
+}
+
 struct LiveState {
+    staging: Mutex<LiveStaging>,
     current: Mutex<Option<Arc<LiveWeights>>>,
     generation: AtomicU64,
 }
@@ -294,6 +325,7 @@ impl RouteServer {
             cfg.shards
         };
         let live = Arc::new(LiveState {
+            staging: Mutex::new(LiveStaging::default()),
             current: Mutex::new(None),
             generation: AtomicU64::new(0),
         });
@@ -352,10 +384,12 @@ impl RouteServer {
         self.live.generation.load(Ordering::SeqCst)
     }
 
-    /// Installs a new live weight vector: validates it, customizes the
-    /// shared CCH topology for it *on the calling thread* (workers keep
-    /// serving the previous generation meanwhile), then atomically
-    /// swaps the `(weights, index)` pair in. Returns the new
+    /// Installs a new live weight vector: validates it, re-customizes
+    /// the staging CCH for it *on the calling thread* (workers keep
+    /// serving the previous generation meanwhile — the staging buffers
+    /// are recycled, so steady-state full updates allocate nothing
+    /// beyond the published snapshot), then atomically swaps an
+    /// immutable `(weights, index)` snapshot in. Returns the new
     /// generation.
     ///
     /// Errors with [`ServeError::NoBackend`] when the server has no
@@ -375,17 +409,75 @@ impl RouteServer {
         {
             return Err(ServeError::InvalidWeights);
         }
-        let cch = Arc::new(topo.customize_weights(&self.graph, &weights));
-        // generation is only ever bumped here, under no lock: the swap
-        // below publishes (weights, cch, generation) as one Arc.
+        let mut staging = self.live.staging.lock().expect("staging lock");
+        match staging.cch.as_mut() {
+            Some(cch) => cch.recustomize_weights(&self.graph, &weights),
+            None => staging.cch = Some(topo.customize_weights(&self.graph, &weights)),
+        }
+        staging.weights = weights;
+        Ok(self.publish(&staging))
+    }
+
+    /// Patches the installed live weights with a sparse telemetry delta
+    /// — `(edge, new weight)` pairs, duplicates last-wins — and
+    /// re-customizes *partially*: only the shortcut arcs whose weight
+    /// actually changes are re-relaxed (`Cch::apply_weight_delta`),
+    /// which is bit-identical to a full re-customization of the patched
+    /// vector but costs microseconds for percent-level deltas. Runs off
+    /// the serving path on the staging copy and atomically swaps a
+    /// fresh immutable snapshot in, exactly like
+    /// [`RouteServer::update_live_weights`]. Returns the new
+    /// generation; an empty (or pure-echo) delta still publishes one,
+    /// so callers can fence on it.
+    ///
+    /// Errors with [`ServeError::NoBackend`] when no CCH topology is
+    /// mounted *or no full vector has been installed yet* (a delta
+    /// patches the previous generation), and
+    /// [`ServeError::InvalidWeights`] when an update names a
+    /// nonexistent edge or carries a non-finite / negative weight.
+    pub fn update_live_weights_sparse(&self, updates: &[(EdgeId, f64)]) -> Result<u64, ServeError> {
+        if self.indexes.cch_topology.is_none() {
+            return Err(ServeError::NoBackend);
+        }
+        let m = self.graph.edge_count();
+        if updates
+            .iter()
+            .any(|&(e, w)| e.index() >= m || !w.is_finite() || w < 0.0)
+        {
+            return Err(ServeError::InvalidWeights);
+        }
+        let mut staging = self.live.staging.lock().expect("staging lock");
+        if staging.cch.is_none() {
+            return Err(ServeError::NoBackend);
+        }
+        for &(e, w) in updates {
+            staging.weights[e.index()] = w;
+        }
+        staging
+            .cch
+            .as_mut()
+            .expect("checked above")
+            .apply_weight_delta(updates);
+        Ok(self.publish(&staging))
+    }
+
+    /// Publishes the staging pair: clones an immutable snapshot, stamps
+    /// the next generation and swaps it into the served slot. Must be
+    /// called with the staging lock held — that serializes generation
+    /// assignment with the publish itself, so generations observed
+    /// through the served slot are monotone even when sparse and full
+    /// updates race. (The snapshot's customization scratch clones as
+    /// empty, so served copies stay lean.)
+    fn publish(&self, staging: &LiveStaging) -> u64 {
+        let cch = Arc::new(staging.cch.as_ref().expect("staging customized").clone());
         let generation = self.live.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let lw = Arc::new(LiveWeights {
             generation,
-            weights,
+            weights: staging.weights.clone(),
             cch,
         });
         *self.live.current.lock().expect("live lock") = Some(lw);
-        Ok(generation)
+        generation
     }
 
     /// Admits a request without blocking: hashes it onto its shard and

@@ -5,21 +5,36 @@
 //! ```text
 //! -> ROUTE <source> <target> <metric> [deadline_ms]
 //! <- OK <cost|inf> <backend> <batched:0|1> <generation>
+//! -> UPDATE <edge>:<weight>[,<edge>:<weight>...]
+//! <- OK <generation>
 //! <- ERR <QueueFull|DeadlineExpired|NoBackend|InvalidWeights|Shutdown|BadRequest>
 //! ```
 //!
 //! `<metric>` is `length`, `time` or `live`; `deadline_ms` is a relative
-//! budget from the moment the server parses the line. The protocol is a
-//! demo transport for the `serve` binary — the benchmarks drive the
-//! server in-process so transport noise never pollutes the latency
-//! numbers.
+//! budget from the moment the server parses the line.
+//!
+//! `UPDATE` feeds a sparse live-weight delta
+//! ([`RouteServer::update_live_weights_sparse`]): each `edge:weight`
+//! pair sets one edge's live weight (duplicates last-wins), the rest of
+//! the installed vector carries over, and only the shortcut arcs the
+//! named edges support are re-relaxed before the new generation swaps
+//! in — the reply carries that generation so a client can fence
+//! subsequent `live` routes on it. A full vector must have been
+//! installed first (the `serve` binary does this at startup); before
+//! that, `UPDATE` answers `ERR NoBackend`. Malformed pairs answer `ERR
+//! BadRequest`; unknown edges and non-finite / negative weights answer
+//! `ERR InvalidWeights`.
+//!
+//! The protocol is a demo transport for the `serve` binary — the
+//! benchmarks drive the server in-process so transport noise never
+//! pollutes the latency numbers.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pathrank_spatial::graph::VertexId;
+use pathrank_spatial::graph::{EdgeId, VertexId};
 
 use crate::server::{Metric, RouteRequest, RouteServer, ServeError};
 
@@ -60,6 +75,26 @@ fn parse_line(server: &RouteServer, line: &str) -> Option<RouteRequest> {
     })
 }
 
+/// Parses the delta of an `UPDATE` line: comma-separated `edge:weight`
+/// pairs (whitespace between groups also tolerated). Returns `None` on
+/// any malformed pair; edge-bounds and weight-range checks stay with
+/// [`RouteServer::update_live_weights_sparse`] so they answer
+/// `ERR InvalidWeights` rather than `BadRequest`.
+fn parse_update(line: &str) -> Option<Vec<(EdgeId, f64)>> {
+    let rest = line.trim().strip_prefix("UPDATE")?;
+    let mut updates = Vec::new();
+    for pair in rest.split_ascii_whitespace().flat_map(|g| g.split(',')) {
+        if pair.is_empty() {
+            continue;
+        }
+        let (edge, weight) = pair.split_once(':')?;
+        let edge: u32 = edge.parse().ok()?;
+        let weight: f64 = weight.parse().ok()?;
+        updates.push((EdgeId(edge), weight));
+    }
+    Some(updates)
+}
+
 fn error_tag(e: ServeError) -> &'static str {
     match e {
         ServeError::QueueFull => "QueueFull",
@@ -77,6 +112,17 @@ pub fn serve_connection(stream: TcpStream, server: &RouteServer) -> std::io::Res
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
+            continue;
+        }
+        if line.trim_start().starts_with("UPDATE") {
+            let answer = match parse_update(&line) {
+                None => "ERR BadRequest\n".to_string(),
+                Some(updates) => match server.update_live_weights_sparse(&updates) {
+                    Ok(generation) => format!("OK {generation}\n"),
+                    Err(e) => format!("ERR {}\n", error_tag(e)),
+                },
+            };
+            writer.write_all(answer.as_bytes())?;
             continue;
         }
         let answer = match parse_line(server, &line) {

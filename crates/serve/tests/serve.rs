@@ -24,7 +24,7 @@ use pathrank_spatial::algo::engine::{QueryEngine, SearchBackend};
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::builder::GraphBuilder;
 use pathrank_spatial::geometry::Point;
-use pathrank_spatial::graph::{CostModel, EdgeAttrs, RoadCategory, VertexId};
+use pathrank_spatial::graph::{CostModel, EdgeAttrs, EdgeId, RoadCategory, VertexId};
 
 fn length_request(s: VertexId, t: VertexId) -> RouteRequest {
     RouteRequest {
@@ -195,20 +195,44 @@ fn serve_float_graph_batched_matches_within_tolerance() {
 fn serve_live_weight_swaps_are_atomic_and_bit_exact() {
     let graph = Arc::new(integer_city(8));
     let topo = Arc::new(CchTopology::build(&graph, &CchConfig::default()));
-    const GENS: u64 = 5;
+    const GENS: u64 = 6;
 
-    // Sequential ground truth per generation, computed up front.
+    // Generations interleave full installs (odd) with sparse deltas
+    // patched on top of the previous vector (even) — the torn-weights
+    // claim must hold across both update paths racing the readers.
+    // Sequential ground truth per generation, computed up front from
+    // the evolving weight vector.
     let pairs = hub_pairs(&graph, 24, 4, 0x5a5a);
     let weights_for = |gen: u64| integer_live_weights(&graph, 0xcafe + gen);
+    let sparse_delta = |gen: u64| -> Vec<(EdgeId, f64)> {
+        let fresh = integer_live_weights(&graph, 0xd00d + gen);
+        (0..graph.edge_count())
+            .step_by(7)
+            .map(|i| (EdgeId(i as u32), fresh[i]))
+            .collect()
+    };
+    let mut current = weights_for(1);
+    let mut vectors: HashMap<u64, Vec<f64>> = HashMap::new();
+    vectors.insert(1, current.clone());
+    for gen in 2..=GENS {
+        if gen % 2 == 0 {
+            for &(e, w) in &sparse_delta(gen) {
+                current[e.index()] = w;
+            }
+        } else {
+            current = weights_for(gen);
+        }
+        vectors.insert(gen, current.clone());
+    }
     let mut expected: HashMap<u64, Vec<Option<f64>>> = HashMap::new();
     for gen in 1..=GENS {
-        let w = weights_for(gen);
-        let cch = Arc::new(topo.customize_weights(&graph, &w));
+        let w = &vectors[&gen];
+        let cch = Arc::new(topo.customize_weights(&graph, w));
         let mut engine = QueryEngine::new(&graph);
         engine.set_cch(Some(cch));
         let costs = pairs
             .iter()
-            .map(|&(s, t)| engine.shortest_path_cost(s, t, CostModel::Custom(&w)))
+            .map(|&(s, t)| engine.shortest_path_cost(s, t, CostModel::Custom(w)))
             .collect();
         expected.insert(gen, costs);
     }
@@ -277,7 +301,14 @@ fn serve_live_weight_swaps_are_atomic_and_bit_exact() {
         start.wait();
         for gen in 2..=GENS {
             std::thread::sleep(Duration::from_millis(15));
-            assert_eq!(server.update_live_weights(weights_for(gen)), Ok(gen));
+            if gen % 2 == 0 {
+                assert_eq!(
+                    server.update_live_weights_sparse(&sparse_delta(gen)),
+                    Ok(gen)
+                );
+            } else {
+                assert_eq!(server.update_live_weights(vectors[&gen].clone()), Ok(gen));
+            }
         }
         std::thread::sleep(Duration::from_millis(15));
         stop.store(true, Ordering::Relaxed);
@@ -535,6 +566,163 @@ fn serve_rejects_invalid_live_weights() {
     );
     assert_eq!(server.live_generation(), 0);
     server.shutdown();
+}
+
+#[test]
+fn serve_sparse_updates_answer_bit_identically_to_sequential() {
+    let graph = Arc::new(integer_city(8));
+    let topo = Arc::new(CchTopology::build(&graph, &CchConfig::default()));
+    let server = RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            cch_topology: Some(Arc::clone(&topo)),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let pairs = hub_pairs(&graph, 32, 4, 0xbead);
+
+    // A sparse delta patches the previous generation; before any full
+    // install there is nothing to patch.
+    assert_eq!(
+        server.update_live_weights_sparse(&[(EdgeId(0), 5.0)]),
+        Err(ServeError::NoBackend)
+    );
+
+    let mut weights = integer_live_weights(&graph, 0x11);
+    assert_eq!(server.update_live_weights(weights.clone()), Ok(1));
+
+    // Invalid sparse updates are rejected without publishing.
+    let out_of_range = EdgeId(graph.edge_count() as u32);
+    assert_eq!(
+        server.update_live_weights_sparse(&[(out_of_range, 5.0)]),
+        Err(ServeError::InvalidWeights)
+    );
+    assert_eq!(
+        server.update_live_weights_sparse(&[(EdgeId(0), f64::NAN)]),
+        Err(ServeError::InvalidWeights)
+    );
+    assert_eq!(
+        server.update_live_weights_sparse(&[(EdgeId(0), -1.0)]),
+        Err(ServeError::InvalidWeights)
+    );
+    assert_eq!(server.live_generation(), 1);
+
+    // Chained sparse deltas — including a duplicate-edge last-wins
+    // entry — must leave the server bit-identical to a sequential
+    // engine rebuilt from scratch over the same patched vector.
+    for round in 0u64..4 {
+        let fresh = integer_live_weights(&graph, 0x900d + round);
+        let mut delta: Vec<(EdgeId, f64)> = (0..graph.edge_count())
+            .step_by(11 + round as usize)
+            .map(|i| (EdgeId(i as u32), fresh[i]))
+            .collect();
+        // EdgeId(0) already appears first; this later entry must win.
+        delta.push((EdgeId(0), 77.0));
+        for &(e, w) in &delta {
+            weights[e.index()] = w;
+        }
+        let gen = server
+            .update_live_weights_sparse(&delta)
+            .expect("a valid delta publishes");
+        assert_eq!(gen, round + 2);
+
+        let cch = Arc::new(topo.customize_weights(&graph, &weights));
+        let mut engine = QueryEngine::new(&graph);
+        engine.set_cch(Some(cch));
+        for &(s, t) in &pairs {
+            let want = engine.shortest_path_cost(s, t, CostModel::Custom(&weights));
+            let reply = server
+                .route(RouteRequest {
+                    source: s,
+                    target: t,
+                    metric: Metric::Live,
+                    deadline: None,
+                })
+                .expect("live weights installed");
+            assert_eq!(reply.weights_generation, gen);
+            assert_eq!(
+                reply.cost.map(f64::to_bits),
+                want.map(f64::to_bits),
+                "sparse-updated server diverged from sequential engine \
+                 for {}->{} at generation {gen}",
+                s.0,
+                t.0
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn serve_tcp_update_round_trip() {
+    let graph = Arc::new(integer_city(6));
+    let topo = Arc::new(CchTopology::build(&graph, &CchConfig::default()));
+    let server = Arc::new(RouteServer::start(
+        Arc::clone(&graph),
+        ServerIndexes {
+            cch_topology: Some(Arc::clone(&topo)),
+            ..ServerIndexes::default()
+        },
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    ));
+    let mut weights = integer_live_weights(&graph, 0x70c9);
+    assert_eq!(server.update_live_weights(weights.clone()), Ok(1));
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("addr");
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = pathrank_serve::tcp::run_listener(listener, server);
+        });
+    }
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // A sparse delta over the wire bumps the generation...
+    weights[0] = 444.0;
+    weights[7] = 555.0;
+    writer.write_all(b"UPDATE 0:444,7:555\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim(), "OK 2");
+
+    // ...and live routes answer on the patched vector, bit-identical
+    // to a sequential engine customized from scratch.
+    let cch = Arc::new(topo.customize_weights(&graph, &weights));
+    let mut engine = QueryEngine::new(&graph);
+    engine.set_cch(Some(cch));
+    let want = engine
+        .shortest_path_cost(VertexId(0), VertexId(35), CostModel::Custom(&weights))
+        .expect("grid is connected");
+    line.clear();
+    writer.write_all(b"ROUTE 0 35 live\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim(), format!("OK {want} Cch 0 2"));
+
+    // Malformed pairs are a protocol error; a real pair naming an
+    // unknown edge or a negative weight is a validation error.
+    line.clear();
+    writer.write_all(b"UPDATE 0=444\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim(), "ERR BadRequest");
+    line.clear();
+    writer.write_all(b"UPDATE 999999:5\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim(), "ERR InvalidWeights");
+    line.clear();
+    writer.write_all(b"UPDATE 0:-3\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert_eq!(line.trim(), "ERR InvalidWeights");
+    assert_eq!(server.live_generation(), 2);
 }
 
 #[test]

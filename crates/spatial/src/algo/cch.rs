@@ -27,7 +27,11 @@
 //!    independent — the pass parallelises over the existing crossbeam
 //!    worker pattern and is bit-identical for any thread count. At paper
 //!    scale this runs in single-digit milliseconds, ≥10x faster than a
-//!    metric-aware rebuild.
+//!    metric-aware rebuild. When only a few edges moved — the live
+//!    telemetry shape — [`Cch::apply_delta`] skips even that: it seeds
+//!    the arcs owning the changed edges and chases the change upward
+//!    through the triangle DAG, stopping wherever a recomputed weight
+//!    lands on the same bits, sub-millisecond for percent-level deltas.
 //! 3. **Queries** reuse the stall-on-demand bidirectional upward search
 //!    of [`ContractionHierarchy`] unchanged: a customized [`Cch`] embeds
 //!    a real `ContractionHierarchy` whose arc pool and CSR search graphs
@@ -108,6 +112,26 @@ pub struct CchTopology {
     /// `level_offsets[l]..level_offsets[l + 1]`. Triangle relaxation
     /// sweeps levels in order; within a level all arcs are independent.
     level_offsets: Vec<u32>,
+    /// Original edge -> the (unique) arc that merged it; `u32::MAX` for
+    /// edges the topology dropped (self-loops). The entry point of a
+    /// sparse delta: a changed edge cost seeds exactly this arc.
+    edge_arc: Vec<u32>,
+    /// Reverse triangle index, CSR over arcs: supporting arc `b` -> the
+    /// arcs whose recorded triangles contain `b`. Every dependent lives
+    /// on a strictly higher elimination level (triangles only reference
+    /// strictly lower-level supports), so dependents always carry larger
+    /// arc ids — what lets [`Cch::apply_delta`] pop a min-heap of arc
+    /// ids and know every support is final before its dependents
+    /// recompute.
+    dep_offsets: Vec<u32>,
+    dep_arcs: Vec<u32>,
+    dep_pairs: Vec<(u32, u32)>,
+    /// Arc id -> its slot in the skeleton's rank-space search segments
+    /// (`seg_arcs`). The topology keeps exactly one arc per directed
+    /// vertex pair, so assembly dedupes nothing and the map is a
+    /// bijection; partial customization uses it to sync a changed arc's
+    /// segment weight without the full-sweep `seg_arcs` pass.
+    arc_to_seg: Vec<u32>,
     /// Pre-assembled search-graph skeleton: the final arc pool and
     /// per-rank CSR with placeholder weights. [`CchTopology::customize`]
     /// clones it and rewrites weights/expansion rules in place — arc ids
@@ -465,6 +489,52 @@ impl CchTopology {
         }
 
         let skeleton = ContractionHierarchy::assemble(LandmarkMetric::Length, m, rank, skel_arcs);
+
+        // Reverse indexes for sparse partial customization. All three
+        // are pure functions of the CSRs above, so the io layer's
+        // on-disk format is untouched — loaded topologies recompute them
+        // here just like built ones.
+        let mut edge_arc = vec![u32::MAX; m];
+        for a in 0..arc_count {
+            let lo = orig_offsets[a] as usize;
+            let hi = orig_offsets[a + 1] as usize;
+            for &e in &orig_edges[lo..hi] {
+                edge_arc[e.index()] = a as u32;
+            }
+        }
+        let mut dep_offsets = vec![0u32; arc_count + 1];
+        for &(b, c) in &tri_pairs {
+            dep_offsets[b as usize + 1] += 1;
+            dep_offsets[c as usize + 1] += 1;
+        }
+        for i in 0..arc_count {
+            dep_offsets[i + 1] += dep_offsets[i];
+        }
+        let mut cursor: Vec<u32> = dep_offsets[..arc_count].to_vec();
+        let mut dep_arcs = vec![0u32; tri_pairs.len() * 2];
+        let mut dep_pairs = vec![(0u32, 0u32); tri_pairs.len() * 2];
+        for a in 0..arc_count {
+            let lo = tri_offsets[a] as usize;
+            let hi = tri_offsets[a + 1] as usize;
+            for &(b, c) in &tri_pairs[lo..hi] {
+                dep_arcs[cursor[b as usize] as usize] = a as u32;
+                dep_pairs[cursor[b as usize] as usize] = (b, c);
+                cursor[b as usize] += 1;
+                dep_arcs[cursor[c as usize] as usize] = a as u32;
+                dep_pairs[cursor[c as usize] as usize] = (b, c);
+                cursor[c as usize] += 1;
+            }
+        }
+        let mut arc_to_seg = vec![u32::MAX; arc_count];
+        for (i, sa) in skeleton.seg_arcs.iter().enumerate() {
+            debug_assert_eq!(
+                arc_to_seg[sa.arc as usize],
+                u32::MAX,
+                "CCH arcs are unique per directed pair, so each owns one segment slot"
+            );
+            arc_to_seg[sa.arc as usize] = i as u32;
+        }
+
         CchTopology {
             threads: threads.max(1),
             orig_offsets,
@@ -472,6 +542,11 @@ impl CchTopology {
             tri_offsets,
             tri_pairs,
             level_offsets,
+            edge_arc,
+            dep_offsets,
+            dep_arcs,
+            dep_pairs,
+            arc_to_seg,
             skeleton,
         }
     }
@@ -528,6 +603,28 @@ impl CchTopology {
         let lo = self.tri_offsets[a] as usize;
         let hi = self.tri_offsets[a + 1] as usize;
         &self.tri_pairs[lo..hi]
+    }
+
+    /// The arc that merged original edge `e` (`None` when the topology
+    /// dropped the edge, i.e. a self-loop).
+    pub(crate) fn arc_of_edge(&self, e: EdgeId) -> Option<u32> {
+        let a = self.edge_arc[e.index()];
+        (a != u32::MAX).then_some(a)
+    }
+
+    /// Arcs whose supporting triangles contain arc `a` — all on strictly
+    /// higher elimination levels, hence strictly larger arc ids. Each
+    /// link carries the triangle's stored `(b, c)` support pair so the
+    /// partial pass can classify the event (defining-support check on
+    /// increases, candidate check on decreases) without re-scanning the
+    /// dependent's full triangle list.
+    pub(crate) fn dependents_of(&self, a: usize) -> impl Iterator<Item = (u32, (u32, u32))> + '_ {
+        let lo = self.dep_offsets[a] as usize;
+        let hi = self.dep_offsets[a + 1] as usize;
+        self.dep_arcs[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.dep_pairs[lo..hi].iter().copied())
     }
 
     /// Arc endpoints in final (level-contiguous) order — the io layer's
@@ -608,6 +705,7 @@ impl CchTopology {
             custom,
             weights_epoch,
             inner,
+            scratch: CustomizeScratch::default(),
         }
     }
 
@@ -617,9 +715,27 @@ impl CchTopology {
     /// lower-level weights, so each level parallelises over disjoint
     /// chunks — the result is bit-identical for any thread count.
     fn derive(&self, edge_cost: impl Fn(EdgeId) -> f64) -> (Vec<f64>, Vec<ChArcKind>) {
+        let mut weights = Vec::new();
+        let mut kinds = Vec::new();
+        self.derive_into(edge_cost, &mut weights, &mut kinds);
+        (weights, kinds)
+    }
+
+    /// [`CchTopology::derive`] into caller-owned buffers: steady-state
+    /// re-customization ([`Cch::recustomize`]) hands the same two
+    /// vectors back every epoch, so after the first pass the full
+    /// customization allocates nothing.
+    fn derive_into(
+        &self,
+        edge_cost: impl Fn(EdgeId) -> f64,
+        weights: &mut Vec<f64>,
+        kinds: &mut Vec<ChArcKind>,
+    ) {
         let arc_count = self.arc_count();
-        let mut weights = vec![f64::INFINITY; arc_count];
-        let mut kinds = vec![ChArcKind::Shortcut(u32::MAX, u32::MAX); arc_count];
+        weights.clear();
+        weights.resize(arc_count, f64::INFINITY);
+        kinds.clear();
+        kinds.resize(arc_count, ChArcKind::Shortcut(u32::MAX, u32::MAX));
         for a in 0..arc_count {
             for &e in self.originals_of(a) {
                 let c = edge_cost(e);
@@ -665,7 +781,155 @@ impl CchTopology {
             weights.iter().all(|w| w.is_finite()),
             "every arc must end customization with a finite weight"
         );
-        (weights, kinds)
+    }
+}
+
+/// The sparse-delta customization core: sweeps a pending-arc bitset in
+/// ascending id order (supports are final before dependents — see
+/// `CchTopology::dep_offsets`), fully recomputes each pending arc
+/// exactly like `CchTopology::derive` visits it (cheapest original in
+/// ascending `EdgeId`, then every recorded triangle in stored order,
+/// strict `<` in both phases), and classifies each dependent link when
+/// an arc's weight *bits* changed rather than marking all of them:
+///
+/// - weight **increased**: only a dependent whose stored expansion rule
+///   is exactly this triangle can be affected — every other candidate
+///   of that dependent is bitwise-unchanged and its previous winner
+///   (the earliest scan-order candidate reaching the minimum) still
+///   wins, because a worsened non-winning candidate stays non-winning.
+/// - weight **decreased**: the triangle's new candidate only matters
+///   when it is `<=` the dependent's current weight — strictly below
+///   moves the weight, equality can still flip the stored rule to an
+///   earlier scan-order triangle, and anything above can never win. A
+///   pending co-support re-offers the triangle when it is popped later
+///   (it has a larger id than this arc but smaller than the dependent),
+///   so a stale candidate here is never load-bearing.
+///
+/// Marked arcs always run the full derive-order recompute (weight and
+/// expansion rule), so arcs never marked keep bitwise-unchanged inputs
+/// and the fixed point is bit-identical to a full customization.
+/// Returns how many arcs were recomputed.
+fn partial_customize(
+    topo: &CchTopology,
+    inner: &mut ContractionHierarchy,
+    scratch: &mut CustomizeScratch,
+    seeds: impl IntoIterator<Item = u32>,
+    edge_cost: impl Fn(EdgeId) -> f64,
+) -> usize {
+    let arc_count = topo.arc_count();
+    // Lazily (re)build the packed per-arc weight shadow: dense f64
+    // reads in the triangle loop instead of striding over `ChArc`s.
+    // Every write path below (and `refinish`) keeps it bitwise in sync
+    // with the hierarchy's arcs, so an existing full-length shadow is
+    // always current.
+    if scratch.weights.len() != arc_count {
+        scratch.weights.clear();
+        scratch
+            .weights
+            .extend(inner.arcs().iter().map(|a| a.weight));
+    }
+    let words = arc_count.div_ceil(64);
+    scratch.pending.clear();
+    scratch.pending.resize(words, 0u64);
+    let mut lo = arc_count;
+    for a in seeds {
+        let ai = a as usize;
+        scratch.pending[ai >> 6] |= 1u64 << (ai & 63);
+        lo = lo.min(ai);
+    }
+    // Single ascending sweep over the pending bitset: a dependent's id
+    // is always strictly larger than its support's, so bits set while
+    // processing are never behind the cursor — popping the lowest set
+    // bit per word visits arcs in exactly ascending order.
+    let mut recomputed = 0usize;
+    let mut wi = lo >> 6;
+    while wi < words {
+        let word = scratch.pending[wi];
+        if word == 0 {
+            wi += 1;
+            continue;
+        }
+        let bit = word.trailing_zeros() as usize;
+        scratch.pending[wi] &= !(1u64 << bit);
+        let ai = (wi << 6) | bit;
+        recomputed += 1;
+        let mut w = f64::INFINITY;
+        let mut k = ChArcKind::Shortcut(u32::MAX, u32::MAX);
+        for &e in topo.originals_of(ai) {
+            let c = edge_cost(e);
+            if c < w {
+                w = c;
+                k = ChArcKind::Original(e);
+            }
+        }
+        let shadow = &scratch.weights;
+        for &(b, c) in topo.triangles_of(ai) {
+            let cand = shadow[b as usize] + shadow[c as usize];
+            if cand < w {
+                w = cand;
+                k = ChArcKind::Shortcut(b, c);
+            }
+        }
+        let old_w = shadow[ai];
+        let changed = old_w.to_bits() != w.to_bits();
+        scratch.weights[ai] = w;
+        let arcs = inner.arcs_mut();
+        arcs[ai].weight = w;
+        arcs[ai].kind = k;
+        let seg = topo.arc_to_seg[ai];
+        if seg != u32::MAX {
+            inner.seg_arcs[seg as usize].weight = w;
+        }
+        if changed {
+            // `-0.0` never bit-matches a stored weight here (costs are
+            // sums of non-negative edge costs), so a bits-changed,
+            // numerically-equal pair falls through to the conservative
+            // decrease path.
+            let increased = w > old_w;
+            let arcs = inner.arcs();
+            let shadow = &scratch.weights;
+            for (d, (b, c)) in topo.dependents_of(ai) {
+                let di = d as usize;
+                let mask = 1u64 << (di & 63);
+                if scratch.pending[di >> 6] & mask != 0 {
+                    continue;
+                }
+                let hit = if increased {
+                    arcs[di].kind == ChArcKind::Shortcut(b, c)
+                } else {
+                    shadow[b as usize] + shadow[c as usize] <= shadow[di]
+                };
+                if hit {
+                    scratch.pending[di >> 6] |= mask;
+                }
+            }
+        }
+    }
+    recomputed
+}
+
+/// Reusable buffers for in-place partial and full (re-)customization,
+/// kept inside each [`Cch`] so steady-state traffic epochs allocate
+/// nothing. Cloning a customized index (e.g. the serve layer's
+/// double-buffered staging copy) deliberately resets the scratch instead
+/// of copying it — the buffers are rebuilt lazily on the next pass.
+#[derive(Debug, Default)]
+struct CustomizeScratch {
+    /// Pending-arc bitset for [`Cch::apply_delta`], one bit per arc,
+    /// swept ascending (drains back to all-zero).
+    pending: Vec<u64>,
+    /// Packed per-arc weights, bitwise in sync with the hierarchy's
+    /// arcs whenever full-length: the partial pass reads triangle
+    /// supports from this dense shadow, and the full in-place pass
+    /// ([`Cch::recustomize`]) derives straight into it.
+    weights: Vec<f64>,
+    /// Full-recustomization expansion-rule buffer.
+    kinds: Vec<ChArcKind>,
+}
+
+impl Clone for CustomizeScratch {
+    fn clone(&self) -> Self {
+        CustomizeScratch::default()
     }
 }
 
@@ -686,11 +950,18 @@ fn relax_arc(triangles: &[(u32, u32)], done: &[f64], w: &mut f64, k: &mut ChArcK
 /// [`CchTopology`] plus concrete arc weights for one metric (or custom
 /// weight vector) at one weights epoch.
 ///
-/// Immutable and `Sync`; wrap in an [`Arc`] and hand a clone to every
-/// worker's [`crate::algo::engine::QueryEngine::with_cch`]. Queries run
-/// on the embedded re-weighted [`ContractionHierarchy`], so they are
-/// exactly as exact as plain CH queries — just on weights that may have
-/// changed milliseconds ago.
+/// `Sync` and immutable through `&Cch`; wrap in an [`Arc`] and hand a
+/// clone to every worker's
+/// [`crate::algo::engine::QueryEngine::with_cch`]. Queries run on the
+/// embedded re-weighted [`ContractionHierarchy`], so they are exactly as
+/// exact as plain CH queries — just on weights that may have changed
+/// milliseconds ago. A uniquely owned copy additionally re-weights *in
+/// place*: [`Cch::apply_delta`] / [`Cch::apply_weight_delta`] chase a
+/// sparse changed-edge delta through only the triangles it touches, and
+/// [`Cch::recustomize`] re-runs the full pass allocation-free — both
+/// bit-identical to a fresh customization, which is what lets a serving
+/// layer double-buffer one mutable staging copy and atomically publish
+/// immutable snapshots of it.
 #[derive(Debug, Clone)]
 pub struct Cch {
     topo: Arc<CchTopology>,
@@ -704,6 +975,10 @@ pub struct Cch {
     weights_epoch: u64,
     /// The re-weighted search hierarchy queries run on.
     inner: ContractionHierarchy,
+    /// Reusable buffers for [`Cch::apply_delta`] / [`Cch::recustomize`];
+    /// empty until the first in-place pass, reset (not copied) by
+    /// `clone`.
+    scratch: CustomizeScratch,
 }
 
 impl Cch {
@@ -761,6 +1036,164 @@ impl Cch {
     /// [`Cch::usable_for`].
     pub(crate) fn hierarchy(&self) -> &ContractionHierarchy {
         &self.inner
+    }
+
+    /// Applies a sparse live-speed delta in place: `changed` lists the
+    /// edges whose (post-clamp) speed moved since this index was last
+    /// (re-)customized — exactly what
+    /// [`Graph::set_edge_speeds`](crate::graph::Graph::set_edge_speeds)
+    /// returns. The arcs owning those edges are seeded into a worklist
+    /// that propagates upward through the triangle DAG in arc-id
+    /// (elimination-level) order; an arc's lower triangles re-relax only
+    /// when a support's weight actually changed, and propagation stops
+    /// wherever a recomputed weight is bit-unchanged. The result is
+    /// bit-identical to a full [`CchTopology::customize`] on the current
+    /// graph — the `cch_partial_` property harness asserts this; the hot
+    /// path never re-checks. Returns the number of arcs recomputed.
+    ///
+    /// `changed` must cover every edge whose speed changed since
+    /// [`Cch::weights_epoch`]; later duplicates win, and entries whose
+    /// cost did not actually move are harmless (they recompute to the
+    /// same bits and stop immediately). Only metric customizations
+    /// accept speed deltas — an index customized from an explicit weight
+    /// vector moves through [`Cch::apply_weight_delta`] instead.
+    pub fn apply_delta(&mut self, g: &Graph, changed: &[(EdgeId, f64)]) -> usize {
+        assert_eq!(
+            (self.vertex_count(), self.edge_count()),
+            (g.vertex_count(), g.edge_count()),
+            "CCH was customized for a different graph"
+        );
+        let metric = self.metric.expect(
+            "apply_delta needs a metric customization; \
+             use apply_weight_delta for custom weight vectors",
+        );
+        let epoch = g.weights_epoch();
+        let recomputed = match metric {
+            // Speed telemetry never moves length weights; the delta only
+            // restamps the epoch so the gate re-admits us.
+            LandmarkMetric::Length => 0,
+            LandmarkMetric::TravelTime => {
+                let topo = Arc::clone(&self.topo);
+                let cost = CostModel::TravelTime;
+                partial_customize(
+                    &topo,
+                    &mut self.inner,
+                    &mut self.scratch,
+                    changed.iter().filter_map(|&(e, _)| topo.arc_of_edge(e)),
+                    |e| cost.edge_cost(g, e),
+                )
+            }
+        };
+        self.inner.set_weights_epoch(epoch);
+        self.weights_epoch = epoch;
+        recomputed
+    }
+
+    /// Sparse form of [`CchTopology::customize_weights`] against this
+    /// index's current custom vector: applies `updates` (later
+    /// duplicates win) to the stored vector in place and propagates the
+    /// touched arcs exactly like [`Cch::apply_delta`]. The weights epoch
+    /// is untouched — the graph itself did not change; afterwards
+    /// [`Cch::usable_for`] gates on the updated vector. A bit-identical
+    /// echo (an update equal to the stored weight) seeds nothing.
+    /// Returns the number of arcs recomputed.
+    pub fn apply_weight_delta(&mut self, updates: &[(EdgeId, f64)]) -> usize {
+        let m = self.edge_count();
+        assert!(
+            updates
+                .iter()
+                .all(|&(e, w)| e.index() < m && w.is_finite() && w >= 0.0),
+            "weight updates must name real edges with finite, non-negative weights"
+        );
+        let topo = Arc::clone(&self.topo);
+        let custom = self.custom.as_mut().expect(
+            "apply_weight_delta needs a custom-vector customization; \
+             use apply_delta for metric customizations",
+        );
+        let mut seeds: Vec<u32> = Vec::with_capacity(updates.len());
+        for &(e, w) in updates {
+            let slot = &mut custom[e.index()];
+            if slot.to_bits() != w.to_bits() {
+                *slot = w;
+                if let Some(a) = topo.arc_of_edge(e) {
+                    seeds.push(a);
+                }
+            }
+        }
+        let custom: &[f64] = self.custom.as_deref().expect("checked above");
+        partial_customize(&topo, &mut self.inner, &mut self.scratch, seeds, |e| {
+            custom[e.index()]
+        })
+    }
+
+    /// Re-derives every arc weight in place for `cost` at the graph's
+    /// current weights epoch — the allocation-free steady-state form of
+    /// [`CchTopology::customize`]: no skeleton clone, no fresh weight
+    /// buffers; the scratch persists inside the index across epochs.
+    /// Bit-identical to a fresh customization.
+    pub fn recustomize(&mut self, g: &Graph, cost: &CostModel<'_>) {
+        if let CostModel::Custom(w) = cost {
+            return self.recustomize_weights(g, w);
+        }
+        assert_eq!(
+            (self.vertex_count(), self.edge_count()),
+            (g.vertex_count(), g.edge_count()),
+            "CCH was customized for a different graph"
+        );
+        self.metric = Some(match cost {
+            CostModel::Length => LandmarkMetric::Length,
+            CostModel::TravelTime => LandmarkMetric::TravelTime,
+            CostModel::Custom(_) => unreachable!(),
+        });
+        self.custom = None;
+        self.refinish(g.weights_epoch(), |e| cost.edge_cost(g, e));
+    }
+
+    /// In-place form of [`CchTopology::customize_weights`] (see
+    /// [`Cch::recustomize`]); the stored custom vector's allocation is
+    /// reused when the length matches.
+    pub fn recustomize_weights(&mut self, g: &Graph, weights: &[f64]) {
+        assert_eq!(
+            (self.vertex_count(), self.edge_count()),
+            (g.vertex_count(), g.edge_count()),
+            "CCH was customized for a different graph"
+        );
+        assert_eq!(
+            weights.len(),
+            self.edge_count(),
+            "custom weight vector length must match the edge count"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "custom weights must be finite and non-negative"
+        );
+        match &mut self.custom {
+            Some(c) if c.len() == weights.len() => c.copy_from_slice(weights),
+            slot => *slot = Some(weights.to_vec()),
+        }
+        self.metric = None;
+        self.refinish(g.weights_epoch(), |e| weights[e.index()]);
+    }
+
+    /// Shared tail of the in-place full paths: full derive into the
+    /// persistent scratch buffers, then rewrite arc weights/expansions
+    /// and segment weights.
+    fn refinish(&mut self, epoch: u64, edge_cost: impl Fn(EdgeId) -> f64) {
+        let topo = Arc::clone(&self.topo);
+        let mut w = std::mem::take(&mut self.scratch.weights);
+        let mut k = std::mem::take(&mut self.scratch.kinds);
+        topo.derive_into(edge_cost, &mut w, &mut k);
+        for (arc, (wv, kv)) in self.inner.arcs_mut().iter_mut().zip(w.iter().zip(&k)) {
+            arc.weight = *wv;
+            arc.kind = *kv;
+        }
+        for sa in self.inner.seg_arcs.iter_mut() {
+            sa.weight = w[sa.arc as usize];
+        }
+        self.inner.set_weights_epoch(epoch);
+        self.weights_epoch = epoch;
+        self.scratch.weights = w;
+        self.scratch.kinds = k;
     }
 
     /// Cheapest `source -> target` distance as the sum of arc weights
@@ -1001,6 +1434,171 @@ mod tests {
         let length = topo.customize(&g, &CostModel::Length);
         assert!(length.usable_for(&CostModel::Length));
         assert!(!length.usable_for(&CostModel::Custom(&weights)));
+    }
+
+    /// Full bitwise comparison of two customized indexes: arc weights,
+    /// expansion rules and search-segment weights.
+    fn assert_bit_identical(a: &Cch, b: &Cch, what: &str) {
+        let aa = a.hierarchy().arcs();
+        let bb = b.hierarchy().arcs();
+        assert_eq!(aa.len(), bb.len(), "{what}: arc count");
+        for (i, (x, y)) in aa.iter().zip(bb).enumerate() {
+            assert_eq!(
+                x.weight.to_bits(),
+                y.weight.to_bits(),
+                "{what}: arc {i} weight {} vs {}",
+                x.weight,
+                y.weight
+            );
+            assert_eq!(x.kind, y.kind, "{what}: arc {i} expansion rule");
+        }
+        for (i, (x, y)) in a
+            .hierarchy()
+            .seg_arcs
+            .iter()
+            .zip(&b.hierarchy().seg_arcs)
+            .enumerate()
+        {
+            assert_eq!(
+                x.weight.to_bits(),
+                y.weight.to_bits(),
+                "{what}: segment {i} weight"
+            );
+        }
+    }
+
+    #[test]
+    fn cch_apply_delta_bit_identical_to_full_customize() {
+        let mut g = region();
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+        let mut partial = topo.customize(&g, &CostModel::TravelTime);
+        // Chained sparse epochs: the partial index must track the full
+        // one bit for bit through every delta.
+        for round in 0..4u32 {
+            let updates: Vec<(EdgeId, f64)> = (0..g.edge_count())
+                .skip(round as usize)
+                .step_by(7)
+                .map(|i| {
+                    let e = EdgeId(i as u32);
+                    (
+                        e,
+                        g.edge(e).attrs.speed_kmh * if round % 2 == 0 { 0.5 } else { 1.9 },
+                    )
+                })
+                .collect();
+            let delta = g.set_edge_speeds(&updates);
+            assert!(!delta.is_empty());
+            let recomputed = partial.apply_delta(&g, &delta);
+            assert!(recomputed > 0, "round {round}: delta must touch arcs");
+            assert!(
+                recomputed < topo.arc_count(),
+                "round {round}: a sparse delta must not recompute everything"
+            );
+            assert_eq!(partial.weights_epoch(), g.weights_epoch());
+            let full = topo.customize(&g, &CostModel::TravelTime);
+            assert_bit_identical(&partial, &full, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn cch_apply_delta_empty_and_echo_deltas_are_noops() {
+        let g = region();
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+        let mut cch = topo.customize(&g, &CostModel::TravelTime);
+        assert_eq!(cch.apply_delta(&g, &[]), 0);
+        // An echo (unchanged speed) recomputes the owning arc but can
+        // never propagate.
+        let e = EdgeId(0);
+        let speed = g.edge(e).attrs.speed_kmh;
+        let recomputed = cch.apply_delta(&g, &[(e, speed)]);
+        assert!(recomputed <= 1, "an echo must stop at the seeded arc");
+        let full = topo.customize(&g, &CostModel::TravelTime);
+        assert_bit_identical(&cch, &full, "echo delta");
+    }
+
+    #[test]
+    fn cch_apply_delta_length_metric_restamps_only() {
+        let mut g = region();
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+        let mut cch = topo.customize(&g, &CostModel::Length);
+        let delta = g.set_edge_speeds(&[(EdgeId(1), 7.5)]);
+        assert_eq!(cch.apply_delta(&g, &delta), 0);
+        assert_eq!(cch.weights_epoch(), g.weights_epoch());
+        let full = topo.customize(&g, &CostModel::Length);
+        assert_bit_identical(&cch, &full, "length restamp");
+    }
+
+    #[test]
+    fn cch_apply_weight_delta_bit_identical_and_regates() {
+        let g = region();
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+        let mut weights: Vec<f64> = (0..g.edge_count()).map(|i| 1.0 + (i % 9) as f64).collect();
+        let mut sparse = topo.customize_weights(&g, &weights);
+        // Sparse updates, including a duplicate where the later entry
+        // must win.
+        let updates = vec![
+            (EdgeId(2), 25.0),
+            (EdgeId(5), 0.5),
+            (EdgeId(2), 3.25),
+            (EdgeId((g.edge_count() - 1) as u32), 11.0),
+        ];
+        for &(e, w) in &updates {
+            weights[e.index()] = w;
+        }
+        let recomputed = sparse.apply_weight_delta(&updates);
+        assert!(recomputed > 0);
+        let full = topo.customize_weights(&g, &weights);
+        assert_bit_identical(&sparse, &full, "weight delta");
+        assert!(
+            sparse.usable_for(&CostModel::Custom(&weights)),
+            "gating must follow the updated vector"
+        );
+        let mut search = ChSearch::new(g.vertex_count());
+        let n = g.vertex_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 2, n / 5)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let cost = CostModel::Custom(&weights);
+            let expect = shortest_path(&g, s, t, cost).map(|p| p.cost(&g, cost));
+            let got = sparse.query_cost(&mut search, s, t);
+            match (expect, got) {
+                (None, None) => {}
+                (Some(e), Some(c)) => assert!(close(e, c), "{e} vs {c}"),
+                other => panic!("reachability mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cch_recustomize_in_place_bit_identical() {
+        let mut g = region();
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+        let mut live = topo.customize(&g, &CostModel::TravelTime);
+        for round in 0..3u32 {
+            let updates: Vec<(EdgeId, f64)> = (0..g.edge_count())
+                .step_by(4 + round as usize)
+                .map(|i| {
+                    let e = EdgeId(i as u32);
+                    (e, g.edge(e).attrs.speed_kmh * 0.75)
+                })
+                .collect();
+            g.set_edge_speeds(&updates);
+            live.recustomize(&g, &CostModel::TravelTime);
+            let full = topo.customize(&g, &CostModel::TravelTime);
+            assert_eq!(live.weights_epoch(), g.weights_epoch());
+            assert_bit_identical(&live, &full, &format!("recustomize round {round}"));
+        }
+        // Metric switches in place, including to a custom vector and
+        // back.
+        let weights: Vec<f64> = (0..g.edge_count()).map(|i| 2.0 + (i % 5) as f64).collect();
+        live.recustomize(&g, &CostModel::Custom(&weights));
+        assert!(live.usable_for(&CostModel::Custom(&weights)));
+        assert!(!live.usable_for(&CostModel::TravelTime));
+        let full = topo.customize_weights(&g, &weights);
+        assert_bit_identical(&live, &full, "recustomize to custom");
+        live.recustomize(&g, &CostModel::Length);
+        assert!(live.usable_for(&CostModel::Length));
+        let full = topo.customize(&g, &CostModel::Length);
+        assert_bit_identical(&live, &full, "recustomize to length");
     }
 
     #[test]

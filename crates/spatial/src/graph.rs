@@ -351,7 +351,9 @@ impl Graph {
 
     /// The current weights epoch: 0 for a freshly built or loaded graph,
     /// bumped once per mutation call ([`Graph::set_edge_speed`] /
-    /// [`Graph::set_edge_speeds`]).
+    /// [`Graph::set_edge_speeds`]) **that actually changes a stored
+    /// (post-clamp) speed** — a redundant telemetry echo leaves the
+    /// epoch, and therefore every derived index, untouched.
     ///
     /// Derived indexes ([`crate::algo::LandmarkTable`],
     /// [`crate::algo::ContractionHierarchy`], [`crate::algo::cch::Cch`])
@@ -374,10 +376,20 @@ impl Graph {
     /// This is the live-traffic entry point: topology, lengths and road
     /// categories stay fixed, only the travel-time metric moves. Rebuild
     /// or re-customize metric-dependent indexes afterwards (a
-    /// [`crate::algo::cch::CchTopology`] re-customizes in milliseconds).
-    pub fn set_edge_speed(&mut self, e: EdgeId, speed_kmh: f64) {
+    /// [`crate::algo::cch::CchTopology`] re-customizes in milliseconds;
+    /// [`crate::algo::cch::Cch::apply_delta`] chases just the change).
+    ///
+    /// Returns whether the stored speed actually moved. A no-op update
+    /// (the post-clamp speed is bitwise what the edge already carries)
+    /// does **not** bump the weights epoch: a redundant telemetry echo
+    /// must not un-mount the frozen graph or mark ALT/CH/CCH stale for
+    /// nothing.
+    pub fn set_edge_speed(&mut self, e: EdgeId, speed_kmh: f64) -> bool {
         let new = clamp_edge_speed(speed_kmh);
         let old = self.edge_records[e.index()].attrs.speed_kmh;
+        if new.to_bits() == old.to_bits() {
+            return false;
+        }
         self.edge_records[e.index()].attrs.speed_kmh = new;
         if new >= self.max_speed_kmh {
             self.max_speed_kmh = new;
@@ -386,31 +398,50 @@ impl Graph {
             self.max_speed_kmh = self.recompute_max_speed();
         }
         self.weights_epoch += 1;
+        true
     }
 
     /// Batch form of [`Graph::set_edge_speed`]: applies every
     /// `(edge, speed_kmh)` pair, bumping the weights epoch once for the
-    /// whole batch. Every speed must be positive and finite; each is
-    /// clamped like [`Graph::set_edge_speed`] clamps.
-    pub fn set_edge_speeds(&mut self, updates: &[(EdgeId, f64)]) {
+    /// whole batch — and only when at least one stored speed actually
+    /// changed. Every speed must be positive and finite; each is clamped
+    /// like [`Graph::set_edge_speed`] clamps.
+    ///
+    /// Returns the changed-edge delta: the `(edge, post-clamp speed)`
+    /// pairs whose stored speed moved, in application order (an edge
+    /// updated twice appears once per effective change — later entries
+    /// win, the contract every sparse consumer
+    /// ([`crate::algo::cch::Cch::apply_delta`],
+    /// [`crate::algo::cch::Cch::apply_weight_delta`]) honours). An empty
+    /// delta means the batch was a pure echo and no index was
+    /// invalidated.
+    pub fn set_edge_speeds(&mut self, updates: &[(EdgeId, f64)]) -> Vec<(EdgeId, f64)> {
+        let mut delta: Vec<(EdgeId, f64)> = Vec::new();
         if updates.is_empty() {
-            return;
+            return delta;
         }
         let mut max_may_have_dropped = false;
         for &(e, speed_kmh) in updates {
             let new = clamp_edge_speed(speed_kmh);
             let old = self.edge_records[e.index()].attrs.speed_kmh;
+            if new.to_bits() == old.to_bits() {
+                continue;
+            }
             self.edge_records[e.index()].attrs.speed_kmh = new;
             if new >= self.max_speed_kmh {
                 self.max_speed_kmh = new;
             } else if old == self.max_speed_kmh {
                 max_may_have_dropped = true;
             }
+            delta.push((e, new));
         }
         if max_may_have_dropped {
             self.max_speed_kmh = self.recompute_max_speed();
         }
-        self.weights_epoch += 1;
+        if !delta.is_empty() {
+            self.weights_epoch += 1;
+        }
+        delta
     }
 
     /// Exact `max` fold over every edge speed — the slow path behind the
@@ -747,6 +778,38 @@ mod tests {
         g.set_edge_speed(slow, 1e9);
         assert_eq!(g.max_speed_kmh(), MAX_EDGE_SPEED_KMH);
         assert_eq!(g.max_speed_kmh(), fresh_fold(&g));
+    }
+
+    #[test]
+    fn noop_speed_updates_do_not_bump_the_weights_epoch() {
+        let mut g = tiny();
+        let e = g.find_edge(VertexId(0), VertexId(1)).unwrap();
+        let base = g.edge(e).attrs.speed_kmh;
+        assert_eq!(g.weights_epoch(), 0);
+        // Regression: a redundant telemetry echo used to bump the epoch,
+        // un-mounting the frozen graph and marking every ALT/CH/CCH
+        // index stale for nothing.
+        assert!(!g.set_edge_speed(e, base));
+        assert_eq!(g.weights_epoch(), 0);
+        assert!(g.set_edge_speeds(&[(e, base)]).is_empty());
+        assert_eq!(g.weights_epoch(), 0);
+        // A speed that only differs pre-clamp is still a no-op: the
+        // stored post-clamp value decides.
+        assert!(g.set_edge_speed(e, 1e-308));
+        assert_eq!(g.weights_epoch(), 1);
+        assert!(!g.set_edge_speed(e, 1e-300));
+        assert!(g
+            .set_edge_speeds(&[(e, MIN_EDGE_SPEED_KMH / 2.0)])
+            .is_empty());
+        assert_eq!(g.weights_epoch(), 1);
+        // A real change bumps once and reports the post-clamp delta, in
+        // application order with an echo filtered out.
+        let delta = g.set_edge_speeds(&[(e, MIN_EDGE_SPEED_KMH), (e, 42.5)]);
+        assert_eq!(delta, vec![(e, 42.5)]);
+        assert_eq!(g.weights_epoch(), 2);
+        let delta = g.set_edge_speeds(&[(e, 50.0), (e, 60.0)]);
+        assert_eq!(delta, vec![(e, 50.0), (e, 60.0)], "later entries win");
+        assert_eq!(g.weights_epoch(), 3);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! then, for any epoch number, deterministically slows a random subset of
 //! edges by a random factor. Applying an epoch issues exactly one
 //! [`Graph::set_edge_speeds`] call, so the graph's weights epoch advances
-//! by one per traffic update and every epoch-gated index (ALT, CH, CCH)
-//! notices the change.
+//! by (at most) one per traffic update and every epoch-gated index (ALT,
+//! CH, CCH) notices the change. [`TrafficModel::apply_epoch_delta`]
+//! additionally hands back the sparse changed-edge delta the mutation
+//! actually produced — the input shape partial CCH customization
+//! (`Cch::apply_delta`) consumes.
 //!
 //! Epochs are pure functions of `(seed, epoch)`: replaying epoch `k`
 //! always produces the same speeds, which is what lets benchmarks assert
@@ -113,8 +116,8 @@ impl TrafficModel {
     }
 
     /// Applies `epoch`'s speeds to `g` with a single
-    /// [`Graph::set_edge_speeds`] call (one weights-epoch bump) and
-    /// returns how many edges ended up congested.
+    /// [`Graph::set_edge_speeds`] call (at most one weights-epoch bump)
+    /// and returns how many edges ended up congested.
     pub fn apply_epoch(&self, g: &mut Graph, epoch: u64) -> usize {
         let speeds = self.epoch_speeds(epoch);
         assert_eq!(
@@ -130,7 +133,26 @@ impl TrafficModel {
         congested
     }
 
-    /// Restores every edge to its free-flow speed (one epoch bump).
+    /// Like [`TrafficModel::apply_epoch`], but returns the sparse
+    /// changed-edge delta (the `(edge, post-clamp speed)` pairs
+    /// [`Graph::set_edge_speeds`] reports) instead of a congested count
+    /// — the telemetry shape `Cch::apply_delta`-style partial
+    /// customization consumes directly. Because epochs replace rather
+    /// than compound, the delta between consecutive epochs is roughly
+    /// the union of the two congested subsets: edges newly slowed plus
+    /// edges restored to free flow.
+    pub fn apply_epoch_delta(&self, g: &mut Graph, epoch: u64) -> Vec<(EdgeId, f64)> {
+        let speeds = self.epoch_speeds(epoch);
+        assert_eq!(
+            speeds.len(),
+            g.edge_count(),
+            "traffic model was captured from a different graph"
+        );
+        g.set_edge_speeds(&speeds)
+    }
+
+    /// Restores every edge to its free-flow speed (at most one epoch
+    /// bump).
     pub fn restore(&self, g: &mut Graph) {
         let updates: Vec<(EdgeId, f64)> = self
             .base_speeds
@@ -189,7 +211,7 @@ mod tests {
     }
 
     #[test]
-    fn zero_fraction_changes_nothing_but_still_bumps() {
+    fn zero_fraction_changes_nothing_and_leaves_the_epoch_alone() {
         let mut g = region();
         let model = TrafficModel::new(
             &g,
@@ -201,8 +223,38 @@ mod tests {
         let before: Vec<f64> = g.edges().map(|e| e.attrs.speed_kmh).collect();
         let congested = model.apply_epoch(&mut g, 9);
         assert_eq!(congested, 0);
-        assert_eq!(g.weights_epoch(), 1, "the mutation call still counts");
+        // Regression (inverted): an all-echo epoch used to bump the
+        // weights epoch anyway, invalidating every index for nothing.
+        assert_eq!(g.weights_epoch(), 0, "a pure echo must not invalidate");
+        assert!(model.apply_epoch_delta(&mut g, 9).is_empty());
+        assert_eq!(g.weights_epoch(), 0);
         let after: Vec<f64> = g.edges().map(|e| e.attrs.speed_kmh).collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn apply_epoch_delta_reports_exactly_the_moved_edges() {
+        let mut g = region();
+        let model = TrafficModel::new(&g, CongestionConfig::default());
+        let planned = model.epoch_speeds(3);
+        let delta = model.apply_epoch_delta(&mut g, 3);
+        assert!(!delta.is_empty());
+        assert_eq!(g.weights_epoch(), 1);
+        // The delta is exactly the congested subset (speeds started at
+        // free flow), carrying the stored post-clamp values.
+        let expect: Vec<(EdgeId, f64)> = planned
+            .iter()
+            .filter(|&&(e, s)| s.to_bits() != model.base_speed(e).to_bits())
+            .map(|&(e, s)| (e, s))
+            .collect();
+        assert_eq!(delta.len(), expect.len());
+        for (&(e, s), &(ee, es)) in delta.iter().zip(&expect) {
+            assert_eq!(e, ee);
+            assert_eq!(s.to_bits(), g.edge(e).attrs.speed_kmh.to_bits());
+            assert_eq!(s.to_bits(), es.to_bits());
+        }
+        // Replaying the same epoch is a pure echo: empty delta, no bump.
+        assert!(model.apply_epoch_delta(&mut g, 3).is_empty());
+        assert_eq!(g.weights_epoch(), 1);
     }
 }

@@ -1,0 +1,360 @@
+//! Property-test harness locking in partial CCH customization
+//! exactness.
+//!
+//! `Cch::apply_delta` is only an optimisation if it can never change an
+//! answer: the sparse pass re-relaxes just the shortcut arcs a speed
+//! delta touches, and its claim — asserted here, *never* re-checked on
+//! the hot path — is **bit-identity** with a full
+//! `CchTopology::customize` of the same graph state. The properties
+//! drive random graphs through random chained update batches and
+//! compare all-pairs `query_cost` answers bitwise against a fresh full
+//! customization, plus (through the engine, which recomputes CH costs
+//! in Dijkstra's fold order over the unpacked edges) against a plain
+//! index-free Dijkstra.
+//!
+//! Covered regimes, per the issue: empty deltas, single-edge deltas,
+//! duplicate-edge batches where the last entry must win,
+//! clamp-boundary speeds (below `MIN_EDGE_SPEED_KMH`, above
+//! `MAX_EDGE_SPEED_KMH`, and exact echoes of the clamped value),
+//! all-edges deltas, superset deltas carrying no-op entries, and
+//! chained deltas across many epochs — on both the TravelTime metric
+//! (where speeds move costs) and the Length metric (where a speed
+//! delta only restamps the epoch).
+
+use std::sync::Arc;
+
+use pathrank::spatial::algo::cch::{Cch, CchConfig, CchTopology};
+use pathrank::spatial::algo::ch::ChSearch;
+use pathrank::spatial::algo::dijkstra::shortest_path;
+use pathrank::spatial::algo::engine::{QueryEngine, SearchBackend};
+use pathrank::spatial::builder::GraphBuilder;
+use pathrank::spatial::geometry::Point;
+use pathrank::spatial::graph::{
+    CostModel, EdgeAttrs, EdgeId, Graph, RoadCategory, VertexId, MAX_EDGE_SPEED_KMH,
+    MIN_EDGE_SPEED_KMH,
+};
+use proptest::prelude::*;
+
+/// Builds a random directed graph from proptest-drawn raw material:
+/// `n` vertices with the given coordinates and deduplicated directed
+/// edges with integer-metre lengths across mixed road categories (so
+/// free-flow speeds differ per edge).
+fn build_graph(n: usize, coords: &[(f64, f64)], edges: &[(usize, usize, u32)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let vs: Vec<VertexId> = (0..n)
+        .map(|i| b.add_vertex(Point::new(coords[i].0, coords[i].1)))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    for &(f, t, w) in edges {
+        let (f, t) = (f % n, t % n);
+        let category = match w % 3 {
+            0 => RoadCategory::Arterial,
+            1 => RoadCategory::Rural,
+            _ => RoadCategory::Residential,
+        };
+        if f != t && seen.insert((f, t)) {
+            b.add_edge(
+                vs[f],
+                vs[t],
+                EdgeAttrs::with_default_speed(w as f64, category),
+            )
+            .unwrap();
+        }
+    }
+    b.build()
+}
+
+/// All-pairs `query_cost` bit-identity between two customizations of
+/// the same topology — the external form of the arc-level equality the
+/// crate's unit tests assert.
+fn assert_same_answers(a: &Cch, b: &Cch, what: &str) {
+    assert_eq!(a.weights_epoch(), b.weights_epoch(), "{what}: epoch");
+    let n = a.vertex_count();
+    let mut sa = ChSearch::new(n);
+    let mut sb = ChSearch::new(n);
+    for s in 0..n {
+        for t in 0..n {
+            let (s, t) = (VertexId(s as u32), VertexId(t as u32));
+            let ca = a.query_cost(&mut sa, s, t);
+            let cb = b.query_cost(&mut sb, s, t);
+            assert_eq!(
+                ca.map(f64::to_bits),
+                cb.map(f64::to_bits),
+                "{what}: {s:?}->{t:?} diverged ({ca:?} vs {cb:?})"
+            );
+        }
+    }
+}
+
+/// All-pairs engine-vs-plain-Dijkstra bit-identity under `cost`. The
+/// engine recomputes CCH answers left-to-right over the unpacked
+/// original edges — Dijkstra's own fold order — so bit-equality holds
+/// even on non-integer travel-time weights.
+fn assert_matches_dijkstra(g: &Graph, cch: &Cch, cost: CostModel<'_>, what: &str) {
+    let mut engine = QueryEngine::new(g).with_cch(Arc::new(cch.clone()));
+    assert_eq!(
+        engine.backend_for(cost),
+        SearchBackend::Cch,
+        "{what}: the partially customized index must actually serve"
+    );
+    let n = g.vertex_count() as u32;
+    for s in 0..n {
+        for t in 0..n {
+            let (s, t) = (VertexId(s), VertexId(t));
+            if s == t {
+                continue;
+            }
+            let plain = shortest_path(g, s, t, cost).map(|p| p.cost(g, cost));
+            let fast = engine.shortest_path_cost(s, t, cost);
+            assert_eq!(
+                plain.map(f64::to_bits),
+                fast.map(f64::to_bits),
+                "{what}: {s:?}->{t:?} diverged from Dijkstra"
+            );
+        }
+    }
+}
+
+/// One chained step: mutate the graph, catch `partial` up with the
+/// sparse delta and check it against a fresh full customization (and,
+/// when asked, Dijkstra).
+fn step(
+    g: &mut Graph,
+    topo: &Arc<CchTopology>,
+    partial: &mut Cch,
+    cost: CostModel<'_>,
+    updates: &[(EdgeId, f64)],
+    check_dijkstra: bool,
+    what: &str,
+) {
+    let delta = g.set_edge_speeds(updates);
+    partial.apply_delta(g, &delta);
+    let full = topo.customize(g, &cost);
+    assert_same_answers(partial, &full, what);
+    if check_dijkstra {
+        assert_matches_dijkstra(g, partial, cost, what);
+    }
+}
+
+const MAX_N: usize = 9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: random graphs, random chained sparse
+    /// batches across several epochs (speeds drawn wide enough to hit
+    /// both clamp boundaries, edge indices free to repeat inside a
+    /// batch), checked after *every* epoch against a fresh full
+    /// customization bitwise and against plain Dijkstra — on both
+    /// metrics.
+    #[test]
+    fn cch_partial_chained_random_deltas_stay_bit_identical(
+        n in 2usize..MAX_N,
+        coords in proptest::collection::vec((0.0f64..5000.0, 0.0f64..5000.0), MAX_N..MAX_N + 1),
+        edges in proptest::collection::vec((0usize..MAX_N, 0usize..MAX_N, 1u32..60), 1..28),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0usize..64, 0.05f64..400.0), 0..10),
+            1..5,
+        ),
+    ) {
+        let mut g = build_graph(n, &coords, &edges);
+        let m = g.edge_count();
+        prop_assume!(m > 0);
+        let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+        let mut partial_tt = topo.customize(&g, &CostModel::TravelTime);
+        let mut partial_len = topo.customize(&g, &CostModel::Length);
+        for (i, batch) in batches.iter().enumerate() {
+            let updates: Vec<(EdgeId, f64)> = batch
+                .iter()
+                .map(|&(e, s)| (EdgeId((e % m) as u32), s))
+                .collect();
+            let delta = g.set_edge_speeds(&updates);
+            partial_tt.apply_delta(&g, &delta);
+            // Speed deltas never move length weights: the Length index
+            // only restamps, and must stay exactly valid.
+            partial_len.apply_delta(&g, &delta);
+            let full_tt = topo.customize(&g, &CostModel::TravelTime);
+            assert_same_answers(&partial_tt, &full_tt, &format!("TravelTime epoch {i}"));
+            let full_len = topo.customize(&g, &CostModel::Length);
+            assert_same_answers(&partial_len, &full_len, &format!("Length epoch {i}"));
+            assert_matches_dijkstra(
+                &g,
+                &partial_tt,
+                CostModel::TravelTime,
+                &format!("TravelTime epoch {i}"),
+            );
+            assert_matches_dijkstra(
+                &g,
+                &partial_len,
+                CostModel::Length,
+                &format!("Length epoch {i}"),
+            );
+        }
+    }
+}
+
+/// A fixed deterministic grid-ish graph for the directed unit cases.
+fn fixed_graph() -> Graph {
+    let coords: Vec<(f64, f64)> = (0..8)
+        .map(|i| (((i * 137) % 700) as f64, ((i * 311) % 900) as f64))
+        .collect();
+    let edges: Vec<(usize, usize, u32)> = vec![
+        (0, 1, 13),
+        (1, 2, 7),
+        (2, 3, 22),
+        (3, 0, 5),
+        (1, 4, 31),
+        (4, 5, 9),
+        (5, 6, 17),
+        (6, 7, 3),
+        (7, 4, 11),
+        (2, 6, 29),
+        (5, 1, 19),
+        (0, 7, 41),
+        (7, 3, 23),
+        (3, 5, 37),
+    ];
+    build_graph(8, &coords, &edges)
+}
+
+#[test]
+fn cch_partial_empty_delta_is_a_noop() {
+    let mut g = fixed_graph();
+    let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+    let mut partial = topo.customize(&g, &CostModel::TravelTime);
+    assert_eq!(partial.apply_delta(&g, &[]), 0);
+    step(
+        &mut g,
+        &topo,
+        &mut partial,
+        CostModel::TravelTime,
+        &[],
+        true,
+        "empty delta",
+    );
+}
+
+#[test]
+fn cch_partial_single_edge_delta_is_exact() {
+    let mut g = fixed_graph();
+    let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+    let mut partial = topo.customize(&g, &CostModel::TravelTime);
+    step(
+        &mut g,
+        &topo,
+        &mut partial,
+        CostModel::TravelTime,
+        &[(EdgeId(3), 4.5)],
+        true,
+        "single edge",
+    );
+}
+
+#[test]
+fn cch_partial_duplicate_edges_last_wins() {
+    let mut g = fixed_graph();
+    let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+    let mut partial = topo.customize(&g, &CostModel::TravelTime);
+    // The batch names edge 2 three times; the stored speed — and so the
+    // delta the graph reports — must carry the *last* value only.
+    let updates = [
+        (EdgeId(2), 55.0),
+        (EdgeId(5), 70.0),
+        (EdgeId(2), 18.0),
+        (EdgeId(2), 96.0),
+    ];
+    step(
+        &mut g,
+        &topo,
+        &mut partial,
+        CostModel::TravelTime,
+        &updates,
+        true,
+        "duplicate last-wins",
+    );
+    assert_eq!(
+        g.edge(EdgeId(2)).attrs.speed_kmh.to_bits(),
+        96.0f64.to_bits()
+    );
+}
+
+#[test]
+fn cch_partial_clamp_boundary_speeds_are_exact() {
+    let mut g = fixed_graph();
+    let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+    let mut partial = topo.customize(&g, &CostModel::TravelTime);
+    // Below the lower clamp and above the upper clamp: the stored
+    // (post-clamp) speeds land exactly on the boundaries.
+    let updates = [(EdgeId(0), 1e-12), (EdgeId(1), 5000.0)];
+    step(
+        &mut g,
+        &topo,
+        &mut partial,
+        CostModel::TravelTime,
+        &updates,
+        true,
+        "clamp boundaries",
+    );
+    assert_eq!(g.edge(EdgeId(0)).attrs.speed_kmh, MIN_EDGE_SPEED_KMH);
+    assert_eq!(g.edge(EdgeId(1)).attrs.speed_kmh, MAX_EDGE_SPEED_KMH);
+    // Echoing the boundary values back — even via different pre-clamp
+    // inputs — is a pure no-op: empty delta, no epoch bump, and an
+    // apply_delta of the echoes recomputes nothing.
+    let epoch = g.weights_epoch();
+    let echoes = [(EdgeId(0), 1e-9), (EdgeId(1), MAX_EDGE_SPEED_KMH * 2.0)];
+    assert!(g.set_edge_speeds(&echoes).is_empty());
+    assert_eq!(g.weights_epoch(), epoch);
+    // A superset delta carrying unmoved edges is harmless: those seeds
+    // recompute to the same bits and propagation stops immediately.
+    let superset = [
+        (EdgeId(0), MIN_EDGE_SPEED_KMH),
+        (EdgeId(1), MAX_EDGE_SPEED_KMH),
+    ];
+    partial.apply_delta(&g, &superset);
+    let full = topo.customize(&g, &CostModel::TravelTime);
+    assert_same_answers(&partial, &full, "superset echo delta");
+}
+
+#[test]
+fn cch_partial_all_edges_delta_is_exact() {
+    let mut g = fixed_graph();
+    let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+    let mut partial = topo.customize(&g, &CostModel::TravelTime);
+    let updates: Vec<(EdgeId, f64)> = (0..g.edge_count())
+        .map(|i| (EdgeId(i as u32), 5.0 + (i as f64) * 3.7))
+        .collect();
+    step(
+        &mut g,
+        &topo,
+        &mut partial,
+        CostModel::TravelTime,
+        &updates,
+        true,
+        "all edges",
+    );
+}
+
+#[test]
+fn cch_partial_chained_epochs_on_fixed_graph_are_exact() {
+    let mut g = fixed_graph();
+    let topo = Arc::new(CchTopology::build(&g, &CchConfig::default()));
+    let mut partial = topo.customize(&g, &CostModel::TravelTime);
+    // Many small epochs in sequence without ever re-customizing from
+    // scratch: drift must not accumulate, the last epoch still checks
+    // against Dijkstra.
+    for round in 0..12u32 {
+        let e = EdgeId(round % g.edge_count() as u32);
+        let updates = [(e, 3.0 + f64::from(round) * 11.3)];
+        let last = round == 11;
+        step(
+            &mut g,
+            &topo,
+            &mut partial,
+            CostModel::TravelTime,
+            &updates,
+            last,
+            &format!("chained epoch {round}"),
+        );
+    }
+    assert_eq!(partial.weights_epoch(), g.weights_epoch());
+}
