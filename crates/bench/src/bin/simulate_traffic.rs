@@ -51,6 +51,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
+use pathrank_obs::Series;
 use pathrank_spatial::algo::cch::{CchConfig, CchTopology};
 use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
 use pathrank_spatial::algo::engine::{QueryEngine, SearchBackend};
@@ -81,10 +82,10 @@ struct SparseRow {
     queries_per_s: f64,
 }
 
+/// Exact median through the shared obs [`Series`] type — the one
+/// offline percentile implementation the bench binaries share.
 fn median(xs: &[f64]) -> f64 {
-    let mut v = xs.to_vec();
-    v.sort_by(f64::total_cmp);
-    v[v.len() / 2]
+    xs.iter().copied().collect::<Series>().median()
 }
 
 /// Draws `k` edges shaped like real congestion telemetry: traffic feeds

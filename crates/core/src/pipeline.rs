@@ -19,9 +19,10 @@ use std::time::Instant;
 
 use pathrank_embed::node2vec::{train_node2vec, Node2VecConfig};
 use pathrank_nn::matrix::Matrix;
+use pathrank_obs::{Histogram, MetricsSnapshot, Registry};
 use pathrank_spatial::algo::cch::{Cch, CchConfig, CchTopology};
 use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
-use pathrank_spatial::algo::engine::QueryEngine;
+use pathrank_spatial::algo::engine::{EngineObs, QueryEngine};
 use pathrank_spatial::algo::landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable};
 use pathrank_spatial::frozen::FrozenGraph;
 use pathrank_spatial::generators::{region_network, RegionConfig};
@@ -165,6 +166,13 @@ pub struct Workbench {
     /// triangle. Direct `graph.set_edge_speeds` mutations bypass the
     /// log; the next refresh then simply runs full.
     speed_deltas: Mutex<SpeedDeltaLog>,
+    /// Metrics registry every engine this workbench hands out records
+    /// into (`pathrank_engine_*`), plus CCH customization timings
+    /// (`pathrank_cch_*`) and — when map matching ran — the matcher's
+    /// probe-cache counters (`pathrank_match_*`). Swap in
+    /// [`Registry::disabled`] via [`Workbench::with_graph_and_registry`]
+    /// to turn the whole layer into no-op sinks.
+    registry: Registry,
 }
 
 /// See [`Workbench::set_edge_speeds`]: the changed-edge entries covering
@@ -193,9 +201,27 @@ impl Workbench {
     /// graph should be strongly connected (the OSM importer's default)
     /// so every simulated trip is routable.
     pub fn with_graph(graph: Graph, cfg: ExperimentConfig) -> Self {
+        Self::with_graph_and_registry(graph, cfg, Registry::new())
+    }
+
+    /// Like [`Workbench::with_graph`], but recording into a
+    /// caller-supplied metrics registry — [`Registry::disabled`] is the
+    /// obs-off escape hatch, a shared live registry lets several
+    /// workbenches (or a surrounding server) scrape one snapshot.
+    pub fn with_graph_and_registry(
+        graph: Graph,
+        cfg: ExperimentConfig,
+        registry: Registry,
+    ) -> Self {
         let trips = simulate_fleet(&graph, &cfg.sim, cfg.seed.wrapping_add(1));
         let dataset = if cfg.use_map_matching {
-            TrajectoryDataset::from_map_matching(&graph, &trips, &MapMatchConfig::default())
+            let (dataset, match_stats) = TrajectoryDataset::from_map_matching_with_stats(
+                &graph,
+                &trips,
+                &MapMatchConfig::default(),
+            );
+            match_stats.record_into(&registry);
+            dataset
         } else {
             TrajectoryDataset::from_true_paths(&trips)
         };
@@ -218,6 +244,7 @@ impl Workbench {
             cch_cache: Mutex::new(HashMap::new()),
             frozen: OnceLock::new(),
             speed_deltas: Mutex::new(SpeedDeltaLog::default()),
+            registry,
         }
     }
 
@@ -241,13 +268,38 @@ impl Workbench {
         &self.cfg
     }
 
+    /// The workbench's metrics registry (see the `registry` field docs
+    /// for the families it carries).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A scrape of everything the workbench's engines and customization
+    /// paths have recorded so far.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
     /// A reusable routing engine over this workbench's network, for
     /// callers issuing ad-hoc queries (serving-time candidate generation,
     /// diagnostics). The preprocessing stages already hold their own:
     /// candidate generation runs one engine per worker thread and map
-    /// matching reuses one across all traces.
+    /// matching reuses one across all traces. Every engine handed out
+    /// here (and by the ALT/CH/CCH variants layered on top) records its
+    /// query and search-work counters into [`Workbench::registry`].
     pub fn query_engine(&self) -> QueryEngine<'_> {
-        QueryEngine::new(&self.graph)
+        QueryEngine::new(&self.graph).with_obs(EngineObs::new(&self.registry))
+    }
+
+    /// Handle for the CCH customization-duration histogram, split by
+    /// `kind=full|sparse` — same family the serving layer records, so
+    /// dashboards need one query.
+    fn cch_customize_ns(&self, kind: &str) -> Histogram {
+        self.registry.histogram(
+            "pathrank_cch_customize_ns",
+            "CCH customization wall time in nanoseconds, by update kind",
+            &[("kind", kind)],
+        )
     }
 
     /// The workbench's shared frozen serving graph (see
@@ -427,18 +479,36 @@ impl Workbench {
                 // The log may start before the cached epoch; the extra
                 // entries recompute to their current values and stop
                 // immediately, so a superset is always safe.
+                let started = Instant::now();
                 let mut fresh = (**cch).clone();
-                fresh.apply_delta(&self.graph, &log.changes);
+                let recomputed = fresh.apply_delta(&self.graph, &log.changes);
+                self.cch_customize_ns("sparse")
+                    .record_duration(started.elapsed());
+                self.registry
+                    .histogram(
+                        "pathrank_cch_delta_edges",
+                        "Edges named by each sparse live-weight delta",
+                        &[],
+                    )
+                    .record(log.changes.len() as u64);
+                self.registry
+                    .histogram(
+                        "pathrank_cch_recomputed_arcs",
+                        "Shortcut arcs re-relaxed by each sparse customization (triangle closure size)",
+                        &[],
+                    )
+                    .record(recomputed as u64);
                 drop(log);
                 let fresh = Arc::new(fresh);
                 cache.insert(metric, Arc::clone(&fresh));
                 return fresh;
             }
         }
-        let cch = Arc::new(
-            self.cch_topology()
-                .customize(&self.graph, &metric.cost_model()),
-        );
+        let topo = self.cch_topology();
+        let started = Instant::now();
+        let cch = Arc::new(topo.customize(&self.graph, &metric.cost_model()));
+        self.cch_customize_ns("full")
+            .record_duration(started.elapsed());
         cache.insert(metric, Arc::clone(&cch));
         cch
     }
@@ -881,6 +951,60 @@ mod tests {
             plain_after.shortest_path_cost(s, t, CostModel::TravelTime),
             after.shortest_path_cost(s, t, CostModel::TravelTime)
         );
+    }
+
+    #[test]
+    fn obs_workbench_registry_collects_engine_cch_and_match_series() {
+        use pathrank_spatial::algo::landmarks::LandmarkMetric;
+        use pathrank_spatial::graph::{CostModel, EdgeId, VertexId};
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.use_map_matching = true;
+        let mut wb = Workbench::new(cfg);
+        // Map matching already ran inside the constructor.
+        let snap = wb.metrics_snapshot();
+        assert!(
+            snap.counter_total("pathrank_match_sp_probes_total", &[]) > 0,
+            "matcher probe counters must reach the registry"
+        );
+        // Engine queries and search work are recorded per backend.
+        let mut engine = wb.ch_query_engine();
+        let n = wb.graph.vertex_count() as u32;
+        engine.shortest_path_cost(VertexId(0), VertexId(n - 1), CostModel::Length);
+        engine.shortest_path_cost(VertexId(n / 2), VertexId(1), CostModel::Length);
+        let snap = wb.metrics_snapshot();
+        assert_eq!(
+            snap.counter_total("pathrank_engine_queries_total", &[("backend", "ch")]),
+            2
+        );
+        assert!(snap.counter_total("pathrank_engine_settled_nodes_total", &[]) > 0);
+        // One full customization, then a sparse partial refresh.
+        wb.cch_index(LandmarkMetric::TravelTime);
+        wb.set_edge_speeds(&[(EdgeId(0), 9.0)]);
+        wb.cch_index(LandmarkMetric::TravelTime);
+        let snap = wb.metrics_snapshot();
+        let full = snap
+            .histogram("pathrank_cch_customize_ns", &[("kind", "full")])
+            .expect("full customization timed");
+        let sparse = snap
+            .histogram("pathrank_cch_customize_ns", &[("kind", "sparse")])
+            .expect("sparse customization timed");
+        assert_eq!(full.count, 1);
+        assert_eq!(sparse.count, 1);
+        assert_eq!(
+            snap.histogram("pathrank_cch_delta_edges", &[])
+                .expect("delta size recorded")
+                .sum,
+            1
+        );
+        // The disabled registry turns the whole layer into no-op sinks.
+        let quiet = Workbench::with_graph_and_registry(
+            wb.graph.clone(),
+            ExperimentConfig::small_test(),
+            Registry::disabled(),
+        );
+        let mut engine = quiet.query_engine();
+        engine.shortest_path_cost(VertexId(0), VertexId(n - 1), CostModel::Length);
+        assert!(quiet.metrics_snapshot().counters.is_empty());
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Log-bucketed latency histograms.
+//!
+//! Values are non-negative integers in whatever unit the caller picks
+//! (the serving stack records nanoseconds for durations and raw counts
+//! for sizes). The bucket layout is "power-of-two-ish": values below 16
+//! get an exact unit-width bucket each, and every octave above that is
+//! split into four sub-buckets (two mantissa bits), bounding the
+//! within-bucket relative error at 1/4 before interpolation and far
+//! below that after it. 256 buckets cover the whole `u64` range, so a
+//! histogram is a fixed 2 KiB of atomics — no resizing, no allocation,
+//! recording is a leading-zeros bucket computation plus two relaxed
+//! atomic adds (bucket and sum).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Total number of buckets: 16 exact + 60 octaves × 4 sub-buckets.
+pub const BUCKETS: usize = 256;
+
+/// The bucket a value lands in: identity below 16, then
+/// `16 + 4·(exponent − 4) + mantissa₂` where `exponent` is the position
+/// of the leading one and `mantissa₂` the next two bits.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as usize;
+        let m = ((v >> (e - 2)) & 3) as usize;
+        16 + (e - 4) * 4 + m
+    }
+}
+
+/// `[lower, upper)` value range of bucket `idx`. The topmost bucket's
+/// upper bound saturates at `u64::MAX`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < BUCKETS, "bucket index out of range");
+    if idx < 16 {
+        (idx as u64, idx as u64 + 1)
+    } else {
+        let k = idx - 16;
+        let e = 4 + k / 4;
+        let m = (k % 4) as u64;
+        let lo = (4 + m) << (e - 2);
+        let hi = lo.saturating_add(1u64 << (e - 2));
+        (lo, hi)
+    }
+}
+
+pub(crate) struct HistogramCore {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        // `AtomicU64` has no const array init on stable without unsafe;
+        // build through a Vec once at registration time.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = match v.into_boxed_slice().try_into() {
+            Ok(b) => b,
+            Err(_) => unreachable!("vec was built with exactly BUCKETS slots"),
+        };
+        HistogramCore {
+            buckets,
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot_counts(&self) -> ([u64; BUCKETS], u64) {
+        let mut counts = [0u64; BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            counts[i] = b.load(Ordering::Relaxed);
+        }
+        (counts, self.sum.load(Ordering::Relaxed))
+    }
+}
+
+/// A cloneable histogram handle. Handles from [`crate::Registry::disabled`]
+/// are no-op sinks: same type, same call sites, one predictable branch.
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A sink that records nothing (what disabled registries hand out).
+    pub fn noop() -> Self {
+        Histogram { core: None }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.core {
+            core.record(v);
+        }
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Whether this handle actually records (false for no-op sinks).
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+}
+
+/// One histogram's scrape: per-bucket counts plus total count and sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs, sorted by key at registration.
+    pub labels: Vec<(String, String)>,
+    /// Per-bucket observation counts (not cumulative).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping at `u64::MAX`).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn from_counts(
+        name: String,
+        labels: Vec<(String, String)>,
+        counts: [u64; BUCKETS],
+        sum: u64,
+    ) -> Self {
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            name,
+            labels,
+            counts: counts.to_vec(),
+            count,
+            sum,
+        }
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`), linearly interpolated
+    /// inside the bucket the rank lands in. Returns `0.0` on an empty
+    /// histogram. Deterministic for a given recorded multiset — bucket
+    /// counts are plain sums, so concurrent writers cannot perturb it.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let target = target.max(1.0); // rank of the first observation
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum;
+            cum += c;
+            if (cum as f64) >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (target - before as f64) / c as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+        }
+        // All mass consumed (p == 100 with float rounding): top bucket.
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("count > 0 implies a non-empty bucket");
+        bucket_bounds(last).1 as f64
+    }
+
+    /// Mean of recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise difference against an earlier snapshot of the same
+    /// histogram — the timed-window view benchmarks cut out of
+    /// cumulative counts. Saturates at zero per bucket.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(earlier.counts.iter().chain(std::iter::repeat(&0)))
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            name: self.name.clone(),
+            labels: self.labels.clone(),
+            counts,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_bucket_index_is_monotone_and_exhaustive() {
+        // Exact unit buckets below 16.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+        }
+        // Indices never decrease and every value falls inside its
+        // bucket's bounds.
+        let mut last = 0usize;
+        let mut v = 0u64;
+        while v < u64::MAX / 2 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "bucket index regressed at {v}");
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v < hi, "{v} outside bucket {idx} [{lo},{hi})");
+            last = idx;
+            v = v.saturating_add(v / 2).saturating_add(1);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let (lo, hi) = bucket_bounds(BUCKETS - 1);
+        assert!(lo < hi && hi == u64::MAX);
+    }
+
+    #[test]
+    fn obs_bucket_bounds_tile_the_line() {
+        // Consecutive buckets share a boundary: no gaps, no overlaps.
+        for idx in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(idx);
+            let (lo_next, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi, lo_next, "gap between buckets {idx} and {}", idx + 1);
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+    }
+
+    #[test]
+    fn obs_percentile_interpolates_within_bucket() {
+        let mut counts = [0u64; BUCKETS];
+        // 100 observations of the exact value 7 (a unit-width bucket).
+        counts[bucket_index(7)] = 100;
+        let h = HistogramSnapshot::from_counts("t".into(), vec![], counts, 700);
+        for p in [1.0, 50.0, 99.0, 99.9] {
+            let v = h.percentile(p);
+            assert!((7.0..8.0).contains(&v), "p{p} = {v} escaped bucket [7,8)");
+        }
+        assert_eq!(h.mean(), 7.0);
+    }
+
+    #[test]
+    fn obs_percentile_splits_bimodal_mass() {
+        let mut counts = [0u64; BUCKETS];
+        counts[bucket_index(1)] = 90; // 90 fast
+        counts[bucket_index(1 << 20)] = 10; // 10 slow
+        let h = HistogramSnapshot::from_counts("t".into(), vec![], counts, 0);
+        assert!(h.percentile(50.0) < 2.0);
+        let p99 = h.percentile(99.0);
+        let (lo, hi) = bucket_bounds(bucket_index(1 << 20));
+        assert!(
+            (lo as f64) <= p99 && p99 <= hi as f64,
+            "p99 = {p99} outside slow bucket"
+        );
+        let p0 = h.percentile(0.0);
+        assert!((1.0..2.0).contains(&p0), "p0 = {p0} outside fast bucket");
+    }
+
+    #[test]
+    fn obs_percentile_empty_is_zero() {
+        let h = HistogramSnapshot::from_counts("t".into(), vec![], [0; BUCKETS], 0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn obs_histogram_delta_since_windows_counts() {
+        let mut a = [0u64; BUCKETS];
+        a[3] = 5;
+        a[40] = 2;
+        let mut b = a;
+        b[3] = 9;
+        b[41] = 1;
+        let early = HistogramSnapshot::from_counts("t".into(), vec![], a, 100);
+        let late = HistogramSnapshot::from_counts("t".into(), vec![], b, 180);
+        let d = late.delta_since(&early);
+        assert_eq!(d.counts[3], 4);
+        assert_eq!(d.counts[40], 0);
+        assert_eq!(d.counts[41], 1);
+        assert_eq!(d.count, 5);
+        assert_eq!(d.sum, 80);
+    }
+
+    #[test]
+    fn obs_noop_histogram_records_nothing() {
+        let h = Histogram::noop();
+        h.record(42);
+        h.record_duration(Duration::from_micros(5));
+        assert!(!h.is_enabled());
+    }
+}

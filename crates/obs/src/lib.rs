@@ -1,0 +1,49 @@
+//! Zero-dependency observability for the PathRank serving stack.
+//!
+//! Everything the engine, route server, customization path and map
+//! matcher report at runtime flows through this crate — which, like
+//! `pathrank-serve`, is **std-only**: no metrics framework, no tracing
+//! framework, no allocation on the hot path.
+//!
+//! # Design
+//!
+//! * [`Registry`] hands out cheap cloneable handles — [`Counter`],
+//!   [`Gauge`], [`Histogram`] — registered once by `(name, labels)`.
+//!   A counter is a set of per-shard cells padded to cache lines; the
+//!   hot path is **one relaxed atomic add** to the calling thread's
+//!   cell, and shards are summed only at scrape time.
+//! * [`Histogram`] buckets are log-bucketed ("power-of-two-ish": exact
+//!   up to 16, then four sub-buckets per octave), so recording is one
+//!   bucket index computation from the value's leading zeros plus two
+//!   relaxed adds, and [`HistogramSnapshot::percentile`] interpolates
+//!   p50/p99/p999 linearly inside the hit bucket.
+//! * The **obs-off escape hatch** is a construction-time choice, not an
+//!   `Option` threaded through call sites: [`Registry::disabled`]
+//!   returns a registry whose handles are no-op sinks — same types,
+//!   same call sites, a single predictable branch per record.
+//! * [`Tracer`] is a lightweight span/event tracer: fixed-capacity
+//!   per-thread ring buffers of `(span id, &'static str label,
+//!   monotonic nanos, arg)` events, written under an uncontended
+//!   per-ring mutex and drained on demand. Steady state allocates
+//!   nothing — rings are preallocated and overwrite their oldest
+//!   entries.
+//! * [`MetricsSnapshot`] is the typed scrape: Prometheus text format
+//!   ([`MetricsSnapshot::to_prometheus_text`]), hand-rolled JSON
+//!   ([`MetricsSnapshot::to_json`]), and
+//!   [`MetricsSnapshot::delta_since`] for benchmarks that window a
+//!   timed region out of cumulative counters.
+//! * [`Series`] is the *offline* percentile implementation (exact,
+//!   sample-storing) shared by the bench binaries — one percentile
+//!   code path in the workspace instead of per-binary `Vec<f64>`
+//!   helpers.
+
+pub mod histogram;
+pub mod promtext;
+pub mod registry;
+pub mod series;
+pub mod trace;
+
+pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Counter, CounterSample, Gauge, GaugeSample, MetricsSnapshot, Registry};
+pub use series::Series;
+pub use trace::{SpanGuard, TraceHandle, TraceKind, TraceRecord, Tracer};

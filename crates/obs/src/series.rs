@@ -1,0 +1,143 @@
+//! Exact sample-storing percentiles for *offline* consumers.
+//!
+//! The atomically-scraped [`crate::Histogram`] trades per-sample
+//! precision for a fixed footprint — right for a live server, wrong for
+//! a benchmark that holds a few thousand samples anyway and wants exact
+//! order statistics. [`Series`] is that second case, and the single
+//! percentile implementation the bench binaries share (`loadgen`,
+//! `simulate_traffic`, `bench_routing`) instead of per-binary
+//! `Vec<f64>` sort-and-index helpers.
+
+/// A growable sample set with exact percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Series {
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Series {
+            samples: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample. Non-finite samples are rejected with a panic —
+    /// a NaN would poison every order statistic silently.
+    pub fn push(&mut self, v: f64) {
+        assert!(v.is_finite(), "non-finite sample {v} recorded");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Bulk append.
+    pub fn extend(&mut self, vs: impl IntoIterator<Item = f64>) {
+        for v in vs {
+            self.push(v);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+
+    /// The exact `p`-th percentile (`p` in `[0, 100]`) by
+    /// nearest-rank-with-interpolation: rank `p/100 · (n−1)` over the
+    /// sorted samples, linearly interpolated between the two straddling
+    /// samples. Panics on an empty series.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(!self.is_empty(), "percentile of an empty series");
+        self.ensure_sorted();
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (self.samples.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let frac = rank - lo as f64;
+            self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        }
+    }
+
+    /// The median (`percentile(50)` — upper median for even counts when
+    /// samples coincide, interpolated otherwise).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Smallest sample. Panics on an empty series.
+    pub fn min(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.samples[0]
+    }
+
+    /// Largest sample. Panics on an empty series.
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        *self.samples.last().expect("non-empty")
+    }
+
+    /// Arithmetic mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+impl FromIterator<f64> for Series {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Series::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_series_exact_percentiles() {
+        let mut s: Series = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.median(), 50.5); // interpolated between 50 and 51
+        assert_eq!(s.percentile(99.0), 99.01);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert_eq!(s.mean(), 50.5);
+    }
+
+    #[test]
+    fn obs_series_single_sample() {
+        let mut s = Series::new();
+        s.push(42.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.percentile(99.9), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn obs_series_rejects_nan() {
+        Series::new().push(f64::NAN);
+    }
+}

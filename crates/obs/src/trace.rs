@@ -1,0 +1,350 @@
+//! A lightweight span/event tracer.
+//!
+//! Each participating thread registers a [`TraceHandle`] once and then
+//! records spans ([`TraceHandle::span`] — enter/exit pairs sharing a
+//! span id) and point events ([`TraceHandle::event`]) into its own
+//! fixed-capacity ring buffer: `(span id, &'static str label, monotonic
+//! nanos since tracer start, u64 arg)`. Labels are static strings and
+//! rings are preallocated at registration, so steady-state recording
+//! allocates nothing; the per-ring mutex is uncontended (one writer —
+//! the owning thread — and the occasional drain). Rings overwrite their
+//! oldest entries when full and count what they dropped.
+//!
+//! [`Tracer::drain`] empties every ring into one time-sorted record
+//! list — the on-demand debugging view, never a steady-state cost.
+//!
+//! Like the registry, [`Tracer::disabled`] is a construction-time no-op
+//! sink: handles exist, record nothing, and cost one branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What a trace entry marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span opened ([`TraceHandle::span`]).
+    Enter,
+    /// The matching span closed (guard drop).
+    Exit,
+    /// A point event with no duration.
+    Event,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RawEvent {
+    span: u64,
+    label: &'static str,
+    kind: TraceKind,
+    nanos: u64,
+    arg: u64,
+}
+
+/// One drained trace entry, stamped with the ring's thread label.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// The registering thread's label (e.g. `route-shard-3`).
+    pub thread: String,
+    /// Span id shared by the Enter/Exit pair; `0` for point events.
+    pub span: u64,
+    /// Static label passed at record time.
+    pub label: &'static str,
+    pub kind: TraceKind,
+    /// Monotonic nanoseconds since the tracer was created.
+    pub nanos: u64,
+    /// Free-form argument (batch size, generation, …).
+    pub arg: u64,
+}
+
+struct RingBuf {
+    events: Vec<RawEvent>,
+    /// Next write slot.
+    head: usize,
+    /// Live entries (≤ capacity).
+    len: usize,
+    /// Entries overwritten before being drained.
+    dropped: u64,
+}
+
+struct Ring {
+    thread: String,
+    buf: Mutex<RingBuf>,
+}
+
+struct TracerInner {
+    base: Instant,
+    capacity: usize,
+    rings: Mutex<Vec<Arc<Ring>>>,
+    next_span: AtomicU64,
+}
+
+/// The tracer: owns the monotonic clock base and the ring directory.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// An enabled tracer whose rings hold `capacity` entries each.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                base: Instant::now(),
+                capacity: capacity.max(2),
+                rings: Mutex::new(Vec::new()),
+                next_span: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// The no-op sink.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether this tracer actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers a ring for the calling component (typically one per
+    /// worker thread), preallocating its buffer. The handle is the only
+    /// allocation this thread's tracing ever performs.
+    pub fn register(&self, thread: impl Into<String>) -> TraceHandle {
+        let Some(inner) = &self.inner else {
+            return TraceHandle {
+                ring: None,
+                inner: None,
+            };
+        };
+        let ring = Arc::new(Ring {
+            thread: thread.into(),
+            buf: Mutex::new(RingBuf {
+                events: Vec::with_capacity(inner.capacity),
+                head: 0,
+                len: 0,
+                dropped: 0,
+            }),
+        });
+        inner
+            .rings
+            .lock()
+            .expect("tracer lock")
+            .push(Arc::clone(&ring));
+        TraceHandle {
+            ring: Some(ring),
+            inner: Some(Arc::clone(inner)),
+        }
+    }
+
+    /// Empties every ring into one list sorted by timestamp. Dropped
+    /// (overwritten) entries are gone — the count of them per ring is
+    /// appended as a synthetic `trace_dropped` event when non-zero.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let rings: Vec<Arc<Ring>> = inner.rings.lock().expect("tracer lock").clone();
+        let mut out = Vec::new();
+        for ring in rings {
+            let mut buf = ring.buf.lock().expect("ring lock");
+            let cap = buf.events.len();
+            let start = if buf.len == cap {
+                buf.head // full ring: oldest is the next write slot
+            } else {
+                0
+            };
+            for i in 0..buf.len {
+                let e = buf.events[(start + i) % cap.max(1)];
+                out.push(TraceRecord {
+                    thread: ring.thread.clone(),
+                    span: e.span,
+                    label: e.label,
+                    kind: e.kind,
+                    nanos: e.nanos,
+                    arg: e.arg,
+                });
+            }
+            if buf.dropped > 0 {
+                out.push(TraceRecord {
+                    thread: ring.thread.clone(),
+                    span: 0,
+                    label: "trace_dropped",
+                    kind: TraceKind::Event,
+                    nanos: inner.base.elapsed().as_nanos() as u64,
+                    arg: buf.dropped,
+                });
+            }
+            buf.head = 0;
+            buf.len = 0;
+            buf.dropped = 0;
+            buf.events.clear();
+        }
+        out.sort_by_key(|r| r.nanos);
+        out
+    }
+}
+
+/// A per-thread recording handle (see [`Tracer::register`]).
+#[derive(Clone)]
+pub struct TraceHandle {
+    ring: Option<Arc<Ring>>,
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl TraceHandle {
+    /// A handle that records nothing.
+    pub fn noop() -> Self {
+        TraceHandle {
+            ring: None,
+            inner: None,
+        }
+    }
+
+    fn record(&self, span: u64, label: &'static str, kind: TraceKind, arg: u64) {
+        let (Some(ring), Some(inner)) = (&self.ring, &self.inner) else {
+            return;
+        };
+        let nanos = inner.base.elapsed().as_nanos() as u64;
+        let ev = RawEvent {
+            span,
+            label,
+            kind,
+            nanos,
+            arg,
+        };
+        let mut buf = ring.buf.lock().expect("ring lock");
+        if buf.events.len() < inner.capacity {
+            buf.events.push(ev);
+            buf.len += 1;
+            buf.head = buf.len % inner.capacity;
+        } else {
+            let head = buf.head;
+            if buf.len == inner.capacity {
+                buf.dropped += 1;
+            } else {
+                buf.len += 1;
+            }
+            buf.events[head] = ev;
+            buf.head = (head + 1) % inner.capacity;
+        }
+    }
+
+    /// Records a point event.
+    pub fn event(&self, label: &'static str, arg: u64) {
+        self.record(0, label, TraceKind::Event, arg);
+    }
+
+    /// Opens a span: records `Enter` now and `Exit` when the returned
+    /// guard drops, both under a fresh span id.
+    pub fn span(&self, label: &'static str, arg: u64) -> SpanGuard<'_> {
+        let id = self
+            .inner
+            .as_ref()
+            .map_or(0, |i| i.next_span.fetch_add(1, Ordering::Relaxed));
+        self.record(id, label, TraceKind::Enter, arg);
+        SpanGuard {
+            handle: self,
+            id,
+            label,
+            arg,
+        }
+    }
+}
+
+/// Closes its span on drop.
+pub struct SpanGuard<'a> {
+    handle: &'a TraceHandle,
+    id: u64,
+    label: &'static str,
+    arg: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.handle
+            .record(self.id, self.label, TraceKind::Exit, self.arg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_trace_span_pairs_share_an_id() {
+        let tracer = Tracer::new(64);
+        let h = tracer.register("worker-0");
+        {
+            let _s = h.span("batch", 7);
+            h.event("swap", 3);
+        }
+        let records = tracer.drain();
+        assert_eq!(records.len(), 3);
+        let enter = records
+            .iter()
+            .find(|r| r.kind == TraceKind::Enter)
+            .expect("enter");
+        let exit = records
+            .iter()
+            .find(|r| r.kind == TraceKind::Exit)
+            .expect("exit");
+        assert_eq!(enter.span, exit.span);
+        assert_eq!(enter.label, "batch");
+        assert_eq!(enter.arg, 7);
+        assert!(enter.nanos <= exit.nanos);
+        assert!(records.iter().any(|r| r.label == "swap" && r.arg == 3));
+        // Drained means drained.
+        assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn obs_trace_ring_overwrites_oldest_and_counts_drops() {
+        let tracer = Tracer::new(4);
+        let h = tracer.register("w");
+        for i in 0..10u64 {
+            h.event("tick", i);
+        }
+        let records = tracer.drain();
+        // 4 newest ticks + 1 synthetic drop marker.
+        let ticks: Vec<u64> = records
+            .iter()
+            .filter(|r| r.label == "tick")
+            .map(|r| r.arg)
+            .collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9]);
+        let dropped = records
+            .iter()
+            .find(|r| r.label == "trace_dropped")
+            .expect("drop marker");
+        assert_eq!(dropped.arg, 6);
+    }
+
+    #[test]
+    fn obs_trace_disabled_is_noop() {
+        let tracer = Tracer::disabled();
+        let h = tracer.register("w");
+        let _s = h.span("x", 0);
+        h.event("y", 1);
+        assert!(tracer.drain().is_empty());
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn obs_trace_multi_thread_drain_is_time_sorted() {
+        let tracer = Tracer::new(32);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = tracer.register(format!("t{t}"));
+                s.spawn(move || {
+                    for i in 0..5u64 {
+                        h.event("work", i);
+                    }
+                });
+            }
+        });
+        let records = tracer.drain();
+        assert_eq!(records.len(), 20);
+        assert!(records.windows(2).all(|w| w[0].nanos <= w[1].nanos));
+    }
+}

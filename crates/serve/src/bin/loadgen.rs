@@ -9,6 +9,14 @@
 //! pair (the fixture graph carries integer weights, where bucket m2m
 //! sums are exact in any association — see [`pathrank_serve::fixture`]).
 //!
+//! Every timed window is measured from **both sides**: the clients time
+//! each request on their own clocks (exact [`Series`] percentiles), and
+//! the server's metrics registry is snapshotted around the window
+//! ([`RouteServer::metrics_snapshot`] + `delta_since`) for the
+//! server-side latency histogram, shed rate and batched share. The two
+//! views must agree on the request count — a mismatch means a reply was
+//! lost or double-counted and fails the run loudly.
+//!
 //! ```text
 //! loadgen [--quick] [--out PATH]
 //! ```
@@ -19,6 +27,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+use pathrank_obs::Series;
 use pathrank_serve::fixture::{hub_pairs, integer_city};
 use pathrank_serve::{Metric, RouteRequest, RouteServer, ServeConfig, ServerIndexes};
 use pathrank_spatial::algo::ch::{ChConfig, ContractionHierarchy};
@@ -34,13 +43,11 @@ struct ConfigRow {
     p50_us: f64,
     p99_us: f64,
     p999_us: f64,
+    server_p50_us: f64,
+    server_p99_us: f64,
+    server_p999_us: f64,
+    shed_rate: f64,
     batched_share: f64,
-}
-
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
-    assert!(!sorted_ns.is_empty());
-    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
-    sorted_ns[idx] as f64 / 1_000.0
 }
 
 /// Runs `clients` closed-loop client threads over `pairs`, returning
@@ -158,19 +165,36 @@ fn main() -> ExitCode {
             );
             // Exactness pass first — untimed, same concurrency.
             run_clients(&server, &pairs, clients, Some(&expected));
-            let after_warmup = server.stats();
+            let snap_before = server.metrics_snapshot();
 
             let started = Instant::now();
-            let mut lat = run_clients(&server, &pairs, clients, None);
+            let lat_ns = run_clients(&server, &pairs, clients, None);
             let elapsed = started.elapsed();
 
-            let stats = server.stats();
-            let timed_served = stats.served - after_warmup.served;
-            let timed_batched = stats.batched - after_warmup.batched;
+            // Server-side view of the same window, cut out of the
+            // cumulative registry counters.
+            let window = server.metrics_snapshot().delta_since(&snap_before);
             server.shutdown();
 
-            lat.sort_unstable();
-            let requests = lat.len();
+            let requests = lat_ns.len();
+            let served = window.counter_total("pathrank_serve_served_total", &[]);
+            let shed = window.counter_total("pathrank_serve_shed_total", &[]);
+            let latency = window
+                .histogram("pathrank_serve_request_latency_ns", &[])
+                .expect("latency histogram always registered");
+            if served != requests as u64 || latency.count != served {
+                eprintln!(
+                    "loadgen: request-count mismatch: clients timed {requests}, \
+                     server served {served}, latency histogram holds {} — \
+                     a reply was lost or double-counted",
+                    latency.count
+                );
+                return ExitCode::FAILURE;
+            }
+
+            let mut lat: Series = lat_ns.iter().map(|&ns| ns as f64 / 1_000.0).collect();
+            let batched =
+                window.counter_total("pathrank_serve_served_total", &[("mode", "batched")]);
             let elapsed_s = elapsed.as_secs_f64();
             let row = ConfigRow {
                 clients,
@@ -178,14 +202,18 @@ fn main() -> ExitCode {
                 requests,
                 elapsed_s,
                 qps: requests as f64 / elapsed_s,
-                p50_us: percentile_us(&lat, 50.0),
-                p99_us: percentile_us(&lat, 99.0),
-                p999_us: percentile_us(&lat, 99.9),
-                batched_share: timed_batched as f64 / timed_served.max(1) as f64,
+                p50_us: lat.percentile(50.0),
+                p99_us: lat.percentile(99.0),
+                p999_us: lat.percentile(99.9),
+                server_p50_us: latency.percentile(50.0) / 1_000.0,
+                server_p99_us: latency.percentile(99.0) / 1_000.0,
+                server_p999_us: latency.percentile(99.9) / 1_000.0,
+                shed_rate: shed as f64 / (served + shed).max(1) as f64,
+                batched_share: batched as f64 / served.max(1) as f64,
             };
             eprintln!(
-                "  clients={:3} batching={:5} qps={:9.0} p50={:7.1}us p99={:7.1}us p999={:7.1}us batched_share={:.2}",
-                row.clients, row.batching, row.qps, row.p50_us, row.p99_us, row.p999_us, row.batched_share
+                "  clients={:3} batching={:5} qps={:9.0} p50={:7.1}us p99={:7.1}us p999={:7.1}us server_p99={:7.1}us shed={:.3} batched_share={:.2}",
+                row.clients, row.batching, row.qps, row.p50_us, row.p99_us, row.p999_us, row.server_p99_us, row.shed_rate, row.batched_share
             );
             rows.push(row);
         }
@@ -222,8 +250,8 @@ fn main() -> ExitCode {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{ \"clients\": {}, \"batching\": {}, \"requests\": {}, \"elapsed_s\": {:.4}, \"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"batched_share\": {:.3} }}{}",
-            r.clients, r.batching, r.requests, r.elapsed_s, r.qps, r.p50_us, r.p99_us, r.p999_us, r.batched_share, comma
+            "    {{ \"clients\": {}, \"batching\": {}, \"requests\": {}, \"elapsed_s\": {:.4}, \"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"server_p50_us\": {:.1}, \"server_p99_us\": {:.1}, \"server_p999_us\": {:.1}, \"shed_rate\": {:.4}, \"batched_share\": {:.3} }}{}",
+            r.clients, r.batching, r.requests, r.elapsed_s, r.qps, r.p50_us, r.p99_us, r.p999_us, r.server_p50_us, r.server_p99_us, r.server_p999_us, r.shed_rate, r.batched_share, comma
         );
     }
     let _ = writeln!(json, "  ],");

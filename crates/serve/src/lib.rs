@@ -24,6 +24,7 @@
 //! a minimal line protocol for out-of-process clients.
 
 pub mod fixture;
+mod obs;
 pub mod server;
 pub mod tcp;
 

@@ -75,11 +75,14 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use pathrank_obs::{MetricsSnapshot, Registry, TraceRecord};
 use pathrank_spatial::algo::cch::{Cch, CchTopology};
 use pathrank_spatial::algo::ch::ContractionHierarchy;
-use pathrank_spatial::algo::engine::{QueryEngine, SearchBackend};
+use pathrank_spatial::algo::engine::{EngineObs, QueryEngine, SearchBackend};
 use pathrank_spatial::algo::landmarks::LandmarkTable;
 use pathrank_spatial::graph::{CostModel, EdgeId, Graph, VertexId};
+
+use crate::obs::ServeObs;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -258,15 +261,6 @@ pub struct ServeStats {
     pub no_backend: u64,
 }
 
-#[derive(Default)]
-struct StatsInner {
-    served: AtomicU64,
-    batched: AtomicU64,
-    shed_deadline: AtomicU64,
-    shed_queue_full: AtomicU64,
-    no_backend: AtomicU64,
-}
-
 /// The mutable master half of the live-weight double buffer. Updates —
 /// full and sparse alike — mutate this pair in place under its mutex,
 /// then publish an immutable cloned snapshot into [`LiveState::current`].
@@ -291,6 +285,9 @@ struct LiveState {
 struct Job {
     req: RouteRequest,
     reply: SyncSender<Result<RouteReply, ServeError>>,
+    /// When admission enqueued the job — the end-to-end latency
+    /// histogram records `admitted -> reply` for served requests.
+    admitted: Instant,
 }
 
 /// A submitted request's reply slot ([`RouteServer::submit`]).
@@ -310,15 +307,30 @@ pub struct RouteServer {
     graph: Arc<Graph>,
     indexes: ServerIndexes,
     live: Arc<LiveState>,
-    stats: Arc<StatsInner>,
+    obs: Arc<ServeObs>,
     senders: Vec<SyncSender<Job>>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl RouteServer {
-    /// Starts the shard workers. `cfg.shards == 0` spawns one per
-    /// available core.
+    /// Starts the shard workers with a live metrics registry of their
+    /// own ([`RouteServer::metrics_snapshot`] scrapes it).
+    /// `cfg.shards == 0` spawns one per available core.
     pub fn start(graph: Arc<Graph>, indexes: ServerIndexes, cfg: ServeConfig) -> Self {
+        Self::start_with_metrics(graph, indexes, cfg, Registry::new())
+    }
+
+    /// [`RouteServer::start`] against a caller-supplied registry — pass
+    /// [`Registry::disabled`] to serve with every metric a no-op sink
+    /// (the obs-off escape hatch the overhead benchmark pins), or a
+    /// shared live registry to scrape the server alongside other
+    /// components.
+    pub fn start_with_metrics(
+        graph: Arc<Graph>,
+        indexes: ServerIndexes,
+        cfg: ServeConfig,
+        registry: Registry,
+    ) -> Self {
         let shards = if cfg.shards == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -329,7 +341,7 @@ impl RouteServer {
             current: Mutex::new(None),
             generation: AtomicU64::new(0),
         });
-        let stats = Arc::new(StatsInner::default());
+        let obs = Arc::new(ServeObs::new(registry, shards));
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -338,12 +350,12 @@ impl RouteServer {
             let g = Arc::clone(&graph);
             let idx = indexes.clone();
             let lv = Arc::clone(&live);
-            let st = Arc::clone(&stats);
+            let ob = Arc::clone(&obs);
             let wc = cfg.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("route-shard-{shard}"))
-                    .spawn(move || worker_loop(&g, &idx, &lv, &st, &wc, rx))
+                    .spawn(move || worker_loop(&g, &idx, &lv, &ob, &wc, rx, shard))
                     .expect("spawn shard worker"),
             );
         }
@@ -351,7 +363,7 @@ impl RouteServer {
             graph,
             indexes,
             live,
-            stats,
+            obs,
             senders,
             handles,
         }
@@ -367,15 +379,46 @@ impl RouteServer {
         self.senders.len()
     }
 
-    /// Cumulative counters across all shards.
+    /// Cumulative counters across all shards, derived from the metric
+    /// registry (the typed quick-look subset of
+    /// [`RouteServer::metrics_snapshot`]).
     pub fn stats(&self) -> ServeStats {
+        let batched = self.obs.served_batched.value();
         ServeStats {
-            served: self.stats.served.load(Ordering::Relaxed),
-            batched: self.stats.batched.load(Ordering::Relaxed),
-            shed_deadline: self.stats.shed_deadline.load(Ordering::Relaxed),
-            shed_queue_full: self.stats.shed_queue_full.load(Ordering::Relaxed),
-            no_backend: self.stats.no_backend.load(Ordering::Relaxed),
+            served: self.obs.served_sequential.value() + batched,
+            batched,
+            shed_deadline: self.obs.shed_deadline_admission.value()
+                + self.obs.shed_deadline_batch.value(),
+            shed_queue_full: self.obs.shed_queue_full.value(),
+            no_backend: self.obs.error_count(ServeError::NoBackend),
         }
+    }
+
+    /// The metrics registry this server records into — share it with
+    /// other components or scrape it directly.
+    pub fn registry(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// A point-in-time scrape of every registered series (counters,
+    /// gauges, histograms). This is what the TCP `STATS` command
+    /// serializes and what `loadgen` differences around its timed
+    /// window.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.registry.snapshot()
+    }
+
+    /// Cumulative count of error replies for one [`ServeError`] variant
+    /// — quoted by the TCP layer's `ERR <Variant> n=<count>` replies.
+    pub fn error_count(&self, e: ServeError) -> u64 {
+        self.obs.error_count(e)
+    }
+
+    /// Drains the worker trace rings: batch spans (arg = batch size)
+    /// and live-swap events, time-sorted across shards. Empty when the
+    /// server was started with a disabled registry.
+    pub fn drain_trace(&self) -> Vec<TraceRecord> {
+        self.obs.tracer.drain()
     }
 
     /// Generation of the currently installed live weights (`0` before
@@ -399,21 +442,24 @@ impl RouteServer {
     /// graph-mutation speed clamp, so a poisoned vector can never reach
     /// a customization.
     pub fn update_live_weights(&self, weights: Vec<f64>) -> Result<u64, ServeError> {
-        let topo = self
-            .indexes
-            .cch_topology
-            .as_ref()
-            .ok_or(ServeError::NoBackend)?;
+        let Some(topo) = self.indexes.cch_topology.as_ref() else {
+            self.obs.error(ServeError::NoBackend);
+            return Err(ServeError::NoBackend);
+        };
         if weights.len() != self.graph.edge_count()
             || weights.iter().any(|w| !w.is_finite() || *w < 0.0)
         {
+            self.obs.error(ServeError::InvalidWeights);
             return Err(ServeError::InvalidWeights);
         }
         let mut staging = self.live.staging.lock().expect("staging lock");
+        let t0 = Instant::now();
         match staging.cch.as_mut() {
             Some(cch) => cch.recustomize_weights(&self.graph, &weights),
             None => staging.cch = Some(topo.customize_weights(&self.graph, &weights)),
         }
+        self.obs.customize_full_ns.record_duration(t0.elapsed());
+        self.obs.swap_full.inc();
         staging.weights = weights;
         Ok(self.publish(&staging))
     }
@@ -437,6 +483,7 @@ impl RouteServer {
     /// nonexistent edge or carries a non-finite / negative weight.
     pub fn update_live_weights_sparse(&self, updates: &[(EdgeId, f64)]) -> Result<u64, ServeError> {
         if self.indexes.cch_topology.is_none() {
+            self.obs.error(ServeError::NoBackend);
             return Err(ServeError::NoBackend);
         }
         let m = self.graph.edge_count();
@@ -444,20 +491,27 @@ impl RouteServer {
             .iter()
             .any(|&(e, w)| e.index() >= m || !w.is_finite() || w < 0.0)
         {
+            self.obs.error(ServeError::InvalidWeights);
             return Err(ServeError::InvalidWeights);
         }
         let mut staging = self.live.staging.lock().expect("staging lock");
         if staging.cch.is_none() {
+            self.obs.error(ServeError::NoBackend);
             return Err(ServeError::NoBackend);
         }
         for &(e, w) in updates {
             staging.weights[e.index()] = w;
         }
-        staging
+        let t0 = Instant::now();
+        let recomputed = staging
             .cch
             .as_mut()
             .expect("checked above")
             .apply_weight_delta(updates);
+        self.obs.customize_sparse_ns.record_duration(t0.elapsed());
+        self.obs.delta_edges.record(updates.len() as u64);
+        self.obs.recomputed_arcs.record(recomputed as u64);
+        self.obs.swap_sparse.inc();
         Ok(self.publish(&staging))
     }
 
@@ -477,6 +531,7 @@ impl RouteServer {
             cch,
         });
         *self.live.current.lock().expect("live lock") = Some(lw);
+        self.obs.live_generation.set(generation as i64);
         generation
     }
 
@@ -485,7 +540,8 @@ impl RouteServer {
     /// the deadline has already passed or the shard queue is full.
     pub fn submit(&self, req: RouteRequest) -> Result<PendingRoute, ServeError> {
         if req.deadline.is_some_and(|d| Instant::now() >= d) {
-            self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            self.obs.shed_deadline_admission.inc();
+            self.obs.error(ServeError::DeadlineExpired);
             return Err(ServeError::DeadlineExpired);
         }
         // Fibonacci hash of the source vertex: same-source bursts land
@@ -493,13 +549,25 @@ impl RouteServer {
         let h = (req.source.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let shard = (h >> 33) as usize % self.senders.len();
         let (tx, rx) = mpsc::sync_channel(1);
-        match self.senders[shard].try_send(Job { req, reply: tx }) {
-            Ok(()) => Ok(PendingRoute { rx }),
+        let job = Job {
+            req,
+            reply: tx,
+            admitted: Instant::now(),
+        };
+        match self.senders[shard].try_send(job) {
+            Ok(()) => {
+                self.obs.queue_depth[shard].add(1);
+                Ok(PendingRoute { rx })
+            }
             Err(TrySendError::Full(_)) => {
-                self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                self.obs.shed_queue_full.inc();
+                self.obs.error(ServeError::QueueFull);
                 Err(ServeError::QueueFull)
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+            Err(TrySendError::Disconnected(_)) => {
+                self.obs.error(ServeError::Shutdown);
+                Err(ServeError::Shutdown)
+            }
         }
     }
 
@@ -531,13 +599,17 @@ fn worker_loop(
     g: &Arc<Graph>,
     idx: &ServerIndexes,
     live: &Arc<LiveState>,
-    stats: &Arc<StatsInner>,
+    obs: &Arc<ServeObs>,
     cfg: &ServeConfig,
     rx: Receiver<Job>,
+    shard: usize,
 ) {
     let mut engine = QueryEngine::new(g);
     engine.set_landmarks(idx.landmarks.clone());
     engine.set_ch(idx.ch.clone());
+    engine.set_obs(EngineObs::new(&obs.registry));
+    let trace = obs.tracer.register(format!("route-shard-{shard}"));
+    let depth = obs.queue_depth[shard].clone();
     // The live generation this engine's CCH slot currently matches;
     // swapped lazily when a batch snapshots a newer one.
     let mut mounted_live: Option<Arc<LiveWeights>> = None;
@@ -547,12 +619,16 @@ fn worker_loop(
             Ok(job) => job,
             Err(_) => return, // all senders gone: shutdown
         };
+        depth.sub(1);
         batch.push(first);
         // Greedy drain: whatever queued while we were busy batches for
         // free — no request waits a window it doesn't have to.
         while batch.len() < cfg.max_batch {
             match rx.try_recv() {
-                Ok(job) => batch.push(job),
+                Ok(job) => {
+                    depth.sub(1);
+                    batch.push(job);
+                }
                 Err(_) => break,
             }
         }
@@ -589,13 +665,19 @@ fn worker_loop(
                     break;
                 }
                 match rx.recv_timeout(remaining) {
-                    Ok(job) => batch.push(job),
+                    Ok(job) => {
+                        depth.sub(1);
+                        batch.push(job);
+                    }
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
         }
-        process_batch(&mut engine, live, stats, cfg, &mut mounted_live, &mut batch);
+        obs.batch_size.record(batch.len() as u64);
+        let span = trace.span("batch", batch.len() as u64);
+        process_batch(&mut engine, live, obs, cfg, &mut mounted_live, &mut batch);
+        drop(span);
     }
 }
 
@@ -603,7 +685,7 @@ fn worker_loop(
 fn process_batch(
     engine: &mut QueryEngine<'_>,
     live: &Arc<LiveState>,
-    stats: &StatsInner,
+    obs: &ServeObs,
     cfg: &ServeConfig,
     mounted_live: &mut Option<Arc<LiveWeights>>,
     batch: &mut Vec<Job>,
@@ -612,7 +694,8 @@ fn process_batch(
     let mut groups: HashMap<Metric, Vec<Job>> = HashMap::new();
     for job in batch.drain(..) {
         if job.req.deadline.is_some_and(|d| now >= d) {
-            stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            obs.shed_deadline_batch.inc();
+            obs.error(ServeError::DeadlineExpired);
             let _ = job.reply.send(Err(ServeError::DeadlineExpired));
             continue;
         }
@@ -620,8 +703,8 @@ fn process_batch(
     }
     for (metric, jobs) in groups {
         match metric {
-            Metric::Length => serve_group(engine, stats, cfg, jobs, CostModel::Length, 0),
-            Metric::TravelTime => serve_group(engine, stats, cfg, jobs, CostModel::TravelTime, 0),
+            Metric::Length => serve_group(engine, obs, cfg, jobs, CostModel::Length, 0),
+            Metric::TravelTime => serve_group(engine, obs, cfg, jobs, CostModel::TravelTime, 0),
             Metric::Live => {
                 // One snapshot per batch: every request in it sees this
                 // exact (weights, cch) pair — old or new around a swap,
@@ -629,7 +712,7 @@ fn process_batch(
                 let snapshot = live.current.lock().expect("live lock").clone();
                 let Some(lw) = snapshot else {
                     for job in jobs {
-                        stats.no_backend.fetch_add(1, Ordering::Relaxed);
+                        obs.error(ServeError::NoBackend);
                         let _ = job.reply.send(Err(ServeError::NoBackend));
                     }
                     continue;
@@ -640,7 +723,7 @@ fn process_batch(
                 }
                 serve_group(
                     engine,
-                    stats,
+                    obs,
                     cfg,
                     jobs,
                     CostModel::Custom(&lw.weights),
@@ -655,7 +738,7 @@ fn process_batch(
 /// when worthwhile, individual backend-dispatched queries otherwise.
 fn serve_group(
     engine: &mut QueryEngine<'_>,
-    stats: &StatsInner,
+    obs: &ServeObs,
     cfg: &ServeConfig,
     jobs: Vec<Job>,
     cost: CostModel<'_>,
@@ -671,19 +754,21 @@ fn serve_group(
         && jobs.len() >= cfg.min_batch_for_m2m
         && coalescing_wins(&jobs)
     {
-        serve_batched(engine, stats, jobs, cost, backend, generation);
+        obs.coalesced_batches.inc();
+        serve_batched(engine, obs, jobs, cost, backend, generation);
         return;
     }
     if backend == SearchBackend::Plain && !cfg.allow_plain {
         for job in jobs {
-            stats.no_backend.fetch_add(1, Ordering::Relaxed);
+            obs.error(ServeError::NoBackend);
             let _ = job.reply.send(Err(ServeError::NoBackend));
         }
         return;
     }
     for job in jobs {
         let cost_val = engine.shortest_path_cost(job.req.source, job.req.target, cost);
-        stats.served.fetch_add(1, Ordering::Relaxed);
+        obs.served_sequential.inc();
+        obs.latency_ns.record_duration(job.admitted.elapsed());
         let _ = job.reply.send(Ok(RouteReply {
             cost: cost_val,
             backend,
@@ -716,7 +801,7 @@ fn coalescing_wins(jobs: &[Job]) -> bool {
 /// targets, one forward sweep per distinct source, demuxed back.
 fn serve_batched(
     engine: &mut QueryEngine<'_>,
-    stats: &StatsInner,
+    obs: &ServeObs,
     jobs: Vec<Job>,
     cost: CostModel<'_>,
     backend: SearchBackend,
@@ -732,7 +817,8 @@ fn serve_batched(
         // individual dispatch re-resolves per query and stays exact.
         for job in jobs {
             let cost_val = engine.shortest_path_cost(job.req.source, job.req.target, cost);
-            stats.served.fetch_add(1, Ordering::Relaxed);
+            obs.served_sequential.inc();
+            obs.latency_ns.record_duration(job.admitted.elapsed());
             let _ = job.reply.send(Ok(RouteReply {
                 cost: cost_val,
                 backend: engine.backend_for(cost),
@@ -752,8 +838,8 @@ fn serve_batched(
             .expect("buckets prepared above on this backend");
         for job in jobs {
             let d = row[target_col[&job.req.target.0]];
-            stats.served.fetch_add(1, Ordering::Relaxed);
-            stats.batched.fetch_add(1, Ordering::Relaxed);
+            obs.served_batched.inc();
+            obs.latency_ns.record_duration(job.admitted.elapsed());
             let _ = job.reply.send(Ok(RouteReply {
                 cost: d.is_finite().then_some(d),
                 backend,

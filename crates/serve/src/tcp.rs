@@ -7,11 +7,28 @@
 //! <- OK <cost|inf> <backend> <batched:0|1> <generation>
 //! -> UPDATE <edge>:<weight>[,<edge>:<weight>...]
 //! <- OK <generation>
-//! <- ERR <QueueFull|DeadlineExpired|NoBackend|InvalidWeights|Shutdown|BadRequest>
+//! -> STATS [json]
+//! <- (multi-line metrics dump, see below)
+//! <- ERR <QueueFull|DeadlineExpired|NoBackend|InvalidWeights|Shutdown> n=<count>
+//! <- ERR BadRequest
 //! ```
 //!
 //! `<metric>` is `length`, `time` or `live`; `deadline_ms` is a relative
 //! budget from the moment the server parses the line.
+//!
+//! Every `ERR` carrying a [`ServeError`] variant appends `n=<count>` —
+//! the server's cumulative error count for that variant, so a client
+//! seeing its first `QueueFull` can tell an isolated blip (`n=1`) from
+//! systemic overload (`n=40000`) without a second round trip.
+//! `BadRequest` is a parse failure on this connection, not a server
+//! error, and carries no counter.
+//!
+//! `STATS` scrapes the server's metrics registry
+//! ([`RouteServer::metrics_snapshot`]) and answers with a framed dump:
+//! Prometheus text exposition by default (`# EOF` terminated, so a
+//! scraper can splice it straight through), or a single JSON line after
+//! `STATS json`. Both forms end with a `.` line as the protocol frame
+//! terminator.
 //!
 //! `UPDATE` feeds a sparse live-weight delta
 //! ([`RouteServer::update_live_weights_sparse`]): each `edge:weight`
@@ -105,6 +122,31 @@ fn error_tag(e: ServeError) -> &'static str {
     }
 }
 
+/// `ERR <Variant> n=<count>`: the variant plus the server's cumulative
+/// count for it (this reply included — the counter was incremented
+/// before the error propagated here).
+fn error_reply(server: &RouteServer, e: ServeError) -> String {
+    format!("ERR {} n={}\n", error_tag(e), server.error_count(e))
+}
+
+/// Answers a `STATS [json]` line: the full registry scrape, framed with
+/// a trailing `.` line.
+fn stats_reply(server: &RouteServer, line: &str) -> String {
+    let rest = line.trim().strip_prefix("STATS").unwrap_or("").trim();
+    let snapshot = server.metrics_snapshot();
+    if rest.eq_ignore_ascii_case("json") {
+        let mut out = snapshot.to_json();
+        out.push_str("\n.\n");
+        out
+    } else if rest.is_empty() {
+        let mut out = snapshot.to_prometheus_text();
+        out.push_str(".\n");
+        out
+    } else {
+        "ERR BadRequest\n".to_string()
+    }
+}
+
 /// Serves one connection until EOF or a write error.
 pub fn serve_connection(stream: TcpStream, server: &RouteServer) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
@@ -114,12 +156,16 @@ pub fn serve_connection(stream: TcpStream, server: &RouteServer) -> std::io::Res
         if line.trim().is_empty() {
             continue;
         }
+        if line.trim_start().starts_with("STATS") {
+            writer.write_all(stats_reply(server, &line).as_bytes())?;
+            continue;
+        }
         if line.trim_start().starts_with("UPDATE") {
             let answer = match parse_update(&line) {
                 None => "ERR BadRequest\n".to_string(),
                 Some(updates) => match server.update_live_weights_sparse(&updates) {
                     Ok(generation) => format!("OK {generation}\n"),
-                    Err(e) => format!("ERR {}\n", error_tag(e)),
+                    Err(e) => error_reply(server, e),
                 },
             };
             writer.write_all(answer.as_bytes())?;
@@ -128,7 +174,7 @@ pub fn serve_connection(stream: TcpStream, server: &RouteServer) -> std::io::Res
         let answer = match parse_line(server, &line) {
             None => "ERR BadRequest\n".to_string(),
             Some(req) => match server.route(req) {
-                Err(e) => format!("ERR {}\n", error_tag(e)),
+                Err(e) => error_reply(server, e),
                 Ok(reply) => format!(
                     "OK {} {:?} {} {}\n",
                     reply.cost.map_or("inf".to_string(), |c| format!("{c}")),

@@ -714,14 +714,16 @@ fn serve_tcp_update_round_trip() {
     writer.write_all(b"UPDATE 0=444\n").expect("send");
     reader.read_line(&mut line).expect("reply");
     assert_eq!(line.trim(), "ERR BadRequest");
+    // Variant errors carry the server's cumulative count for the
+    // variant: first InvalidWeights is n=1, the next n=2.
     line.clear();
     writer.write_all(b"UPDATE 999999:5\n").expect("send");
     reader.read_line(&mut line).expect("reply");
-    assert_eq!(line.trim(), "ERR InvalidWeights");
+    assert_eq!(line.trim(), "ERR InvalidWeights n=1");
     line.clear();
     writer.write_all(b"UPDATE 0:-3\n").expect("send");
     reader.read_line(&mut line).expect("reply");
-    assert_eq!(line.trim(), "ERR InvalidWeights");
+    assert_eq!(line.trim(), "ERR InvalidWeights n=2");
     assert_eq!(server.live_generation(), 2);
 }
 
@@ -776,5 +778,5 @@ fn serve_tcp_round_trip() {
     line.clear();
     writer.write_all(b"ROUTE 0 35 live\n").expect("send");
     reader.read_line(&mut line).expect("reply");
-    assert_eq!(line.trim(), "ERR NoBackend");
+    assert_eq!(line.trim(), "ERR NoBackend n=1");
 }

@@ -163,6 +163,12 @@ pub(crate) struct ChSide {
     epoch: u32,
     entries: Vec<ChEntry>,
     pub(crate) heap: BinaryHeap<MinCost<VertexId>>,
+    /// Lifetime settle count across every query on this side — plain
+    /// increments mirroring `SearchSpace`'s work counters, differenced
+    /// by the engine for per-query work reporting.
+    settled_total: u64,
+    /// Lifetime relaxation (enqueue) count.
+    pushed_total: u64,
 }
 
 impl ChSide {
@@ -178,6 +184,8 @@ impl ChSide {
                 n
             ],
             heap: BinaryHeap::new(),
+            settled_total: 0,
+            pushed_total: 0,
         }
     }
 
@@ -223,6 +231,7 @@ impl ChSide {
     #[inline]
     pub(crate) fn settle(&mut self, v: VertexId) {
         self.entries[v.index()].stamp |= 1;
+        self.settled_total += 1;
     }
 
     #[inline]
@@ -232,6 +241,7 @@ impl ChSide {
             dist: d,
             parent_arc,
         };
+        self.pushed_total += 1;
     }
 }
 
@@ -271,6 +281,16 @@ impl ChSearch {
     /// Number of vertex slots.
     pub fn capacity(&self) -> usize {
         self.fwd.entries.len()
+    }
+
+    /// Lifetime `(settled vertices, heap pushes)` summed over both
+    /// search sides; monotone, never reset (see
+    /// [`crate::algo::engine::SearchSpace::work_counters`]).
+    pub fn work_counters(&self) -> (u64, u64) {
+        (
+            self.fwd.settled_total + self.bwd.settled_total,
+            self.fwd.pushed_total + self.bwd.pushed_total,
+        )
     }
 }
 

@@ -38,6 +38,8 @@
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use pathrank_obs::{Counter, Registry};
+
 use crate::algo::cch::Cch;
 use crate::algo::ch::{ChSearch, ContractionHierarchy};
 use crate::algo::dijkstra::ShortestPathTree;
@@ -73,6 +75,13 @@ pub struct SearchSpace {
     parent: Vec<(u32, u32)>,
     /// Reusable priority queue (cleared, not reallocated, between queries).
     heap: BinaryHeap<MinCost<VertexId>>,
+    /// Lifetime count of settled vertices, across all queries on this
+    /// space. A plain (non-atomic) increment inside [`SearchSpace::settle`]
+    /// — the engine reads deltas around a query to report per-query work
+    /// without touching the hot loop with atomics.
+    settled_total: u64,
+    /// Lifetime count of relaxations (each enqueues one heap entry).
+    pushed_total: u64,
 }
 
 impl SearchSpace {
@@ -84,7 +93,16 @@ impl SearchSpace {
             dist: vec![f64::INFINITY; n],
             parent: vec![NO_PARENT; n],
             heap: BinaryHeap::new(),
+            settled_total: 0,
+            pushed_total: 0,
         }
+    }
+
+    /// Lifetime `(settled vertices, heap pushes)` across every query run
+    /// on this space; monotone, never reset. Callers difference two
+    /// readings to get per-query or per-window work.
+    pub fn work_counters(&self) -> (u64, u64) {
+        (self.settled_total, self.pushed_total)
     }
 
     /// Number of vertex slots.
@@ -144,6 +162,7 @@ impl SearchSpace {
     fn settle(&mut self, v: VertexId) {
         debug_assert!(self.reached(v), "settling an unreached vertex");
         self.stamp[v.index()] |= 1;
+        self.settled_total += 1;
     }
 
     #[inline]
@@ -152,6 +171,7 @@ impl SearchSpace {
         self.stamp[i] = self.epoch << 1;
         self.dist[i] = d;
         self.parent[i] = parent;
+        self.pushed_total += 1;
     }
 
     /// The minimum key still on the heap, skipping entries already
@@ -732,6 +752,132 @@ pub enum SearchBackend {
     Ch,
 }
 
+/// Cloneable metric handles for [`QueryEngine`] instrumentation,
+/// registered once against a [`pathrank_obs::Registry`] and cloned into
+/// every worker engine ([`QueryEngine::with_obs`]).
+///
+/// The engine's hot loops stay atomics-free: [`SearchSpace`] and
+/// [`crate::algo::ch::ChSearch`] keep plain lifetime work counters, and
+/// the per-query instrumentation differences them around the dispatch,
+/// folding the delta into sharded registry counters — two relaxed
+/// atomic adds per *query*, zero per settled vertex. Handles from
+/// [`EngineObs::disabled`] (the default on every new engine) are no-op
+/// sinks, so un-instrumented callers pay one predictable branch.
+///
+/// Registered families:
+/// * `pathrank_engine_queries_total{backend}` — point-to-point queries
+///   by resolved [`SearchBackend`].
+/// * `pathrank_engine_fallback_total{index, reason}` — queries that
+///   skipped an attached index, by index (`ch`/`cch`/`alt`) and reason
+///   (`stale_weights` when the index predates the graph's weights
+///   epoch, `metric_mismatch` when it does not cover the cost model).
+/// * `pathrank_engine_settled_nodes_total` /
+///   `pathrank_engine_heap_pushes_total` — search work, summed over
+///   every space the query touched.
+#[derive(Clone)]
+pub struct EngineObs {
+    enabled: bool,
+    /// Counter shard pinned at construction ([`Counter::shard_hint`]):
+    /// engines are effectively thread-affine, so resolving the shard
+    /// once lets every record skip the per-add thread-local lookup.
+    shard: usize,
+    /// Indexed by [`EngineObs::backend_slot`]: plain, alt, cch, ch.
+    queries: [Counter; 4],
+    /// `[ch, cch, alt] × [stale_weights, metric_mismatch]`.
+    fallback: [[Counter; 2]; 3],
+    settled: Counter,
+    pushed: Counter,
+}
+
+impl EngineObs {
+    /// Registers the engine metric families on `registry` (idempotent —
+    /// workers may each call this) and returns live handles. A disabled
+    /// registry yields the same no-op handles as [`EngineObs::disabled`].
+    pub fn new(registry: &Registry) -> Self {
+        let backend = |b: &str| {
+            registry.counter(
+                "pathrank_engine_queries_total",
+                "Point-to-point queries served, by resolved search backend",
+                &[("backend", b)],
+            )
+        };
+        let fb = |ix: &str, reason: &str| {
+            registry.counter(
+                "pathrank_engine_fallback_total",
+                "Queries that skipped an attached index, by index and reason",
+                &[("index", ix), ("reason", reason)],
+            )
+        };
+        EngineObs {
+            enabled: registry.is_enabled(),
+            shard: Counter::shard_hint(),
+            queries: [
+                backend("plain"),
+                backend("alt"),
+                backend("cch"),
+                backend("ch"),
+            ],
+            fallback: [
+                [fb("ch", "stale_weights"), fb("ch", "metric_mismatch")],
+                [fb("cch", "stale_weights"), fb("cch", "metric_mismatch")],
+                [fb("alt", "stale_weights"), fb("alt", "metric_mismatch")],
+            ],
+            settled: registry.counter(
+                "pathrank_engine_settled_nodes_total",
+                "Vertices settled by point-to-point queries, all backends",
+                &[],
+            ),
+            pushed: registry.counter(
+                "pathrank_engine_heap_pushes_total",
+                "Heap pushes (relaxations) by point-to-point queries, all backends",
+                &[],
+            ),
+        }
+    }
+
+    /// The no-op sink every new engine starts with.
+    pub fn disabled() -> Self {
+        EngineObs {
+            enabled: false,
+            shard: 0,
+            queries: [
+                Counter::noop(),
+                Counter::noop(),
+                Counter::noop(),
+                Counter::noop(),
+            ],
+            fallback: [
+                [Counter::noop(), Counter::noop()],
+                [Counter::noop(), Counter::noop()],
+                [Counter::noop(), Counter::noop()],
+            ],
+            settled: Counter::noop(),
+            pushed: Counter::noop(),
+        }
+    }
+
+    /// Whether these handles actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Strength ordinal doubling as the `queries` array slot.
+    fn backend_slot(backend: SearchBackend) -> usize {
+        match backend {
+            SearchBackend::Plain => 0,
+            SearchBackend::Alt => 1,
+            SearchBackend::Cch => 2,
+            SearchBackend::Ch => 3,
+        }
+    }
+}
+
+impl Default for EngineObs {
+    fn default() -> Self {
+        EngineObs::disabled()
+    }
+}
+
 /// Borrowed read-only view of a completed one-to-all search.
 ///
 /// Unlike [`ShortestPathTree`] this does not copy the `O(V)` arrays; it
@@ -852,6 +998,9 @@ pub struct QueryEngine<'g> {
     /// Landmark vectors cached for the current query *source* (consulted
     /// by the backward half of bidirectional searches).
     alt_source: NodeVectors,
+    /// Metric handles ([`EngineObs::disabled`] unless attached) —
+    /// per-backend query counts, fallback reasons and search work.
+    obs: EngineObs,
 }
 
 /// Bookkeeping for the streaming many-to-many API: records *which*
@@ -911,7 +1060,22 @@ impl<'g> QueryEngine<'g> {
             m2m_prepared: None,
             alt_target: NodeVectors::new(),
             alt_source: NodeVectors::new(),
+            obs: EngineObs::disabled(),
         }
+    }
+
+    /// Attaches metric handles: subsequent point-to-point queries count
+    /// themselves per backend, record fallback reasons and fold their
+    /// settled/push work into the registry (see [`EngineObs`]).
+    pub fn with_obs(mut self, obs: EngineObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Non-consuming form of [`QueryEngine::with_obs`] for engines living
+    /// inside worker pools.
+    pub fn set_obs(&mut self, obs: EngineObs) {
+        self.obs = obs;
     }
 
     /// Attaches a precomputed ALT landmark table: every target-directed
@@ -1149,6 +1313,56 @@ impl<'g> QueryEngine<'g> {
         }
     }
 
+    /// Lifetime `(settled, pushed)` work summed over every search space
+    /// this engine owns. Monotone; instrumentation differences two
+    /// readings around a query.
+    fn total_work(&self) -> (u64, u64) {
+        let (mut s, mut p) = self.fwd.work_counters();
+        if let Some(bwd) = &self.bwd {
+            let (s2, p2) = bwd.work_counters();
+            s += s2;
+            p += p2;
+        }
+        if let Some(ch) = &self.ch_search {
+            let (s2, p2) = ch.work_counters();
+            s += s2;
+            p += p2;
+        }
+        (s, p)
+    }
+
+    /// Counts a dispatched point-to-point query and, for every attached
+    /// index that outranks the resolved backend yet was skipped, the
+    /// reason it was skipped. An index that covers the cost model can
+    /// only have been skipped for a stale weights epoch; one that does
+    /// not cover it was a metric mismatch.
+    fn record_dispatch(&self, backend: SearchBackend, cost: CostModel<'_>) {
+        if !self.obs.enabled {
+            return;
+        }
+        let shard = self.obs.shard;
+        let resolved = EngineObs::backend_slot(backend);
+        self.obs.queries[resolved].add_in_shard(shard, 1);
+        if resolved < EngineObs::backend_slot(SearchBackend::Ch) {
+            if let Some(ch) = &self.ch {
+                let reason = if ch.usable_for(&cost) { 0 } else { 1 };
+                self.obs.fallback[0][reason].add_in_shard(shard, 1);
+            }
+        }
+        if resolved < EngineObs::backend_slot(SearchBackend::Cch) {
+            if let Some(cch) = &self.cch {
+                let reason = if cch.usable_for(&cost) { 0 } else { 1 };
+                self.obs.fallback[1][reason].add_in_shard(shard, 1);
+            }
+        }
+        if resolved < EngineObs::backend_slot(SearchBackend::Alt) {
+            if let Some(alt) = &self.landmarks {
+                let reason = if alt.usable_for(&cost) { 0 } else { 1 };
+                self.obs.fallback[2][reason].add_in_shard(shard, 1);
+            }
+        }
+    }
+
     /// Resolves the backend for a *constrained* search (banned vertex or
     /// edge sets — Yen and diversified spur searches). Never
     /// [`SearchBackend::Ch`]: a banned edge may hide inside a shortcut,
@@ -1303,7 +1517,10 @@ impl<'g> QueryEngine<'g> {
         if source == target {
             return None;
         }
-        match self.backend_for(cost) {
+        let backend = self.backend_for(cost);
+        self.record_dispatch(backend, cost);
+        let work_before = self.obs.enabled.then(|| self.total_work());
+        let path = match backend {
             SearchBackend::Ch => self.ch_shortest_path(source, target),
             SearchBackend::Cch => self.cch_shortest_path(source, target),
             SearchBackend::Alt => {
@@ -1322,7 +1539,13 @@ impl<'g> QueryEngine<'g> {
                 }
                 self.fwd.extract_path(source, target)
             }
+        };
+        if let Some((s0, p0)) = work_before {
+            let (s1, p1) = self.total_work();
+            self.obs.settled.add_in_shard(self.obs.shard, s1 - s0);
+            self.obs.pushed.add_in_shard(self.obs.shard, p1 - p0);
         }
+        path
     }
 
     /// Cost of the cheapest `source -> target` path without materialising
@@ -1340,7 +1563,10 @@ impl<'g> QueryEngine<'g> {
         if source == target {
             return Some(0.0);
         }
-        match self.backend_for(cost) {
+        let backend = self.backend_for(cost);
+        self.record_dispatch(backend, cost);
+        let work_before = self.obs.enabled.then(|| self.total_work());
+        let out = match backend {
             SearchBackend::Ch => self.ch_shortest_path_cost(source, target, cost),
             SearchBackend::Cch => self.cch_shortest_path_cost(source, target, cost),
             SearchBackend::Alt => {
@@ -1361,7 +1587,13 @@ impl<'g> QueryEngine<'g> {
                 let d = self.fwd.dist(target);
                 d.is_finite().then_some(d)
             }
+        };
+        if let Some((s0, p0)) = work_before {
+            let (s1, p1) = self.total_work();
+            self.obs.settled.add_in_shard(self.obs.shard, s1 - s0);
+            self.obs.pushed.add_in_shard(self.obs.shard, p1 - p0);
         }
+        out
     }
 
     /// ALT-guided one-to-one A* on the forward space (the

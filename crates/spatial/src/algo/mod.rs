@@ -59,7 +59,7 @@ pub use dijkstra::{
 };
 pub use diversified::{diversified_top_k, diversified_top_k_with, DiversifiedConfig};
 pub use engine::{
-    safe_heuristic_bound, Heuristic, QueryEngine, SearchBackend, SearchSpace, TreeView,
+    safe_heuristic_bound, EngineObs, Heuristic, QueryEngine, SearchBackend, SearchSpace, TreeView,
 };
 pub use landmarks::{LandmarkConfig, LandmarkMetric, LandmarkTable, NodeVectors};
 pub use m2m::{DistanceTable, M2mSearch};

@@ -32,12 +32,24 @@ impl TrajectoryDataset {
     /// One [`MapMatcher`] — a single spatial index plus a single query
     /// engine — serves every trace.
     pub fn from_map_matching(g: &Graph, trips: &[Trip], cfg: &MapMatchConfig) -> Self {
+        Self::from_map_matching_with_stats(g, trips, cfg).0
+    }
+
+    /// Like [`TrajectoryDataset::from_map_matching`], but also hands back
+    /// the matcher's probe-cache and m2m statistics
+    /// ([`crate::mapmatch::MatchStats`]) for callers feeding a metrics
+    /// registry.
+    pub fn from_map_matching_with_stats(
+        g: &Graph,
+        trips: &[Trip],
+        cfg: &MapMatchConfig,
+    ) -> (Self, crate::mapmatch::MatchStats) {
         let mut matcher = MapMatcher::new(g, cfg.clone());
         let paths = trips
             .iter()
             .filter_map(|t| matcher.match_trace(&t.trace))
             .collect();
-        TrajectoryDataset { paths }
+        (TrajectoryDataset { paths }, matcher.stats())
     }
 
     /// Number of trajectory paths.

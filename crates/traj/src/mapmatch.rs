@@ -264,6 +264,36 @@ impl MatchStats {
     pub fn probes_avoided_by_m2m(&self) -> u64 {
         self.m2m_pairs
     }
+
+    /// Folds this snapshot into `registry`'s `pathrank_match_*` counter
+    /// families. The counters are cumulative, so call this once per
+    /// matcher lifetime (or with per-window deltas) — re-recording the
+    /// same snapshot double-counts.
+    pub fn record_into(&self, registry: &pathrank_obs::Registry) {
+        let add = |name: &str, help: &str, n: u64| {
+            registry.counter(name, help, &[]).add(n);
+        };
+        add(
+            "pathrank_match_sp_probes_total",
+            "Route-distance probes issued by the HMM transition model",
+            self.sp_probes,
+        );
+        add(
+            "pathrank_match_sp_cache_hits_total",
+            "Probes answered from the shared fleet cache without a search",
+            self.sp_cache_hits,
+        );
+        add(
+            "pathrank_match_m2m_tables_total",
+            "Many-to-many transition tables built during matching",
+            self.m2m_tables,
+        );
+        add(
+            "pathrank_match_m2m_pairs_total",
+            "Probe-cache entries bulk-filled by m2m tables",
+            self.m2m_pairs,
+        );
+    }
 }
 
 /// Shortest-path probe cache, keyed by `(source, target, metric)`.

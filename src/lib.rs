@@ -20,5 +20,6 @@
 pub use pathrank_core as core;
 pub use pathrank_embed as embed;
 pub use pathrank_nn as nn;
+pub use pathrank_obs as obs;
 pub use pathrank_spatial as spatial;
 pub use pathrank_traj as traj;
